@@ -1,0 +1,57 @@
+"""Fig. 6 — NPI of critical cores over a frame period, test case B.
+
+Test case B switches off the GPS, camera, rotator and JPEG cores and lowers
+the DRAM frequency to 1700 MHz (Table 1).  The paper's observations: the
+latency-sensitive DSP suffers under FCFS, suffers less under round-robin
+(it has its own transaction queue) while the display fails instead, the
+frame-rate baseline still fails the non-media cores, and the priority-based
+policy delivers target performance to every core.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import cached_run
+from repro.analysis.report import format_npi_table
+from repro.system.platform import critical_cores_for
+
+POLICIES = ["fcfs", "round_robin", "frame_rate_qos", "priority_qos"]
+REPORTED_CORES = list(critical_cores_for("B")) + ["audio", "gpu"]
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_fig6_policy_run(benchmark, policy):
+    result = benchmark.pedantic(
+        lambda: cached_run("B", policy), rounds=1, iterations=1
+    )
+    assert result.served_transactions > 0
+    assert result.dram_freq_mhz == 1700.0
+
+
+def test_fig6_shape():
+    results = {policy: cached_run("B", policy) for policy in POLICIES}
+
+    print("\nFig. 6 — minimum NPI of critical cores, test case B")
+    print(format_npi_table(results, cores=REPORTED_CORES))
+
+    sara = results["priority_qos"]
+    assert sara.failing_cores() == [], (
+        "the SARA priority policy must deliver target performance to all cores"
+    )
+
+    fcfs = results["fcfs"]
+    round_robin = results["round_robin"]
+    # The DSP suffers under FCFS and suffers less under round-robin, where it
+    # owns a transaction queue (paper Sec. 4.1).
+    assert fcfs.min_core_npi["dsp"] < 1.0
+    assert round_robin.min_core_npi["dsp"] > fcfs.min_core_npi["dsp"]
+    # The display still fails under round-robin due to media interference.
+    assert round_robin.min_core_npi["display"] < 1.0
+
+    # The frame-rate baseline fails at least one non-frame-rate core.
+    frame_rate = results["frame_rate_qos"]
+    assert any(
+        frame_rate.min_core_npi[core] < 1.0
+        for core in ("dsp", "audio", "display", "usb", "wifi")
+    )

@@ -1,0 +1,52 @@
+"""Fig. 8 — average DRAM bandwidth under different scheduling policies.
+
+The paper compares RR, FCFS, QoS (Policy 1), QoS-RB (Policy 2) and FR-FCFS
+and reports that FR-FCFS achieves the highest bandwidth, QoS-RB comes within
+about 1 % of it, and QoS-RB clearly outperforms the policies that ignore
+row-buffer locality (24 % over RR, 12 % over FCFS, 10 % over QoS in their
+testbed).
+
+The absolute spread in this reproduction is smaller (the transaction-level
+DRAM model hides part of the row-miss penalty behind bank parallelism), but
+the headline relations are asserted: QoS-RB sits within a few percent of
+FR-FCFS, gains bandwidth over plain QoS, and does so with a clearly higher
+row-buffer hit rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import cached_run
+from repro.analysis.report import format_bandwidth_table
+
+POLICIES = ["round_robin", "fcfs", "priority_qos", "priority_rowbuffer", "fr_fcfs"]
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_fig8_policy_run(benchmark, policy):
+    result = benchmark.pedantic(
+        lambda: cached_run("A", policy), rounds=1, iterations=1
+    )
+    assert result.dram_bandwidth_bytes_per_s > 0
+
+
+def test_fig8_shape():
+    results = {policy: cached_run("A", policy) for policy in POLICIES}
+
+    print("\nFig. 8 — average DRAM bandwidth per scheduling policy")
+    print(format_bandwidth_table(results))
+
+    bandwidth = {p: results[p].dram_bandwidth_bytes_per_s for p in POLICIES}
+    hit_rate = {p: results[p].dram_row_hit_rate for p in POLICIES}
+
+    # Row-buffer-aware policies achieve the most row-buffer hits.
+    assert hit_rate["fr_fcfs"] > hit_rate["priority_qos"]
+    assert hit_rate["priority_rowbuffer"] > hit_rate["priority_qos"]
+
+    # QoS-RB recovers (nearly) all of FR-FCFS's bandwidth advantage...
+    assert bandwidth["priority_rowbuffer"] >= 0.97 * bandwidth["fr_fcfs"]
+    # ...and improves over the row-buffer-oblivious QoS policy.
+    assert bandwidth["priority_rowbuffer"] > bandwidth["priority_qos"]
+    # The row-buffer optimisation never undercuts the weakest baseline.
+    assert bandwidth["priority_rowbuffer"] >= bandwidth["round_robin"]

@@ -1,0 +1,73 @@
+"""Plugging a user-defined scheduling policy into the SARA platform.
+
+The policy registry is open: subclass
+:class:`~repro.memctrl.scheduler.SchedulingPolicy`, give it a unique ``name``
+and call :func:`~repro.memctrl.policies.register_policy`.  The new policy can
+then be used everywhere a built-in one can — the memory controller, the NoC
+arbiters, the experiment runner and the CLI.
+
+The example policy below ("strict_priority") follows the paper's Policy 1 but
+drops both the round-robin tiebreak and the aging backstop: ties are broken
+purely by age and nothing ever gets promoted.  Comparing it against Policy 1
+shows why the paper keeps the aging backstop — without it, low-priority cores
+can starve behind a persistent high-priority stream.
+
+Run with:  python examples/custom_policy.py
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.report import format_npi_table
+from repro.memctrl.policies import register_policy
+from repro.memctrl.scheduler import SchedulingContext, SchedulingPolicy
+from repro.memctrl.transaction import Transaction
+from repro.sim.clock import MS
+from repro.system.experiment import compare_policies
+from repro.system.platform import critical_cores_for
+
+
+class StrictPriorityPolicy(SchedulingPolicy):
+    """Highest priority wins, oldest first within a level — no aging, no RR."""
+
+    name = "strict_priority"
+
+    def select(
+        self, candidates: List[Transaction], context: SchedulingContext
+    ) -> Transaction:
+        self._check_candidates(candidates)
+        top = max(transaction.priority for transaction in candidates)
+        urgent = [t for t in candidates if t.priority == top]
+        return self.oldest(urgent)
+
+
+def main() -> None:
+    register_policy(StrictPriorityPolicy)
+
+    results = compare_policies(
+        ["priority_qos", "strict_priority"],
+        case="A",
+        duration_ps=6 * MS,
+        traffic_scale=0.6,
+    )
+
+    critical = critical_cores_for("A")
+    print("Custom policy versus the paper's Policy 1 (minimum NPI per critical core)\n")
+    print(format_npi_table(results, critical))
+    print()
+    for name, result in results.items():
+        print(
+            f"{name:<18} bandwidth {result.dram_bandwidth_gb_per_s():5.2f} GB/s   "
+            f"failing cores: {result.failing_cores() or 'none'}"
+        )
+    print(
+        "\nBecause SARA's adaptation only raises priorities when a core is "
+        "genuinely behind target, even the strict variant usually behaves; the "
+        "aging backstop in Policy 1 is what protects against pathological "
+        "cases where a high-priority stream never relents."
+    )
+
+
+if __name__ == "__main__":
+    main()

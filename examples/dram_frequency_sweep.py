@@ -1,0 +1,44 @@
+"""DVFS study: priority adaptation versus DRAM frequency (Fig. 7 analogue).
+
+Sweeps the DRAM I/O frequency from 1700 MHz down to 1300 MHz while running
+test case A under the SARA priority policy, and prints how much of its time
+the image processor spends at each priority level.  As frequency drops and
+memory contention grows, the distribution should shift toward the higher
+priority levels — the self-adaptation the paper shows in Fig. 7.
+
+Run with:  python examples/dram_frequency_sweep.py
+"""
+
+from __future__ import annotations
+
+from repro import frequency_sweep
+from repro.analysis.metrics import mean_priority, priority_distribution_table
+from repro.analysis.report import format_priority_distribution
+from repro.sim.clock import MS
+
+FREQUENCIES_MHZ = [1700.0, 1500.0, 1300.0]
+DMA = "image_processor.read"
+
+
+def main() -> None:
+    results = frequency_sweep(
+        FREQUENCIES_MHZ,
+        case="A",
+        policy="priority_qos",
+        duration_ps=8 * MS,
+        traffic_scale=0.9,
+    )
+
+    table = priority_distribution_table(results, DMA)
+    print(f"Time share per priority level for {DMA} (Fig. 7 analogue)\n")
+    print(format_priority_distribution(table))
+    print()
+    for freq in FREQUENCIES_MHZ:
+        print(
+            f"{freq:.0f} MHz: mean priority {mean_priority(table[freq]):.2f}, "
+            f"image processor min NPI {results[freq].min_core_npi['image_processor']:.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Running the camcorder on a 2D-mesh interconnect instead of the Fig. 1 tree.
+
+The paper's platform routes all memory traffic through a two-level tree of
+arbiters.  Many MPSoCs use a mesh; because every request targets the single
+memory controller, XY routing turns the mesh into a fixed set of paths with
+different hop counts per cluster.  This example runs the same workload and
+policy on both topologies and compares network latency and QoS.
+
+Run with:  python examples/mesh_interconnect.py
+"""
+
+from __future__ import annotations
+
+from repro.sim.clock import MS
+from repro.sim.config import NocConfig, SimulationConfig
+from repro.system.builder import build_system
+from repro.system.platform import simulation_config_for_case
+
+DURATION_PS = 5 * MS
+TRAFFIC_SCALE = 0.6
+POLICY = "priority_qos"
+
+
+def run_on(topology: str):
+    base = simulation_config_for_case("A")
+    config = base.with_overrides(
+        noc=NocConfig(
+            link_bytes_per_ns=base.noc.link_bytes_per_ns,
+            router_latency_ns=base.noc.router_latency_ns,
+            arbitration=POLICY,
+            topology=topology,
+            mesh_columns=2,
+        )
+    )
+    system = build_system(case="A", policy=POLICY, config=config, traffic_scale=TRAFFIC_SCALE)
+    system.run(duration_ps=DURATION_PS)
+    return system
+
+
+def main() -> None:
+    print("Camcorder case A under Policy 1 on two interconnect topologies\n")
+    rows = []
+    for topology in ("tree", "mesh"):
+        system = run_on(topology)
+        failing = sorted(
+            core for core, npi in system.framework.minimum_core_npi().items() if npi < 1.0
+        )
+        rows.append(
+            (
+                topology,
+                system.network.average_latency_ps() / 1000.0,
+                system.dram_bandwidth_bytes_per_s() / 1e9,
+                ", ".join(failing) or "none",
+            )
+        )
+        if topology == "mesh":
+            print("Mesh placement (hops to the memory controller per cluster):")
+            for cluster in sorted(system.network.topology.cluster_node):
+                hops = system.network.topology.hops_to_controller(cluster)
+                print(f"  {cluster:<10} {hops} hops")
+            print()
+
+    header = f"{'topology':<10}{'NoC latency (ns)':>18}{'DRAM BW (GB/s)':>16}  failing cores"
+    print(header)
+    print("-" * len(header))
+    for topology, latency_ns, bandwidth, failing in rows:
+        print(f"{topology:<10}{latency_ns:>18.1f}{bandwidth:>16.2f}  {failing}")
+    print(
+        "\nThe mesh adds hops (and therefore latency) for clusters placed far "
+        "from the controller, but the priority-based arbitration still "
+        "protects the QoS of the critical cores."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that editable installs also work on environments whose setuptools predates
+PEP 660 (no ``wheel``/``bdist_wheel`` available).
+"""
+
+from setuptools import setup
+
+setup()

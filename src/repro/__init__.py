@@ -1,0 +1,79 @@
+"""SARA: Self-Aware Resource Allocation for heterogeneous MPSoCs — reproduction.
+
+This package reproduces the DAC 2018 paper by Song, Alavoine and Lin.  The
+public API is intentionally small:
+
+* :func:`repro.build_system` / :class:`repro.System` — assemble a simulated
+  heterogeneous MPSoC (cores, NoC, memory controller, LPDDR4 DRAM) running
+  the camcorder use case under a chosen scheduling policy.
+* :func:`repro.run_experiment`, :func:`repro.compare_policies`,
+  :func:`repro.frequency_sweep` — the experiment runners behind every table
+  and figure of the paper's evaluation.
+* :mod:`repro.core` — the SARA contribution itself: NPI performance meters,
+  the NPI-to-priority look-up table and the adaptation framework.
+
+See README.md for a quickstart and EXPERIMENTS.md for the paper-versus-
+measured comparison.
+"""
+
+from repro.core import (
+    BandwidthMeter,
+    BufferOccupancyMeter,
+    FrameProgressMeter,
+    LatencyMeter,
+    PerformanceMeter,
+    PriorityAdapter,
+    PriorityLookupTable,
+    ProcessingTimeMeter,
+    SaraFramework,
+)
+from repro.sim.config import (
+    DramConfig,
+    DramTimingConfig,
+    MemoryControllerConfig,
+    NocConfig,
+    SimulationConfig,
+)
+from repro.system import (
+    ExperimentResult,
+    System,
+    build_system,
+    compare_policies,
+    frequency_sweep,
+    run_experiment,
+    simulation_config_for_case,
+    table1_settings,
+    table2_core_types,
+)
+from repro.traffic.camcorder import CamcorderWorkload, DmaSpec, camcorder_workload
+from repro.version import __version__
+
+__all__ = [
+    "BandwidthMeter",
+    "BufferOccupancyMeter",
+    "CamcorderWorkload",
+    "DmaSpec",
+    "DramConfig",
+    "DramTimingConfig",
+    "ExperimentResult",
+    "FrameProgressMeter",
+    "LatencyMeter",
+    "MemoryControllerConfig",
+    "NocConfig",
+    "PerformanceMeter",
+    "PriorityAdapter",
+    "PriorityLookupTable",
+    "ProcessingTimeMeter",
+    "SaraFramework",
+    "SimulationConfig",
+    "System",
+    "__version__",
+    "build_system",
+    "camcorder_workload",
+    "compare_policies",
+    "frequency_sweep",
+    "run_experiment",
+    "simulation_config_for_case",
+    "table1_settings",
+    "table2_core_types",
+]

@@ -1,0 +1,123 @@
+"""Structured data behind every figure of the paper's evaluation section.
+
+The benchmark harness prints text tables; this module exposes the underlying
+numbers in plain data structures (lists of rows) so they can be exported to
+CSV, replotted with any external tool, or compared programmatically against
+the paper's claims in :mod:`repro.analysis.paper`.
+
+* :func:`npi_time_rows` / :func:`fig5_rows` / :func:`fig6_rows` /
+  :func:`fig9_rows` — NPI-versus-time series per core and policy.
+* :func:`fig7_rows` — priority-level residency per DRAM frequency.
+* :func:`fig8_rows` — average DRAM bandwidth per policy.
+* :func:`export_csv` — write any of the above to a CSV file.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.analysis.metrics import priority_distribution_table
+from repro.sim.clock import MS
+from repro.system.experiment import ExperimentResult
+from repro.system.platform import critical_cores_for
+
+Row = List[Union[str, float, int]]
+
+
+def npi_time_rows(
+    results: Mapping[str, ExperimentResult],
+    cores: Optional[Iterable[str]] = None,
+) -> List[Row]:
+    """Long-format rows ``[policy, core, time_ms, npi]`` for NPI time series.
+
+    This is the data behind Figs. 5, 6 and 9: one curve per (policy, core)
+    pair over the simulated frame window.
+    """
+    rows: List[Row] = [["policy", "core", "time_ms", "npi"]]
+    for policy, result in results.items():
+        if result.trace is None:
+            raise ValueError(
+                f"result for policy '{policy}' was produced without trace recording"
+            )
+        selected = list(cores) if cores is not None else sorted(result.min_core_npi)
+        for core in selected:
+            if f"npi.core.{core}" not in result.trace:
+                continue
+            series = result.npi_series(core)
+            for time_ps, value in series.as_pairs():
+                rows.append([policy, core, time_ps / MS, value])
+    return rows
+
+
+def fig5_rows(results: Mapping[str, ExperimentResult]) -> List[Row]:
+    """Fig. 5 — NPI of case A's critical cores under each arbitration policy."""
+    return npi_time_rows(results, cores=critical_cores_for("A"))
+
+
+def fig6_rows(results: Mapping[str, ExperimentResult]) -> List[Row]:
+    """Fig. 6 — NPI of case B's critical cores under each arbitration policy."""
+    return npi_time_rows(results, cores=critical_cores_for("B"))
+
+
+def fig7_rows(
+    sweep: Mapping[float, ExperimentResult], dma_name: str, levels: int = 8
+) -> List[Row]:
+    """Fig. 7 — priority-level time shares of one DMA per DRAM frequency."""
+    table = priority_distribution_table(sweep, dma_name)
+    rows: List[Row] = [["dram_freq_mhz"] + [f"priority_{level}" for level in range(levels)]]
+    for freq in sorted(table, reverse=True):
+        row: Row = [freq]
+        for level in range(levels):
+            row.append(table[freq].get(level, 0.0))
+        rows.append(row)
+    return rows
+
+
+def fig8_rows(results: Mapping[str, ExperimentResult]) -> List[Row]:
+    """Fig. 8 — average DRAM bandwidth (GB/s) and row-hit rate per policy."""
+    rows: List[Row] = [["policy", "bandwidth_gb_per_s", "row_hit_rate"]]
+    for policy in sorted(results, key=lambda p: results[p].dram_bandwidth_bytes_per_s):
+        result = results[policy]
+        rows.append([policy, result.dram_bandwidth_gb_per_s(), result.dram_row_hit_rate])
+    return rows
+
+
+def fig9_rows(results: Mapping[str, ExperimentResult]) -> List[Row]:
+    """Fig. 9 — NPI traces for the row-buffer-optimisation comparison (case A)."""
+    return npi_time_rows(results, cores=critical_cores_for("A"))
+
+
+def min_npi_rows(
+    results: Mapping[str, ExperimentResult],
+    cores: Optional[Iterable[str]] = None,
+) -> List[Row]:
+    """Compact summary rows ``[policy, core, min_npi, mean_npi]``."""
+    rows: List[Row] = [["policy", "core", "min_npi", "mean_npi"]]
+    for policy, result in results.items():
+        selected = list(cores) if cores is not None else sorted(result.min_core_npi)
+        for core in selected:
+            if core not in result.min_core_npi:
+                continue
+            rows.append(
+                [
+                    policy,
+                    core,
+                    result.min_core_npi[core],
+                    result.mean_core_npi.get(core, 0.0),
+                ]
+            )
+    return rows
+
+
+def export_csv(rows: Sequence[Row], path: Union[str, Path]) -> Path:
+    """Write rows (first row = header) to ``path`` and return the path."""
+    if not rows:
+        raise ValueError("cannot export an empty row set")
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    with destination.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerows(rows)
+    return destination

@@ -1,0 +1,110 @@
+"""Plain-text reports mirroring the paper's tables and figures.
+
+The reproduction has no plotting dependency, so every figure is rendered as a
+text table: the NPI-versus-policy tables of Figs. 5/6/9, the bandwidth
+summary of Fig. 8, the priority-distribution rows of Fig. 7 and the settings
+of Tables 1/2.  The benchmark harness prints these so that a run's output can
+be compared side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.analysis.metrics import npi_summary
+from repro.system.experiment import ExperimentResult
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+
+def format_npi_table(
+    results: Mapping[str, ExperimentResult],
+    cores: Iterable[str],
+    threshold: float = 1.0,
+) -> str:
+    """Minimum NPI per core and policy, flagging failures with an asterisk."""
+    cores = list(cores)
+    policies = list(results)
+    header = ["core"] + policies
+    rows = [header]
+    for core in cores:
+        row = [core]
+        for policy in policies:
+            value = results[policy].min_core_npi.get(core)
+            if value is None:
+                row.append("-")
+            else:
+                flag = "*" if value < threshold else ""
+                row.append(f"{value:.2f}{flag}")
+        rows.append(row)
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    lines = [_format_row(row, widths) for row in rows]
+    lines.insert(1, "-" * len(lines[0]))
+    lines.append("(* = minimum NPI below target)")
+    return "\n".join(lines)
+
+
+def format_bandwidth_table(results: Mapping[str, ExperimentResult]) -> str:
+    """Average DRAM bandwidth per policy (Fig. 8), sorted like the figure."""
+    rows = [["policy", "bandwidth (GB/s)", "row-hit rate"]]
+    for policy in sorted(results, key=lambda p: results[p].dram_bandwidth_bytes_per_s):
+        result = results[policy]
+        rows.append(
+            [
+                policy,
+                f"{result.dram_bandwidth_gb_per_s():.2f}",
+                f"{result.dram_row_hit_rate * 100:.1f}%",
+            ]
+        )
+    widths = [max(len(row[col]) for row in rows) for col in range(3)]
+    lines = [_format_row(row, widths) for row in rows]
+    lines.insert(1, "-" * len(lines[0]))
+    return "\n".join(lines)
+
+
+def format_priority_distribution(
+    table: Mapping[float, Mapping[int, float]], levels: int = 8
+) -> str:
+    """Priority-level time shares per DRAM frequency (Fig. 7)."""
+    header = ["freq (MHz)"] + [f"p{level}" for level in range(levels)]
+    rows = [header]
+    for freq in sorted(table, reverse=True):
+        distribution = table[freq]
+        row = [f"{freq:.0f}"]
+        for level in range(levels):
+            row.append(f"{distribution.get(level, 0.0) * 100:.0f}%")
+        rows.append(row)
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    lines = [_format_row(row, widths) for row in rows]
+    lines.insert(1, "-" * len(lines[0]))
+    return "\n".join(lines)
+
+
+def format_settings_table(settings: Mapping[str, object]) -> str:
+    """Key/value rendering of the Table-1 simulation settings."""
+    rows = [["setting", "value"]]
+    for key in sorted(settings):
+        rows.append([key, str(settings[key])])
+    widths = [max(len(row[col]) for row in rows) for col in range(2)]
+    lines = [_format_row(row, widths) for row in rows]
+    lines.insert(1, "-" * len(lines[0]))
+    return "\n".join(lines)
+
+
+def format_core_summary(result: ExperimentResult, cores: Optional[Iterable[str]] = None) -> str:
+    """One-result summary: min/mean NPI per core plus aggregate bandwidth."""
+    summary = npi_summary(result, cores)
+    rows = [["core", "min NPI", "mean NPI"]]
+    for core, values in summary.items():
+        rows.append([core, f"{values['min']:.2f}", f"{values['mean']:.2f}"])
+    widths = [max(len(row[col]) for row in rows) for col in range(3)]
+    lines = [_format_row(row, widths) for row in rows]
+    lines.insert(1, "-" * len(lines[0]))
+    lines.append(
+        f"policy={result.policy}  case={result.case}  "
+        f"bandwidth={result.dram_bandwidth_gb_per_s():.2f} GB/s  "
+        f"row-hit={result.dram_row_hit_rate * 100:.1f}%"
+    )
+    return "\n".join(lines)

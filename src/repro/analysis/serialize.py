@@ -1,0 +1,176 @@
+"""JSON serialisation of configurations and experiment results.
+
+Long benchmark runs are expensive (tens of seconds each), so being able to
+save an :class:`~repro.system.experiment.ExperimentResult` to disk and reload
+it later — for re-plotting, regression comparison or EXPERIMENTS.md updates —
+is worth a small amount of serialisation code.  Traces are included
+optionally because the full NPI time series of a 33 ms run is large.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.sim.config import (
+    DramConfig,
+    DramTimingConfig,
+    MemoryControllerConfig,
+    NocConfig,
+    SimulationConfig,
+)
+from repro.sim.trace import TimeSeries, TraceRecorder
+from repro.system.experiment import ExperimentResult
+
+PathLike = Union[str, Path]
+
+
+# --------------------------------------------------------------------------- #
+# Configuration
+# --------------------------------------------------------------------------- #
+def simulation_config_to_dict(config: SimulationConfig) -> Dict[str, object]:
+    """Flatten a :class:`SimulationConfig` (and its nested configs) to a dict."""
+    return {
+        "duration_ps": config.duration_ps,
+        "seed": config.seed,
+        "sim_scale": config.sim_scale,
+        "priority_bits": config.priority_bits,
+        "adaptation_interval_ps": config.adaptation_interval_ps,
+        "warmup_ps": config.warmup_ps,
+        "dram": {
+            "io_freq_mhz": config.dram.io_freq_mhz,
+            "channels": config.dram.channels,
+            "ranks_per_channel": config.dram.ranks_per_channel,
+            "banks_per_rank": config.dram.banks_per_rank,
+            "row_size_bytes": config.dram.row_size_bytes,
+            "bus_bytes_per_cycle": config.dram.bus_bytes_per_cycle,
+            "capacity_bytes": config.dram.capacity_bytes,
+            "timing": dict(config.dram.timing.__dict__),
+        },
+        "memory_controller": dict(config.memory_controller.__dict__),
+        "noc": dict(config.noc.__dict__),
+    }
+
+
+def simulation_config_from_dict(data: Dict[str, object]) -> SimulationConfig:
+    """Rebuild a :class:`SimulationConfig` from :func:`simulation_config_to_dict`."""
+    dram_data = dict(data["dram"])  # type: ignore[arg-type]
+    timing = DramTimingConfig(**dram_data.pop("timing"))
+    dram = DramConfig(timing=timing, **dram_data)
+    controller = MemoryControllerConfig(**data["memory_controller"])  # type: ignore[arg-type]
+    noc = NocConfig(**data["noc"])  # type: ignore[arg-type]
+    return SimulationConfig(
+        duration_ps=int(data["duration_ps"]),
+        seed=int(data["seed"]),
+        sim_scale=float(data["sim_scale"]),
+        priority_bits=int(data["priority_bits"]),
+        adaptation_interval_ps=int(data["adaptation_interval_ps"]),
+        warmup_ps=int(data["warmup_ps"]),
+        dram=dram,
+        memory_controller=controller,
+        noc=noc,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Experiment results
+# --------------------------------------------------------------------------- #
+def _trace_to_dict(trace: TraceRecorder) -> Dict[str, Dict[str, list]]:
+    return {
+        name: {"times_ps": list(series.times_ps), "values": list(series.values)}
+        for name, series in ((name, trace.get(name)) for name in trace.names())
+        if series is not None
+    }
+
+
+def _trace_from_dict(data: Dict[str, Dict[str, list]]) -> TraceRecorder:
+    trace = TraceRecorder()
+    for name, payload in data.items():
+        series = trace.series(name)
+        for time_ps, value in zip(payload["times_ps"], payload["values"]):
+            series.append(int(time_ps), float(value))
+    return trace
+
+
+def experiment_result_to_dict(
+    result: ExperimentResult, include_trace: bool = False
+) -> Dict[str, object]:
+    """Convert an :class:`ExperimentResult` into a JSON-compatible dict."""
+    payload: Dict[str, object] = {
+        "case": result.case,
+        "policy": result.policy,
+        "adaptation_enabled": result.adaptation_enabled,
+        "duration_ps": result.duration_ps,
+        "dram_freq_mhz": result.dram_freq_mhz,
+        "min_core_npi": dict(result.min_core_npi),
+        "mean_core_npi": dict(result.mean_core_npi),
+        "dram_bandwidth_bytes_per_s": result.dram_bandwidth_bytes_per_s,
+        "dram_row_hit_rate": result.dram_row_hit_rate,
+        "served_transactions": result.served_transactions,
+        "average_latency_ps": result.average_latency_ps,
+        "priority_distributions": {
+            dma: {str(level): share for level, share in distribution.items()}
+            for dma, distribution in result.priority_distributions.items()
+        },
+    }
+    if include_trace and result.trace is not None:
+        payload["trace"] = _trace_to_dict(result.trace)
+    return payload
+
+
+def experiment_result_from_dict(data: Dict[str, object]) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from its dictionary form."""
+    trace: Optional[TraceRecorder] = None
+    if "trace" in data:
+        trace = _trace_from_dict(data["trace"])  # type: ignore[arg-type]
+    return ExperimentResult(
+        case=str(data["case"]),
+        policy=str(data["policy"]),
+        adaptation_enabled=bool(data["adaptation_enabled"]),
+        duration_ps=int(data["duration_ps"]),
+        dram_freq_mhz=float(data["dram_freq_mhz"]),
+        min_core_npi={k: float(v) for k, v in data["min_core_npi"].items()},  # type: ignore[union-attr]
+        mean_core_npi={k: float(v) for k, v in data["mean_core_npi"].items()},  # type: ignore[union-attr]
+        dram_bandwidth_bytes_per_s=float(data["dram_bandwidth_bytes_per_s"]),
+        dram_row_hit_rate=float(data["dram_row_hit_rate"]),
+        served_transactions=int(data["served_transactions"]),
+        average_latency_ps=float(data["average_latency_ps"]),
+        priority_distributions={
+            dma: {int(level): float(share) for level, share in distribution.items()}
+            for dma, distribution in data.get("priority_distributions", {}).items()  # type: ignore[union-attr]
+        },
+        trace=trace,
+    )
+
+
+def save_result(
+    result: ExperimentResult, path: PathLike, include_trace: bool = False
+) -> Path:
+    """Serialise a result to a JSON file and return the written path."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    payload = experiment_result_to_dict(result, include_trace=include_trace)
+    destination.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return destination
+
+
+def load_result(path: PathLike) -> ExperimentResult:
+    """Load a result previously written by :func:`save_result`."""
+    data = json.loads(Path(path).read_text())
+    return experiment_result_from_dict(data)
+
+
+def save_config(config: SimulationConfig, path: PathLike) -> Path:
+    """Serialise a simulation configuration to a JSON file."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(
+        json.dumps(simulation_config_to_dict(config), indent=2, sort_keys=True)
+    )
+    return destination
+
+
+def load_config(path: PathLike) -> SimulationConfig:
+    """Load a configuration previously written by :func:`save_config`."""
+    return simulation_config_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,278 @@
+"""Command-line interface for the SARA reproduction.
+
+``python -m repro <command>`` exposes the main entry points of the library
+without writing any Python:
+
+* ``policies`` / ``governors`` — list the registered scheduling policies and
+  DVFS governors.
+* ``settings`` — print the Table-1/Table-2 platform settings.
+* ``run`` — one experiment (case, policy, duration), printing the per-core
+  summary and optionally saving the result as JSON.
+* ``compare`` — several policies on one case (Figs. 5/6/8/9), printing the
+  NPI and bandwidth tables plus the paper's shape checks.
+* ``sweep`` — the Fig. 7 DRAM-frequency sweep and priority-distribution table.
+* ``dvfs`` — a governor-in-the-loop run with the QoS / energy trade-off.
+* ``energy`` — the memory-system energy breakdown of one run.
+
+Durations are given in milliseconds of *simulated* time; the full frame
+period of the paper is 33 ms, but a few milliseconds already show the
+contended phase on a laptop-friendly budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.figures import export_csv, fig7_rows, fig8_rows, min_npi_rows
+from repro.analysis.metrics import priority_distribution_table
+from repro.analysis.paper import (
+    check_fig8_bandwidth_ordering,
+    check_fig9_qos_preserved,
+    check_policy_failures,
+    summarize_checks,
+)
+from repro.analysis.report import (
+    format_bandwidth_table,
+    format_core_summary,
+    format_npi_table,
+    format_priority_distribution,
+    format_settings_table,
+)
+from repro.analysis.serialize import save_result
+from repro.dvfs.experiment import run_with_governor
+from repro.dvfs.governor import available_governors, make_governor
+from repro.memctrl.policies import available_policies
+from repro.power import estimate_system_energy, format_energy_report
+from repro.sim.clock import MS
+from repro.system.builder import build_system
+from repro.system.experiment import compare_policies, frequency_sweep, run_experiment
+from repro.system.platform import critical_cores_for, table1_settings, table2_core_types
+
+#: Default simulated window for CLI runs (milliseconds).
+DEFAULT_DURATION_MS = 4.0
+#: Fig. 7 sweep points from the paper.
+FIG7_FREQUENCIES = (1300.0, 1400.0, 1500.0, 1600.0, 1700.0)
+
+
+def _add_common_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--case", choices=("A", "B"), default="A", help="camcorder test case")
+    parser.add_argument(
+        "--duration-ms",
+        type=float,
+        default=DEFAULT_DURATION_MS,
+        help="simulated duration in milliseconds (paper frame period: 33)",
+    )
+    parser.add_argument(
+        "--traffic-scale",
+        type=float,
+        default=1.0,
+        help="linear scale on all offered traffic (1.0 = paper rates)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SARA: self-aware resource allocation for heterogeneous MPSoCs "
+        "(DAC 2018) — reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("policies", help="list registered scheduling policies")
+    subparsers.add_parser("governors", help="list registered DVFS governors")
+
+    settings = subparsers.add_parser("settings", help="print Table 1 / Table 2 settings")
+    settings.add_argument("--case", choices=("A", "B"), default="A")
+
+    run = subparsers.add_parser("run", help="run one experiment")
+    _add_common_run_arguments(run)
+    run.add_argument("--policy", default="priority_qos", choices=sorted(available_policies()))
+    run.add_argument("--dram-model", default="transaction", choices=("transaction", "command"))
+    run.add_argument("--output-json", default=None, help="save the result to this JSON file")
+
+    compare = subparsers.add_parser("compare", help="compare several policies on one case")
+    _add_common_run_arguments(compare)
+    compare.add_argument(
+        "--policies",
+        nargs="+",
+        default=["fcfs", "round_robin", "frame_rate_qos", "priority_qos"],
+        choices=sorted(available_policies()),
+    )
+    compare.add_argument("--output-csv", default=None, help="export per-core minimum NPI rows")
+
+    sweep = subparsers.add_parser("sweep", help="Fig. 7 DRAM frequency sweep")
+    _add_common_run_arguments(sweep)
+    sweep.add_argument("--policy", default="priority_qos", choices=sorted(available_policies()))
+    sweep.add_argument("--dma", default="image_processor.read", help="DMA whose priorities to report")
+    sweep.add_argument(
+        "--frequencies",
+        nargs="+",
+        type=float,
+        default=list(FIG7_FREQUENCIES),
+        help="DRAM I/O frequencies in MHz",
+    )
+    sweep.add_argument("--output-csv", default=None, help="export the Fig. 7 rows to CSV")
+
+    dvfs = subparsers.add_parser("dvfs", help="run with a DVFS governor in the loop")
+    _add_common_run_arguments(dvfs)
+    dvfs.add_argument("--policy", default="priority_qos", choices=sorted(available_policies()))
+    dvfs.add_argument("--governor", default="priority_pressure", choices=sorted(available_governors()))
+    dvfs.add_argument(
+        "--interval-us", type=float, default=100.0, help="governor decision interval (microseconds)"
+    )
+
+    energy = subparsers.add_parser("energy", help="memory-system energy of one run")
+    _add_common_run_arguments(energy)
+    energy.add_argument("--policy", default="priority_rowbuffer", choices=sorted(available_policies()))
+
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Command implementations
+# --------------------------------------------------------------------------- #
+def _cmd_policies() -> int:
+    print("Registered scheduling policies (memory controller and NoC arbiters):")
+    for name, policy_cls in sorted(available_policies().items()):
+        doc = (policy_cls.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<22}{doc}")
+    return 0
+
+
+def _cmd_governors() -> int:
+    print("Registered DVFS governors:")
+    for name, governor_cls in sorted(available_governors().items()):
+        doc = (governor_cls.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<22}{doc}")
+    return 0
+
+
+def _cmd_settings(args: argparse.Namespace) -> int:
+    print(f"Table 1 — simulation settings (case {args.case})")
+    print(format_settings_table(table1_settings(args.case)))
+    print()
+    print("Table 2 — cores and target-performance types")
+    print(format_settings_table(table2_core_types()))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    duration_ps = int(args.duration_ms * MS)
+    result = run_experiment(
+        case=args.case,
+        policy=args.policy,
+        duration_ps=duration_ps,
+        traffic_scale=args.traffic_scale,
+        dram_model=args.dram_model,
+    )
+    print(format_core_summary(result, critical_cores_for(args.case)))
+    failing = result.failing_cores()
+    print(f"failing cores: {failing or 'none'}")
+    if args.output_json:
+        path = save_result(result, args.output_json)
+        print(f"result saved to {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    duration_ps = int(args.duration_ms * MS)
+    results = compare_policies(
+        args.policies,
+        case=args.case,
+        duration_ps=duration_ps,
+        traffic_scale=args.traffic_scale,
+    )
+    critical = critical_cores_for(args.case)
+    print(f"Minimum NPI per critical core (case {args.case})")
+    print(format_npi_table(results, critical))
+    print()
+    print("Average DRAM bandwidth")
+    print(format_bandwidth_table(results))
+    print()
+    checks = check_policy_failures(results, args.case)
+    checks += check_fig8_bandwidth_ordering(results)
+    checks += check_fig9_qos_preserved(results)
+    for check in checks:
+        print(check)
+    summary = summarize_checks(checks)
+    print(f"shape checks: {summary['passed']} passed, {summary['failed']} failed")
+    if args.output_csv:
+        path = export_csv(min_npi_rows(results, critical), args.output_csv)
+        print(f"per-core NPI rows exported to {path}")
+    return 0 if summary["failed"] == 0 else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    duration_ps = int(args.duration_ms * MS)
+    sweep = frequency_sweep(
+        args.frequencies,
+        case=args.case,
+        policy=args.policy,
+        duration_ps=duration_ps,
+        traffic_scale=args.traffic_scale,
+    )
+    table = priority_distribution_table(sweep, args.dma)
+    print(f"Fig. 7 — priority-level residency of {args.dma}")
+    print(format_priority_distribution(table))
+    if args.output_csv:
+        path = export_csv(fig7_rows(sweep, args.dma), args.output_csv)
+        print(f"Fig. 7 rows exported to {path}")
+    return 0
+
+
+def _cmd_dvfs(args: argparse.Namespace) -> int:
+    duration_ps = int(args.duration_ms * MS)
+    governor = make_governor(args.governor)
+    result = run_with_governor(
+        governor,
+        case=args.case,
+        policy=args.policy,
+        duration_ps=duration_ps,
+        traffic_scale=args.traffic_scale,
+        interval_ps=int(args.interval_us * 1_000_000),
+    )
+    print(f"governor: {result.governor}")
+    print(f"mean DRAM frequency: {result.mean_freq_mhz:.0f} MHz")
+    print(f"operating-point transitions: {result.transitions}")
+    print("residency:")
+    for freq, share in sorted(result.residency.items(), reverse=True):
+        print(f"  {freq:6.0f} MHz  {share * 100:5.1f}%")
+    print(f"memory-system energy: {result.total_energy_mj:.2f} mJ")
+    print(f"failing cores: {result.failing_cores() or 'none'}")
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    duration_ps = int(args.duration_ms * MS)
+    system = build_system(case=args.case, policy=args.policy, traffic_scale=args.traffic_scale)
+    system.run(duration_ps=duration_ps)
+    print(format_energy_report(estimate_system_energy(system)))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    args = build_parser().parse_args(argv)
+    if args.command == "policies":
+        return _cmd_policies()
+    if args.command == "governors":
+        return _cmd_governors()
+    if args.command == "settings":
+        return _cmd_settings(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "dvfs":
+        return _cmd_dvfs(args)
+    if args.command == "energy":
+        return _cmd_energy(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

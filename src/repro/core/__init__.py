@@ -1,0 +1,43 @@
+"""SARA: the paper's primary contribution.
+
+Three pieces implement the framework of Fig. 3:
+
+* **Distributed self-monitoring** — the per-DMA performance meters of
+  :mod:`repro.core.npi`, each reducing a core-specific QoS notion (latency,
+  bandwidth, frame progress, buffer occupancy, processing time) to a
+  Normalized Performance Indicator where NPI >= 1 means "target met".
+* **Distributed priority-based adaptation** — :mod:`repro.core.priority`
+  implements the 2^k-entry look-up table that maps NPI to a priority level,
+  and :mod:`repro.core.adaptation` samples each meter periodically and keeps
+  the DMA's current priority up to date.
+* **Distributed system response** — performed by the NoC arbiters and the
+  memory-controller policies (Policy 1 / Policy 2) in :mod:`repro.noc` and
+  :mod:`repro.memctrl`; :mod:`repro.core.framework` wires monitoring and
+  adaptation onto a built system and records the NPI traces the paper plots.
+"""
+
+from repro.core.adaptation import PriorityAdapter
+from repro.core.framework import SaraFramework
+from repro.core.npi import (
+    BandwidthMeter,
+    BufferOccupancyMeter,
+    FrameProgressMeter,
+    LatencyMeter,
+    PerformanceMeter,
+    ProcessingTimeMeter,
+    make_meter,
+)
+from repro.core.priority import PriorityLookupTable
+
+__all__ = [
+    "BandwidthMeter",
+    "BufferOccupancyMeter",
+    "FrameProgressMeter",
+    "LatencyMeter",
+    "PerformanceMeter",
+    "PriorityAdapter",
+    "PriorityLookupTable",
+    "ProcessingTimeMeter",
+    "SaraFramework",
+    "make_meter",
+]

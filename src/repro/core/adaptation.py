@@ -1,0 +1,66 @@
+"""Priority-based self-adaptation of a single DMA.
+
+A :class:`PriorityAdapter` is the software model of the per-DMA adaptation
+hardware: at every sampling instant it reads its meter's NPI, translates it
+through the look-up table and exposes the result as the priority attached to
+subsequent memory transactions.  It also accumulates the time spent at each
+priority level, which is exactly the distribution Fig. 7 reports for the
+image processor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.npi import PerformanceMeter
+from repro.core.priority import PriorityLookupTable
+from repro.sim.stats import Histogram
+
+
+class PriorityAdapter:
+    """Samples a performance meter and maintains the DMA's current priority."""
+
+    def __init__(
+        self,
+        dma_name: str,
+        meter: PerformanceMeter,
+        table: Optional[PriorityLookupTable] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.dma_name = dma_name
+        self.meter = meter
+        self.table = table or PriorityLookupTable.linear()
+        self.enabled = enabled
+        self.current_priority = 0
+        self.last_npi: Optional[float] = None
+        self._last_sample_ps: Optional[int] = None
+        self._time_at_priority = Histogram(range(self.table.levels))
+
+    def sample(self, now_ps: int) -> int:
+        """Re-evaluate the NPI and update the current priority level."""
+        npi = self.meter.npi(now_ps)
+        self.last_npi = npi
+        if self._last_sample_ps is not None:
+            elapsed = max(0, now_ps - self._last_sample_ps)
+            self._time_at_priority.add(self.current_priority, elapsed)
+        self._last_sample_ps = now_ps
+        if self.enabled:
+            self.current_priority = self.table.priority_for(npi)
+        else:
+            self.current_priority = 0
+        return self.current_priority
+
+    def priority_time_fractions(self) -> Dict[int, float]:
+        """Fraction of sampled time spent at each priority level (Fig. 7)."""
+        return self._time_at_priority.fractions()
+
+    @property
+    def max_priority(self) -> int:
+        return self.table.max_priority
+
+    def reset(self) -> None:
+        """Forget adaptation history (used between experiment repetitions)."""
+        self.current_priority = 0
+        self.last_npi = None
+        self._last_sample_ps = None
+        self._time_at_priority.reset()

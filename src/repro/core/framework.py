@@ -1,0 +1,118 @@
+"""The SARA framework: wiring monitoring and adaptation onto a system.
+
+The framework owns one :class:`~repro.core.adaptation.PriorityAdapter` per
+DMA and drives the distributed monitoring loop: at a fixed sampling interval
+it re-evaluates every meter, updates every DMA's priority, and records the
+NPI time series (per DMA and per core) that the paper's figures plot.
+
+When ``adaptation_enabled`` is False the framework still monitors — the NPI
+traces are needed to evaluate the baseline policies of Figs. 5 and 6 — but
+every transaction keeps priority 0, i.e. the memory system receives no QoS
+hints, exactly like the FCFS / round-robin / frame-rate baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.adaptation import PriorityAdapter
+from repro.core.priority import PriorityLookupTable
+from repro.sim.engine import Engine
+from repro.sim.trace import TraceRecorder
+
+
+class SaraFramework:
+    """Distributed monitoring + priority-based adaptation for a set of DMAs."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        adaptation_interval_ps: int,
+        adaptation_enabled: bool = True,
+        priority_bits: int = 3,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        if adaptation_interval_ps <= 0:
+            raise ValueError("adaptation_interval_ps must be positive")
+        if not 1 <= priority_bits <= 8:
+            raise ValueError("priority_bits must be between 1 and 8")
+        self.engine = engine
+        self.adaptation_interval_ps = adaptation_interval_ps
+        self.adaptation_enabled = adaptation_enabled
+        self.priority_bits = priority_bits
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.adapters: Dict[str, PriorityAdapter] = {}
+        self._dmas_by_core: Dict[str, List] = {}
+        self._stop_ps: Optional[int] = None
+        self._started = False
+        self.samples_taken = 0
+
+    def attach(self, dma, table: Optional[PriorityLookupTable] = None) -> PriorityAdapter:
+        """Equip a DMA with a performance adapter and register it for sampling.
+
+        The DMA must expose ``name``, ``core``, ``meter`` and
+        ``set_priority_provider``; :class:`repro.cores.base.Dma` does.
+        """
+        if dma.name in self.adapters:
+            raise ValueError(f"DMA '{dma.name}' is already attached")
+        adapter = PriorityAdapter(
+            dma_name=dma.name,
+            meter=dma.meter,
+            table=table or PriorityLookupTable.linear(self.priority_bits),
+            enabled=self.adaptation_enabled,
+        )
+        self.adapters[dma.name] = adapter
+        self._dmas_by_core.setdefault(dma.core, []).append(dma)
+        dma.set_priority_provider(lambda: adapter.current_priority)
+        return adapter
+
+    def adapter_for(self, dma_name: str) -> PriorityAdapter:
+        try:
+            return self.adapters[dma_name]
+        except KeyError:
+            raise KeyError(f"no adapter attached for DMA '{dma_name}'") from None
+
+    def core_names(self) -> List[str]:
+        return sorted(self._dmas_by_core)
+
+    def start(self, stop_ps: Optional[int] = None) -> None:
+        """Begin the periodic monitoring/adaptation loop."""
+        if self._started:
+            raise RuntimeError("framework already started")
+        self._started = True
+        self._stop_ps = stop_ps
+        self.engine.schedule(self.adaptation_interval_ps, self._tick)
+
+    def _tick(self) -> None:
+        now = self.engine.now_ps
+        self.samples_taken += 1
+        for name, adapter in self.adapters.items():
+            priority = adapter.sample(now)
+            npi = adapter.last_npi if adapter.last_npi is not None else 0.0
+            self.trace.record(f"npi.dma.{name}", now, npi)
+            self.trace.record(f"priority.dma.{name}", now, priority)
+        for core, dmas in self._dmas_by_core.items():
+            core_npi = min(self.adapters[dma.name].last_npi or 0.0 for dma in dmas)
+            self.trace.record(f"npi.core.{core}", now, core_npi)
+        next_tick = now + self.adaptation_interval_ps
+        if self._stop_ps is None or next_tick <= self._stop_ps:
+            self.engine.schedule_at(next_tick, self._tick)
+
+    def core_npi_series(self, core: str):
+        """The recorded NPI time series of a core (its worst DMA at each sample)."""
+        series = self.trace.get(f"npi.core.{core}")
+        if series is None:
+            raise KeyError(f"no NPI trace recorded for core '{core}'")
+        return series
+
+    def minimum_core_npi(self) -> Dict[str, float]:
+        """Per-core minimum NPI over the run — the paper's failure criterion."""
+        result: Dict[str, float] = {}
+        for core in self._dmas_by_core:
+            series = self.trace.get(f"npi.core.{core}")
+            result[core] = series.minimum() if series is not None and len(series) else 0.0
+        return result
+
+    def priority_distribution(self, dma_name: str) -> Dict[int, float]:
+        """Fraction of time a DMA spent at each priority level (Fig. 7)."""
+        return self.adapter_for(dma_name).priority_time_fractions()

@@ -1,0 +1,127 @@
+"""NPI-to-priority translation: the per-core look-up table of Section 3.4.
+
+The hardware described in the paper stores, for each priority level, the
+lowest NPI value allowed at that level; comparators evaluate every entry in
+parallel and the lowest asserted level wins.  Lower NPI therefore maps to a
+higher (more urgent) priority level, and an NPI below every stored bound maps
+to the maximum level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+class PriorityLookupTable:
+    """Maps an NPI value to a quantized priority level.
+
+    ``bounds[p]`` is the lowest NPI value allowed at priority level ``p``.
+    Bounds must be strictly decreasing with ``p``: level 0 (least urgent)
+    covers the healthiest NPI range and the last level everything below the
+    final bound.
+    """
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        bounds = list(bounds)
+        if not bounds:
+            raise ValueError("a priority look-up table needs at least one entry")
+        for value in bounds:
+            if value <= 0:
+                raise ValueError("NPI bounds must be positive")
+        for previous, current in zip(bounds, bounds[1:]):
+            if current >= previous:
+                raise ValueError(
+                    "NPI bounds must strictly decrease with the priority level"
+                )
+        self.bounds: List[float] = bounds
+
+    @property
+    def levels(self) -> int:
+        """Number of representable priority levels (including the overflow level)."""
+        return len(self.bounds) + 1
+
+    @property
+    def max_priority(self) -> int:
+        return len(self.bounds)
+
+    def priority_for(self, npi: float) -> int:
+        """Translate an NPI value to a priority level.
+
+        Mirrors the parallel-comparator hardware: every level whose stored
+        bound is not above the NPI asserts, and the lowest asserted level is
+        adopted.  If no level asserts the maximum priority is used.
+        """
+        if npi < 0:
+            raise ValueError("NPI must be non-negative")
+        for level, bound in enumerate(self.bounds):
+            if npi >= bound:
+                return level
+        return self.max_priority
+
+    @classmethod
+    def linear(
+        cls,
+        priority_bits: int = 3,
+        healthy_npi: float = 1.5,
+        critical_npi: float = 0.5,
+    ) -> "PriorityLookupTable":
+        """Build a table with evenly spaced bounds between two NPI anchors.
+
+        Level 0 is used while NPI >= ``healthy_npi`` and the maximum level is
+        reached once NPI falls below ``critical_npi``.  The default anchors
+        follow Fig. 4: priority starts climbing well before the core actually
+        misses its target (e.g. the DSP already runs at a mid priority at 50 %
+        of its latency limit), so a core sitting right at NPI = 1 carries a
+        moderate priority instead of none.  With the paper's k = 3 bits this
+        produces the eight levels 0..7.
+        """
+        if not 1 <= priority_bits <= 8:
+            raise ValueError("priority_bits must be between 1 and 8")
+        if critical_npi <= 0 or healthy_npi <= critical_npi:
+            raise ValueError("require healthy_npi > critical_npi > 0")
+        levels = 1 << priority_bits
+        steps = levels - 1
+        if steps == 1:
+            return cls([healthy_npi])
+        span = healthy_npi - critical_npi
+        bounds = [healthy_npi - span * index / (steps - 1) for index in range(steps)]
+        return cls(bounds)
+
+    @classmethod
+    def for_meter_type(
+        cls, meter_type: str, priority_bits: int = 3
+    ) -> "PriorityLookupTable":
+        """The default adaptation curve for a Table-2 performance type.
+
+        Fig. 4 of the paper shows that different cores translate their NPI to
+        priorities differently: the DSP already runs at a mid priority at half
+        of its latency budget, the display escalates sharply as soon as its
+        buffer starts draining, while frame-rate cores tolerate falling
+        moderately behind the reference progress before escalating.  These
+        anchors encode those shapes; cores may of course install their own
+        table via :meth:`repro.core.framework.SaraFramework.attach`.
+        """
+        try:
+            healthy, critical = _METER_TYPE_ANCHORS[meter_type]
+        except KeyError:
+            known = ", ".join(sorted(_METER_TYPE_ANCHORS))
+            raise ValueError(
+                f"unknown meter type '{meter_type}' (known: {known})"
+            ) from None
+        return cls.linear(
+            priority_bits=priority_bits, healthy_npi=healthy, critical_npi=critical
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PriorityLookupTable(bounds={self.bounds})"
+
+
+#: (healthy_npi, critical_npi) anchors per Table-2 performance type; see
+#: :meth:`PriorityLookupTable.for_meter_type`.
+_METER_TYPE_ANCHORS: Dict[str, Tuple[float, float]] = {
+    "frame_progress": (1.2, 0.5),
+    "processing_time": (1.2, 0.5),
+    "latency": (2.0, 1.2),
+    "occupancy": (1.05, 0.9),
+    "bandwidth": (1.2, 0.8),
+}

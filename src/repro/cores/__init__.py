@@ -1,0 +1,78 @@
+"""Heterogeneous cores of the simulated MPSoC.
+
+One module per core of Table 2 (plus the CPU).  Every core class carries a
+``performance_type`` attribute mirroring the table's "type of target
+performance" column; the per-core traffic parameters live in the camcorder
+workload specification (:mod:`repro.traffic.camcorder`), and the system
+builder (:mod:`repro.system.builder`) combines the two.
+"""
+
+from typing import Dict, Type
+
+from repro.cores.audio import AudioCore
+from repro.cores.base import Core, Dma
+from repro.cores.camera import CameraCore
+from repro.cores.cpu import CpuCore
+from repro.cores.display import DisplayCore
+from repro.cores.dsp import DspCore
+from repro.cores.gps import GpsCore
+from repro.cores.gpu import GpuCore
+from repro.cores.image_processor import ImageProcessorCore
+from repro.cores.jpeg import JpegCore
+from repro.cores.modem import ModemCore
+from repro.cores.rotator import RotatorCore
+from repro.cores.usb import UsbCore
+from repro.cores.video_codec import VideoCodecCore
+from repro.cores.wifi import WifiCore
+from repro.memctrl.transaction import QueueClass
+
+#: Registry mapping workload core names to core classes.
+CORE_CLASSES: Dict[str, Type[Core]] = {
+    "audio": AudioCore,
+    "camera": CameraCore,
+    "cpu": CpuCore,
+    "display": DisplayCore,
+    "dsp": DspCore,
+    "gps": GpsCore,
+    "gpu": GpuCore,
+    "image_processor": ImageProcessorCore,
+    "jpeg": JpegCore,
+    "modem": ModemCore,
+    "rotator": RotatorCore,
+    "usb": UsbCore,
+    "video_codec": VideoCodecCore,
+    "wifi": WifiCore,
+}
+
+
+def create_core(name: str, cluster: str, queue_class: QueueClass) -> Core:
+    """Instantiate the right core class for a workload core name.
+
+    Unknown names fall back to the generic :class:`Core`, which lets users add
+    their own cores to a workload without touching this registry (see the
+    ``custom_core.py`` example).
+    """
+    core_cls = CORE_CLASSES.get(name, Core)
+    return core_cls(name=name, cluster=cluster, queue_class=queue_class)
+
+
+__all__ = [
+    "AudioCore",
+    "CORE_CLASSES",
+    "CameraCore",
+    "Core",
+    "CpuCore",
+    "DisplayCore",
+    "Dma",
+    "DspCore",
+    "GpsCore",
+    "GpuCore",
+    "ImageProcessorCore",
+    "JpegCore",
+    "ModemCore",
+    "RotatorCore",
+    "UsbCore",
+    "VideoCodecCore",
+    "WifiCore",
+    "create_core",
+]

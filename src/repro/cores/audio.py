@@ -1,0 +1,15 @@
+"""The audio subsystem: a latency core (Table 2).
+
+Audio traffic is tiny but any sustained latency excursion produces audible
+glitches, so the meter is an average-latency meter with a generous limit.
+"""
+
+from __future__ import annotations
+
+from repro.cores.base import Core
+
+
+class AudioCore(Core):
+    """Audio DMA moving sample buffers with a latency bound."""
+
+    performance_type = "latency"

@@ -1,0 +1,177 @@
+"""Core and DMA base classes.
+
+A *core* is one heterogeneous agent of the MPSoC (GPU, display, DSP, ...); it
+owns one or more *DMAs*, each of which turns a traffic generator's released
+work into memory transactions, carries its own performance meter, and attaches
+the priority supplied by its SARA adapter to every transaction it issues.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.npi import PerformanceMeter
+from repro.memctrl.transaction import QueueClass, Transaction
+from repro.sim.engine import Engine
+from repro.traffic.addresses import AddressStream
+from repro.traffic.generator import TrafficGenerator
+
+InjectFn = Callable[[str, Transaction], None]
+PriorityProvider = Callable[[], int]
+
+
+class Dma:
+    """A direct-memory-access engine issuing transactions for its core."""
+
+    def __init__(
+        self,
+        name: str,
+        core: str,
+        queue_class: QueueClass,
+        is_write: bool,
+        transaction_bytes: int,
+        generator: TrafficGenerator,
+        addresses: AddressStream,
+        meter: PerformanceMeter,
+        max_outstanding: int = 8,
+    ) -> None:
+        if transaction_bytes <= 0:
+            raise ValueError("transaction_bytes must be positive")
+        if max_outstanding <= 0:
+            raise ValueError("max_outstanding must be positive")
+        self.name = name
+        self.core = core
+        self.queue_class = queue_class
+        self.is_write = is_write
+        self.transaction_bytes = transaction_bytes
+        self.generator = generator
+        self.addresses = addresses
+        self.meter = meter
+        self.max_outstanding = max_outstanding
+
+        self._engine: Optional[Engine] = None
+        self._inject: Optional[InjectFn] = None
+        self._priority_provider: PriorityProvider = lambda: 0
+        self._backlog_bytes = 0
+        self._outstanding = 0
+
+        self.issued_transactions = 0
+        self.completed_transactions = 0
+        self.issued_bytes = 0
+        self.completed_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+    def connect(self, engine: Engine, inject: InjectFn) -> None:
+        """Connect the DMA to the simulation engine and the NoC injection point."""
+        self._engine = engine
+        self._inject = inject
+
+    def set_priority_provider(self, provider: PriorityProvider) -> None:
+        """Install the SARA adapter's priority source (defaults to priority 0)."""
+        self._priority_provider = provider
+
+    def start(self, stop_ps: Optional[int] = None) -> None:
+        """Start the DMA's traffic generator."""
+        if self._engine is None or self._inject is None:
+            raise RuntimeError(f"DMA '{self.name}' must be connected before starting")
+        self.generator.start(self._engine, self._on_release, stop_ps)
+
+    # ------------------------------------------------------------------ #
+    # Traffic flow
+    # ------------------------------------------------------------------ #
+    @property
+    def backlog_bytes(self) -> int:
+        """Released work not yet turned into transactions."""
+        return self._backlog_bytes
+
+    @property
+    def outstanding(self) -> int:
+        """Transactions in flight (injected but not completed)."""
+        return self._outstanding
+
+    def _on_release(self, size_bytes: int) -> None:
+        self._backlog_bytes += size_bytes
+        self._try_issue()
+
+    def _realtime_behind(self, now_ps: int) -> bool:
+        return self.meter.is_frame_based and self.meter.npi(now_ps) < 1.0
+
+    def _try_issue(self) -> None:
+        engine = self._engine
+        inject = self._inject
+        if engine is None or inject is None:
+            return
+        while (
+            self._backlog_bytes >= self.transaction_bytes
+            and self._outstanding < self.max_outstanding
+        ):
+            now = engine.now_ps
+            transaction = Transaction(
+                source=self.core,
+                dma=self.name,
+                queue_class=self.queue_class,
+                address=self.addresses.next_address(self.transaction_bytes),
+                size_bytes=self.transaction_bytes,
+                is_write=self.is_write,
+                priority=self._priority_provider(),
+                realtime_behind=self._realtime_behind(now),
+                created_ps=now,
+            )
+            self._backlog_bytes -= self.transaction_bytes
+            self._outstanding += 1
+            self.issued_transactions += 1
+            self.issued_bytes += self.transaction_bytes
+            inject(self.core, transaction)
+
+    def on_complete(self, transaction: Transaction) -> None:
+        """Completion callback registered with the memory controller."""
+        if self._engine is None:
+            raise RuntimeError(f"DMA '{self.name}' received a completion before connect()")
+        self._outstanding = max(0, self._outstanding - 1)
+        self.completed_transactions += 1
+        self.completed_bytes += transaction.size_bytes
+        latency = transaction.latency_ps if transaction.latency_ps is not None else 0
+        self.meter.record_completion(
+            transaction.size_bytes, latency, self._engine.now_ps
+        )
+        self._try_issue()
+
+
+class Core:
+    """A heterogeneous core: a named collection of DMAs with one QoS notion."""
+
+    #: Table-2 style description of the core's target-performance type.
+    performance_type = "generic"
+
+    def __init__(self, name: str, cluster: str, queue_class: QueueClass) -> None:
+        self.name = name
+        self.cluster = cluster
+        self.queue_class = queue_class
+        self.dmas: List[Dma] = []
+
+    def add_dma(self, dma: Dma) -> None:
+        if dma.core != self.name:
+            raise ValueError(
+                f"DMA '{dma.name}' belongs to core '{dma.core}', not '{self.name}'"
+            )
+        self.dmas.append(dma)
+
+    def npi(self, now_ps: int) -> float:
+        """The core's intrinsic health: the worst NPI across its DMAs."""
+        if not self.dmas:
+            raise RuntimeError(f"core '{self.name}' has no DMAs")
+        return min(dma.meter.npi(now_ps) for dma in self.dmas)
+
+    def total_completed_bytes(self) -> int:
+        return sum(dma.completed_bytes for dma in self.dmas)
+
+    def total_issued_bytes(self) -> int:
+        return sum(dma.issued_bytes for dma in self.dmas)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(name={self.name!r}, cluster={self.cluster!r}, "
+            f"dmas={len(self.dmas)})"
+        )

@@ -1,0 +1,16 @@
+"""The camera front-end: a buffer-occupancy core (Table 2).
+
+The image sensor fills the camera write buffer at a constant rate; the camera
+DMA must drain it to DRAM at least as fast or frames are dropped.  The meter
+is the write-side mirror of the display's occupancy meter.
+"""
+
+from __future__ import annotations
+
+from repro.cores.base import Core
+
+
+class CameraCore(Core):
+    """Camera sensor interface writing frames to DRAM at a constant rate."""
+
+    performance_type = "buffer occupancy"

@@ -1,0 +1,16 @@
+"""The CPU cluster: best-effort application traffic.
+
+The CPU is not listed in Table 2 (its QoS is best-effort), but Table 1 gives
+it a dedicated memory-controller transaction queue, and its random cache-miss
+traffic is part of the background load every policy must absorb.
+"""
+
+from __future__ import annotations
+
+from repro.cores.base import Core
+
+
+class CpuCore(Core):
+    """General-purpose CPU cluster issuing random cache-line-sized requests."""
+
+    performance_type = "bandwidth"

@@ -1,0 +1,17 @@
+"""The display controller: a buffer-occupancy core (Table 2).
+
+The LCD panel drains the read buffer at a constant pixel rate while the
+display DMA refills it from DRAM.  Health follows Eqn. 3: the refill rate
+must not fall below the panel's read rate, otherwise the buffer drains and
+the panel underruns — the dramatic failure (NPI 0.13) of Fig. 5(a).
+"""
+
+from __future__ import annotations
+
+from repro.cores.base import Core
+
+
+class DisplayCore(Core):
+    """Display controller refilling the panel's read buffer at a constant rate."""
+
+    performance_type = "buffer occupancy"

@@ -1,0 +1,17 @@
+"""The DSP: a latency-bound core (Table 2).
+
+The DSP demands that the *average* memory latency of its transactions stays
+below a fixed limit (Eqn. 1): NPI = latency limit / average latency.  It is
+the paper's canonical example of a core that baseline policies starve because
+its bandwidth footprint is tiny but its latency requirement is strict.
+"""
+
+from __future__ import annotations
+
+from repro.cores.base import Core
+
+
+class DspCore(Core):
+    """Digital signal processor issuing small, latency-critical requests."""
+
+    performance_type = "latency"

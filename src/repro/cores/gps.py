@@ -1,0 +1,17 @@
+"""The GPS baseband: a processing-time core (Table 2).
+
+Positioning correlators deliver a batch of samples every processing window;
+the batch must be moved to/from DRAM before the window closes.  Under FCFS
+the GPS is the first core to fail in Fig. 5(a) because its small transactions
+queue behind the bandwidth-hungry system cores sharing its interconnect.
+"""
+
+from __future__ import annotations
+
+from repro.cores.base import Core
+
+
+class GpsCore(Core):
+    """GPS baseband processor with periodic processing deadlines."""
+
+    performance_type = "processing time"

@@ -1,0 +1,16 @@
+"""The GPU: a frame-rate core (Table 2).
+
+The GPU renders the user interface and preview composition.  Its health is
+the frame progress of Eqn. 2: the fraction of the current frame's data moved
+compared against a reference that grows linearly over the frame period.
+"""
+
+from __future__ import annotations
+
+from repro.cores.base import Core
+
+
+class GpuCore(Core):
+    """Graphics processor with bursty, frame-sourced traffic."""
+
+    performance_type = "frame rate"

@@ -1,0 +1,17 @@
+"""The image processor (ISP): a frame-rate core (Table 2).
+
+The ISP reads raw camera frames and writes processed video and preview
+buffers.  Its traffic is bursty (a whole frame becomes available at once) and
+its health is frame progress.  Fig. 7 studies this core's priority-level
+distribution as DRAM frequency is lowered.
+"""
+
+from __future__ import annotations
+
+from repro.cores.base import Core
+
+
+class ImageProcessorCore(Core):
+    """Image signal processor converting camera frames for encode and preview."""
+
+    performance_type = "frame rate"

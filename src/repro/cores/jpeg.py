@@ -1,0 +1,15 @@
+"""The JPEG encoder: a frame-rate core (Table 2).
+
+The JPEG block encodes snapshot stills captured while the video records; its
+traffic is bursty and sporadic compared to the continuously running encoder.
+"""
+
+from __future__ import annotations
+
+from repro.cores.base import Core
+
+
+class JpegCore(Core):
+    """JPEG still-image encoder for camcorder snapshots."""
+
+    performance_type = "frame rate"

@@ -1,0 +1,16 @@
+"""The cellular modem: a processing-time core (Table 2).
+
+Baseband subframes arrive on a fixed radio schedule and must be moved through
+DRAM before the next subframe; the meter is the same processing-window
+construction as the GPS but with a shorter deadline and higher rate.
+"""
+
+from __future__ import annotations
+
+from repro.cores.base import Core
+
+
+class ModemCore(Core):
+    """Cellular modem with per-subframe processing deadlines."""
+
+    performance_type = "processing time"

@@ -1,0 +1,17 @@
+"""The frame rotator: a frame-rate core (Table 2).
+
+The rotator reads and writes 1080p YUV420 preview images at 30 fps, which the
+paper quotes as 89 MB/s per DMA (178 MB/s total) — the one workload figure
+given explicitly in the evaluation section, kept verbatim in the synthetic
+camcorder workload.
+"""
+
+from __future__ import annotations
+
+from repro.cores.base import Core
+
+
+class RotatorCore(Core):
+    """Frame rotator preparing the preview orientation."""
+
+    performance_type = "frame rate"

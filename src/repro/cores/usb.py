@@ -1,0 +1,16 @@
+"""The USB host controller: a bandwidth core (Table 2).
+
+USB mass-storage offload of the recorded video is a steady, fairly heavy
+bandwidth consumer on the system interconnect; under FCFS it is one of the
+cores that crowd out the GPS.
+"""
+
+from __future__ import annotations
+
+from repro.cores.base import Core
+
+
+class UsbCore(Core):
+    """USB host controller streaming recorded data to external storage."""
+
+    performance_type = "bandwidth"

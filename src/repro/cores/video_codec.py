@@ -1,0 +1,16 @@
+"""The video codec: a frame-rate core (Table 2).
+
+The encoder reads the current frame and its reference frames and writes the
+reconstructed frame plus the bitstream; it is the heaviest bursty consumer of
+DRAM bandwidth in the camcorder use case.
+"""
+
+from __future__ import annotations
+
+from repro.cores.base import Core
+
+
+class VideoCodecCore(Core):
+    """Hardware video encoder/decoder with bursty frame-sourced traffic."""
+
+    performance_type = "frame rate"

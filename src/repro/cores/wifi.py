@@ -1,0 +1,15 @@
+"""The WiFi MAC: a bandwidth core (Table 2).
+
+The radio sustains a fixed throughput; its NPI is simply achieved bandwidth
+over target bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.cores.base import Core
+
+
+class WifiCore(Core):
+    """WiFi MAC/baseband streaming packet buffers to DRAM."""
+
+    performance_type = "bandwidth"

@@ -1,0 +1,30 @@
+"""Transaction-level LPDDR4 DRAM model.
+
+The model tracks per-bank row-buffer state, per-rank activation windows
+(tRRD/tFAW), and a shared data bus per channel, using the Table-1 timing
+parameters of the paper.  It substitutes for the cycle-accurate DRAMSim2
+simulator the authors used: service latency per transaction is computed from
+the row-hit / row-miss / row-closed case instead of being replayed command by
+command, which preserves the bandwidth and latency effects the paper's
+experiments measure (row-buffer locality, bank parallelism, finite bus
+bandwidth) at a cost proportional to the number of transactions.
+"""
+
+from repro.dram.address import AddressMapper, DecodedAddress
+from repro.dram.bank import Bank, RowBufferState
+from repro.dram.channel import Channel
+from repro.dram.device import DramDevice, ServiceResult
+from repro.dram.rank import Rank
+from repro.dram.timing import DramTimingPs
+
+__all__ = [
+    "AddressMapper",
+    "Bank",
+    "Channel",
+    "DecodedAddress",
+    "DramDevice",
+    "DramTimingPs",
+    "Rank",
+    "RowBufferState",
+    "ServiceResult",
+]

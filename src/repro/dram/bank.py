@@ -1,0 +1,68 @@
+"""Per-bank row-buffer state machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+
+class RowBufferState(Enum):
+    """Outcome category of a bank access, used for statistics and scheduling."""
+
+    HIT = "hit"
+    MISS = "miss"
+    CLOSED = "closed"
+
+
+@dataclass
+class Bank:
+    """State of a single DRAM bank.
+
+    ``open_row`` is the row currently latched in the row buffer (``None`` when
+    the bank is precharged), and ``ready_at_ps`` is the earliest simulated time
+    at which the bank can begin serving another access.
+    """
+
+    rank: int
+    index: int
+    open_row: Optional[int] = None
+    ready_at_ps: int = 0
+    hits: int = 0
+    misses: int = 0
+    closed_accesses: int = 0
+
+    def classify(self, row: int) -> RowBufferState:
+        """Classify an access to ``row`` against the current row-buffer state."""
+        if self.open_row is None:
+            return RowBufferState.CLOSED
+        if self.open_row == row:
+            return RowBufferState.HIT
+        return RowBufferState.MISS
+
+    def record_access(self, row: int, state: RowBufferState, ready_at_ps: int) -> None:
+        """Commit an access: update the open row, readiness and counters."""
+        if ready_at_ps < 0:
+            raise ValueError("ready_at_ps must be non-negative")
+        self.open_row = row
+        self.ready_at_ps = ready_at_ps
+        if state is RowBufferState.HIT:
+            self.hits += 1
+        elif state is RowBufferState.MISS:
+            self.misses += 1
+        else:
+            self.closed_accesses += 1
+
+    def precharge(self) -> None:
+        """Close the open row (used by refresh-like maintenance and tests)."""
+        self.open_row = None
+
+    @property
+    def total_accesses(self) -> int:
+        return self.hits + self.misses + self.closed_accesses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit the open row (0.0 when idle)."""
+        total = self.total_accesses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,106 @@
+"""A DRAM channel: banks, ranks, a shared data bus and service-time computation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.dram.address import DecodedAddress
+from repro.dram.bank import Bank, RowBufferState
+from repro.dram.rank import Rank
+from repro.dram.timing import DramTimingPs
+from repro.sim.config import DramConfig
+
+
+@dataclass(frozen=True)
+class ChannelServiceResult:
+    """Outcome of serving one transaction on a channel."""
+
+    data_start_ps: int
+    completion_ps: int
+    state: RowBufferState
+
+
+class Channel:
+    """One DRAM channel with its own banks and data bus.
+
+    The data bus is the shared bandwidth bottleneck: every transaction
+    occupies it for the duration of its burst.  Bank preparation (precharge +
+    activation) happens in parallel with other banks' bursts, which is how
+    bank-level parallelism shows up in aggregate bandwidth.
+    """
+
+    def __init__(self, index: int, config: DramConfig, timing: DramTimingPs) -> None:
+        self.index = index
+        self.config = config
+        self.timing = timing
+        self.bus_free_at_ps = 0
+        self.banks: Dict[Tuple[int, int], Bank] = {}
+        self.ranks: Dict[int, Rank] = {}
+        for rank in range(config.ranks_per_channel):
+            self.ranks[rank] = Rank(rank)
+            for bank in range(config.banks_per_rank):
+                self.banks[(rank, bank)] = Bank(rank=rank, index=bank)
+        self.bytes_served = 0
+        self.busy_time_ps = 0
+
+    def set_timing(self, timing: DramTimingPs) -> None:
+        """Switch the channel to a new resolved timing (DVFS)."""
+        self.timing = timing
+
+    def is_row_hit(self, decoded: DecodedAddress) -> bool:
+        """Would an access to this address hit the currently open row?"""
+        bank = self.banks[decoded.bank_key]
+        return bank.classify(decoded.row) is RowBufferState.HIT
+
+    def row_buffer_hit_rate(self) -> float:
+        """Aggregate row-buffer hit rate over all banks of the channel."""
+        hits = sum(bank.hits for bank in self.banks.values())
+        total = sum(bank.total_accesses for bank in self.banks.values())
+        return hits / total if total else 0.0
+
+    def service(
+        self, decoded: DecodedAddress, size_bytes: int, is_write: bool, now_ps: int
+    ) -> ChannelServiceResult:
+        """Serve one transaction and return its timing.
+
+        The caller (the memory controller) is responsible for only issuing one
+        transaction at a time per channel scheduling slot; the channel itself
+        enforces bus and bank availability.
+        """
+        if size_bytes <= 0:
+            raise ValueError(f"transfer size must be positive, got {size_bytes}")
+        bank = self.banks[decoded.bank_key]
+        rank = self.ranks[decoded.rank]
+        state = bank.classify(decoded.row)
+
+        bank_available_ps = max(now_ps, bank.ready_at_ps)
+        if state is RowBufferState.HIT:
+            prep_ps = self.timing.row_hit_ps
+            data_ready_ps = bank_available_ps + prep_ps
+        else:
+            # A precharge (row miss only) plus an activation is required; the
+            # activation must respect the rank's tRRD/tFAW window.
+            precharge_ps = self.timing.t_rp_ps if state is RowBufferState.MISS else 0
+            activation_ps = rank.earliest_activation_ps(
+                bank_available_ps + precharge_ps, self.timing
+            )
+            rank.record_activation(activation_ps)
+            data_ready_ps = activation_ps + self.timing.t_rcd_ps + self.timing.cl_ps
+
+        burst_ps = self.timing.burst_ps(size_bytes, self.config.bus_bytes_per_cycle)
+        data_start_ps = max(data_ready_ps, self.bus_free_at_ps)
+        completion_ps = data_start_ps + burst_ps
+
+        bank_recovery_ps = self.timing.t_wr_ps if is_write else self.timing.t_rtp_ps
+        bank.record_access(decoded.row, state, completion_ps + bank_recovery_ps)
+        self.bus_free_at_ps = completion_ps
+        self.bytes_served += size_bytes
+        self.busy_time_ps += burst_ps
+        return ChannelServiceResult(
+            data_start_ps=data_start_ps, completion_ps=completion_ps, state=state
+        )
+
+    def next_free_ps(self) -> int:
+        """Earliest time the data bus becomes available again."""
+        return self.bus_free_at_ps

@@ -1,0 +1,124 @@
+"""Per-bank finite-state machine with LPDDR4 timing legality checks.
+
+The FSM wraps the row-buffer :class:`~repro.dram.bank.Bank` (which keeps the
+open row and the hit/miss statistics) and adds the three timing anchors a
+command scheduler has to respect per bank:
+
+* ``act_ready_ps`` — earliest legal row activation (set by the precharge
+  that closed the bank, plus tRP);
+* ``rw_ready_ps`` — earliest legal column command (set by the activation,
+  plus tRCD);
+* ``pre_ready_ps`` — earliest legal precharge (set by reads via tRTP and by
+  writes via write recovery tWR after the data burst).
+
+All methods either *query* the earliest legal time for a command or *apply*
+a command at a given time; applying a command earlier than its legal time
+raises :class:`TimingViolation`, which is how the property-based tests verify
+the scheduler never produces an illegal command stream.
+"""
+
+from __future__ import annotations
+
+from repro.dram.bank import Bank, RowBufferState
+from repro.dram.timing import DramTimingPs
+
+
+class TimingViolation(ValueError):
+    """A DRAM command was applied before its earliest legal issue time."""
+
+
+class BankFsm:
+    """Timing-checked state machine of a single DRAM bank."""
+
+    def __init__(self, rank: int, index: int) -> None:
+        self.bank = Bank(rank=rank, index=index)
+        self.act_ready_ps = 0
+        self.rw_ready_ps = 0
+        self.pre_ready_ps = 0
+
+    # ------------------------------------------------------------------ #
+    # State queries
+    # ------------------------------------------------------------------ #
+    @property
+    def open_row(self) -> int | None:
+        return self.bank.open_row
+
+    @property
+    def is_open(self) -> bool:
+        return self.bank.open_row is not None
+
+    def classify(self, row: int) -> RowBufferState:
+        return self.bank.classify(row)
+
+    def earliest_activate_ps(self, now_ps: int) -> int:
+        """Earliest legal ACTIVATE (the bank must also be closed by then)."""
+        return max(now_ps, self.act_ready_ps)
+
+    def earliest_precharge_ps(self, now_ps: int) -> int:
+        return max(now_ps, self.pre_ready_ps)
+
+    def earliest_column_ps(self, now_ps: int) -> int:
+        """Earliest legal READ/WRITE column command to the open row."""
+        return max(now_ps, self.rw_ready_ps)
+
+    # ------------------------------------------------------------------ #
+    # Command application
+    # ------------------------------------------------------------------ #
+    def apply_precharge(self, at_ps: int, timing: DramTimingPs) -> None:
+        """Close the open row at ``at_ps``."""
+        if at_ps < self.pre_ready_ps:
+            raise TimingViolation(
+                f"PRECHARGE at {at_ps} ps violates pre_ready {self.pre_ready_ps} ps"
+            )
+        self.bank.precharge()
+        self.act_ready_ps = max(self.act_ready_ps, at_ps + timing.t_rp_ps)
+
+    def apply_activate(self, row: int, at_ps: int, timing: DramTimingPs) -> None:
+        """Open ``row`` at ``at_ps``."""
+        if self.is_open:
+            raise TimingViolation("ACTIVATE issued while a row is already open")
+        if at_ps < self.act_ready_ps:
+            raise TimingViolation(
+                f"ACTIVATE at {at_ps} ps violates act_ready {self.act_ready_ps} ps"
+            )
+        if row < 0:
+            raise ValueError("row must be non-negative")
+        self.bank.open_row = row
+        self.rw_ready_ps = max(self.rw_ready_ps, at_ps + timing.t_rcd_ps)
+
+    def apply_read(self, at_ps: int, timing: DramTimingPs) -> None:
+        """Issue a READ column command at ``at_ps`` (row must be open)."""
+        if not self.is_open:
+            raise TimingViolation("READ issued to a closed bank")
+        if at_ps < self.rw_ready_ps:
+            raise TimingViolation(
+                f"READ at {at_ps} ps violates rw_ready {self.rw_ready_ps} ps"
+            )
+        self.pre_ready_ps = max(self.pre_ready_ps, at_ps + timing.t_rtp_ps)
+
+    def apply_write(self, at_ps: int, data_end_ps: int, timing: DramTimingPs) -> None:
+        """Issue a WRITE column command whose data burst ends at ``data_end_ps``."""
+        if not self.is_open:
+            raise TimingViolation("WRITE issued to a closed bank")
+        if at_ps < self.rw_ready_ps:
+            raise TimingViolation(
+                f"WRITE at {at_ps} ps violates rw_ready {self.rw_ready_ps} ps"
+            )
+        if data_end_ps < at_ps:
+            raise ValueError("data_end_ps cannot precede the column command")
+        self.pre_ready_ps = max(self.pre_ready_ps, data_end_ps + timing.t_wr_ps)
+
+    def record_statistics(self, row: int, state: RowBufferState, ready_at_ps: int) -> None:
+        """Forward hit/miss accounting to the wrapped row-buffer bank."""
+        self.bank.record_access(row, state, ready_at_ps)
+
+    def force_precharge_for_refresh(self, refresh_end_ps: int) -> None:
+        """Close the bank and block activations until a refresh completes."""
+        self.bank.precharge()
+        self.act_ready_ps = max(self.act_ready_ps, refresh_end_ps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BankFsm(r{self.bank.rank}/b{self.bank.index} row={self.bank.open_row} "
+            f"act>={self.act_ready_ps} rw>={self.rw_ready_ps} pre>={self.pre_ready_ps})"
+        )

@@ -1,0 +1,188 @@
+"""A command-level DRAM channel.
+
+Where the transaction-level :class:`~repro.dram.channel.Channel` computes a
+single service time per transaction, this channel expands each transaction
+into its DRAM command sequence (optional PRECHARGE, optional ACTIVATE, then
+READ or WRITE) and places every command at its earliest legal issue time with
+respect to the per-bank FSM, the rank's tRRD/tFAW activation window, the
+write-to-read turnaround (tWTR) and the shared data bus.  Periodic all-bank
+refresh is injected per rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dram.address import DecodedAddress
+from repro.dram.bank import RowBufferState
+from repro.dram.channel import ChannelServiceResult
+from repro.dram.cmdsim.bank_fsm import BankFsm
+from repro.dram.cmdsim.commands import Command, CommandType
+from repro.dram.cmdsim.refresh import RefreshParams, RefreshScheduler
+from repro.dram.rank import Rank
+from repro.dram.timing import DramTimingPs
+from repro.sim.config import DramConfig
+
+
+class CommandChannel:
+    """One DRAM channel scheduled at command granularity."""
+
+    def __init__(
+        self,
+        index: int,
+        config: DramConfig,
+        timing: DramTimingPs,
+        refresh: Optional[RefreshParams] = None,
+        keep_command_log: bool = False,
+    ) -> None:
+        self.index = index
+        self.config = config
+        self.timing = timing
+        self.keep_command_log = keep_command_log
+        self.bus_free_at_ps = 0
+        self.last_write_data_end_ps = 0
+        self.banks: Dict[Tuple[int, int], BankFsm] = {}
+        self.ranks: Dict[int, Rank] = {}
+        for rank in range(config.ranks_per_channel):
+            self.ranks[rank] = Rank(rank)
+            for bank in range(config.banks_per_rank):
+                self.banks[(rank, bank)] = BankFsm(rank=rank, index=bank)
+        self.refresh = RefreshScheduler(config.ranks_per_channel, refresh)
+        self.command_counts: Dict[CommandType, int] = {kind: 0 for kind in CommandType}
+        self.command_log: List[Command] = []
+        self.bytes_served = 0
+        self.busy_time_ps = 0
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def set_timing(self, timing: DramTimingPs) -> None:
+        """Switch the channel to a new resolved timing (DVFS)."""
+        self.timing = timing
+
+    def is_row_hit(self, decoded: DecodedAddress) -> bool:
+        return self.banks[decoded.bank_key].classify(decoded.row) is RowBufferState.HIT
+
+    def row_buffer_hit_rate(self) -> float:
+        hits = sum(fsm.bank.hits for fsm in self.banks.values())
+        total = sum(fsm.bank.total_accesses for fsm in self.banks.values())
+        return hits / total if total else 0.0
+
+    def _record(self, command: Command) -> None:
+        self.command_counts[command.kind] += 1
+        if self.keep_command_log:
+            self.command_log.append(command)
+
+    def _maybe_refresh(self, rank_index: int, now_ps: int) -> int:
+        """Run an all-bank refresh if one is due; returns the blocking end time."""
+        if not self.refresh.due(rank_index, now_ps):
+            return now_ps
+        rank_banks = [
+            fsm for (rank, _bank), fsm in self.banks.items() if rank == rank_index
+        ]
+        # Every bank must be precharge-able before the refresh may start.
+        start_ps = now_ps
+        for fsm in rank_banks:
+            start_ps = max(start_ps, fsm.earliest_precharge_ps(now_ps))
+        end_ps = self.refresh.perform(rank_index, start_ps)
+        for fsm in rank_banks:
+            fsm.force_precharge_for_refresh(end_ps)
+        self._record(
+            Command(
+                kind=CommandType.REFRESH,
+                channel=self.index,
+                rank=rank_index,
+                bank=0,
+                issue_ps=start_ps,
+            )
+        )
+        return end_ps
+
+    # ------------------------------------------------------------------ #
+    # Transaction service
+    # ------------------------------------------------------------------ #
+    def service(
+        self, decoded: DecodedAddress, size_bytes: int, is_write: bool, now_ps: int
+    ) -> ChannelServiceResult:
+        """Expand one transaction into commands and return its data timing."""
+        if size_bytes <= 0:
+            raise ValueError(f"transfer size must be positive, got {size_bytes}")
+        fsm = self.banks[decoded.bank_key]
+        rank = self.ranks[decoded.rank]
+        earliest_ps = self._maybe_refresh(decoded.rank, now_ps)
+        state = fsm.classify(decoded.row)
+
+        if state is RowBufferState.MISS:
+            pre_at = fsm.earliest_precharge_ps(earliest_ps)
+            fsm.apply_precharge(pre_at, self.timing)
+            self._record(
+                Command(
+                    kind=CommandType.PRECHARGE,
+                    channel=self.index,
+                    rank=decoded.rank,
+                    bank=decoded.bank,
+                    issue_ps=pre_at,
+                )
+            )
+            earliest_ps = pre_at
+
+        if state is not RowBufferState.HIT:
+            act_at = rank.earliest_activation_ps(
+                fsm.earliest_activate_ps(earliest_ps), self.timing
+            )
+            fsm.apply_activate(decoded.row, act_at, self.timing)
+            rank.record_activation(act_at)
+            self._record(
+                Command(
+                    kind=CommandType.ACTIVATE,
+                    channel=self.index,
+                    rank=decoded.rank,
+                    bank=decoded.bank,
+                    issue_ps=act_at,
+                    row=decoded.row,
+                )
+            )
+            earliest_ps = act_at
+
+        column_at = fsm.earliest_column_ps(earliest_ps)
+        if not is_write:
+            # Write-to-read turnaround on the shared bus/rank.
+            column_at = max(column_at, self.last_write_data_end_ps + self.timing.t_wtr_ps)
+
+        burst_ps = self.timing.burst_ps(size_bytes, self.config.bus_bytes_per_cycle)
+        data_ready_ps = column_at + self.timing.cl_ps
+        data_start_ps = max(data_ready_ps, self.bus_free_at_ps)
+        completion_ps = data_start_ps + burst_ps
+
+        if is_write:
+            fsm.apply_write(column_at, completion_ps, self.timing)
+            self.last_write_data_end_ps = completion_ps
+            kind = CommandType.WRITE
+        else:
+            fsm.apply_read(column_at, self.timing)
+            kind = CommandType.READ
+        self._record(
+            Command(
+                kind=kind,
+                channel=self.index,
+                rank=decoded.rank,
+                bank=decoded.bank,
+                issue_ps=column_at,
+                row=decoded.row,
+                data_start_ps=data_start_ps,
+                data_end_ps=completion_ps,
+            )
+        )
+
+        fsm.record_statistics(decoded.row, state, completion_ps)
+        self.bus_free_at_ps = completion_ps
+        self.bytes_served += size_bytes
+        self.busy_time_ps += burst_ps
+        return ChannelServiceResult(
+            data_start_ps=data_start_ps, completion_ps=completion_ps, state=state
+        )
+
+    def next_free_ps(self) -> int:
+        """Earliest time the data bus becomes available again."""
+        return self.bus_free_at_ps

@@ -1,0 +1,78 @@
+"""Periodic refresh scheduling for the command-level DRAM model.
+
+LPDDR4 devices must refresh every row within the retention window; the
+controller issues an all-bank REFRESH roughly every tREFI, and the rank is
+unavailable for tRFC while it runs.  The transaction-level backend ignores
+refresh (its effect on a 33 ms window is a small constant overhead); the
+command-level backend models it so latency-sensitive cores occasionally see
+the extra tail latency a refresh adds, as they do on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sim.clock import NS
+
+
+@dataclass(frozen=True)
+class RefreshParams:
+    """All-bank refresh cadence and duration."""
+
+    t_refi_ns: float = 3904.0
+    t_rfc_ns: float = 180.0
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.t_refi_ns <= 0:
+            raise ValueError("t_refi_ns must be positive")
+        if self.t_rfc_ns <= 0:
+            raise ValueError("t_rfc_ns must be positive")
+        if self.t_rfc_ns >= self.t_refi_ns:
+            raise ValueError("t_rfc_ns must be shorter than t_refi_ns")
+
+    @property
+    def t_refi_ps(self) -> int:
+        return round(self.t_refi_ns * NS)
+
+    @property
+    def t_rfc_ps(self) -> int:
+        return round(self.t_rfc_ns * NS)
+
+
+class RefreshScheduler:
+    """Tracks when each rank owes its next all-bank refresh."""
+
+    def __init__(self, ranks: int, params: RefreshParams | None = None) -> None:
+        if ranks <= 0:
+            raise ValueError("ranks must be positive")
+        self.params = params or RefreshParams()
+        self._next_due_ps: Dict[int, int] = {
+            rank: self.params.t_refi_ps for rank in range(ranks)
+        }
+        self.refreshes_issued = 0
+
+    def due(self, rank: int, now_ps: int) -> bool:
+        """Whether the rank owes a refresh at or before ``now_ps``."""
+        if not self.params.enabled:
+            return False
+        return now_ps >= self._next_due_ps[rank]
+
+    def next_due_ps(self, rank: int) -> int:
+        return self._next_due_ps[rank]
+
+    def perform(self, rank: int, start_ps: int) -> int:
+        """Record an all-bank refresh starting at ``start_ps``; returns its end.
+
+        Back-to-back catch-up refreshes are collapsed: the next due time moves
+        forward by at least one full tREFI from the refresh that just ran, as
+        controllers postpone rather than accumulate unbounded refresh debt.
+        """
+        end_ps = start_ps + self.params.t_rfc_ps
+        self._next_due_ps[rank] = max(
+            self._next_due_ps[rank] + self.params.t_refi_ps,
+            start_ps + self.params.t_refi_ps,
+        )
+        self.refreshes_issued += 1
+        return end_ps

@@ -1,0 +1,44 @@
+"""Per-rank activation-rate limiting (tRRD and tFAW windows)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.dram.timing import DramTimingPs
+
+
+class Rank:
+    """Tracks row activations within a rank to enforce tRRD and tFAW.
+
+    LPDDR4 limits how quickly rows may be activated: consecutive activates in
+    the same rank must be at least tRRD apart, and any four activates must fit
+    in a window no shorter than tFAW.  The memory controller asks the rank for
+    the earliest legal activation time before serving a row miss or a closed
+    bank.
+    """
+
+    FAW_WINDOW = 4
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self._activations: Deque[int] = deque(maxlen=self.FAW_WINDOW)
+        self.total_activations = 0
+
+    def earliest_activation_ps(self, now_ps: int, timing: DramTimingPs) -> int:
+        """Earliest time at or after ``now_ps`` at which a row may be activated."""
+        earliest = now_ps
+        if self._activations:
+            earliest = max(earliest, self._activations[-1] + timing.t_rrd_ps)
+        if len(self._activations) == self.FAW_WINDOW:
+            earliest = max(earliest, self._activations[0] + timing.t_faw_ps)
+        return earliest
+
+    def record_activation(self, time_ps: int) -> None:
+        """Record that a row activation was issued at ``time_ps``."""
+        if self._activations and time_ps < self._activations[-1]:
+            raise ValueError(
+                "activations must be recorded in non-decreasing time order"
+            )
+        self._activations.append(time_ps)
+        self.total_activations += 1

@@ -1,0 +1,63 @@
+"""Conversion of the Table-1 DRAM cycle timings into picoseconds.
+
+The memory controller and the DRAM device both work in picoseconds, so the
+cycle-denominated LPDDR4 parameters are converted once per (timing, frequency)
+pair and cached in a :class:`DramTimingPs` instance.  Rebuilding the instance
+at a different frequency is how DVFS sweeps (Fig. 7) are modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.clock import Clock
+from repro.sim.config import DramTimingConfig
+
+
+@dataclass(frozen=True)
+class DramTimingPs:
+    """DRAM timing parameters resolved to picoseconds at a given frequency."""
+
+    freq_mhz: float
+    clock_period_ps: int
+    cl_ps: int
+    t_rcd_ps: int
+    t_rp_ps: int
+    t_wtr_ps: int
+    t_rtp_ps: int
+    t_wr_ps: int
+    t_rrd_ps: int
+    t_faw_ps: int
+    row_hit_ps: int
+    row_closed_ps: int
+    row_miss_ps: int
+
+    @classmethod
+    def from_config(cls, timing: DramTimingConfig, freq_mhz: float) -> "DramTimingPs":
+        """Resolve cycle-denominated timing at the given I/O frequency."""
+        clock = Clock(freq_mhz)
+        period = clock.period_ps
+        return cls(
+            freq_mhz=freq_mhz,
+            clock_period_ps=period,
+            cl_ps=timing.cl * period,
+            t_rcd_ps=timing.t_rcd * period,
+            t_rp_ps=timing.t_rp * period,
+            t_wtr_ps=timing.t_wtr * period,
+            t_rtp_ps=timing.t_rtp * period,
+            t_wr_ps=timing.t_wr * period,
+            t_rrd_ps=timing.t_rrd * period,
+            t_faw_ps=timing.t_faw * period,
+            row_hit_ps=timing.row_hit_cycles() * period,
+            row_closed_ps=timing.row_closed_cycles() * period,
+            row_miss_ps=timing.row_miss_cycles() * period,
+        )
+
+    def burst_ps(self, size_bytes: int, bus_bytes_per_cycle: int) -> int:
+        """Data-bus occupancy in picoseconds for a transfer of this size."""
+        if size_bytes <= 0:
+            raise ValueError(f"transfer size must be positive, got {size_bytes}")
+        if bus_bytes_per_cycle <= 0:
+            raise ValueError("bus_bytes_per_cycle must be positive")
+        cycles = -(-size_bytes // bus_bytes_per_cycle)  # ceiling division
+        return cycles * self.clock_period_ps

@@ -1,0 +1,153 @@
+"""The DVFS controller: periodic sampling and DRAM re-clocking.
+
+The controller is a small event-driven loop living next to the SARA
+framework: every ``interval_ps`` it computes a :class:`GovernorSample` from
+the DRAM's bus-busy counters and (optionally) the framework's priority
+adapters, asks its governor for the next operating point, and re-clocks the
+DRAM device if the decision differs from the current point.  It records the
+frequency time series and the residency at every operating point, which is
+what the DVFS benchmarks and EXPERIMENTS.md report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.framework import SaraFramework
+from repro.dram.device import DramDevice
+from repro.dvfs.governor import Governor, GovernorSample
+from repro.dvfs.opp import OperatingPoint, OppTable
+from repro.sim.engine import Engine
+from repro.sim.trace import TimeSeries
+
+
+class DvfsController:
+    """Samples the memory system periodically and drives DRAM frequency."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        dram: DramDevice,
+        governor: Governor,
+        opp_table: Optional[OppTable] = None,
+        interval_ps: int = 100_000_000,  # 100 us between governor decisions
+        framework: Optional[SaraFramework] = None,
+    ) -> None:
+        if interval_ps <= 0:
+            raise ValueError("interval_ps must be positive")
+        self.engine = engine
+        self.dram = dram
+        self.governor = governor
+        self.opp_table = opp_table or OppTable.lpddr4_default()
+        self.interval_ps = interval_ps
+        self.framework = framework
+
+        self.current_point = self.opp_table.nearest(dram.config.io_freq_mhz)
+        if self.current_point.freq_mhz != dram.config.io_freq_mhz:
+            dram.set_frequency(self.current_point.freq_mhz)
+
+        self.transitions = 0
+        self.samples_taken = 0
+        self.frequency_trace = TimeSeries(name="dram.freq_mhz")
+        self._residency_ps: Dict[OperatingPoint, int] = {
+            point: 0 for point in self.opp_table
+        }
+        self._last_busy_ps = 0
+        self._last_sample_ps = 0
+        self._stop_ps: Optional[int] = None
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Control loop
+    # ------------------------------------------------------------------ #
+    def start(self, stop_ps: Optional[int] = None) -> None:
+        """Begin the periodic decision loop (call before ``engine.run``)."""
+        if self._started:
+            raise RuntimeError("DVFS controller already started")
+        self._started = True
+        self._stop_ps = stop_ps
+        self._last_sample_ps = self.engine.now_ps
+        self._last_busy_ps = self._total_busy_ps()
+        self.frequency_trace.append(self.engine.now_ps, self.current_point.freq_mhz)
+        self.engine.schedule(self.interval_ps, self._tick)
+
+    def _total_busy_ps(self) -> int:
+        return sum(channel.busy_time_ps for channel in self.dram.channels)
+
+    def _window_utilisation(self, now_ps: int) -> float:
+        elapsed = max(1, now_ps - self._last_sample_ps)
+        busy_now = self._total_busy_ps()
+        busy_delta = max(0, busy_now - self._last_busy_ps)
+        self._last_busy_ps = busy_now
+        capacity = elapsed * len(self.dram.channels)
+        return min(1.0, busy_delta / capacity)
+
+    def _priority_view(self) -> tuple:
+        """(max priority, mean priority, min NPI) over the attached framework."""
+        if self.framework is None or not self.framework.adapters:
+            return 0, 0.0, float("inf")
+        priorities = [
+            adapter.current_priority for adapter in self.framework.adapters.values()
+        ]
+        npis = [
+            adapter.last_npi
+            for adapter in self.framework.adapters.values()
+            if adapter.last_npi is not None
+        ]
+        max_priority = max(priorities)
+        mean_priority = sum(priorities) / len(priorities)
+        min_npi = min(npis) if npis else float("inf")
+        return max_priority, mean_priority, min_npi
+
+    def sample(self, now_ps: int) -> GovernorSample:
+        """Build the governor's observation for the window ending now."""
+        utilisation = self._window_utilisation(now_ps)
+        max_priority, mean_priority, min_npi = self._priority_view()
+        return GovernorSample(
+            now_ps=now_ps,
+            bus_utilisation=utilisation,
+            max_priority=max_priority,
+            mean_priority=mean_priority,
+            min_npi=min_npi,
+            current_point=self.current_point,
+        )
+
+    def _tick(self) -> None:
+        now = self.engine.now_ps
+        window = max(0, now - self._last_sample_ps)
+        self._residency_ps[self.current_point] += window
+        decision = self.governor.decide(self.sample(now), self.opp_table)
+        self.samples_taken += 1
+        if decision != self.current_point:
+            self.transitions += 1
+            self.current_point = decision
+            self.dram.set_frequency(decision.freq_mhz)
+        self.frequency_trace.append(now, self.current_point.freq_mhz)
+        self._last_sample_ps = now
+        next_tick = now + self.interval_ps
+        if self._stop_ps is None or next_tick <= self._stop_ps:
+            self.engine.schedule_at(next_tick, self._tick)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def residency_fractions(self) -> Dict[float, float]:
+        """Fraction of sampled time spent at each frequency (MHz -> fraction)."""
+        total = sum(self._residency_ps.values())
+        if total <= 0:
+            return {point.freq_mhz: 0.0 for point in self.opp_table}
+        return {
+            point.freq_mhz: self._residency_ps[point] / total
+            for point in self.opp_table
+        }
+
+    def time_weighted_mean_freq_mhz(self) -> float:
+        """Residency-weighted average DRAM frequency."""
+        fractions = self.residency_fractions()
+        total = sum(fractions.values())
+        if total <= 0:
+            return self.current_point.freq_mhz
+        return sum(freq * fraction for freq, fraction in fractions.items()) / total
+
+    def current_frequency_mhz(self) -> float:
+        return self.current_point.freq_mhz

@@ -1,0 +1,223 @@
+"""DVFS governor policies.
+
+A governor looks at one :class:`GovernorSample` — a snapshot of how busy the
+DRAM bus is and how urgent the cores' QoS demands are — and picks the next
+operating point from an :class:`~repro.dvfs.opp.OppTable`.
+
+The first four governors mirror the classic Linux cpufreq policies
+(performance, powersave, ondemand, conservative) applied to the DRAM
+interface.  :class:`PriorityPressureGovernor` is the SARA-specific extension:
+it reuses the distributed priority levels the cores already broadcast (the
+paper's Section 3.2) as the urgency signal, so the DRAM slows down only when
+no core is anywhere near missing its target.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional, Type
+
+from repro.dvfs.opp import OperatingPoint, OppTable
+
+
+@dataclass(frozen=True)
+class GovernorSample:
+    """One observation window handed to a governor.
+
+    Attributes
+    ----------
+    now_ps:
+        Simulated time of the sample.
+    bus_utilisation:
+        Fraction of the elapsed window the DRAM data buses spent bursting
+        data (0.0 - 1.0).
+    max_priority:
+        Highest priority level any DMA currently holds (0 when adaptation is
+        disabled or nobody is behind target).
+    mean_priority:
+        Average priority level across all DMAs.
+    min_npi:
+        Worst normalised performance indicator across all cores; below 1.0
+        some core is missing its target.
+    current_point:
+        The operating point the DRAM is running at.
+    """
+
+    now_ps: int
+    bus_utilisation: float
+    max_priority: int
+    mean_priority: float
+    min_npi: float
+    current_point: OperatingPoint
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.bus_utilisation <= 1.0:
+            raise ValueError("bus_utilisation must be within [0, 1]")
+        if self.max_priority < 0:
+            raise ValueError("max_priority must be non-negative")
+        if self.mean_priority < 0:
+            raise ValueError("mean_priority must be non-negative")
+
+
+class Governor(abc.ABC):
+    """Base class of all DVFS governors."""
+
+    #: Registry / reporting name.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def decide(self, sample: GovernorSample, table: OppTable) -> OperatingPoint:
+        """Pick the operating point to use for the next window."""
+
+
+class PerformanceGovernor(Governor):
+    """Always run the DRAM at its highest operating point."""
+
+    name = "performance"
+
+    def decide(self, sample: GovernorSample, table: OppTable) -> OperatingPoint:
+        return table.highest
+
+
+class PowersaveGovernor(Governor):
+    """Always run the DRAM at its lowest operating point."""
+
+    name = "powersave"
+
+    def decide(self, sample: GovernorSample, table: OppTable) -> OperatingPoint:
+        return table.lowest
+
+
+class StaticGovernor(Governor):
+    """Pin the DRAM to the table point nearest a requested frequency."""
+
+    name = "static"
+
+    def __init__(self, freq_mhz: float) -> None:
+        if freq_mhz <= 0:
+            raise ValueError("freq_mhz must be positive")
+        self.freq_mhz = freq_mhz
+
+    def decide(self, sample: GovernorSample, table: OppTable) -> OperatingPoint:
+        return table.nearest(self.freq_mhz)
+
+
+class OndemandGovernor(Governor):
+    """Jump to the highest point under load, step down when idle.
+
+    Mirrors Linux's ondemand policy: utilisation above ``up_threshold`` jumps
+    straight to the maximum frequency (latency matters more than energy when
+    the bus saturates), utilisation below ``down_threshold`` steps one point
+    down per window.
+    """
+
+    name = "ondemand"
+
+    def __init__(self, up_threshold: float = 0.70, down_threshold: float = 0.30) -> None:
+        if not 0.0 < down_threshold < up_threshold <= 1.0:
+            raise ValueError("thresholds must satisfy 0 < down < up <= 1")
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+
+    def decide(self, sample: GovernorSample, table: OppTable) -> OperatingPoint:
+        if sample.bus_utilisation >= self.up_threshold:
+            return table.highest
+        if sample.bus_utilisation <= self.down_threshold:
+            return table.step_down(sample.current_point)
+        return sample.current_point
+
+
+class ConservativeGovernor(Governor):
+    """Step one operating point at a time in either direction.
+
+    Like Linux's conservative policy: smoother frequency profile at the cost
+    of a slower reaction to load spikes.
+    """
+
+    name = "conservative"
+
+    def __init__(self, up_threshold: float = 0.70, down_threshold: float = 0.30) -> None:
+        if not 0.0 < down_threshold < up_threshold <= 1.0:
+            raise ValueError("thresholds must satisfy 0 < down < up <= 1")
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+
+    def decide(self, sample: GovernorSample, table: OppTable) -> OperatingPoint:
+        if sample.bus_utilisation >= self.up_threshold:
+            return table.step_up(sample.current_point)
+        if sample.bus_utilisation <= self.down_threshold:
+            return table.step_down(sample.current_point)
+        return sample.current_point
+
+
+class PriorityPressureGovernor(Governor):
+    """SARA-aware governor driven by the cores' own priority levels.
+
+    The priority a DMA attaches to its transactions already encodes how far
+    it is from its QoS target (Section 3.2 of the paper), so the memory
+    system can use the same signal to decide whether it is safe to slow the
+    DRAM down:
+
+    * any DMA at or above ``raise_priority`` (urgent demand) immediately
+      raises the frequency to the maximum;
+    * when every DMA sits at or below ``lower_priority`` *and* the bus is not
+      heavily utilised, the governor steps one point down;
+    * otherwise the frequency is held.
+
+    This is the self-aware analogue of the row-buffer optimisation of
+    Policy 2: save energy only while nobody's QoS is in danger.
+    """
+
+    name = "priority_pressure"
+
+    def __init__(
+        self,
+        raise_priority: int = 6,
+        lower_priority: int = 2,
+        busy_utilisation: float = 0.85,
+    ) -> None:
+        if raise_priority <= lower_priority:
+            raise ValueError("raise_priority must exceed lower_priority")
+        if lower_priority < 0:
+            raise ValueError("lower_priority must be non-negative")
+        if not 0.0 < busy_utilisation <= 1.0:
+            raise ValueError("busy_utilisation must be within (0, 1]")
+        self.raise_priority = raise_priority
+        self.lower_priority = lower_priority
+        self.busy_utilisation = busy_utilisation
+
+    def decide(self, sample: GovernorSample, table: OppTable) -> OperatingPoint:
+        if sample.max_priority >= self.raise_priority or sample.min_npi < 1.0:
+            return table.highest
+        if (
+            sample.max_priority <= self.lower_priority
+            and sample.bus_utilisation < self.busy_utilisation
+        ):
+            return table.step_down(sample.current_point)
+        return sample.current_point
+
+
+_GOVERNOR_REGISTRY: Dict[str, Type[Governor]] = {
+    PerformanceGovernor.name: PerformanceGovernor,
+    PowersaveGovernor.name: PowersaveGovernor,
+    OndemandGovernor.name: OndemandGovernor,
+    ConservativeGovernor.name: ConservativeGovernor,
+    PriorityPressureGovernor.name: PriorityPressureGovernor,
+}
+
+
+def available_governors() -> Dict[str, Type[Governor]]:
+    """Mapping from governor name to class (excludes StaticGovernor, which
+    needs a frequency argument)."""
+    return dict(_GOVERNOR_REGISTRY)
+
+
+def make_governor(name: str, **kwargs: float) -> Governor:
+    """Instantiate a governor by its registry name."""
+    try:
+        governor_cls = _GOVERNOR_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_GOVERNOR_REGISTRY))
+        raise ValueError(f"unknown governor '{name}' (known: {known})") from None
+    return governor_cls(**kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,120 @@
+"""Operating performance points (OPPs) for the DRAM interface.
+
+An OPP is a (frequency, voltage) pair the hardware can switch to.  The
+default table covers the frequency range of the paper's Fig. 7 sweep
+(1300-1700 MHz) plus the Table-1 maximum of 1866 MHz, with voltages following
+the usual near-linear frequency/voltage relation of LPDDR4 interface rails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class OperatingPoint:
+    """One DRAM operating point."""
+
+    freq_mhz: float
+    voltage_v: float
+
+    def __post_init__(self) -> None:
+        if self.freq_mhz <= 0:
+            raise ValueError("freq_mhz must be positive")
+        if self.voltage_v <= 0:
+            raise ValueError("voltage_v must be positive")
+
+    def relative_dynamic_power(self, reference: "OperatingPoint") -> float:
+        """First-order dynamic-power ratio against a reference point (~ f·V²)."""
+        return (self.freq_mhz / reference.freq_mhz) * (
+            self.voltage_v / reference.voltage_v
+        ) ** 2
+
+
+class OppTable:
+    """An ordered collection of operating points (lowest frequency first)."""
+
+    def __init__(self, points: Sequence[OperatingPoint]) -> None:
+        if not points:
+            raise ValueError("an OPP table needs at least one operating point")
+        ordered = sorted(points, key=lambda p: p.freq_mhz)
+        frequencies = [p.freq_mhz for p in ordered]
+        if len(set(frequencies)) != len(frequencies):
+            raise ValueError("duplicate frequencies in OPP table")
+        voltages = [p.voltage_v for p in ordered]
+        if any(b < a for a, b in zip(voltages, voltages[1:])):
+            raise ValueError("voltage must be non-decreasing with frequency")
+        self._points: List[OperatingPoint] = ordered
+
+    @classmethod
+    def lpddr4_default(cls) -> "OppTable":
+        """The default LPDDR4 table spanning the paper's Fig. 7 sweep."""
+        return cls(
+            [
+                OperatingPoint(1300.0, 1.040),
+                OperatingPoint(1400.0, 1.055),
+                OperatingPoint(1500.0, 1.070),
+                OperatingPoint(1600.0, 1.085),
+                OperatingPoint(1700.0, 1.100),
+                OperatingPoint(1866.0, 1.125),
+            ]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    @property
+    def points(self) -> List[OperatingPoint]:
+        return list(self._points)
+
+    @property
+    def lowest(self) -> OperatingPoint:
+        return self._points[0]
+
+    @property
+    def highest(self) -> OperatingPoint:
+        return self._points[-1]
+
+    def index_of(self, point: OperatingPoint) -> int:
+        try:
+            return self._points.index(point)
+        except ValueError:
+            raise ValueError(f"{point} is not part of this OPP table") from None
+
+    def nearest(self, freq_mhz: float) -> OperatingPoint:
+        """The table point closest in frequency to the requested value."""
+        return min(self._points, key=lambda p: abs(p.freq_mhz - freq_mhz))
+
+    def floor(self, freq_mhz: float) -> OperatingPoint:
+        """The fastest point not exceeding ``freq_mhz`` (or the lowest point)."""
+        eligible = [p for p in self._points if p.freq_mhz <= freq_mhz]
+        return eligible[-1] if eligible else self.lowest
+
+    def ceiling(self, freq_mhz: float) -> OperatingPoint:
+        """The slowest point not below ``freq_mhz`` (or the highest point)."""
+        eligible = [p for p in self._points if p.freq_mhz >= freq_mhz]
+        return eligible[0] if eligible else self.highest
+
+    def step_up(self, point: OperatingPoint) -> OperatingPoint:
+        """The next faster point, or the same point if already at the top."""
+        index = self.index_of(point)
+        return self._points[min(index + 1, len(self._points) - 1)]
+
+    def step_down(self, point: OperatingPoint) -> OperatingPoint:
+        """The next slower point, or the same point if already at the bottom."""
+        index = self.index_of(point)
+        return self._points[max(index - 1, 0)]
+
+    def __iter__(self) -> Iterator[OperatingPoint]:
+        return iter(self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, point: OperatingPoint) -> bool:
+        return point in self._points
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        freqs = ", ".join(f"{p.freq_mhz:.0f}" for p in self._points)
+        return f"OppTable([{freqs}] MHz)"

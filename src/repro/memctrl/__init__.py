@@ -1,0 +1,41 @@
+"""Memory-controller front-end: transaction queues and scheduling policies.
+
+The controller implements the paper's "distributed system response" stage at
+the DRAM boundary: it holds per-class transaction queues (Table 1 lists five
+of them) and arbitrates among pending transactions with a pluggable policy —
+FCFS, round-robin, FR-FCFS, the frame-rate-based QoS baseline, Policy 1
+(priority-based round-robin) and Policy 2 (QoS-RB, priority-based round-robin
+with row-buffer-hit optimisation below the delta threshold).
+"""
+
+from repro.memctrl.aging import AgingTracker
+from repro.memctrl.controller import MemoryController
+from repro.memctrl.policies import (
+    FcfsPolicy,
+    FrFcfsPolicy,
+    FrameRateQosPolicy,
+    PriorityQosPolicy,
+    PriorityRowBufferPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+from repro.memctrl.queue import TransactionQueue
+from repro.memctrl.scheduler import SchedulingContext, SchedulingPolicy
+from repro.memctrl.transaction import QueueClass, Transaction
+
+__all__ = [
+    "AgingTracker",
+    "FcfsPolicy",
+    "FrFcfsPolicy",
+    "FrameRateQosPolicy",
+    "MemoryController",
+    "PriorityQosPolicy",
+    "PriorityRowBufferPolicy",
+    "QueueClass",
+    "RoundRobinPolicy",
+    "SchedulingContext",
+    "SchedulingPolicy",
+    "Transaction",
+    "TransactionQueue",
+    "make_policy",
+]

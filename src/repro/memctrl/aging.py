@@ -1,0 +1,42 @@
+"""Starvation protection: the aging backstop of Policies 1 and 2.
+
+The paper's schedulers periodically clear the backlog of transactions that
+have waited at least T cycles (T = 10 000 in the evaluation) so that
+low-priority traffic is never starved indefinitely by high-priority cores.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.memctrl.transaction import Transaction
+
+
+class AgingTracker:
+    """Identifies transactions whose waiting time exceeds the aging threshold."""
+
+    def __init__(self, threshold_cycles: int, clock_period_ps: int) -> None:
+        if threshold_cycles <= 0:
+            raise ValueError("aging threshold must be positive")
+        if clock_period_ps <= 0:
+            raise ValueError("clock period must be positive")
+        self.threshold_cycles = threshold_cycles
+        self.clock_period_ps = clock_period_ps
+        self.aged_served = 0
+
+    @property
+    def threshold_ps(self) -> int:
+        return self.threshold_cycles * self.clock_period_ps
+
+    def is_aged(self, transaction: Transaction, now_ps: int) -> bool:
+        """Has this transaction waited at least T cycles in the controller?"""
+        return transaction.waiting_time_ps(now_ps) >= self.threshold_ps
+
+    def aged_backlog(self, candidates: List[Transaction], now_ps: int) -> List[Transaction]:
+        """All candidates past the threshold, oldest first."""
+        aged = [t for t in candidates if self.is_aged(t, now_ps)]
+        aged.sort(key=lambda t: (t.enqueued_ps if t.enqueued_ps is not None else 0, t.uid))
+        return aged
+
+    def record_aged_service(self) -> None:
+        self.aged_served += 1

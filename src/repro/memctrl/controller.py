@@ -1,0 +1,176 @@
+"""The memory-controller front-end driving the DRAM device."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.dram.device import DramDevice
+from repro.memctrl.aging import AgingTracker
+from repro.memctrl.queue import TransactionQueue
+from repro.memctrl.scheduler import SchedulingContext, SchedulingPolicy
+from repro.memctrl.transaction import QueueClass, Transaction
+from repro.sim.config import MemoryControllerConfig
+from repro.sim.engine import Engine
+from repro.sim.stats import RunningMean
+
+CompletionHandler = Callable[[Transaction], None]
+
+
+class MemoryController:
+    """Queues transactions per class and issues them to DRAM channels.
+
+    Each DRAM channel is scheduled independently: whenever a channel's data
+    bus becomes free the controller asks its scheduling policy to choose among
+    the visible transactions destined to that channel and issues the winner.
+    Completions are delivered to per-DMA handlers registered by the system
+    builder, which is how read data and write acknowledgements find their way
+    back to the cores' performance meters.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        dram: DramDevice,
+        policy: SchedulingPolicy,
+        config: Optional[MemoryControllerConfig] = None,
+    ) -> None:
+        self.engine = engine
+        self.dram = dram
+        self.policy = policy
+        self.config = config or MemoryControllerConfig()
+        # The scheduler window bounds how many pending transactions per queue
+        # the policy may reorder among.  By default it is effectively
+        # unbounded: the controller is work-conserving over everything the
+        # DMAs' outstanding-request windows allow in flight, which stands in
+        # for the credit-based flow control a real front-end uses to keep its
+        # 42 entries fed with the most urgent traffic.
+        window = self.config.scheduler_window_entries or 1_000_000
+        self.queues: Dict[QueueClass, TransactionQueue] = {
+            queue_class: TransactionQueue(queue_class.value, window)
+            for queue_class in QueueClass
+        }
+        self.aging = AgingTracker(
+            self.config.aging_threshold_cycles, dram.timing.clock_period_ps
+        )
+        self._channel_busy: List[bool] = [False] * dram.config.channels
+        self._channel_of: Dict[int, int] = {}
+        self._completion_handlers: Dict[str, CompletionHandler] = {}
+        self._global_handlers: List[CompletionHandler] = []
+        self._space_listeners: List[Callable[[], None]] = []
+
+        self.served_transactions = 0
+        self.served_bytes = 0
+        self.latency_stats = RunningMean()
+        self.per_source_bytes: Dict[str, int] = {}
+        self.per_source_served: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register_dma(self, dma_name: str, handler: CompletionHandler) -> None:
+        """Route completions of transactions issued by ``dma_name`` to a handler."""
+        if dma_name in self._completion_handlers:
+            raise ValueError(f"DMA '{dma_name}' is already registered")
+        self._completion_handlers[dma_name] = handler
+
+    def add_completion_listener(self, handler: CompletionHandler) -> None:
+        """Add a handler invoked for every completed transaction."""
+        self._global_handlers.append(handler)
+
+    def add_space_listener(self, handler: Callable[[], None]) -> None:
+        """Register a callback fired whenever a controller entry frees up.
+
+        The NoC uses this for back-pressure: the root router stalls while the
+        controller's entries (42 in Table 1) are occupied and resumes — with a
+        fresh priority arbitration — as soon as space becomes available.
+        """
+        self._space_listeners.append(handler)
+
+    def has_space(self) -> bool:
+        """Whether the front-end can accept another transaction right now."""
+        return self.pending_transactions() < self.config.total_entries
+
+    # ------------------------------------------------------------------ #
+    # Transaction flow
+    # ------------------------------------------------------------------ #
+    def enqueue(self, transaction: Transaction) -> None:
+        """Accept a transaction from the NoC into its class queue."""
+        now = self.engine.now_ps
+        queue = self.queues[transaction.queue_class]
+        queue.push(transaction, now)
+        self._channel_of[transaction.uid] = self.dram.channel_of(transaction.address)
+        self._try_schedule(self._channel_of[transaction.uid])
+
+    def pending_transactions(self) -> int:
+        """Total transactions waiting in all class queues."""
+        return sum(len(queue) for queue in self.queues.values())
+
+    def _candidates_for_channel(self, channel: int) -> List[Transaction]:
+        candidates: List[Transaction] = []
+        for queue in self.queues.values():
+            for transaction in queue.visible():
+                if self._channel_of[transaction.uid] == channel:
+                    candidates.append(transaction)
+        return candidates
+
+    def _is_row_hit(self, transaction: Transaction) -> bool:
+        return self.dram.is_row_hit(transaction.address)
+
+    def _try_schedule(self, channel: int) -> None:
+        if self._channel_busy[channel]:
+            return
+        candidates = self._candidates_for_channel(channel)
+        if not candidates:
+            return
+        context = SchedulingContext(
+            now_ps=self.engine.now_ps,
+            is_row_hit=self._is_row_hit,
+            aging=self.aging,
+            row_buffer_delta=self.config.row_buffer_delta,
+        )
+        chosen = self.policy.select(candidates, context)
+        self.queues[chosen.queue_class].remove(chosen)
+        self._issue(chosen, channel)
+
+    def _issue(self, transaction: Transaction, channel: int) -> None:
+        now = self.engine.now_ps
+        transaction.issued_ps = now
+        result = self.dram.service(
+            transaction.address, transaction.size_bytes, transaction.is_write, now
+        )
+        transaction.row_hit = result.row_hit
+        transaction.completed_ps = result.completion_ps
+        self._channel_busy[channel] = True
+        self.engine.schedule_at(result.completion_ps, self._on_complete, transaction, channel)
+
+    def _on_complete(self, transaction: Transaction, channel: int) -> None:
+        self._channel_busy[channel] = False
+        self._channel_of.pop(transaction.uid, None)
+        self.served_transactions += 1
+        self.served_bytes += transaction.size_bytes
+        self.per_source_bytes[transaction.source] = (
+            self.per_source_bytes.get(transaction.source, 0) + transaction.size_bytes
+        )
+        self.per_source_served[transaction.source] = (
+            self.per_source_served.get(transaction.source, 0) + 1
+        )
+        if transaction.latency_ps is not None:
+            self.latency_stats.add(transaction.latency_ps)
+
+        handler = self._completion_handlers.get(transaction.dma)
+        if handler is not None:
+            handler(transaction)
+        for listener in self._global_handlers:
+            listener(transaction)
+        self._try_schedule(channel)
+        for space_listener in self._space_listeners:
+            space_listener()
+
+    # ------------------------------------------------------------------ #
+    # Reporting helpers
+    # ------------------------------------------------------------------ #
+    def average_latency_ps(self) -> float:
+        return self.latency_stats.mean
+
+    def queue_occupancy(self) -> Dict[str, int]:
+        return {queue.name: len(queue) for queue in self.queues.values()}

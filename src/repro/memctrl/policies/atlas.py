@@ -1,0 +1,63 @@
+"""ATLAS-style least-attained-service scheduling (Kim et al., HPCA 2010).
+
+A well-known CPU-centric baseline: sources that have received the least
+memory service so far are ranked highest, with the attained service decayed
+at epoch boundaries so that long-running streaming cores cannot permanently
+monopolise the ranking.  It is included here as an additional comparison
+point: ATLAS improves fairness over FCFS but, like the other CPU-centric
+schedulers the paper discusses in Section 2, it has no notion of the
+heterogeneous QoS targets of an MPSoC, so a latency-sensitive core with tiny
+bandwidth needs and a display about to underflow look identical to it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.memctrl.scheduler import SchedulingContext, SchedulingPolicy
+from repro.memctrl.transaction import Transaction
+
+
+class AtlasPolicy(SchedulingPolicy):
+    """Least-attained-service first with periodic epoch decay."""
+
+    name = "atlas"
+
+    def __init__(self, epoch_ps: int = 10_000_000, decay: float = 0.5) -> None:
+        if epoch_ps <= 0:
+            raise ValueError("epoch_ps must be positive")
+        if not 0.0 <= decay < 1.0:
+            raise ValueError("decay must be within [0, 1)")
+        self.epoch_ps = epoch_ps
+        self.decay = decay
+        self._attained_bytes: Dict[str, float] = {}
+        self._epoch_start_ps = 0
+
+    def _roll_epoch(self, now_ps: int) -> None:
+        """Decay attained service once per elapsed epoch."""
+        while now_ps - self._epoch_start_ps >= self.epoch_ps:
+            self._epoch_start_ps += self.epoch_ps
+            for source in self._attained_bytes:
+                self._attained_bytes[source] *= self.decay
+
+    def attained_bytes(self, dma: str) -> float:
+        """Attained (decayed) service of a DMA, for tests and reports."""
+        return self._attained_bytes.get(dma, 0.0)
+
+    def select(
+        self, candidates: List[Transaction], context: SchedulingContext
+    ) -> Transaction:
+        self._check_candidates(candidates)
+        self._roll_epoch(context.now_ps)
+        chosen = min(
+            candidates,
+            key=lambda t: (
+                self._attained_bytes.get(t.dma, 0.0),
+                t.enqueued_ps if t.enqueued_ps is not None else t.created_ps,
+                t.uid,
+            ),
+        )
+        self._attained_bytes[chosen.dma] = (
+            self._attained_bytes.get(chosen.dma, 0.0) + chosen.size_bytes
+        )
+        return chosen

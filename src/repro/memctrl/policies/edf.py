@@ -1,0 +1,62 @@
+"""Earliest-deadline-first scheduling with per-class latency budgets.
+
+A classic real-time baseline: every transaction inherits a latency budget
+from its queue class (tight for the DSP, one frame period for media, relaxed
+for the CPU and system cores) and the scheduler always serves the transaction
+whose deadline expires first.  EDF is optimal when deadlines are the whole
+story, but the camcorder's QoS targets are *not* all deadlines — buffer
+occupancy and average bandwidth targets do not map onto a single per-request
+deadline — which is exactly the heterogeneity argument of the paper's
+Section 1.  The static budgets below are therefore a best-effort translation,
+and EDF serves as a strong but QoS-agnostic baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.memctrl.scheduler import SchedulingContext, SchedulingPolicy
+from repro.memctrl.transaction import QueueClass, Transaction
+from repro.sim.clock import MS, US
+
+#: Default per-class latency budgets (picoseconds from transaction creation).
+DEFAULT_BUDGETS_PS: Dict[QueueClass, int] = {
+    QueueClass.DSP: 2 * US,
+    QueueClass.GPU: 8 * MS,
+    QueueClass.CPU: 100 * US,
+    QueueClass.MEDIA: 4 * MS,
+    QueueClass.SYSTEM: 500 * US,
+}
+
+
+class EdfPolicy(SchedulingPolicy):
+    """Serve the transaction with the earliest class-derived deadline."""
+
+    name = "edf"
+
+    def __init__(self, budgets_ps: Optional[Dict[QueueClass, int]] = None) -> None:
+        budgets = dict(DEFAULT_BUDGETS_PS)
+        if budgets_ps:
+            budgets.update(budgets_ps)
+        for queue_class, budget in budgets.items():
+            if budget <= 0:
+                raise ValueError(f"latency budget for {queue_class} must be positive")
+        self.budgets_ps = budgets
+
+    def deadline_ps(self, transaction: Transaction) -> int:
+        """Absolute deadline of a transaction under the class budgets."""
+        budget = self.budgets_ps.get(transaction.queue_class, max(self.budgets_ps.values()))
+        return transaction.created_ps + budget
+
+    def select(
+        self, candidates: List[Transaction], context: SchedulingContext
+    ) -> Transaction:
+        self._check_candidates(candidates)
+        return min(
+            candidates,
+            key=lambda t: (
+                self.deadline_ps(t),
+                t.enqueued_ps if t.enqueued_ps is not None else t.created_ps,
+                t.uid,
+            ),
+        )

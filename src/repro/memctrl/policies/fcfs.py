@@ -1,0 +1,25 @@
+"""First-come-first-serve scheduling (the paper's weakest baseline)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.memctrl.scheduler import SchedulingContext, SchedulingPolicy
+from repro.memctrl.transaction import Transaction
+
+
+class FcfsPolicy(SchedulingPolicy):
+    """Serve transactions strictly in arrival order.
+
+    FCFS lets bandwidth-heavy cores monopolise the memory system: whoever
+    enqueues the most transactions gets served the most, which is exactly the
+    starvation of latency-sensitive cores shown in Fig. 5(a)/6(a).
+    """
+
+    name = "fcfs"
+
+    def select(
+        self, candidates: List[Transaction], context: SchedulingContext
+    ) -> Transaction:
+        self._check_candidates(candidates)
+        return self.oldest(candidates)

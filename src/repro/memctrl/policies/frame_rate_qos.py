@@ -1,0 +1,31 @@
+"""Frame-rate-based QoS baseline [Jeong et al., DAC 2012].
+
+Media cores advertise (through ``Transaction.realtime_behind``) whether their
+frame progress is behind the real-time reference.  The policy prioritises
+those lagging media transactions and otherwise provides best-effort FCFS
+service.  Cores whose QoS target is not a frame rate (DSP, display buffer,
+GPS, WiFi, ...) receive no adaptation at all, which is why all system cores
+fail under this baseline in Fig. 5(c)/6(c).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.memctrl.scheduler import SchedulingContext, SchedulingPolicy
+from repro.memctrl.transaction import Transaction
+
+
+class FrameRateQosPolicy(SchedulingPolicy):
+    """Prioritise media cores that are missing their frame-rate deadline."""
+
+    name = "frame_rate_qos"
+
+    def select(
+        self, candidates: List[Transaction], context: SchedulingContext
+    ) -> Transaction:
+        self._check_candidates(candidates)
+        behind = [t for t in candidates if t.realtime_behind]
+        if behind:
+            return self.oldest(behind)
+        return self.oldest(candidates)

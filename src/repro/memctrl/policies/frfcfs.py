@@ -1,0 +1,28 @@
+"""First-ready FCFS: maximise row-buffer hits regardless of QoS."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.memctrl.scheduler import SchedulingContext, SchedulingPolicy
+from repro.memctrl.transaction import Transaction
+
+
+class FrFcfsPolicy(SchedulingPolicy):
+    """Prefer transactions that hit an open row; otherwise serve oldest first.
+
+    FR-FCFS is the bandwidth upper bound in Fig. 8, but because it is blind to
+    QoS it postpones urgent transactions whenever a streaming core keeps a row
+    open — the GPS/display degradation shown in Fig. 9.
+    """
+
+    name = "fr_fcfs"
+
+    def select(
+        self, candidates: List[Transaction], context: SchedulingContext
+    ) -> Transaction:
+        self._check_candidates(candidates)
+        row_hits = [t for t in candidates if context.is_row_hit(t)]
+        if row_hits:
+            return self.oldest(row_hits)
+        return self.oldest(candidates)

@@ -1,0 +1,76 @@
+"""Policy 1: priority-based round-robin with an aging backstop.
+
+From the paper: *"Suppose PA and PB are priorities for transactions A and B;
+if PA > PB choose A; if PA < PB choose B; otherwise choose between A and B in
+round-robin manners."*  To avoid starving low-priority traffic the scheduler
+also clears the backlog of transactions that have waited at least T cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.memctrl.scheduler import SchedulingContext, SchedulingPolicy
+from repro.memctrl.transaction import Transaction
+
+
+class PriorityQosPolicy(SchedulingPolicy):
+    """The paper's Policy 1."""
+
+    name = "priority_qos"
+
+    def __init__(self) -> None:
+        # Round-robin state: the scheduler "turn" at which each source (DMA)
+        # was last served.  Among equal-priority candidates the least recently
+        # served source wins, which realises round-robin over sources without
+        # needing a fixed source ordering.
+        self._last_served_turn: Dict[str, int] = {}
+        self._turn = 0
+
+    def _round_robin_pick(self, candidates: List[Transaction]) -> Transaction:
+        chosen = min(
+            candidates,
+            key=lambda t: (
+                self._last_served_turn.get(t.dma, -1),
+                t.enqueued_ps if t.enqueued_ps is not None else t.created_ps,
+                t.uid,
+            ),
+        )
+        self._turn += 1
+        self._last_served_turn[chosen.dma] = self._turn
+        return chosen
+
+    @staticmethod
+    def effective_priorities(
+        candidates: List[Transaction], context: SchedulingContext
+    ) -> Dict[int, int]:
+        """Per-transaction priority after the aging backstop.
+
+        Transactions that have waited at least T cycles are promoted into the
+        most urgent group currently present (but still compete round-robin
+        within it), which is how the scheduler "periodically clears the
+        backlog" without letting stale low-priority traffic pre-empt genuinely
+        urgent transactions.
+        """
+        top = max(t.priority for t in candidates)
+        effective: Dict[int, int] = {}
+        for transaction in candidates:
+            if context.aging is not None and context.aging.is_aged(
+                transaction, context.now_ps
+            ):
+                effective[transaction.uid] = max(transaction.priority, top)
+            else:
+                effective[transaction.uid] = transaction.priority
+        return effective
+
+    def select(
+        self, candidates: List[Transaction], context: SchedulingContext
+    ) -> Transaction:
+        self._check_candidates(candidates)
+        effective = self.effective_priorities(candidates, context)
+        top_priority = max(effective.values())
+        top = [t for t in candidates if effective[t.uid] == top_priority]
+        chosen = self._round_robin_pick(top)
+        if context.aging is not None and context.aging.is_aged(chosen, context.now_ps):
+            context.aging.record_aged_service()
+        return chosen

@@ -1,0 +1,48 @@
+"""Policy 2 (QoS-RB): Policy 1 plus row-buffer-hit optimisation.
+
+From the paper: *"Suppose transaction A is going to an active row-buffer and
+B is not.  If PA, PB < delta or PA = PB, choose A.  Otherwise, perform
+priority-based round-robin."*  The delta threshold trades DRAM efficiency
+against QoS responsiveness; the paper uses delta = 6.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.memctrl.policies.priority_qos import PriorityQosPolicy
+from repro.memctrl.scheduler import SchedulingContext, SchedulingPolicy
+from repro.memctrl.transaction import Transaction
+
+
+class PriorityRowBufferPolicy(SchedulingPolicy):
+    """The paper's Policy 2: QoS-aware scheduling with row-buffer optimisation."""
+
+    name = "priority_rowbuffer"
+
+    def __init__(self) -> None:
+        self._priority_rr = PriorityQosPolicy()
+
+    def select(
+        self, candidates: List[Transaction], context: SchedulingContext
+    ) -> Transaction:
+        self._check_candidates(candidates)
+        effective = PriorityQosPolicy.effective_priorities(candidates, context)
+        delta = context.row_buffer_delta
+        top_priority = max(effective.values())
+        row_hits = [t for t in candidates if context.is_row_hit(t)]
+
+        if top_priority < delta:
+            # No transaction is urgent: spend the slot on DRAM efficiency.
+            if row_hits:
+                return self.oldest(row_hits)
+            return self._priority_rr.select(candidates, context)
+
+        # At least one urgent transaction: QoS comes first.  Within the most
+        # urgent group a row hit is still preferred (the "PA = PB, choose A"
+        # clause), because it costs nothing in QoS terms.
+        top = [t for t in candidates if effective[t.uid] == top_priority]
+        top_hits = [t for t in top if context.is_row_hit(t)]
+        if top_hits:
+            return self.oldest(top_hits)
+        return self._priority_rr.select(top, context)

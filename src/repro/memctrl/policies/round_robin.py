@@ -1,0 +1,51 @@
+"""Round-robin over the memory controller's transaction queues."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.memctrl.scheduler import SchedulingContext, SchedulingPolicy
+from repro.memctrl.transaction import QueueClass, Transaction
+
+#: Fixed rotation order over the five Table-1 queues.
+_CLASS_ORDER = [
+    QueueClass.CPU,
+    QueueClass.GPU,
+    QueueClass.DSP,
+    QueueClass.MEDIA,
+    QueueClass.SYSTEM,
+]
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Serve the five transaction queues in turn, oldest-first within a queue.
+
+    Round-robin isolates queue classes from each other (the DSP no longer
+    competes with media traffic), but every media core shares the single MEDIA
+    queue, so the display and camera still lose to bursty media cores — the
+    failure shown in Fig. 5(b).
+    """
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next_class_index = 0
+
+    def select(
+        self, candidates: List[Transaction], context: SchedulingContext
+    ) -> Transaction:
+        self._check_candidates(candidates)
+        by_class = {}
+        for transaction in candidates:
+            by_class.setdefault(transaction.queue_class, []).append(transaction)
+
+        for step in range(len(_CLASS_ORDER)):
+            queue_class = _CLASS_ORDER[(self._next_class_index + step) % len(_CLASS_ORDER)]
+            if queue_class in by_class:
+                self._next_class_index = (
+                    self._next_class_index + step + 1
+                ) % len(_CLASS_ORDER)
+                return self.oldest(by_class[queue_class])
+        # Candidates only contain classes outside the rotation order (cannot
+        # happen with QueueClass, but keeps the policy total).
+        return self.oldest(candidates)

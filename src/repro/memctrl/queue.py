@@ -1,0 +1,63 @@
+"""Per-class transaction queues with a bounded scheduler-visible window."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List
+
+from repro.memctrl.transaction import Transaction
+
+
+class TransactionQueue:
+    """A FIFO of pending transactions for one queue class.
+
+    The memory controller in the paper has a finite number of entries (42
+    split over 5 queues).  Rather than exerting back-pressure on the NoC, the
+    model accepts every transaction but only exposes the oldest
+    ``visible_entries`` to the scheduler, which is what bounds the reordering
+    window exactly as a finite command queue would.
+    """
+
+    def __init__(self, name: str, visible_entries: int) -> None:
+        if visible_entries <= 0:
+            raise ValueError("visible_entries must be positive")
+        self.name = name
+        self.visible_entries = visible_entries
+        self._pending: Deque[Transaction] = deque()
+        self.peak_occupancy = 0
+        self.total_enqueued = 0
+
+    def push(self, transaction: Transaction, now_ps: int) -> None:
+        transaction.enqueued_ps = now_ps
+        self._pending.append(transaction)
+        self.total_enqueued += 1
+        if len(self._pending) > self.peak_occupancy:
+            self.peak_occupancy = len(self._pending)
+
+    def visible(self) -> List[Transaction]:
+        """The transactions the scheduler may currently reorder among."""
+        window: List[Transaction] = []
+        for transaction in self._pending:
+            window.append(transaction)
+            if len(window) >= self.visible_entries:
+                break
+        return window
+
+    def remove(self, transaction: Transaction) -> None:
+        """Remove a transaction that the scheduler selected for issue."""
+        try:
+            self._pending.remove(transaction)
+        except ValueError:
+            raise KeyError(
+                f"transaction #{transaction.uid} is not in queue '{self.name}'"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __iter__(self) -> Iterable[Transaction]:
+        return iter(self._pending)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._pending

@@ -1,0 +1,54 @@
+"""Scheduling-policy interface shared by the memory controller and NoC arbiters."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.memctrl.aging import AgingTracker
+from repro.memctrl.transaction import Transaction
+
+
+@dataclass
+class SchedulingContext:
+    """Everything a policy may consult when choosing the next transaction.
+
+    ``is_row_hit`` maps a transaction to whether it would hit an open DRAM
+    row right now; policies that do not care about row state (FCFS, RR,
+    Policy 1) simply ignore it.  ``aging`` is optional because the baseline
+    policies in the paper have no starvation backstop.
+    """
+
+    now_ps: int
+    is_row_hit: Callable[[Transaction], bool]
+    aging: Optional[AgingTracker] = None
+    row_buffer_delta: int = 6
+
+
+class SchedulingPolicy(abc.ABC):
+    """Base class for memory-controller scheduling policies."""
+
+    #: Short identifier used in configs, reports and benchmark tables.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def select(
+        self, candidates: List[Transaction], context: SchedulingContext
+    ) -> Transaction:
+        """Pick the next transaction to issue from a non-empty candidate list."""
+
+    def _check_candidates(self, candidates: List[Transaction]) -> None:
+        if not candidates:
+            raise ValueError(f"policy '{self.name}' asked to select from no candidates")
+
+    @staticmethod
+    def oldest(candidates: List[Transaction]) -> Transaction:
+        """Oldest candidate by enqueue time (stable on transaction id)."""
+        return min(
+            candidates,
+            key=lambda t: (
+                t.enqueued_ps if t.enqueued_ps is not None else t.created_ps,
+                t.uid,
+            ),
+        )

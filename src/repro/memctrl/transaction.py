@@ -1,0 +1,75 @@
+"""Memory transactions exchanged between DMAs, the NoC and the controller."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+
+class QueueClass(Enum):
+    """The five memory-controller transaction queues of Table 1."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    DSP = "dsp"
+    MEDIA = "media"
+    SYSTEM = "system"
+
+
+_transaction_ids = itertools.count()
+
+
+@dataclass
+class Transaction:
+    """A single memory transaction.
+
+    Priorities follow the paper's convention: higher values mean more urgent
+    (level 7 is the most urgent with k = 3 priority bits).  ``realtime_behind``
+    is the hint the frame-rate-based QoS baseline uses: the issuing core sets
+    it when its frame progress lags the real-time deadline.
+    """
+
+    source: str
+    dma: str
+    queue_class: QueueClass
+    address: int
+    size_bytes: int
+    is_write: bool
+    priority: int = 0
+    realtime_behind: bool = False
+    created_ps: int = 0
+    enqueued_ps: Optional[int] = None
+    issued_ps: Optional[int] = None
+    completed_ps: Optional[int] = None
+    row_hit: Optional[bool] = None
+    uid: int = field(default_factory=lambda: next(_transaction_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"transaction size must be positive, got {self.size_bytes}")
+        if self.address < 0:
+            raise ValueError(f"address must be non-negative, got {self.address}")
+        if self.priority < 0:
+            raise ValueError(f"priority must be non-negative, got {self.priority}")
+
+    @property
+    def latency_ps(self) -> Optional[int]:
+        """End-to-end latency from creation to completion, if completed."""
+        if self.completed_ps is None:
+            return None
+        return self.completed_ps - self.created_ps
+
+    def waiting_time_ps(self, now_ps: int) -> int:
+        """Time spent waiting in the memory controller so far."""
+        if self.enqueued_ps is None:
+            return 0
+        return max(0, now_ps - self.enqueued_ps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "W" if self.is_write else "R"
+        return (
+            f"Transaction(#{self.uid} {self.source}/{self.dma} {kind}"
+            f" {self.size_bytes}B @0x{self.address:x} prio={self.priority})"
+        )

@@ -1,0 +1,87 @@
+"""Network facade: the injection point cores use to reach the memory controller."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.memctrl.transaction import Transaction
+from repro.noc.mesh import MeshTopology, build_mesh
+from repro.noc.packet import Packet
+from repro.noc.topology import ClusterSpec, TreeTopology, build_tree
+from repro.sim.config import NocConfig
+from repro.sim.engine import Engine
+from repro.sim.stats import RunningMean
+
+TransactionSink = Callable[[Transaction], None]
+
+
+class Network:
+    """The on-chip network connecting DMAs to the memory controller.
+
+    Cores inject transactions via :meth:`inject`; the network wraps them into
+    packets, routes them through the routers of the configured topology (the
+    default two-level tree of Fig. 1, or a 2D mesh with XY routing), and
+    finally hands the transaction to the memory-controller sink.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        cluster_specs: List[ClusterSpec],
+        config: Optional[NocConfig] = None,
+        root_link_bytes_per_ns: Optional[float] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config or NocConfig()
+        root_bw = root_link_bytes_per_ns or self.config.link_bytes_per_ns * 4
+        self.topology: Union[TreeTopology, MeshTopology]
+        if self.config.topology == "mesh":
+            self.topology = build_mesh(
+                engine,
+                cluster_specs,
+                arbitration=self.config.arbitration,
+                root_link_bytes_per_ns=root_bw,
+                router_latency_ns=self.config.router_latency_ns,
+                columns=self.config.mesh_columns,
+            )
+        else:
+            self.topology = build_tree(
+                engine,
+                cluster_specs,
+                arbitration=self.config.arbitration,
+                root_link_bytes_per_ns=root_bw,
+                router_latency_ns=self.config.router_latency_ns,
+            )
+        self._sink: Optional[TransactionSink] = None
+        self.topology.root.set_sink(self._deliver_to_sink)
+        self.injected_packets = 0
+        self.network_latency = RunningMean()
+        self._delivery_times: Dict[int, int] = {}
+
+    def set_sink(self, sink: TransactionSink) -> None:
+        """Connect the network output to the memory controller."""
+        self._sink = sink
+
+    def inject(self, core_name: str, transaction: Transaction) -> None:
+        """Inject a transaction from a core into its cluster router."""
+        if self._sink is None:
+            raise RuntimeError("network has no sink; call set_sink() first")
+        packet = Packet(transaction=transaction, injected_ps=self.engine.now_ps)
+        cluster = self.topology.cluster_for(core_name)
+        self.injected_packets += 1
+        self._delivery_times[transaction.uid] = self.engine.now_ps
+        cluster.receive(core_name, packet)
+
+    def _deliver_to_sink(self, packet: Packet) -> None:
+        injected = self._delivery_times.pop(packet.transaction.uid, packet.injected_ps)
+        self.network_latency.add(self.engine.now_ps - injected)
+        sink = self._sink
+        if sink is not None:
+            sink(packet.transaction)
+
+    def in_flight(self) -> int:
+        """Packets injected but not yet delivered to the memory controller."""
+        return len(self._delivery_times)
+
+    def average_latency_ps(self) -> float:
+        return self.network_latency.mean

@@ -1,0 +1,39 @@
+"""Packets carried by the on-chip network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.memctrl.transaction import Transaction
+
+
+@dataclass
+class Packet:
+    """A memory transaction in flight through the NoC.
+
+    The packet records the time it entered the network and every router it
+    traversed, which the analysis layer uses to attribute interconnect latency
+    separately from DRAM latency.
+    """
+
+    transaction: Transaction
+    injected_ps: int
+    hops: List[str] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.transaction.size_bytes
+
+    @property
+    def priority(self) -> int:
+        return self.transaction.priority
+
+    def record_hop(self, router_name: str) -> None:
+        self.hops.append(router_name)
+
+    def network_latency_ps(self, delivered_ps: int) -> int:
+        """Time spent inside the NoC from injection to delivery."""
+        if delivered_ps < self.injected_ps:
+            raise ValueError("delivery cannot precede injection")
+        return delivered_ps - self.injected_ps

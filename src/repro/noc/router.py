@@ -1,0 +1,120 @@
+"""Store-and-forward router with per-port queues and arbitrated switch allocation."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
+
+from repro.noc.arbiter import NocArbiter
+from repro.noc.link import Link
+from repro.noc.packet import Packet
+from repro.sim.clock import NS
+from repro.sim.engine import Engine
+
+PacketSink = Callable[[Packet], None]
+
+
+class Router:
+    """One router (switch) of the NoC tree.
+
+    Packets arrive on named input ports, wait in per-port queues, and compete
+    for the single output link.  When the link is idle the arbiter picks the
+    winning packet among everything queued — modelling per-priority virtual
+    channels, so an urgent packet is never stuck behind a bulk transfer that
+    happens to share its input port.  The winner occupies the link for its
+    serialisation delay plus the router's pipeline latency and is handed to
+    the downstream sink (another router or the memory controller).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        engine: Engine,
+        arbiter: NocArbiter,
+        output_link: Link,
+        sink: Optional[PacketSink] = None,
+        latency_ns: float = 5.0,
+    ) -> None:
+        if latency_ns < 0:
+            raise ValueError("router latency must be non-negative")
+        self.name = name
+        self.engine = engine
+        self.arbiter = arbiter
+        self.output_link = output_link
+        self.latency_ps = round(latency_ns * NS)
+        self._sink = sink
+        self._ports: Dict[str, Deque[Packet]] = {}
+        self._busy = False
+        self._gate: Optional[Callable[[], bool]] = None
+        self.forwarded_packets = 0
+        self.forwarded_bytes = 0
+        self.stalled_attempts = 0
+
+    def set_sink(self, sink: PacketSink) -> None:
+        """Connect the router's output to its downstream consumer."""
+        self._sink = sink
+
+    def set_gate(self, gate: Callable[[], bool]) -> None:
+        """Install a back-pressure gate.
+
+        While the gate returns False the router keeps its packets queued at
+        the input ports; :meth:`kick` re-arbitrates once the downstream
+        resource (e.g. the memory controller's entry pool) has space again.
+        """
+        self._gate = gate
+
+    def kick(self) -> None:
+        """Re-attempt switch allocation (called when back-pressure releases)."""
+        self._try_forward()
+
+    def add_port(self, port_name: str) -> None:
+        """Declare an input port; receiving on an undeclared port also creates it."""
+        self._ports.setdefault(port_name, deque())
+
+    def receive(self, port_name: str, packet: Packet) -> None:
+        """Accept a packet on an input port and try to allocate the switch."""
+        self._ports.setdefault(port_name, deque()).append(packet)
+        self._try_forward()
+
+    def occupancy(self) -> int:
+        """Total packets waiting across all input ports."""
+        return sum(len(queue) for queue in self._ports.values())
+
+    def _candidates(self) -> Dict[int, Packet]:
+        """Map transaction uid -> packet for everything queued at any port."""
+        candidates: Dict[int, Packet] = {}
+        for queue in self._ports.values():
+            for packet in queue:
+                candidates[packet.transaction.uid] = packet
+        return candidates
+
+    def _try_forward(self) -> None:
+        if self._busy or self._sink is None:
+            return
+        if self._gate is not None and not self._gate():
+            self.stalled_attempts += 1
+            return
+        candidates = self._candidates()
+        if not candidates:
+            return
+        chosen_txn = self.arbiter.select(
+            [packet.transaction for packet in candidates.values()], self.engine.now_ps
+        )
+        packet = candidates[chosen_txn.uid]
+        for queue in self._ports.values():
+            if packet in queue:
+                queue.remove(packet)
+                break
+        self._busy = True
+        finish_ps = self.output_link.reserve(self.engine.now_ps, packet.size_bytes)
+        self.engine.schedule_at(finish_ps + self.latency_ps, self._deliver, packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        packet.record_hop(self.name)
+        self.forwarded_packets += 1
+        self.forwarded_bytes += packet.size_bytes
+        self._busy = False
+        sink = self._sink
+        if sink is not None:
+            sink(packet)
+        self._try_forward()

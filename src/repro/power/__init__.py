@@ -1,0 +1,43 @@
+"""Energy and power estimation for the simulated memory system.
+
+The paper motivates row-buffer-hit optimisation partly through power: every
+avoided activation/precharge pair saves energy as well as time (Section 3.3).
+This subpackage turns the simulator's event counters into an energy estimate
+so that the benchmarks can report an energy figure next to every bandwidth
+figure, and so that the DVFS governors in :mod:`repro.dvfs` have a cost model
+to trade performance against.
+
+The model is an *event-energy* model in the style of DRAMPower: each class of
+event (row activation + precharge, read burst byte, write burst byte, I/O
+toggling) carries a fixed energy, and standby/refresh power accrues with
+time.  Default parameters are representative of an LPDDR4-x2-channel part;
+they can be replaced wholesale through :class:`DramPowerParams`.
+
+Public API
+----------
+
+* :class:`DramPowerParams`, :class:`NocPowerParams` — parameter sets.
+* :func:`estimate_dram_energy` — energy breakdown of a
+  :class:`~repro.dram.device.DramDevice` after a run.
+* :func:`estimate_noc_energy` — energy breakdown of a
+  :class:`~repro.noc.network.Network` after a run.
+* :func:`estimate_system_energy` / :class:`EnergyReport` — whole-memory-system
+  roll-up with derived metrics (average power, energy per bit).
+"""
+
+from repro.power.breakdown import EnergyReport, estimate_system_energy, format_energy_report
+from repro.power.dram_energy import DramEnergyBreakdown, estimate_dram_energy
+from repro.power.noc_energy import NocEnergyBreakdown, estimate_noc_energy
+from repro.power.params import DramPowerParams, NocPowerParams
+
+__all__ = [
+    "DramEnergyBreakdown",
+    "DramPowerParams",
+    "EnergyReport",
+    "NocEnergyBreakdown",
+    "NocPowerParams",
+    "estimate_dram_energy",
+    "estimate_noc_energy",
+    "estimate_system_energy",
+    "format_energy_report",
+]

@@ -1,0 +1,95 @@
+"""Whole-memory-system energy roll-up and text reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.power.dram_energy import DramEnergyBreakdown, estimate_dram_energy
+from repro.power.noc_energy import NocEnergyBreakdown, estimate_noc_energy
+from repro.power.params import PJ, DramPowerParams, NocPowerParams
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Combined DRAM + NoC energy of one simulation run."""
+
+    dram: DramEnergyBreakdown
+    noc: NocEnergyBreakdown
+    served_bytes: int
+
+    @property
+    def total_j(self) -> float:
+        return self.dram.total_j + self.noc.total_j
+
+    @property
+    def average_power_w(self) -> float:
+        elapsed = max(self.dram.elapsed_s, self.noc.elapsed_s)
+        if elapsed <= 0:
+            return 0.0
+        return self.total_j / elapsed
+
+    @property
+    def energy_per_byte_pj(self) -> float:
+        """Memory-system energy per byte of DRAM traffic served."""
+        if self.served_bytes <= 0:
+            return 0.0
+        return self.total_j / PJ / self.served_bytes
+
+    @property
+    def energy_per_bit_pj(self) -> float:
+        if self.served_bytes <= 0:
+            return 0.0
+        return self.energy_per_byte_pj / 8.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "dram": self.dram.as_dict(),
+            "noc": self.noc.as_dict(),
+            "served_bytes": self.served_bytes,
+            "total_j": self.total_j,
+            "average_power_w": self.average_power_w,
+            "energy_per_byte_pj": self.energy_per_byte_pj,
+        }
+
+
+def estimate_system_energy(
+    system,
+    dram_params: Optional[DramPowerParams] = None,
+    noc_params: Optional[NocPowerParams] = None,
+    elapsed_ps: Optional[int] = None,
+) -> EnergyReport:
+    """Estimate the memory-system energy of a finished :class:`repro.System`.
+
+    ``elapsed_ps`` defaults to the engine's current simulated time, i.e. the
+    run that just finished.
+    """
+    elapsed = elapsed_ps if elapsed_ps is not None else system.engine.now_ps
+    if elapsed <= 0:
+        raise ValueError("the system has not run yet; nothing to estimate")
+    dram = estimate_dram_energy(system.dram, elapsed, params=dram_params)
+    noc = estimate_noc_energy(system.network, elapsed, params=noc_params)
+    return EnergyReport(dram=dram, noc=noc, served_bytes=system.dram.total_bytes)
+
+
+def format_energy_report(report: EnergyReport) -> str:
+    """Human-readable multi-line summary of an :class:`EnergyReport`."""
+    dram = report.dram
+    noc = report.noc
+    lines = [
+        "Memory-system energy breakdown",
+        "-" * 46,
+        f"{'DRAM activation/precharge':<32}{dram.activation_j * 1e3:10.3f} mJ",
+        f"{'DRAM read array':<32}{dram.read_j * 1e3:10.3f} mJ",
+        f"{'DRAM write array':<32}{dram.write_j * 1e3:10.3f} mJ",
+        f"{'DRAM I/O':<32}{dram.io_j * 1e3:10.3f} mJ",
+        f"{'DRAM background':<32}{dram.background_j * 1e3:10.3f} mJ",
+        f"{'DRAM refresh':<32}{dram.refresh_j * 1e3:10.3f} mJ",
+        f"{'NoC dynamic':<32}{noc.dynamic_j * 1e3:10.3f} mJ",
+        f"{'NoC leakage':<32}{noc.leakage_j * 1e3:10.3f} mJ",
+        "-" * 46,
+        f"{'Total':<32}{report.total_j * 1e3:10.3f} mJ",
+        f"{'Average power':<32}{report.average_power_w * 1e3:10.3f} mW",
+        f"{'Energy per byte served':<32}{report.energy_per_byte_pj:10.3f} pJ/B",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""DRAM energy estimation from a :class:`~repro.dram.device.DramDevice`'s counters.
+
+The device records row-buffer outcomes (hit / miss / closed), bytes read and
+written, and per-channel bus busy time.  From those counters this module
+computes an event-energy breakdown:
+
+* every non-hit access pays one activation + precharge pair,
+* every byte pays core read/write energy plus I/O energy,
+* every rank pays background (standby) power, split between the time its
+  channel's bus was busy and the time it was idle,
+* every rank pays average refresh power for the whole duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.dram.device import DramDevice
+from repro.power.params import MW, NJ, PJ, PS, DramPowerParams
+
+
+@dataclass(frozen=True)
+class DramEnergyBreakdown:
+    """Energy consumed by the DRAM device over one run, in joules."""
+
+    activation_j: float
+    read_j: float
+    write_j: float
+    io_j: float
+    background_j: float
+    refresh_j: float
+    elapsed_s: float
+
+    @property
+    def dynamic_j(self) -> float:
+        """Energy that scales with the amount of traffic served."""
+        return self.activation_j + self.read_j + self.write_j + self.io_j
+
+    @property
+    def static_j(self) -> float:
+        """Energy that accrues with time regardless of traffic."""
+        return self.background_j + self.refresh_j
+
+    @property
+    def total_j(self) -> float:
+        return self.dynamic_j + self.static_j
+
+    @property
+    def average_power_w(self) -> float:
+        """Average power over the run."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.total_j / self.elapsed_s
+
+    def energy_per_byte_pj(self, total_bytes: int) -> float:
+        """Total energy divided by bytes served, in picojoules per byte."""
+        if total_bytes <= 0:
+            return 0.0
+        return self.total_j / PJ / total_bytes
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary of every component (for serialisation / reports)."""
+        return {
+            "activation_j": self.activation_j,
+            "read_j": self.read_j,
+            "write_j": self.write_j,
+            "io_j": self.io_j,
+            "background_j": self.background_j,
+            "refresh_j": self.refresh_j,
+            "dynamic_j": self.dynamic_j,
+            "static_j": self.static_j,
+            "total_j": self.total_j,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+def _bus_busy_fraction(device: DramDevice, elapsed_ps: int) -> float:
+    """Fraction of channel-time the data buses spent transferring data."""
+    total_busy = sum(channel.busy_time_ps for channel in device.channels)
+    capacity = elapsed_ps * len(device.channels)
+    if capacity <= 0:
+        return 0.0
+    return min(1.0, total_busy / capacity)
+
+
+def estimate_dram_energy(
+    device: DramDevice,
+    elapsed_ps: int,
+    params: Optional[DramPowerParams] = None,
+) -> DramEnergyBreakdown:
+    """Estimate the DRAM energy of a finished run.
+
+    Parameters
+    ----------
+    device:
+        The DRAM device after the simulation has run; its counters are read
+        but not modified.
+    elapsed_ps:
+        Simulated duration the background/refresh power applies to.
+    params:
+        Power parameters; defaults scale the LPDDR4 defaults to the device's
+        current I/O frequency so that DVFS sweeps see background power shrink
+        at lower frequencies.
+    """
+    if elapsed_ps <= 0:
+        raise ValueError("elapsed_ps must be positive")
+    if params is None:
+        params = DramPowerParams().scaled_to(device.config.io_freq_mhz)
+
+    elapsed_s = elapsed_ps * PS
+    activations = device.row_misses + device.row_closed
+    activation_j = activations * params.activate_precharge_nj * NJ
+    read_j = device.read_bytes * params.read_pj_per_byte * PJ
+    write_j = device.write_bytes * params.write_pj_per_byte * PJ
+    io_j = (device.read_bytes + device.write_bytes) * params.io_pj_per_byte * PJ
+
+    ranks_total = device.config.channels * device.config.ranks_per_channel
+    busy_fraction = _bus_busy_fraction(device, elapsed_ps)
+    background_w = ranks_total * (
+        params.active_standby_mw_per_rank * MW * busy_fraction
+        + params.idle_standby_mw_per_rank * MW * (1.0 - busy_fraction)
+    )
+    background_j = background_w * elapsed_s
+    refresh_j = ranks_total * params.refresh_mw_per_rank * MW * elapsed_s
+
+    return DramEnergyBreakdown(
+        activation_j=activation_j,
+        read_j=read_j,
+        write_j=write_j,
+        io_j=io_j,
+        background_j=background_j,
+        refresh_j=refresh_j,
+        elapsed_s=elapsed_s,
+    )

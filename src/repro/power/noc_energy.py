@@ -1,0 +1,76 @@
+"""On-chip-network energy estimation from router forwarding counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.noc.network import Network
+from repro.power.params import MW, PJ, PS, NocPowerParams
+
+
+@dataclass(frozen=True)
+class NocEnergyBreakdown:
+    """Energy consumed by the on-chip network over one run, in joules."""
+
+    dynamic_j: float
+    leakage_j: float
+    elapsed_s: float
+    forwarded_bytes: int
+    forwarded_packets: int
+
+    @property
+    def total_j(self) -> float:
+        return self.dynamic_j + self.leakage_j
+
+    @property
+    def average_power_w(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.total_j / self.elapsed_s
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "dynamic_j": self.dynamic_j,
+            "leakage_j": self.leakage_j,
+            "total_j": self.total_j,
+            "elapsed_s": self.elapsed_s,
+            "forwarded_bytes": float(self.forwarded_bytes),
+            "forwarded_packets": float(self.forwarded_packets),
+        }
+
+
+def estimate_noc_energy(
+    network: Network,
+    elapsed_ps: int,
+    params: Optional[NocPowerParams] = None,
+) -> NocEnergyBreakdown:
+    """Estimate the NoC energy of a finished run.
+
+    Every router traversal (hop) of every packet pays per-byte dynamic energy
+    plus a per-packet overhead; every router pays leakage power for the full
+    duration.  Router forwarding counters already accumulate per hop, so the
+    sums below automatically weight multi-hop paths correctly.
+    """
+    if elapsed_ps <= 0:
+        raise ValueError("elapsed_ps must be positive")
+    params = params or NocPowerParams()
+
+    routers = network.topology.routers()
+    forwarded_bytes = sum(router.forwarded_bytes for router in routers)
+    forwarded_packets = sum(router.forwarded_packets for router in routers)
+
+    dynamic_j = (
+        forwarded_bytes * params.hop_pj_per_byte
+        + forwarded_packets * params.packet_overhead_pj
+    ) * PJ
+    elapsed_s = elapsed_ps * PS
+    leakage_j = len(routers) * params.leakage_mw_per_router * MW * elapsed_s
+
+    return NocEnergyBreakdown(
+        dynamic_j=dynamic_j,
+        leakage_j=leakage_j,
+        elapsed_s=elapsed_s,
+        forwarded_bytes=forwarded_bytes,
+        forwarded_packets=forwarded_packets,
+    )

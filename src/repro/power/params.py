@@ -1,0 +1,122 @@
+"""Power-model parameter sets for DRAM and the on-chip network.
+
+The defaults are representative of a two-channel LPDDR4 part and a mobile
+SoC interconnect.  They are intentionally expressed as *energies per event*
+and *powers per component* rather than datasheet IDD currents: the simulator
+counts events (activations, bytes transferred, router hops), so event
+energies can be applied directly, and the qualitative results — row-buffer
+hits save activation energy, higher DRAM frequency costs background power —
+do not depend on matching one specific vendor's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DramPowerParams:
+    """Energy/power parameters of the DRAM device.
+
+    Attributes
+    ----------
+    vdd_v:
+        Core supply voltage the per-event energies are referenced to.
+        Energies scale with ``(v / vdd_v) ** 2`` when a different operating
+        voltage is supplied to :meth:`scaled_to`.
+    activate_precharge_nj:
+        Energy of one row activation plus the precharge that eventually
+        closes it (nanojoules).  This is the energy the row-buffer-hit
+        optimisation of Policy 2 saves.
+    read_pj_per_byte / write_pj_per_byte:
+        Core array energy per byte read or written (picojoules).
+    io_pj_per_byte:
+        I/O and termination energy per byte moved across the bus.
+    active_standby_mw_per_rank / idle_standby_mw_per_rank:
+        Background power per rank while the rank is busy transferring data
+        versus sitting idle with banks precharged.
+    refresh_mw_per_rank:
+        Average refresh power per rank (the periodic REF bursts smeared over
+        time).
+    reference_freq_mhz:
+        I/O frequency the background powers are quoted at; background power
+        scales linearly with frequency relative to this point.
+    """
+
+    vdd_v: float = 1.1
+    activate_precharge_nj: float = 2.2
+    read_pj_per_byte: float = 18.0
+    write_pj_per_byte: float = 20.5
+    io_pj_per_byte: float = 4.5
+    active_standby_mw_per_rank: float = 22.0
+    idle_standby_mw_per_rank: float = 7.5
+    refresh_mw_per_rank: float = 1.8
+    reference_freq_mhz: float = 1866.0
+
+    def __post_init__(self) -> None:
+        for name, value in self.__dict__.items():
+            if value <= 0:
+                raise ValueError(f"DRAM power parameter {name} must be positive")
+
+    def scaled_to(self, freq_mhz: float, voltage_v: float | None = None) -> "DramPowerParams":
+        """Return parameters re-scaled to another operating point.
+
+        Dynamic (per-event) energies scale with the square of the voltage
+        ratio; background powers scale linearly with frequency and with the
+        square of the voltage ratio, the usual first-order CMOS model the
+        DVFS governors rely on.
+        """
+        if freq_mhz <= 0:
+            raise ValueError("freq_mhz must be positive")
+        voltage = self.vdd_v if voltage_v is None else voltage_v
+        if voltage <= 0:
+            raise ValueError("voltage_v must be positive")
+        v_ratio_sq = (voltage / self.vdd_v) ** 2
+        f_ratio = freq_mhz / self.reference_freq_mhz
+        return replace(
+            self,
+            vdd_v=voltage,
+            activate_precharge_nj=self.activate_precharge_nj * v_ratio_sq,
+            read_pj_per_byte=self.read_pj_per_byte * v_ratio_sq,
+            write_pj_per_byte=self.write_pj_per_byte * v_ratio_sq,
+            io_pj_per_byte=self.io_pj_per_byte * v_ratio_sq,
+            active_standby_mw_per_rank=self.active_standby_mw_per_rank * v_ratio_sq * f_ratio,
+            idle_standby_mw_per_rank=self.idle_standby_mw_per_rank * v_ratio_sq * f_ratio,
+            refresh_mw_per_rank=self.refresh_mw_per_rank * v_ratio_sq,
+            reference_freq_mhz=freq_mhz,
+        )
+
+
+@dataclass(frozen=True)
+class NocPowerParams:
+    """Energy/power parameters of the on-chip network.
+
+    Attributes
+    ----------
+    hop_pj_per_byte:
+        Dynamic energy per byte per router traversal (buffer write + switch +
+        link).
+    packet_overhead_pj:
+        Fixed per-packet energy per hop (header processing, arbitration).
+    leakage_mw_per_router:
+        Static power of one router.
+    """
+
+    hop_pj_per_byte: float = 1.1
+    packet_overhead_pj: float = 350.0
+    leakage_mw_per_router: float = 3.0
+
+    def __post_init__(self) -> None:
+        for name, value in self.__dict__.items():
+            if value <= 0:
+                raise ValueError(f"NoC power parameter {name} must be positive")
+
+
+#: Joules per picojoule.
+PJ = 1e-12
+#: Joules per nanojoule.
+NJ = 1e-9
+#: Watts per milliwatt.
+MW = 1e-3
+#: Seconds per picosecond.
+PS = 1e-12

@@ -1,0 +1,47 @@
+"""Discrete-event simulation kernel used by every substrate in the package.
+
+The kernel is deliberately small: an event queue ordered by integer
+picosecond timestamps (:mod:`repro.sim.engine`), helpers to convert between
+clock frequencies and simulated time (:mod:`repro.sim.clock`), statistics and
+time-series recording (:mod:`repro.sim.stats`, :mod:`repro.sim.trace`),
+deterministic random-stream derivation (:mod:`repro.sim.random`) and the
+configuration dataclasses that describe a simulated platform
+(:mod:`repro.sim.config`).
+"""
+
+from repro.sim.clock import Clock, MS, NS, PS, US, SECOND
+from repro.sim.config import (
+    DramConfig,
+    DramTimingConfig,
+    MemoryControllerConfig,
+    NocConfig,
+    SimulationConfig,
+)
+from repro.sim.engine import Engine, Event
+from repro.sim.random import derive_rng, derive_seed
+from repro.sim.stats import Counter, Histogram, RunningMean, WindowedRate
+from repro.sim.trace import TimeSeries, TraceRecorder
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "DramConfig",
+    "DramTimingConfig",
+    "Engine",
+    "Event",
+    "Histogram",
+    "MS",
+    "MemoryControllerConfig",
+    "NS",
+    "NocConfig",
+    "PS",
+    "RunningMean",
+    "SECOND",
+    "SimulationConfig",
+    "TimeSeries",
+    "TraceRecorder",
+    "US",
+    "WindowedRate",
+    "derive_rng",
+    "derive_seed",
+]

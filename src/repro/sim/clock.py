@@ -1,0 +1,72 @@
+"""Simulated-time units and clock-domain helpers.
+
+All simulated time in this package is expressed as an integer number of
+picoseconds.  Integer time keeps event ordering exact and reproducible, and a
+picosecond granularity comfortably resolves LPDDR4 command timing (a 1866 MHz
+clock period is roughly 536 ps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: One picosecond, the base unit of simulated time.
+PS = 1
+#: One nanosecond in picoseconds.
+NS = 1_000
+#: One microsecond in picoseconds.
+US = 1_000_000
+#: One millisecond in picoseconds.
+MS = 1_000_000_000
+#: One second in picoseconds.
+SECOND = 1_000_000_000_000
+
+
+def freq_mhz_to_period_ps(freq_mhz: float) -> int:
+    """Return the clock period in picoseconds for a frequency in MHz.
+
+    The result is rounded to the nearest picosecond; a zero or negative
+    frequency is rejected because it cannot describe a real clock.
+    """
+    if freq_mhz <= 0:
+        raise ValueError(f"clock frequency must be positive, got {freq_mhz} MHz")
+    return max(1, round(1_000_000 / freq_mhz))
+
+
+@dataclass(frozen=True)
+class Clock:
+    """A clock domain defined by its frequency in MHz.
+
+    The clock converts between cycle counts and simulated picoseconds.  It is
+    immutable; DVFS-style frequency changes are modelled by building a new
+    :class:`Clock` (see ``repro.dram.device.DramDevice.set_frequency``).
+    """
+
+    freq_mhz: float
+
+    def __post_init__(self) -> None:
+        if self.freq_mhz <= 0:
+            raise ValueError(
+                f"clock frequency must be positive, got {self.freq_mhz} MHz"
+            )
+
+    @property
+    def period_ps(self) -> int:
+        """Clock period in picoseconds (rounded to the nearest integer)."""
+        return freq_mhz_to_period_ps(self.freq_mhz)
+
+    def cycles_to_ps(self, cycles: float) -> int:
+        """Convert a (possibly fractional) cycle count to picoseconds."""
+        if cycles < 0:
+            raise ValueError(f"cycle count must be non-negative, got {cycles}")
+        return round(cycles * self.period_ps)
+
+    def ps_to_cycles(self, time_ps: int) -> float:
+        """Convert a duration in picoseconds to a fractional cycle count."""
+        if time_ps < 0:
+            raise ValueError(f"duration must be non-negative, got {time_ps}")
+        return time_ps / self.period_ps
+
+    def scaled(self, freq_mhz: float) -> "Clock":
+        """Return a new clock at a different frequency (used for DVFS sweeps)."""
+        return Clock(freq_mhz)

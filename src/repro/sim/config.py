@@ -1,0 +1,221 @@
+"""Configuration dataclasses describing a simulated platform.
+
+The defaults reproduce Table 1 of the paper: an LPDDR4 device at a maximum
+I/O bus frequency of 1866 MHz with CL-tRCD-tRP = 36-34-34,
+tWTR-tRTP-tWR = 19-14-34, tRRD-tFAW = 19-75, organised as 2 channels x
+2 ranks x 8 banks, in front of a memory controller with 42 total entries
+split over 5 transaction queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class DramTimingConfig:
+    """LPDDR4 command timing in DRAM clock cycles (Table 1 of the paper)."""
+
+    cl: int = 36
+    t_rcd: int = 34
+    t_rp: int = 34
+    t_wtr: int = 19
+    t_rtp: int = 14
+    t_wr: int = 34
+    t_rrd: int = 19
+    t_faw: int = 75
+    burst_length: int = 16
+
+    def __post_init__(self) -> None:
+        for name, value in self.__dict__.items():
+            if value <= 0:
+                raise ValueError(f"DRAM timing parameter {name} must be positive")
+
+    def row_miss_cycles(self) -> int:
+        """Cycles to serve a request whose bank has a different row open."""
+        return self.t_rp + self.t_rcd + self.cl
+
+    def row_closed_cycles(self) -> int:
+        """Cycles to serve a request whose bank has no row open."""
+        return self.t_rcd + self.cl
+
+    def row_hit_cycles(self) -> int:
+        """Cycles to serve a request hitting the currently open row."""
+        return self.cl
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Organisation and speed of the DRAM subsystem."""
+
+    io_freq_mhz: float = 1866.0
+    channels: int = 2
+    ranks_per_channel: int = 2
+    banks_per_rank: int = 8
+    row_size_bytes: int = 8192
+    bus_bytes_per_cycle: int = 8
+    capacity_bytes: int = 2 * 1024**3
+    timing: DramTimingConfig = field(default_factory=DramTimingConfig)
+
+    def __post_init__(self) -> None:
+        if self.io_freq_mhz <= 0:
+            raise ValueError("DRAM I/O frequency must be positive")
+        for name in ("channels", "ranks_per_channel", "banks_per_rank"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.row_size_bytes <= 0 or self.row_size_bytes & (self.row_size_bytes - 1):
+            raise ValueError("row_size_bytes must be a positive power of two")
+        if self.bus_bytes_per_cycle <= 0:
+            raise ValueError("bus_bytes_per_cycle must be positive")
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+
+    @property
+    def total_banks(self) -> int:
+        return self.channels * self.ranks_per_channel * self.banks_per_rank
+
+    def peak_bandwidth_bytes_per_s(self) -> float:
+        """Aggregate peak data-bus bandwidth across all channels."""
+        return (
+            self.channels
+            * self.bus_bytes_per_cycle
+            * self.io_freq_mhz
+            * 1_000_000.0
+        )
+
+    def with_frequency(self, io_freq_mhz: float) -> "DramConfig":
+        """Return a copy at a different I/O frequency (for DVFS sweeps)."""
+        return replace(self, io_freq_mhz=io_freq_mhz)
+
+
+@dataclass(frozen=True)
+class MemoryControllerConfig:
+    """Memory-controller front-end organisation (Table 1)."""
+
+    total_entries: int = 42
+    transaction_queues: int = 5
+    aging_threshold_cycles: int = 10_000
+    row_buffer_delta: int = 6
+    scheduler_window_entries: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.total_entries <= 0:
+            raise ValueError("total_entries must be positive")
+        if self.transaction_queues <= 0:
+            raise ValueError("transaction_queues must be positive")
+        if self.aging_threshold_cycles <= 0:
+            raise ValueError("aging_threshold_cycles must be positive")
+        if not 0 <= self.row_buffer_delta <= 7:
+            raise ValueError("row_buffer_delta must be a 3-bit priority level")
+        if (
+            self.scheduler_window_entries is not None
+            and self.scheduler_window_entries <= 0
+        ):
+            raise ValueError("scheduler_window_entries must be positive when set")
+
+    @property
+    def entries_per_queue(self) -> int:
+        return max(1, self.total_entries // self.transaction_queues)
+
+
+#: Every scheduling policy that may be used for NoC switch arbitration.  The
+#: set mirrors the memory-controller policy registry (a consistency test in
+#: tests/test_memctrl_new_policies.py keeps the two in sync); it is duplicated
+#: here so that configuration validation does not import the policy package.
+KNOWN_ARBITRATIONS = frozenset(
+    {
+        "fcfs",
+        "round_robin",
+        "fr_fcfs",
+        "frame_rate_qos",
+        "priority_qos",
+        "priority_rowbuffer",
+        "atlas",
+        "tcm",
+        "sms",
+        "edf",
+    }
+)
+
+#: Interconnect topologies the system builder can construct.
+KNOWN_TOPOLOGIES = frozenset({"tree", "mesh"})
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    """On-chip-network arbiter, link and topology parameters."""
+
+    link_bytes_per_ns: float = 32.0
+    router_latency_ns: float = 5.0
+    arbitration: str = "round_robin"
+    topology: str = "tree"
+    mesh_columns: int = 2
+
+    def __post_init__(self) -> None:
+        if self.link_bytes_per_ns <= 0:
+            raise ValueError("link_bytes_per_ns must be positive")
+        if self.router_latency_ns < 0:
+            raise ValueError("router_latency_ns must be non-negative")
+        if self.topology not in KNOWN_TOPOLOGIES:
+            raise ValueError(
+                f"unknown NoC topology '{self.topology}' "
+                f"(known: {sorted(KNOWN_TOPOLOGIES)})"
+            )
+        if self.mesh_columns <= 0:
+            raise ValueError("mesh_columns must be positive")
+        if self.arbitration not in KNOWN_ARBITRATIONS:
+            # User-defined policies registered at runtime (see
+            # repro.memctrl.policies.register_policy) are also accepted; the
+            # import is deferred so configuration stays import-light.
+            from repro.memctrl.policies import available_policies
+
+            if self.arbitration not in available_policies():
+                raise ValueError(
+                    f"unknown NoC arbitration '{self.arbitration}' "
+                    f"(known: {sorted(KNOWN_ARBITRATIONS)})"
+                )
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Top-level description of one simulation run."""
+
+    duration_ps: int = 33_000_000_000  # one 30 fps frame period (33 ms)
+    seed: int = 2018
+    sim_scale: float = 1.0
+    priority_bits: int = 3
+    adaptation_interval_ps: int = 10_000_000  # 10 us between meter samples
+    warmup_ps: int = 2_000_000_000  # cold-start samples excluded from pass/fail
+    dram: DramConfig = field(default_factory=DramConfig)
+    memory_controller: MemoryControllerConfig = field(
+        default_factory=MemoryControllerConfig
+    )
+    noc: NocConfig = field(default_factory=NocConfig)
+
+    def __post_init__(self) -> None:
+        if self.duration_ps <= 0:
+            raise ValueError("duration_ps must be positive")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        if not 0 < self.sim_scale <= 1.0:
+            raise ValueError("sim_scale must be in (0, 1]")
+        if not 1 <= self.priority_bits <= 8:
+            raise ValueError("priority_bits must be between 1 and 8")
+        if self.adaptation_interval_ps <= 0:
+            raise ValueError("adaptation_interval_ps must be positive")
+        if self.warmup_ps < 0:
+            raise ValueError("warmup_ps must be non-negative")
+
+    @property
+    def priority_levels(self) -> int:
+        """Number of distinct priority levels (2^k)."""
+        return 1 << self.priority_bits
+
+    @property
+    def max_priority(self) -> int:
+        return self.priority_levels - 1
+
+    def with_overrides(self, **changes: object) -> "SimulationConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,163 @@
+"""Discrete-event simulation engine.
+
+The engine keeps a binary heap of :class:`Event` objects ordered by
+``(time_ps, sequence)``.  Components schedule callbacks; the engine fires them
+in timestamp order until a time horizon is reached or the queue drains.
+Events may be cancelled, which leaves a tombstone on the heap that is skipped
+when popped — cheaper and simpler than heap surgery.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time_ps, sequence)`` so that two events scheduled for
+    the same timestamp fire in scheduling order, which keeps simulations
+    deterministic regardless of heap internals.
+    """
+
+    __slots__ = ("time_ps", "sequence", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time_ps: int,
+        sequence: int,
+        callback: Callable[..., None],
+        args: tuple,
+    ) -> None:
+        self.time_ps = time_ps
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when it reaches the heap top."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time_ps, self.sequence) < (other.time_ps, other.sequence)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time_ps}ps, seq={self.sequence}, {state})"
+
+
+class Engine:
+    """Event-driven simulation kernel with integer-picosecond time."""
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._now_ps: int = 0
+        self._sequence: int = 0
+        self._fired: int = 0
+        self._running = False
+
+    @property
+    def now_ps(self) -> int:
+        """Current simulated time in picoseconds."""
+        return self._now_ps
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still on the heap (including cancelled tombstones)."""
+        return len(self._queue)
+
+    @property
+    def fired_events(self) -> int:
+        """Number of events executed so far."""
+        return self._fired
+
+    def schedule_at(
+        self, time_ps: int, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if time_ps < self._now_ps:
+            raise ValueError(
+                f"cannot schedule event in the past: {time_ps} < now {self._now_ps}"
+            )
+        event = Event(time_ps, self._sequence, callback, args)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule(
+        self, delay_ps: int, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Schedule ``callback(*args)`` after a relative delay in picoseconds."""
+        if delay_ps < 0:
+            raise ValueError(f"delay must be non-negative, got {delay_ps}")
+        return self.schedule_at(self._now_ps + delay_ps, callback, *args)
+
+    def run(self, until_ps: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until_ps:
+            Stop once simulated time would advance past this horizon.  Events
+            scheduled exactly at the horizon still fire.  ``None`` runs until
+            the queue drains.
+        max_events:
+            Optional safety valve on the number of events executed in this
+            call.
+
+        Returns
+        -------
+        int
+            The number of events executed during this call.
+        """
+        if self._running:
+            raise RuntimeError("engine is already running (re-entrant run() call)")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until_ps is not None and event.time_ps > until_ps:
+                    break
+                heapq.heappop(self._queue)
+                self._now_ps = event.time_ps
+                event.callback(*event.args)
+                executed += 1
+                self._fired += 1
+            if until_ps is not None and self._now_ps < until_ps:
+                # Advance the clock to the horizon even if the queue drained
+                # early so callers can rely on `now_ps == until_ps`.
+                self._now_ps = until_ps
+        finally:
+            self._running = False
+        return executed
+
+    def step(self) -> bool:
+        """Execute exactly one pending event.
+
+        Returns ``True`` if an event fired, ``False`` if the queue is empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now_ps = event.time_ps
+            event.callback(*event.args)
+            self._fired += 1
+            return True
+        return False
+
+    def drain_cancelled(self) -> int:
+        """Remove cancelled tombstones from the heap; returns how many."""
+        before = len(self._queue)
+        live = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(live)
+        self._queue = live
+        return before - len(live)

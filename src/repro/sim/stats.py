@@ -1,0 +1,166 @@
+"""Statistics primitives shared by meters, schedulers and the analysis layer."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be non-negative, got {amount}")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class RunningMean:
+    """Streaming mean/min/max over an unbounded sequence of samples."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def add(self, sample: float) -> None:
+        self.count += 1
+        self.total += sample
+        if self.minimum is None or sample < self.minimum:
+            self.minimum = sample
+        if self.maximum is None or sample > self.maximum:
+            self.maximum = sample
+
+    @property
+    def mean(self) -> float:
+        """Mean of all samples, or 0.0 when no sample has been recorded."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = None
+        self.maximum = None
+
+
+class Histogram:
+    """Integer-bucket histogram, used e.g. for priority-level distributions."""
+
+    def __init__(self, buckets: Iterable[int]) -> None:
+        self._counts: Dict[int, int] = {bucket: 0 for bucket in buckets}
+        if not self._counts:
+            raise ValueError("histogram needs at least one bucket")
+
+    def add(self, bucket: int, weight: int = 1) -> None:
+        if bucket not in self._counts:
+            raise KeyError(f"unknown histogram bucket {bucket}")
+        if weight < 0:
+            raise ValueError(f"histogram weight must be non-negative, got {weight}")
+        self._counts[bucket] += weight
+
+    @property
+    def counts(self) -> Dict[int, int]:
+        """A copy of the bucket -> count mapping."""
+        return dict(self._counts)
+
+    @property
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def fractions(self) -> Dict[int, float]:
+        """Bucket -> fraction of the total weight (all zeros if empty)."""
+        total = self.total
+        if total == 0:
+            return {bucket: 0.0 for bucket in self._counts}
+        return {bucket: count / total for bucket, count in self._counts.items()}
+
+    def reset(self) -> None:
+        for bucket in self._counts:
+            self._counts[bucket] = 0
+
+
+class WindowedRate:
+    """Sliding-window rate estimator.
+
+    Samples are ``(time_ps, amount)`` pairs; :meth:`rate` reports the total
+    amount observed inside the trailing window divided by the window length.
+    Used for average-bandwidth and average-latency style measurements where
+    the paper's meters react to recent behaviour rather than the whole run.
+    """
+
+    def __init__(self, window_ps: int) -> None:
+        if window_ps <= 0:
+            raise ValueError(f"window must be positive, got {window_ps}")
+        self.window_ps = window_ps
+        self._samples: Deque[Tuple[int, float]] = deque()
+        self._window_total = 0.0
+        self._lifetime_total = 0.0
+
+    def add(self, time_ps: int, amount: float) -> None:
+        self._samples.append((time_ps, amount))
+        self._window_total += amount
+        self._lifetime_total += amount
+        self._evict(time_ps)
+
+    def _evict(self, now_ps: int) -> None:
+        horizon = now_ps - self.window_ps
+        while self._samples and self._samples[0][0] < horizon:
+            __, amount = self._samples.popleft()
+            self._window_total -= amount
+
+    def rate(self, now_ps: int) -> float:
+        """Amount per picosecond over the trailing window ending at ``now_ps``."""
+        self._evict(now_ps)
+        return self._window_total / self.window_ps
+
+    def window_total(self, now_ps: int) -> float:
+        """Total amount inside the trailing window ending at ``now_ps``."""
+        self._evict(now_ps)
+        return self._window_total
+
+    def window_mean(self, now_ps: int) -> float:
+        """Mean sample value inside the trailing window (0.0 when empty)."""
+        self._evict(now_ps)
+        if not self._samples:
+            return 0.0
+        return self._window_total / len(self._samples)
+
+    @property
+    def lifetime_total(self) -> float:
+        return self._lifetime_total
+
+    def sample_count(self, now_ps: int) -> int:
+        self._evict(now_ps)
+        return len(self._samples)
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of a list of samples.
+
+    ``fraction`` is in ``[0, 1]``.  An empty sample list returns 0.0, which is
+    convenient for reporting on cores that issued no traffic.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be within [0, 1], got {fraction}")
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]

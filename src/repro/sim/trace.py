@@ -1,0 +1,96 @@
+"""Time-series recording used to reproduce the paper's NPI-versus-time plots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class TimeSeries:
+    """An append-only series of ``(time_ps, value)`` samples."""
+
+    name: str
+    times_ps: List[int] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, time_ps: int, value: float) -> None:
+        if self.times_ps and time_ps < self.times_ps[-1]:
+            raise ValueError(
+                f"time series '{self.name}' must be appended in time order: "
+                f"{time_ps} < {self.times_ps[-1]}"
+            )
+        self.times_ps.append(time_ps)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def minimum(self) -> float:
+        """Smallest recorded value (0.0 for an empty series)."""
+        return min(self.values) if self.values else 0.0
+
+    def maximum(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def after(self, time_ps: int) -> "TimeSeries":
+        """A new series containing only the samples at or after ``time_ps``."""
+        trimmed = TimeSeries(self.name)
+        for t, v in zip(self.times_ps, self.values):
+            if t >= time_ps:
+                trimmed.times_ps.append(t)
+                trimmed.values.append(v)
+        return trimmed
+
+    def final(self) -> float:
+        return self.values[-1] if self.values else 0.0
+
+    def value_at(self, time_ps: int) -> float:
+        """Most recent value at or before ``time_ps`` (0.0 before first sample)."""
+        result = 0.0
+        for t, v in zip(self.times_ps, self.values):
+            if t > time_ps:
+                break
+            result = v
+        return result
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of samples strictly below a threshold."""
+        if not self.values:
+            return 0.0
+        below = sum(1 for value in self.values if value < threshold)
+        return below / len(self.values)
+
+    def as_pairs(self) -> List[Tuple[int, float]]:
+        return list(zip(self.times_ps, self.values))
+
+
+class TraceRecorder:
+    """A registry of named time series produced during one simulation run."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, TimeSeries] = {}
+
+    def series(self, name: str) -> TimeSeries:
+        """Return the series with this name, creating it on first use."""
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def record(self, name: str, time_ps: int, value: float) -> None:
+        self.series(name).append(time_ps, value)
+
+    def names(self) -> Sequence[str]:
+        return sorted(self._series)
+
+    def get(self, name: str) -> Optional[TimeSeries]:
+        return self._series.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def __len__(self) -> int:
+        return len(self._series)

@@ -1,0 +1,32 @@
+"""System assembly: platform presets, the system builder and experiment runner."""
+
+from repro.system.builder import System, build_system
+from repro.system.experiment import (
+    ExperimentResult,
+    compare_policies,
+    frequency_sweep,
+    run_experiment,
+)
+from repro.system.platform import (
+    CASE_A_CRITICAL_CORES,
+    CASE_B_CRITICAL_CORES,
+    cluster_specs_for,
+    simulation_config_for_case,
+    table1_settings,
+    table2_core_types,
+)
+
+__all__ = [
+    "CASE_A_CRITICAL_CORES",
+    "CASE_B_CRITICAL_CORES",
+    "ExperimentResult",
+    "System",
+    "build_system",
+    "cluster_specs_for",
+    "compare_policies",
+    "frequency_sweep",
+    "run_experiment",
+    "simulation_config_for_case",
+    "table1_settings",
+    "table2_core_types",
+]

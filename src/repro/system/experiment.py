@@ -1,0 +1,186 @@
+"""Experiment runner: one simulation run per policy / case / frequency point.
+
+Every figure and table of the paper's evaluation is a small composition of
+the functions in this module:
+
+* :func:`run_experiment` — one run, returning NPI traces, bandwidth and
+  priority distributions.
+* :func:`compare_policies` — Figs. 5, 6, 8 and 9 (several policies on the
+  same case).
+* :func:`frequency_sweep` — Fig. 7 (one policy, several DRAM frequencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.config import SimulationConfig
+from repro.sim.trace import TimeSeries, TraceRecorder
+from repro.system.builder import System, build_system
+from repro.system.platform import critical_cores_for, simulation_config_for_case
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured during one simulation run."""
+
+    case: str
+    policy: str
+    adaptation_enabled: bool
+    duration_ps: int
+    dram_freq_mhz: float
+    min_core_npi: Dict[str, float]
+    mean_core_npi: Dict[str, float]
+    dram_bandwidth_bytes_per_s: float
+    dram_row_hit_rate: float
+    served_transactions: int
+    average_latency_ps: float
+    priority_distributions: Dict[str, Dict[int, float]] = field(default_factory=dict)
+    trace: Optional[TraceRecorder] = None
+
+    def failing_cores(self, threshold: float = 1.0) -> List[str]:
+        """Cores whose minimum NPI dropped below the target threshold."""
+        return sorted(
+            core for core, npi in self.min_core_npi.items() if npi < threshold
+        )
+
+    def npi_series(self, core: str) -> TimeSeries:
+        """The recorded NPI time series of a core."""
+        if self.trace is None:
+            raise RuntimeError("this result was produced without trace recording")
+        series = self.trace.get(f"npi.core.{core}")
+        if series is None:
+            raise KeyError(f"no NPI trace recorded for core '{core}'")
+        return series
+
+    def dram_bandwidth_gb_per_s(self) -> float:
+        return self.dram_bandwidth_bytes_per_s / 1e9
+
+
+def run_experiment(
+    case: str = "A",
+    policy: str = "priority_qos",
+    duration_ps: Optional[int] = None,
+    traffic_scale: float = 1.0,
+    config: Optional[SimulationConfig] = None,
+    adaptation_enabled: Optional[bool] = None,
+    dram_freq_mhz: Optional[float] = None,
+    keep_trace: bool = True,
+    system: Optional[System] = None,
+    dram_model: str = "transaction",
+) -> ExperimentResult:
+    """Run one simulation and collect the paper's metrics.
+
+    A pre-built ``system`` may be supplied (the ablation benchmarks do this to
+    tweak internal parameters); otherwise one is built from the arguments.
+    """
+    if system is None:
+        if config is None:
+            config = simulation_config_for_case(case)
+        if duration_ps is not None:
+            config = config.with_overrides(duration_ps=duration_ps)
+        system = build_system(
+            case=case,
+            policy=policy,
+            config=config,
+            traffic_scale=traffic_scale,
+            adaptation_enabled=adaptation_enabled,
+            dram_freq_mhz=dram_freq_mhz,
+            dram_model=dram_model,
+        )
+    horizon = duration_ps or system.config.duration_ps
+    system.run(duration_ps=horizon)
+
+    framework = system.framework
+    # Exclude the cold-start transient (empty queues, priorities still at 0)
+    # from the pass/fail metrics; the full trace is kept for plotting.
+    warmup = min(system.config.warmup_ps, horizon // 4)
+    min_npi: Dict[str, float] = {}
+    mean_npi: Dict[str, float] = {}
+    for core in system.cores:
+        series = framework.trace.get(f"npi.core.{core}")
+        if series is None or not len(series):
+            min_npi[core] = 0.0
+            mean_npi[core] = 0.0
+            continue
+        steady = series.after(warmup)
+        if not len(steady):
+            steady = series
+        min_npi[core] = steady.minimum()
+        mean_npi[core] = steady.mean()
+
+    priority_distributions = {
+        dma_name: adapter.priority_time_fractions()
+        for dma_name, adapter in framework.adapters.items()
+    }
+
+    elapsed = max(1, system.engine.now_ps)
+    return ExperimentResult(
+        case=system.workload.case,
+        policy=system.policy_name,
+        adaptation_enabled=system.adaptation_enabled,
+        duration_ps=elapsed,
+        dram_freq_mhz=system.dram.config.io_freq_mhz,
+        min_core_npi=min_npi,
+        mean_core_npi=mean_npi,
+        dram_bandwidth_bytes_per_s=system.dram.average_bandwidth_bytes_per_s(elapsed),
+        dram_row_hit_rate=system.dram.row_hit_rate,
+        served_transactions=system.controller.served_transactions,
+        average_latency_ps=system.controller.average_latency_ps(),
+        priority_distributions=priority_distributions,
+        trace=framework.trace if keep_trace else None,
+    )
+
+
+def compare_policies(
+    policies: Sequence[str],
+    case: str = "A",
+    duration_ps: Optional[int] = None,
+    traffic_scale: float = 1.0,
+    config: Optional[SimulationConfig] = None,
+    keep_trace: bool = True,
+) -> Dict[str, ExperimentResult]:
+    """Run the same case under several policies (Figs. 5, 6, 8, 9)."""
+    results: Dict[str, ExperimentResult] = {}
+    for policy in policies:
+        results[policy] = run_experiment(
+            case=case,
+            policy=policy,
+            duration_ps=duration_ps,
+            traffic_scale=traffic_scale,
+            config=config,
+            keep_trace=keep_trace,
+        )
+    return results
+
+
+def frequency_sweep(
+    frequencies_mhz: Iterable[float],
+    case: str = "A",
+    policy: str = "priority_qos",
+    duration_ps: Optional[int] = None,
+    traffic_scale: float = 1.0,
+    config: Optional[SimulationConfig] = None,
+) -> Dict[float, ExperimentResult]:
+    """Run the same case at several DRAM frequencies (Fig. 7)."""
+    results: Dict[float, ExperimentResult] = {}
+    for freq in frequencies_mhz:
+        results[freq] = run_experiment(
+            case=case,
+            policy=policy,
+            duration_ps=duration_ps,
+            traffic_scale=traffic_scale,
+            config=config,
+            dram_freq_mhz=freq,
+            keep_trace=False,
+        )
+    return results
+
+
+def critical_core_minimums(
+    result: ExperimentResult, case: Optional[str] = None
+) -> Dict[str, float]:
+    """Minimum NPI restricted to the paper's critical-core list for the case."""
+    cores = critical_cores_for(case or result.case)
+    return {core: result.min_core_npi.get(core, 0.0) for core in cores if core in result.min_core_npi}

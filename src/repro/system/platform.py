@@ -1,0 +1,134 @@
+"""Platform presets: Tables 1 and 2 of the paper as code.
+
+This module turns the paper's simulation settings into ready-to-use
+configuration objects: the per-test-case DRAM frequency, the memory-controller
+organisation, the NoC cluster layout of Fig. 1, and the Table-2 summary of
+which core carries which type of QoS target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cores import CORE_CLASSES
+from repro.noc.topology import ClusterSpec
+from repro.sim.config import DramConfig, MemoryControllerConfig, SimulationConfig
+from repro.traffic.camcorder import CamcorderWorkload
+
+#: DRAM I/O frequency per test case (Table 1).
+CASE_DRAM_FREQ_MHZ: Dict[str, float] = {"A": 1866.0, "B": 1700.0}
+
+#: The "critical cores" whose NPI the paper plots in Fig. 5 (test case A).
+CASE_A_CRITICAL_CORES: Tuple[str, ...] = (
+    "image_processor",
+    "rotator",
+    "video_codec",
+    "display",
+    "camera",
+    "usb",
+    "gps",
+    "wifi",
+)
+
+#: The critical cores plotted in Fig. 6 (test case B).
+CASE_B_CRITICAL_CORES: Tuple[str, ...] = (
+    "image_processor",
+    "video_codec",
+    "display",
+    "usb",
+    "dsp",
+    "wifi",
+)
+
+#: Cluster link bandwidths in bytes per nanosecond.  The media and compute
+#: clusters are wide enough that DRAM is their bottleneck; the system cluster
+#: link is narrow, so system cores also interfere with each other inside the
+#: interconnect (the USB-vs-GPS effect of Fig. 5(a)).
+CLUSTER_LINK_BYTES_PER_NS: Dict[str, float] = {
+    "media": 16.0,
+    "compute": 16.0,
+    "system": 2.0,
+}
+
+#: Root link from the NoC to the memory controller (not the global bottleneck).
+ROOT_LINK_BYTES_PER_NS = 32.0
+
+
+def table1_settings(case: str = "A") -> Dict[str, object]:
+    """The Table-1 simulation settings for a test case, as plain values."""
+    case = case.upper()
+    if case not in CASE_DRAM_FREQ_MHZ:
+        raise ValueError(f"unknown test case '{case}' (expected 'A' or 'B')")
+    dram = DramConfig()
+    controller = MemoryControllerConfig()
+    return {
+        "case": case,
+        "dram_io_freq_mhz": CASE_DRAM_FREQ_MHZ[case],
+        "memory_controller_total_entries": controller.total_entries,
+        "memory_controller_transaction_queues": controller.transaction_queues,
+        "dram_capacity_bytes": dram.capacity_bytes,
+        "dram_channels": dram.channels,
+        "dram_ranks_per_channel": dram.ranks_per_channel,
+        "dram_banks_per_rank": dram.banks_per_rank,
+        "timing_cl_trcd_trp": (dram.timing.cl, dram.timing.t_rcd, dram.timing.t_rp),
+        "timing_twtr_trtp_twr": (
+            dram.timing.t_wtr,
+            dram.timing.t_rtp,
+            dram.timing.t_wr,
+        ),
+        "timing_trrd_tfaw": (dram.timing.t_rrd, dram.timing.t_faw),
+    }
+
+
+def table2_core_types() -> Dict[str, str]:
+    """Core name -> type of target performance (Table 2, plus the CPU)."""
+    return {
+        name: core_cls.performance_type for name, core_cls in sorted(CORE_CLASSES.items())
+    }
+
+
+def simulation_config_for_case(
+    case: str = "A",
+    sim_scale: float = 1.0,
+    seed: int = 2018,
+    duration_ps: int = 33_000_000_000,
+    priority_bits: int = 3,
+) -> SimulationConfig:
+    """A :class:`SimulationConfig` with the Table-1 DRAM frequency of a case."""
+    case = case.upper()
+    if case not in CASE_DRAM_FREQ_MHZ:
+        raise ValueError(f"unknown test case '{case}' (expected 'A' or 'B')")
+    dram = DramConfig(io_freq_mhz=CASE_DRAM_FREQ_MHZ[case])
+    return SimulationConfig(
+        duration_ps=duration_ps,
+        seed=seed,
+        sim_scale=sim_scale,
+        priority_bits=priority_bits,
+        dram=dram,
+    )
+
+
+def cluster_specs_for(workload: CamcorderWorkload) -> List[ClusterSpec]:
+    """Build the Fig. 1 cluster layout for the active cores of a workload."""
+    members: Dict[str, List[str]] = {}
+    for spec in workload.dmas:
+        members.setdefault(spec.cluster, [])
+        if spec.core not in members[spec.cluster]:
+            members[spec.cluster].append(spec.core)
+    specs: List[ClusterSpec] = []
+    for cluster, cores in sorted(members.items()):
+        bandwidth = CLUSTER_LINK_BYTES_PER_NS.get(cluster, 8.0)
+        specs.append(
+            ClusterSpec(name=cluster, link_bytes_per_ns=bandwidth, members=tuple(cores))
+        )
+    return specs
+
+
+def critical_cores_for(case: str) -> Tuple[str, ...]:
+    """The cores whose NPI the corresponding paper figure plots."""
+    case = case.upper()
+    if case == "A":
+        return CASE_A_CRITICAL_CORES
+    if case == "B":
+        return CASE_B_CRITICAL_CORES
+    raise ValueError(f"unknown test case '{case}' (expected 'A' or 'B')")

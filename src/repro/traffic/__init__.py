@@ -1,0 +1,36 @@
+"""Synthetic memory-traffic generation.
+
+The paper drives its evaluation with memory traffic of a next-generation
+MPSoC running the camcorder use case of Fig. 2.  Those traces are
+proprietary, so this package provides the closest synthetic equivalent:
+per-DMA traffic generators for the three traffic classes the paper describes
+(bursty frame-sourced traffic, constant sensor/panel rates and random
+latency-sensitive requests) plus the camcorder workload specification that
+assigns rates, transaction sizes and QoS targets to every core of Table 2.
+"""
+
+from repro.traffic.addresses import (
+    AddressStream,
+    RandomAddressStream,
+    SequentialAddressStream,
+    StridedAddressStream,
+)
+from repro.traffic.bursty import FrameBurstGenerator
+from repro.traffic.camcorder import CamcorderWorkload, DmaSpec, camcorder_workload
+from repro.traffic.constant import ConstantRateGenerator
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.poisson import PoissonGenerator
+
+__all__ = [
+    "AddressStream",
+    "CamcorderWorkload",
+    "ConstantRateGenerator",
+    "DmaSpec",
+    "FrameBurstGenerator",
+    "PoissonGenerator",
+    "RandomAddressStream",
+    "SequentialAddressStream",
+    "StridedAddressStream",
+    "TrafficGenerator",
+    "camcorder_workload",
+]

@@ -1,0 +1,91 @@
+"""Address streams assigning DRAM addresses to generated transactions.
+
+Media DMAs walk their shared buffers sequentially (which is what makes
+row-buffer-hit optimisation worthwhile), while CPU-like agents touch memory
+much more randomly.  Each stream stays inside its own address region so that
+different cores use disjoint buffers, as in the camcorder dataflow of Fig. 2.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class AddressStream(abc.ABC):
+    """Produces the address of each successive transaction of a DMA."""
+
+    @abc.abstractmethod
+    def next_address(self, size_bytes: int) -> int:
+        """Return the base address for the next transaction of this size."""
+
+
+class SequentialAddressStream(AddressStream):
+    """Walks an address region sequentially, wrapping at the region end."""
+
+    def __init__(self, base: int, region_bytes: int) -> None:
+        if base < 0:
+            raise ValueError("base address must be non-negative")
+        if region_bytes <= 0:
+            raise ValueError("region size must be positive")
+        self.base = base
+        self.region_bytes = region_bytes
+        self._offset = 0
+
+    def next_address(self, size_bytes: int) -> int:
+        if size_bytes <= 0:
+            raise ValueError("transaction size must be positive")
+        address = self.base + self._offset
+        self._offset += size_bytes
+        if self._offset >= self.region_bytes:
+            self._offset = 0
+        return address
+
+
+class StridedAddressStream(AddressStream):
+    """Walks a region with a fixed stride (e.g. a rotator reading columns)."""
+
+    def __init__(self, base: int, region_bytes: int, stride_bytes: int) -> None:
+        if stride_bytes <= 0:
+            raise ValueError("stride must be positive")
+        if region_bytes <= 0:
+            raise ValueError("region size must be positive")
+        self.base = base
+        self.region_bytes = region_bytes
+        self.stride_bytes = stride_bytes
+        self._offset = 0
+
+    def next_address(self, size_bytes: int) -> int:
+        if size_bytes <= 0:
+            raise ValueError("transaction size must be positive")
+        address = self.base + self._offset
+        self._offset = (self._offset + self.stride_bytes) % self.region_bytes
+        return address
+
+
+class RandomAddressStream(AddressStream):
+    """Uniformly random aligned addresses within a region (CPU-like traffic)."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        base: int,
+        region_bytes: int,
+        align_bytes: int = 64,
+    ) -> None:
+        if region_bytes <= 0:
+            raise ValueError("region size must be positive")
+        if align_bytes <= 0:
+            raise ValueError("alignment must be positive")
+        self.rng = rng
+        self.base = base
+        self.region_bytes = region_bytes
+        self.align_bytes = align_bytes
+
+    def next_address(self, size_bytes: int) -> int:
+        if size_bytes <= 0:
+            raise ValueError("transaction size must be positive")
+        slots = max(1, self.region_bytes // self.align_bytes)
+        slot = int(self.rng.integers(0, slots))
+        return self.base + slot * self.align_bytes

@@ -1,0 +1,47 @@
+"""Bursty frame-sourced traffic (video codec, rotator, image processor, GPU).
+
+The paper notes that these cores "have all the frame data available at the
+beginning of a frame period and thus create bursty traffic": the generator
+therefore releases the whole frame's worth of bytes at each frame boundary
+and the DMA drains the backlog as fast as its outstanding window and the
+memory system allow.
+"""
+
+from __future__ import annotations
+
+from repro.traffic.generator import TrafficGenerator
+
+
+class FrameBurstGenerator(TrafficGenerator):
+    """Releases ``bytes_per_frame`` at the start of every frame period."""
+
+    def __init__(
+        self,
+        bytes_per_frame: int,
+        frame_period_ps: int,
+        start_offset_ps: int = 0,
+    ) -> None:
+        super().__init__()
+        if bytes_per_frame <= 0:
+            raise ValueError("bytes_per_frame must be positive")
+        if frame_period_ps <= 0:
+            raise ValueError("frame_period_ps must be positive")
+        if start_offset_ps < 0:
+            raise ValueError("start_offset_ps must be non-negative")
+        self.bytes_per_frame = bytes_per_frame
+        self.frame_period_ps = frame_period_ps
+        self.start_offset_ps = start_offset_ps
+
+    def average_bytes_per_s(self) -> float:
+        return self.bytes_per_frame / (self.frame_period_ps / 1e12)
+
+    def _schedule_first(self) -> None:
+        self.engine.schedule_at(
+            self.engine.now_ps + self.start_offset_ps, self._on_frame_start
+        )
+
+    def _on_frame_start(self) -> None:
+        self._release(self.bytes_per_frame)
+        next_frame_ps = self.engine.now_ps + self.frame_period_ps
+        if self._within_horizon(next_frame_ps):
+            self.engine.schedule_at(next_frame_ps, self._on_frame_start)

@@ -1,0 +1,309 @@
+"""The camcorder use-case workload (Fig. 2 of the paper).
+
+The paper evaluates SARA with memory traffic of a next-generation MPSoC
+running a camcorder application at 30 fps: the camera sensor writes frames,
+the image processor converts them, the video codec encodes them, the rotator
+and GPU prepare the preview, the display refreshes the panel, and a set of
+system cores (DSP, GPS, WiFi, USB, modem, audio) runs concurrently.  The
+original traffic traces are proprietary, so this module provides a synthetic
+but structurally faithful equivalent: every DMA is described by a
+:class:`DmaSpec` carrying its traffic class (bursty frame-sourced, constant
+rate or Poisson), its average demand, its transaction size and its QoS target
+type from Table 2.
+
+Rates are stated at ``traffic_scale = 1.0`` and scale linearly; the default
+figures sum to roughly 11 GB/s of sustained demand against an LPDDR4-1866
+dual-channel device, which produces the same qualitative contention the paper
+reports (bursty media cores transiently overwhelming constant-rate and
+latency-sensitive cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.memctrl.transaction import QueueClass
+from repro.sim.clock import MS
+
+MB = 1_000_000
+#: One 30 fps frame period in picoseconds.
+FRAME_PERIOD_30FPS_PS = 33 * MS
+
+#: Cores switched off in test case B (Table 1).
+CASE_B_INACTIVE_CORES = ("gps", "camera", "rotator", "jpeg")
+
+
+@dataclass(frozen=True)
+class DmaSpec:
+    """Declarative description of one DMA's traffic and QoS target."""
+
+    name: str
+    core: str
+    queue_class: QueueClass
+    cluster: str
+    is_write: bool
+    traffic: str  # "frame_burst" | "constant" | "poisson"
+    bytes_per_s: float
+    transaction_bytes: int
+    meter: str  # "frame_progress" | "latency" | "bandwidth" | "occupancy" | "processing_time"
+    address_pattern: str = "sequential"
+    region_base: int = 0
+    region_bytes: int = 64 * 1024 * 1024
+    target_bytes_per_s: Optional[float] = None
+    latency_limit_ns: Optional[float] = None
+    window_ps: Optional[int] = None
+    max_outstanding: int = 8
+    start_offset_ps: int = 0
+
+    def __post_init__(self) -> None:
+        if self.traffic not in {"frame_burst", "constant", "poisson"}:
+            raise ValueError(f"unknown traffic class '{self.traffic}'")
+        if self.meter not in {
+            "frame_progress",
+            "latency",
+            "bandwidth",
+            "occupancy",
+            "processing_time",
+        }:
+            raise ValueError(f"unknown meter type '{self.meter}'")
+        if self.address_pattern not in {"sequential", "random"}:
+            raise ValueError(f"unknown address pattern '{self.address_pattern}'")
+        if self.bytes_per_s <= 0:
+            raise ValueError("bytes_per_s must be positive")
+        if self.transaction_bytes <= 0:
+            raise ValueError("transaction_bytes must be positive")
+        if self.max_outstanding <= 0:
+            raise ValueError("max_outstanding must be positive")
+
+    @property
+    def effective_target_bytes_per_s(self) -> float:
+        """The bandwidth/progress target (defaults to the offered rate)."""
+        return self.target_bytes_per_s or self.bytes_per_s
+
+    def scaled(self, factor: float) -> "DmaSpec":
+        """Return a copy with demand and targets scaled by ``factor``."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        target = self.target_bytes_per_s
+        return replace(
+            self,
+            bytes_per_s=self.bytes_per_s * factor,
+            target_bytes_per_s=target * factor if target is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class CamcorderWorkload:
+    """A fully resolved workload: frame period plus every active DMA."""
+
+    case: str
+    frame_period_ps: int
+    traffic_scale: float
+    dmas: Tuple[DmaSpec, ...] = field(default_factory=tuple)
+
+    def cores(self) -> List[str]:
+        """Active core names, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for spec in self.dmas:
+            seen.setdefault(spec.core, None)
+        return list(seen)
+
+    def specs_for_core(self, core: str) -> List[DmaSpec]:
+        return [spec for spec in self.dmas if spec.core == core]
+
+    def total_demand_bytes_per_s(self) -> float:
+        return sum(spec.bytes_per_s for spec in self.dmas)
+
+    def meter_type_of(self, core: str) -> str:
+        specs = self.specs_for_core(core)
+        if not specs:
+            raise KeyError(f"core '{core}' is not part of this workload")
+        return specs[0].meter
+
+
+def _base_specs(frame_period_ps: int) -> List[DmaSpec]:
+    """The full (case A) camcorder DMA list at traffic_scale = 1.0."""
+    gps_window_ps = 10 * MS
+    modem_window_ps = 5 * MS
+    return [
+        # -------------------------- media cluster -------------------------- #
+        DmaSpec(
+            name="camera.write", core="camera", queue_class=QueueClass.MEDIA,
+            cluster="media", is_write=True, traffic="constant",
+            bytes_per_s=800 * MB, transaction_bytes=2048, meter="occupancy",
+        ),
+        DmaSpec(
+            name="image_processor.read", core="image_processor",
+            queue_class=QueueClass.MEDIA, cluster="media", is_write=False,
+            traffic="frame_burst", bytes_per_s=1100 * MB, transaction_bytes=2048,
+            meter="frame_progress",
+        ),
+        DmaSpec(
+            name="image_processor.write0", core="image_processor",
+            queue_class=QueueClass.MEDIA, cluster="media", is_write=True,
+            traffic="frame_burst", bytes_per_s=800 * MB, transaction_bytes=2048,
+            meter="frame_progress",
+        ),
+        DmaSpec(
+            name="image_processor.write1", core="image_processor",
+            queue_class=QueueClass.MEDIA, cluster="media", is_write=True,
+            traffic="frame_burst", bytes_per_s=800 * MB, transaction_bytes=2048,
+            meter="frame_progress",
+        ),
+        DmaSpec(
+            name="video_codec.read0", core="video_codec",
+            queue_class=QueueClass.MEDIA, cluster="media", is_write=False,
+            traffic="frame_burst", bytes_per_s=950 * MB, transaction_bytes=2048,
+            meter="frame_progress",
+        ),
+        DmaSpec(
+            name="video_codec.read1", core="video_codec",
+            queue_class=QueueClass.MEDIA, cluster="media", is_write=False,
+            traffic="frame_burst", bytes_per_s=950 * MB, transaction_bytes=2048,
+            meter="frame_progress",
+        ),
+        DmaSpec(
+            name="video_codec.write", core="video_codec",
+            queue_class=QueueClass.MEDIA, cluster="media", is_write=True,
+            traffic="frame_burst", bytes_per_s=1200 * MB, transaction_bytes=2048,
+            meter="frame_progress",
+        ),
+        DmaSpec(
+            name="rotator.read", core="rotator", queue_class=QueueClass.MEDIA,
+            cluster="media", is_write=False, traffic="frame_burst",
+            bytes_per_s=89 * MB, transaction_bytes=2048, meter="frame_progress",
+        ),
+        DmaSpec(
+            name="rotator.write", core="rotator", queue_class=QueueClass.MEDIA,
+            cluster="media", is_write=True, traffic="frame_burst",
+            bytes_per_s=89 * MB, transaction_bytes=2048, meter="frame_progress",
+        ),
+        DmaSpec(
+            name="jpeg.read", core="jpeg", queue_class=QueueClass.MEDIA,
+            cluster="media", is_write=False, traffic="frame_burst",
+            bytes_per_s=120 * MB, transaction_bytes=2048, meter="frame_progress",
+        ),
+        DmaSpec(
+            name="jpeg.write", core="jpeg", queue_class=QueueClass.MEDIA,
+            cluster="media", is_write=True, traffic="frame_burst",
+            bytes_per_s=40 * MB, transaction_bytes=2048, meter="frame_progress",
+        ),
+        DmaSpec(
+            name="display.read", core="display", queue_class=QueueClass.MEDIA,
+            cluster="media", is_write=False, traffic="constant",
+            bytes_per_s=2400 * MB, transaction_bytes=2048, meter="occupancy",
+        ),
+        # ------------------------- compute cluster ------------------------- #
+        DmaSpec(
+            name="gpu.read0", core="gpu", queue_class=QueueClass.GPU,
+            cluster="compute", is_write=False, traffic="frame_burst",
+            bytes_per_s=1100 * MB, transaction_bytes=2048, meter="frame_progress",
+        ),
+        DmaSpec(
+            name="gpu.read1", core="gpu", queue_class=QueueClass.GPU,
+            cluster="compute", is_write=False, traffic="frame_burst",
+            bytes_per_s=1100 * MB, transaction_bytes=2048, meter="frame_progress",
+        ),
+        DmaSpec(
+            name="gpu.write", core="gpu", queue_class=QueueClass.GPU,
+            cluster="compute", is_write=True, traffic="frame_burst",
+            bytes_per_s=1000 * MB, transaction_bytes=2048, meter="frame_progress",
+        ),
+        DmaSpec(
+            name="dsp.read", core="dsp", queue_class=QueueClass.DSP,
+            cluster="compute", is_write=False, traffic="poisson",
+            bytes_per_s=80 * MB, transaction_bytes=256, meter="latency",
+            latency_limit_ns=1500.0, max_outstanding=4,
+        ),
+        DmaSpec(
+            name="dsp.write", core="dsp", queue_class=QueueClass.DSP,
+            cluster="compute", is_write=True, traffic="poisson",
+            bytes_per_s=40 * MB, transaction_bytes=256, meter="latency",
+            latency_limit_ns=1500.0, max_outstanding=4,
+        ),
+        DmaSpec(
+            name="cpu.read", core="cpu", queue_class=QueueClass.CPU,
+            cluster="compute", is_write=False, traffic="poisson",
+            bytes_per_s=1200 * MB, transaction_bytes=2048, meter="bandwidth",
+            target_bytes_per_s=600 * MB, address_pattern="random",
+        ),
+        DmaSpec(
+            name="cpu.write", core="cpu", queue_class=QueueClass.CPU,
+            cluster="compute", is_write=True, traffic="poisson",
+            bytes_per_s=600 * MB, transaction_bytes=2048, meter="bandwidth",
+            target_bytes_per_s=300 * MB, address_pattern="random",
+        ),
+        # -------------------------- system cluster ------------------------- #
+        DmaSpec(
+            name="gps.read", core="gps", queue_class=QueueClass.SYSTEM,
+            cluster="system", is_write=False, traffic="frame_burst",
+            bytes_per_s=25 * MB, transaction_bytes=512, meter="processing_time",
+            window_ps=gps_window_ps,
+        ),
+        DmaSpec(
+            name="modem.write", core="modem", queue_class=QueueClass.SYSTEM,
+            cluster="system", is_write=True, traffic="frame_burst",
+            bytes_per_s=200 * MB, transaction_bytes=2048, meter="processing_time",
+            window_ps=modem_window_ps,
+        ),
+        DmaSpec(
+            name="wifi.write", core="wifi", queue_class=QueueClass.SYSTEM,
+            cluster="system", is_write=True, traffic="constant",
+            bytes_per_s=200 * MB, transaction_bytes=2048, meter="bandwidth",
+        ),
+        DmaSpec(
+            name="usb.read", core="usb", queue_class=QueueClass.SYSTEM,
+            cluster="system", is_write=False, traffic="constant",
+            bytes_per_s=800 * MB, transaction_bytes=2048, meter="bandwidth",
+        ),
+        DmaSpec(
+            name="audio.read", core="audio", queue_class=QueueClass.SYSTEM,
+            cluster="system", is_write=False, traffic="poisson",
+            bytes_per_s=4 * MB, transaction_bytes=256, meter="latency",
+            latency_limit_ns=10_000.0, max_outstanding=2,
+        ),
+    ]
+
+
+def camcorder_workload(
+    case: str = "A",
+    traffic_scale: float = 1.0,
+    frame_period_ps: int = FRAME_PERIOD_30FPS_PS,
+) -> CamcorderWorkload:
+    """Build the camcorder workload for test case A or B.
+
+    Case A activates every core; case B switches off the GPS, camera, rotator
+    and JPEG cores, matching Table 1.  ``traffic_scale`` scales every DMA's
+    demand (and bandwidth targets) linearly, which is the knob experiments use
+    to trade fidelity against runtime.
+    """
+    case = case.upper()
+    if case not in {"A", "B"}:
+        raise ValueError(f"unknown test case '{case}' (expected 'A' or 'B')")
+    if traffic_scale <= 0:
+        raise ValueError("traffic_scale must be positive")
+    if frame_period_ps <= 0:
+        raise ValueError("frame_period_ps must be positive")
+
+    specs = _base_specs(frame_period_ps)
+    if case == "B":
+        specs = [spec for spec in specs if spec.core not in CASE_B_INACTIVE_CORES]
+    # Give every DMA its own disjoint address region so that cores interfere
+    # only through shared bandwidth, not through shared rows.
+    region = 64 * 1024 * 1024
+    placed = []
+    for index, spec in enumerate(specs):
+        placed.append(
+            replace(
+                spec.scaled(traffic_scale),
+                region_base=index * region,
+                region_bytes=region,
+            )
+        )
+    return CamcorderWorkload(
+        case=case,
+        frame_period_ps=frame_period_ps,
+        traffic_scale=traffic_scale,
+        dmas=tuple(placed),
+    )

@@ -1,0 +1,41 @@
+"""Constant-rate traffic (camera sensor writes, display panel refills, WiFi/USB)."""
+
+from __future__ import annotations
+
+from repro.traffic.generator import TrafficGenerator
+
+
+class ConstantRateGenerator(TrafficGenerator):
+    """Releases a fixed-size chunk at a fixed interval.
+
+    The chunk interval is derived from the requested byte rate, which models
+    cores whose data production or consumption is paced by external hardware
+    (an image sensor, an LCD panel, a radio) rather than by frame boundaries.
+    """
+
+    def __init__(self, bytes_per_s: float, chunk_bytes: int, start_offset_ps: int = 0) -> None:
+        super().__init__()
+        if bytes_per_s <= 0:
+            raise ValueError("bytes_per_s must be positive")
+        if chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        if start_offset_ps < 0:
+            raise ValueError("start_offset_ps must be non-negative")
+        self.bytes_per_s = bytes_per_s
+        self.chunk_bytes = chunk_bytes
+        self.start_offset_ps = start_offset_ps
+        self.interval_ps = max(1, round(chunk_bytes / bytes_per_s * 1e12))
+
+    def average_bytes_per_s(self) -> float:
+        return self.bytes_per_s
+
+    def _schedule_first(self) -> None:
+        self.engine.schedule_at(
+            self.engine.now_ps + self.start_offset_ps, self._on_tick
+        )
+
+    def _on_tick(self) -> None:
+        self._release(self.chunk_bytes)
+        next_tick_ps = self.engine.now_ps + self.interval_ps
+        if self._within_horizon(next_tick_ps):
+            self.engine.schedule_at(next_tick_ps, self._on_tick)

@@ -1,0 +1,59 @@
+"""Traffic-generator interface.
+
+A generator models *demand*: it releases work (bytes that must be moved
+to/from DRAM) over simulated time by invoking a sink callback.  The DMA that
+owns the generator turns released bytes into individual memory transactions,
+subject to its transaction size and outstanding-request window.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+from repro.sim.engine import Engine
+
+ReleaseSink = Callable[[int], None]
+
+
+class TrafficGenerator(abc.ABC):
+    """Base class for demand generators."""
+
+    def __init__(self) -> None:
+        self._engine: Optional[Engine] = None
+        self._sink: Optional[ReleaseSink] = None
+        self._stop_ps: Optional[int] = None
+        self.released_bytes = 0
+
+    def start(self, engine: Engine, sink: ReleaseSink, stop_ps: Optional[int] = None) -> None:
+        """Begin releasing work into ``sink`` until ``stop_ps`` (or forever)."""
+        if self._engine is not None:
+            raise RuntimeError("generator already started")
+        self._engine = engine
+        self._sink = sink
+        self._stop_ps = stop_ps
+        self._schedule_first()
+
+    @property
+    def engine(self) -> Engine:
+        if self._engine is None:
+            raise RuntimeError("generator not started")
+        return self._engine
+
+    def _within_horizon(self, time_ps: int) -> bool:
+        return self._stop_ps is None or time_ps <= self._stop_ps
+
+    def _release(self, size_bytes: int) -> None:
+        if size_bytes <= 0:
+            return
+        self.released_bytes += size_bytes
+        if self._sink is not None:
+            self._sink(size_bytes)
+
+    @abc.abstractmethod
+    def _schedule_first(self) -> None:
+        """Schedule the generator's first release event."""
+
+    @abc.abstractmethod
+    def average_bytes_per_s(self) -> float:
+        """Long-run average demand, used to derive default QoS targets."""

@@ -1,0 +1,54 @@
+"""Random request traffic (DSP, audio, CPU) with exponential inter-arrival times."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traffic.generator import TrafficGenerator
+
+
+class PoissonGenerator(TrafficGenerator):
+    """Releases fixed-size chunks with exponentially distributed gaps.
+
+    Latency-sensitive agents such as the DSP issue relatively small, loosely
+    correlated requests; a Poisson arrival process is the standard stand-in
+    when real traces are unavailable.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        bytes_per_s: float,
+        chunk_bytes: int,
+        start_offset_ps: int = 0,
+    ) -> None:
+        super().__init__()
+        if bytes_per_s <= 0:
+            raise ValueError("bytes_per_s must be positive")
+        if chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        if start_offset_ps < 0:
+            raise ValueError("start_offset_ps must be non-negative")
+        self.rng = rng
+        self.bytes_per_s = bytes_per_s
+        self.chunk_bytes = chunk_bytes
+        self.start_offset_ps = start_offset_ps
+        self.mean_interval_ps = max(1.0, chunk_bytes / bytes_per_s * 1e12)
+
+    def average_bytes_per_s(self) -> float:
+        return self.bytes_per_s
+
+    def _next_gap_ps(self) -> int:
+        return max(1, int(self.rng.exponential(self.mean_interval_ps)))
+
+    def _schedule_first(self) -> None:
+        self.engine.schedule_at(
+            self.engine.now_ps + self.start_offset_ps + self._next_gap_ps(),
+            self._on_arrival,
+        )
+
+    def _on_arrival(self) -> None:
+        self._release(self.chunk_bytes)
+        next_arrival_ps = self.engine.now_ps + self._next_gap_ps()
+        if self._within_horizon(next_arrival_ps):
+            self.engine.schedule_at(next_arrival_ps, self._on_arrival)

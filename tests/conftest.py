@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite.
+
+Full-scale experiments (33 ms frame, full camcorder traffic) are too slow for
+unit tests, so integration-level fixtures use short durations and reduced
+traffic; the benchmark harness under ``benchmarks/`` runs the full-scale
+configurations of the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import MS
+from repro.sim.config import (
+    DramConfig,
+    DramTimingConfig,
+    MemoryControllerConfig,
+    SimulationConfig,
+)
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def dram_config() -> DramConfig:
+    return DramConfig()
+
+
+@pytest.fixture
+def timing_config() -> DramTimingConfig:
+    return DramTimingConfig()
+
+
+@pytest.fixture
+def controller_config() -> MemoryControllerConfig:
+    return MemoryControllerConfig()
+
+
+@pytest.fixture
+def small_sim_config() -> SimulationConfig:
+    """A short-duration configuration for integration tests."""
+    return SimulationConfig(duration_ps=2 * MS, warmup_ps=200_000_000)

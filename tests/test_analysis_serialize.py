@@ -1,0 +1,82 @@
+"""Tests for JSON serialisation of configurations and experiment results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.serialize import (
+    experiment_result_from_dict,
+    experiment_result_to_dict,
+    load_config,
+    load_result,
+    save_config,
+    save_result,
+    simulation_config_from_dict,
+    simulation_config_to_dict,
+)
+from repro.sim.clock import MS
+from repro.sim.config import DramConfig, NocConfig, SimulationConfig
+from repro.system.experiment import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(case="B", policy="priority_qos", duration_ps=MS, traffic_scale=0.2)
+
+
+class TestConfigRoundTrip:
+    def test_default_config_round_trips(self):
+        config = SimulationConfig()
+        rebuilt = simulation_config_from_dict(simulation_config_to_dict(config))
+        assert rebuilt == config
+
+    def test_custom_config_round_trips(self):
+        config = SimulationConfig(
+            duration_ps=5 * MS,
+            seed=7,
+            sim_scale=0.5,
+            priority_bits=4,
+            dram=DramConfig(io_freq_mhz=1700.0, channels=1),
+            noc=NocConfig(arbitration="priority_qos", topology="mesh", mesh_columns=3),
+        )
+        rebuilt = simulation_config_from_dict(simulation_config_to_dict(config))
+        assert rebuilt == config
+
+    def test_config_file_round_trip(self, tmp_path):
+        config = SimulationConfig(seed=99)
+        path = save_config(config, tmp_path / "config.json")
+        assert load_config(path) == config
+
+
+class TestResultRoundTrip:
+    def test_dict_round_trip_preserves_metrics(self, result):
+        rebuilt = experiment_result_from_dict(experiment_result_to_dict(result))
+        assert rebuilt.case == result.case
+        assert rebuilt.policy == result.policy
+        assert rebuilt.min_core_npi == pytest.approx(result.min_core_npi)
+        assert rebuilt.dram_bandwidth_bytes_per_s == pytest.approx(
+            result.dram_bandwidth_bytes_per_s
+        )
+        assert rebuilt.priority_distributions.keys() == result.priority_distributions.keys()
+        assert rebuilt.trace is None
+
+    def test_trace_round_trip(self, result):
+        payload = experiment_result_to_dict(result, include_trace=True)
+        rebuilt = experiment_result_from_dict(payload)
+        assert rebuilt.trace is not None
+        core = next(iter(result.min_core_npi))
+        original = result.npi_series(core)
+        restored = rebuilt.npi_series(core)
+        assert restored.values == pytest.approx(original.values)
+        assert restored.times_ps == original.times_ps
+
+    def test_file_round_trip(self, tmp_path, result):
+        path = save_result(result, tmp_path / "result.json")
+        loaded = load_result(path)
+        assert loaded.policy == result.policy
+        assert loaded.served_transactions == result.served_transactions
+
+    def test_priority_distribution_levels_are_ints(self, result):
+        rebuilt = experiment_result_from_dict(experiment_result_to_dict(result))
+        for distribution in rebuilt.priority_distributions.values():
+            assert all(isinstance(level, int) for level in distribution)

@@ -1,0 +1,113 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "magic"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.case == "A"
+        assert args.policy == "priority_qos"
+        assert args.duration_ms > 0
+
+
+class TestInformationalCommands:
+    def test_policies_lists_registry(self, capsys):
+        assert main(["policies"]) == 0
+        output = capsys.readouterr().out
+        for name in ("fcfs", "round_robin", "priority_qos", "priority_rowbuffer", "atlas"):
+            assert name in output
+
+    def test_governors_lists_registry(self, capsys):
+        assert main(["governors"]) == 0
+        output = capsys.readouterr().out
+        for name in ("performance", "powersave", "priority_pressure"):
+            assert name in output
+
+    def test_settings_prints_tables(self, capsys):
+        assert main(["settings", "--case", "B"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "Table 2" in output
+        assert "dram_io_freq_mhz" in output
+
+
+class TestRunCommands:
+    COMMON = ["--case", "B", "--duration-ms", "1", "--traffic-scale", "0.2"]
+
+    def test_run_prints_summary_and_saves_json(self, capsys, tmp_path):
+        output_path = tmp_path / "result.json"
+        code = main(
+            ["run", *self.COMMON, "--policy", "priority_qos", "--output-json", str(output_path)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "policy=priority_qos" in output
+        assert output_path.exists()
+        payload = json.loads(output_path.read_text())
+        assert payload["policy"] == "priority_qos"
+
+    def test_compare_prints_tables_and_checks(self, capsys, tmp_path):
+        csv_path = tmp_path / "npi.csv"
+        main(
+            [
+                "compare",
+                *self.COMMON,
+                "--policies",
+                "fcfs",
+                "priority_qos",
+                "--output-csv",
+                str(csv_path),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert "Minimum NPI per critical core" in output
+        assert "Average DRAM bandwidth" in output
+        assert "shape checks:" in output
+        assert csv_path.exists()
+
+    def test_sweep_prints_priority_table(self, capsys):
+        code = main(
+            [
+                "sweep",
+                *self.COMMON,
+                "--frequencies",
+                "1300",
+                "1700",
+                "--dma",
+                "image_processor.read",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Fig. 7" in output
+        assert "1700" in output and "1300" in output
+
+    def test_dvfs_reports_residency_and_energy(self, capsys):
+        code = main(["dvfs", *self.COMMON, "--governor", "powersave", "--interval-us", "50"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "governor: powersave" in output
+        assert "residency:" in output
+        assert "energy" in output
+
+    def test_energy_reports_breakdown(self, capsys):
+        code = main(["energy", *self.COMMON, "--policy", "priority_rowbuffer"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Memory-system energy breakdown" in output
+        assert "Average power" in output

@@ -1,0 +1,141 @@
+"""Unit tests for the priority adapter and the SARA framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptation import PriorityAdapter
+from repro.core.framework import SaraFramework
+from repro.core.npi import BandwidthMeter, LatencyMeter
+from repro.core.priority import PriorityLookupTable
+from repro.sim.clock import MS, NS, US
+from repro.sim.engine import Engine
+
+
+class _FakeDma:
+    """Minimal duck-typed DMA for framework tests."""
+
+    def __init__(self, name: str, core: str, meter) -> None:
+        self.name = name
+        self.core = core
+        self.meter = meter
+        self.priority_provider = lambda: 0
+
+    def set_priority_provider(self, provider) -> None:
+        self.priority_provider = provider
+
+
+class TestPriorityAdapter:
+    def test_sample_updates_priority_from_meter(self):
+        meter = LatencyMeter(limit_ps=1000 * NS)
+        adapter = PriorityAdapter("dsp.read", meter, PriorityLookupTable.linear())
+        meter.record_completion(256, 5000 * NS, now_ps=US)  # way over the limit
+        priority = adapter.sample(US)
+        assert priority == adapter.table.max_priority
+        assert adapter.last_npi < 1.0
+
+    def test_disabled_adapter_stays_at_zero(self):
+        meter = LatencyMeter(limit_ps=1000 * NS)
+        adapter = PriorityAdapter("dsp.read", meter, enabled=False)
+        meter.record_completion(256, 5000 * NS, now_ps=US)
+        assert adapter.sample(US) == 0
+        assert adapter.last_npi is not None
+
+    def test_time_at_priority_accumulates(self):
+        meter = LatencyMeter(limit_ps=1000 * NS)
+        adapter = PriorityAdapter("dsp.read", meter)
+        adapter.sample(0)
+        adapter.sample(100 * US)  # 100 us spent at the initial priority
+        fractions = adapter.priority_time_fractions()
+        assert fractions[adapter.current_priority] >= 0.0
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_reset_clears_history(self):
+        meter = LatencyMeter(limit_ps=1000 * NS)
+        adapter = PriorityAdapter("dsp.read", meter)
+        adapter.sample(0)
+        adapter.sample(10 * US)
+        adapter.reset()
+        assert adapter.last_npi is None
+        assert adapter.current_priority == 0
+        assert sum(adapter.priority_time_fractions().values()) == 0.0
+
+
+class TestSaraFramework:
+    def _framework(self, engine: Engine, enabled: bool = True) -> SaraFramework:
+        return SaraFramework(
+            engine,
+            adaptation_interval_ps=100 * US,
+            adaptation_enabled=enabled,
+        )
+
+    def test_attach_installs_priority_provider(self):
+        engine = Engine()
+        framework = self._framework(engine)
+        meter = LatencyMeter(limit_ps=1000 * NS)
+        dma = _FakeDma("dsp.read", "dsp", meter)
+        framework.attach(dma)
+        meter.record_completion(256, 10_000 * NS, now_ps=0)
+        framework.start(stop_ps=MS)
+        engine.run(until_ps=MS)
+        assert dma.priority_provider() > 0
+        assert framework.samples_taken > 5
+
+    def test_duplicate_attach_rejected(self):
+        engine = Engine()
+        framework = self._framework(engine)
+        dma = _FakeDma("a", "core", BandwidthMeter(1e9))
+        framework.attach(dma)
+        with pytest.raises(ValueError):
+            framework.attach(dma)
+
+    def test_monitoring_without_adaptation_records_npi_but_keeps_priority_zero(self):
+        engine = Engine()
+        framework = self._framework(engine, enabled=False)
+        meter = LatencyMeter(limit_ps=1000 * NS)
+        dma = _FakeDma("dsp.read", "dsp", meter)
+        framework.attach(dma)
+        meter.record_completion(256, 10_000 * NS, now_ps=0)
+        framework.start(stop_ps=MS)
+        engine.run(until_ps=MS)
+        assert dma.priority_provider() == 0
+        assert len(framework.core_npi_series("dsp")) > 0
+        assert framework.minimum_core_npi()["dsp"] < 1.0
+
+    def test_core_npi_is_worst_dma(self):
+        engine = Engine()
+        framework = self._framework(engine)
+        healthy = _FakeDma("x.read", "x", BandwidthMeter(1.0))  # trivially exceeded
+        failing = _FakeDma("x.write", "x", LatencyMeter(limit_ps=NS))
+        framework.attach(healthy)
+        framework.attach(failing)
+        healthy.meter.record_completion(10**6, 0, now_ps=0)
+        failing.meter.record_completion(256, 1000 * NS, now_ps=0)
+        framework.start(stop_ps=MS)
+        engine.run(until_ps=MS)
+        assert framework.minimum_core_npi()["x"] < 1.0
+
+    def test_unknown_core_or_dma_raises(self):
+        engine = Engine()
+        framework = self._framework(engine)
+        with pytest.raises(KeyError):
+            framework.core_npi_series("missing")
+        with pytest.raises(KeyError):
+            framework.adapter_for("missing")
+
+    def test_double_start_rejected(self):
+        engine = Engine()
+        framework = self._framework(engine)
+        framework.start()
+        with pytest.raises(RuntimeError):
+            framework.start()
+
+    def test_priority_distribution_exposed(self):
+        engine = Engine()
+        framework = self._framework(engine)
+        dma = _FakeDma("a.read", "a", BandwidthMeter(1e9))
+        framework.attach(dma)
+        framework.start(stop_ps=MS)
+        engine.run(until_ps=MS)
+        distribution = framework.priority_distribution("a.read")
+        assert sum(distribution.values()) == pytest.approx(1.0)

@@ -1,0 +1,211 @@
+"""Unit tests for the NPI performance meters (Eqns. 1-3 of the paper)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.npi import (
+    NPI_CAP,
+    NPI_FLOOR,
+    BandwidthMeter,
+    BufferOccupancyMeter,
+    FrameProgressMeter,
+    LatencyMeter,
+    ProcessingTimeMeter,
+    make_meter,
+)
+from repro.sim.clock import MS, NS, US
+
+
+class TestLatencyMeter:
+    def test_npi_is_limit_over_average(self):
+        meter = LatencyMeter(limit_ps=1000 * NS, window_ps=MS)
+        meter.record_completion(256, 500 * NS, now_ps=10 * US)
+        meter.record_completion(256, 1500 * NS, now_ps=20 * US)
+        # average latency = 1000 ns = limit -> NPI 1.0
+        assert meter.npi(20 * US) == pytest.approx(1.0)
+
+    def test_target_met_when_latency_below_limit(self):
+        meter = LatencyMeter(limit_ps=1000 * NS)
+        meter.record_completion(256, 200 * NS, now_ps=US)
+        assert meter.npi(US) > 1.0
+
+    def test_idle_meter_reports_healthy(self):
+        meter = LatencyMeter(limit_ps=1000 * NS)
+        assert meter.npi(5 * MS) == NPI_CAP
+
+    def test_old_samples_age_out_of_window(self):
+        meter = LatencyMeter(limit_ps=1000 * NS, window_ps=MS)
+        meter.record_completion(256, 10_000 * NS, now_ps=0)
+        assert meter.npi(100 * US) < 1.0
+        assert meter.npi(5 * MS) == NPI_CAP
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyMeter(limit_ps=0)
+
+    @given(latency_ns=st.integers(min_value=1, max_value=100_000))
+    def test_npi_above_one_iff_latency_below_limit(self, latency_ns):
+        meter = LatencyMeter(limit_ps=1000 * NS)
+        meter.record_completion(256, latency_ns * NS, now_ps=US)
+        npi = meter.npi(US)
+        if latency_ns < 1000:
+            assert npi >= 1.0
+        elif latency_ns > 1000:
+            assert npi <= 1.0
+
+
+class TestBandwidthMeter:
+    def test_npi_is_achieved_over_target(self):
+        meter = BandwidthMeter(target_bytes_per_s=1e9, window_ps=MS)
+        # 1 MB delivered in the first millisecond = 1 GB/s = target
+        for index in range(10):
+            meter.record_completion(100_000, 0, now_ps=(index + 1) * 100 * US)
+        assert meter.npi(MS) == pytest.approx(1.0, rel=0.05)
+
+    def test_under_delivery_fails(self):
+        meter = BandwidthMeter(target_bytes_per_s=1e9, window_ps=MS)
+        meter.record_completion(100_000, 0, now_ps=MS)
+        assert meter.npi(MS) < 1.0
+
+    def test_shrunk_window_at_start_of_run(self):
+        meter = BandwidthMeter(target_bytes_per_s=1e9, window_ps=2 * MS)
+        meter.record_completion(100_000, 0, now_ps=100 * US)
+        # 100 KB in 100 us = 1 GB/s even though the nominal window is 2 ms
+        assert meter.npi(100 * US) == pytest.approx(1.0, rel=0.05)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthMeter(target_bytes_per_s=0)
+
+
+class TestFrameProgressMeter:
+    def test_on_track_progress_keeps_npi_at_least_one(self):
+        meter = FrameProgressMeter(bytes_per_frame=1000, frame_period_ps=33 * MS)
+        meter.record_completion(500, 0, now_ps=10 * MS)
+        assert meter.npi(10 * MS) > 1.0  # 50 % done at 30 % of the frame
+
+    def test_lagging_progress_drops_below_one(self):
+        meter = FrameProgressMeter(bytes_per_frame=1000, frame_period_ps=33 * MS)
+        meter.record_completion(100, 0, now_ps=20 * MS)
+        assert meter.npi(20 * MS) < 1.0
+
+    def test_progress_resets_at_frame_boundary(self):
+        meter = FrameProgressMeter(bytes_per_frame=1000, frame_period_ps=10 * MS)
+        meter.record_completion(1000, 0, now_ps=5 * MS)
+        assert meter.frame_progress(5 * MS) == 1.0
+        assert meter.frame_progress(15 * MS) == 0.0
+        assert meter.frames_completed == 1
+
+    def test_missed_frame_counted(self):
+        meter = FrameProgressMeter(bytes_per_frame=1000, frame_period_ps=10 * MS)
+        meter.record_completion(100, 0, now_ps=5 * MS)
+        meter.record_completion(100, 0, now_ps=15 * MS)
+        assert meter.frames_missed == 1
+
+    def test_reference_progress_grows_linearly(self):
+        meter = FrameProgressMeter(bytes_per_frame=1000, frame_period_ps=10 * MS)
+        assert meter.reference_progress(5 * MS) == pytest.approx(0.5)
+        assert meter.reference_progress(9 * MS) == pytest.approx(0.9)
+
+    def test_is_frame_based_flag(self):
+        assert FrameProgressMeter(1000, MS).is_frame_based is True
+        assert LatencyMeter(limit_ps=NS).is_frame_based is False
+
+    def test_npi_is_clamped(self):
+        meter = FrameProgressMeter(bytes_per_frame=1000, frame_period_ps=33 * MS)
+        meter.record_completion(1000, 0, now_ps=1 * MS)
+        assert meter.npi(1 * MS) == NPI_CAP
+        lagging = FrameProgressMeter(bytes_per_frame=10**9, frame_period_ps=33 * MS)
+        assert lagging.npi(32 * MS) >= NPI_FLOOR
+
+
+class TestBufferOccupancyMeter:
+    def test_matching_refill_keeps_npi_near_one(self):
+        meter = BufferOccupancyMeter(rate_bytes_per_s=1e9, window_ps=MS)
+        for index in range(1, 11):
+            meter.record_completion(100_000, 0, now_ps=index * 100 * US)
+        assert meter.npi(MS) == pytest.approx(1.0, rel=0.05)
+
+    def test_starved_buffer_fails_and_underruns(self):
+        meter = BufferOccupancyMeter(
+            rate_bytes_per_s=1e9, buffer_bytes=100_000, window_ps=MS
+        )
+        assert meter.npi(5 * MS) < 1.0
+        assert meter.underruns >= 1
+        assert meter.occupancy_fraction(5 * MS) == 0.0
+
+    def test_occupancy_never_exceeds_buffer(self):
+        meter = BufferOccupancyMeter(
+            rate_bytes_per_s=1e6, buffer_bytes=10_000, window_ps=MS
+        )
+        meter.record_completion(1_000_000, 0, now_ps=10 * US)
+        assert meter.occupancy_fraction(10 * US) <= 1.0
+
+    def test_initial_fraction_respected(self):
+        meter = BufferOccupancyMeter(
+            rate_bytes_per_s=1e6, buffer_bytes=10_000, initial_fraction=0.5
+        )
+        assert meter.occupancy_fraction(0) == pytest.approx(0.5)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BufferOccupancyMeter(rate_bytes_per_s=0)
+        with pytest.raises(ValueError):
+            BufferOccupancyMeter(rate_bytes_per_s=1.0, initial_fraction=1.5)
+
+
+class TestProcessingTimeMeter:
+    def test_on_schedule_processing_is_healthy(self):
+        meter = ProcessingTimeMeter(bytes_per_window=1000, window_ps=10 * MS)
+        meter.record_completion(600, 0, now_ps=5 * MS)
+        assert meter.npi(5 * MS) > 1.0
+
+    def test_late_processing_fails(self):
+        meter = ProcessingTimeMeter(bytes_per_window=1000, window_ps=10 * MS)
+        meter.record_completion(100, 0, now_ps=9 * MS)
+        assert meter.npi(9 * MS) < 1.0
+
+    def test_missed_windows_counted(self):
+        meter = ProcessingTimeMeter(bytes_per_window=1000, window_ps=10 * MS)
+        meter.record_completion(100, 0, now_ps=5 * MS)
+        meter.record_completion(100, 0, now_ps=15 * MS)
+        assert meter.windows_missed == 1
+
+
+class TestMeterFactory:
+    def test_builds_every_type(self):
+        frame_period = 33 * MS
+        for meter_type, cls in [
+            ("latency", LatencyMeter),
+            ("bandwidth", BandwidthMeter),
+            ("frame_progress", FrameProgressMeter),
+            ("occupancy", BufferOccupancyMeter),
+            ("processing_time", ProcessingTimeMeter),
+        ]:
+            meter = make_meter(
+                meter_type,
+                average_bytes_per_s=1e9,
+                frame_period_ps=frame_period,
+                latency_limit_ns=1000.0,
+            )
+            assert isinstance(meter, cls)
+
+    def test_latency_meter_requires_limit(self):
+        with pytest.raises(ValueError):
+            make_meter("latency", 1e9, 33 * MS)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            make_meter("telepathy", 1e9, 33 * MS)
+
+    def test_frame_bytes_derived_from_rate(self):
+        meter = make_meter("frame_progress", average_bytes_per_s=1e9, frame_period_ps=33 * MS)
+        assert meter.bytes_per_frame == pytest.approx(33_000_000, rel=0.01)
+
+    def test_processing_window_override(self):
+        meter = make_meter(
+            "processing_time", average_bytes_per_s=1e9, frame_period_ps=33 * MS, window_ps=5 * MS
+        )
+        assert meter.window_ps == 5 * MS

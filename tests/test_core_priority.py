@@ -1,0 +1,109 @@
+"""Unit tests for the NPI-to-priority look-up table."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.priority import PriorityLookupTable
+
+
+class TestPriorityLookupTable:
+    def test_lowest_asserted_level_wins(self):
+        table = PriorityLookupTable([1.0, 0.8, 0.6, 0.4])
+        assert table.priority_for(1.5) == 0
+        assert table.priority_for(0.9) == 1
+        assert table.priority_for(0.7) == 2
+        assert table.priority_for(0.5) == 3
+        assert table.priority_for(0.1) == 4  # below every bound -> max level
+
+    def test_boundary_values_belong_to_higher_level(self):
+        table = PriorityLookupTable([1.0, 0.5])
+        assert table.priority_for(1.0) == 0
+        assert table.priority_for(0.5) == 1
+
+    def test_levels_and_max_priority(self):
+        table = PriorityLookupTable([1.0, 0.5])
+        assert table.levels == 3
+        assert table.max_priority == 2
+
+    def test_bounds_must_decrease(self):
+        with pytest.raises(ValueError):
+            PriorityLookupTable([0.5, 1.0])
+        with pytest.raises(ValueError):
+            PriorityLookupTable([1.0, 1.0])
+
+    def test_bounds_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PriorityLookupTable([1.0, 0.0])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            PriorityLookupTable([])
+
+    def test_negative_npi_rejected(self):
+        with pytest.raises(ValueError):
+            PriorityLookupTable([1.0]).priority_for(-0.1)
+
+
+class TestLinearTable:
+    def test_three_bits_has_eight_levels(self):
+        table = PriorityLookupTable.linear(priority_bits=3)
+        assert table.levels == 8
+        assert table.max_priority == 7
+
+    def test_one_bit_has_two_levels(self):
+        table = PriorityLookupTable.linear(priority_bits=1)
+        assert table.levels == 2
+
+    def test_anchor_semantics(self):
+        table = PriorityLookupTable.linear(
+            priority_bits=3, healthy_npi=1.5, critical_npi=0.5
+        )
+        assert table.priority_for(2.0) == 0
+        assert table.priority_for(0.4) == 7
+
+    def test_invalid_anchors_rejected(self):
+        with pytest.raises(ValueError):
+            PriorityLookupTable.linear(healthy_npi=0.5, critical_npi=1.0)
+        with pytest.raises(ValueError):
+            PriorityLookupTable.linear(priority_bits=0)
+
+    @given(
+        npi=st.floats(min_value=0.0, max_value=20.0),
+        bits=st.integers(min_value=1, max_value=4),
+    )
+    def test_priority_always_within_range(self, npi, bits):
+        table = PriorityLookupTable.linear(priority_bits=bits)
+        assert 0 <= table.priority_for(npi) <= table.max_priority
+
+    @given(
+        npi_low=st.floats(min_value=0.0, max_value=5.0),
+        delta=st.floats(min_value=0.0, max_value=5.0),
+    )
+    def test_priority_is_monotone_in_npi(self, npi_low, delta):
+        table = PriorityLookupTable.linear(priority_bits=3)
+        assert table.priority_for(npi_low) >= table.priority_for(npi_low + delta)
+
+
+class TestMeterTypeTables:
+    def test_every_meter_type_has_a_table(self):
+        for meter_type in [
+            "frame_progress",
+            "processing_time",
+            "latency",
+            "bandwidth",
+            "occupancy",
+        ]:
+            table = PriorityLookupTable.for_meter_type(meter_type)
+            assert table.levels == 8
+
+    def test_latency_table_is_more_protective_than_frame_table(self):
+        latency = PriorityLookupTable.for_meter_type("latency")
+        frame = PriorityLookupTable.for_meter_type("frame_progress")
+        # At the same mildly degraded NPI the latency-bound core escalates more.
+        assert latency.priority_for(1.1) > frame.priority_for(1.1)
+
+    def test_unknown_meter_type_rejected(self):
+        with pytest.raises(ValueError):
+            PriorityLookupTable.for_meter_type("telepathy")

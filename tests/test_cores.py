@@ -1,0 +1,183 @@
+"""Unit tests for the Core/Dma base classes and the core registry."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.core.npi import BandwidthMeter, FrameProgressMeter
+from repro.cores import CORE_CLASSES, create_core
+from repro.cores.base import Core, Dma
+from repro.memctrl.transaction import QueueClass, Transaction
+from repro.sim.clock import MS
+from repro.sim.engine import Engine
+from repro.traffic.addresses import SequentialAddressStream
+from repro.traffic.bursty import FrameBurstGenerator
+from repro.traffic.constant import ConstantRateGenerator
+
+
+def make_dma(
+    name: str = "x.read",
+    core: str = "x",
+    transaction_bytes: int = 1024,
+    max_outstanding: int = 2,
+) -> Dma:
+    return Dma(
+        name=name,
+        core=core,
+        queue_class=QueueClass.MEDIA,
+        is_write=False,
+        transaction_bytes=transaction_bytes,
+        generator=FrameBurstGenerator(bytes_per_frame=8192, frame_period_ps=10 * MS),
+        addresses=SequentialAddressStream(base=0, region_bytes=1 << 20),
+        meter=FrameProgressMeter(bytes_per_frame=8192, frame_period_ps=10 * MS),
+        max_outstanding=max_outstanding,
+    )
+
+
+class _LoopbackMemory:
+    """Completes every injected transaction after a fixed delay."""
+
+    def __init__(self, engine: Engine, delay_ps: int = 1000) -> None:
+        self.engine = engine
+        self.delay_ps = delay_ps
+        self.received: List[Transaction] = []
+        self.dmas = {}
+
+    def inject(self, core_name: str, transaction: Transaction) -> None:
+        self.received.append(transaction)
+        self.engine.schedule(self.delay_ps, self._complete, transaction)
+
+    def _complete(self, transaction: Transaction) -> None:
+        transaction.completed_ps = self.engine.now_ps
+        self.dmas[transaction.dma].on_complete(transaction)
+
+
+class TestDma:
+    def test_issues_up_to_outstanding_window(self):
+        engine = Engine()
+        memory = _LoopbackMemory(engine, delay_ps=10 * MS)  # never completes in time
+        dma = make_dma(max_outstanding=3)
+        memory.dmas[dma.name] = dma
+        dma.connect(engine, memory.inject)
+        dma.start(stop_ps=MS)
+        engine.run(until_ps=MS)
+        assert len(memory.received) == 3
+        assert dma.outstanding == 3
+        assert dma.backlog_bytes == 8192 - 3 * 1024
+
+    def test_completions_release_new_issues(self):
+        engine = Engine()
+        memory = _LoopbackMemory(engine, delay_ps=1000)
+        dma = make_dma(max_outstanding=2)
+        memory.dmas[dma.name] = dma
+        dma.connect(engine, memory.inject)
+        dma.start(stop_ps=MS)
+        engine.run(until_ps=MS)
+        # The whole 8 KiB frame (8 transactions) drains through a window of 2.
+        assert dma.completed_transactions == 8
+        assert dma.completed_bytes == 8192
+        assert dma.meter.completed_bytes == 8192
+
+    def test_priority_provider_attaches_priority(self):
+        engine = Engine()
+        memory = _LoopbackMemory(engine)
+        dma = make_dma()
+        memory.dmas[dma.name] = dma
+        dma.connect(engine, memory.inject)
+        dma.set_priority_provider(lambda: 5)
+        dma.start(stop_ps=MS)
+        engine.run(until_ps=MS)
+        assert all(txn.priority == 5 for txn in memory.received)
+
+    def test_realtime_behind_flag_set_when_lagging(self):
+        engine = Engine()
+        memory = _LoopbackMemory(engine, delay_ps=100)
+        # Constant trickle against a huge per-frame target => always behind.
+        dma = Dma(
+            name="slow.read",
+            core="slow",
+            queue_class=QueueClass.MEDIA,
+            is_write=False,
+            transaction_bytes=1024,
+            generator=ConstantRateGenerator(bytes_per_s=1e6, chunk_bytes=1024),
+            addresses=SequentialAddressStream(0, 1 << 20),
+            meter=FrameProgressMeter(bytes_per_frame=10**9, frame_period_ps=10 * MS),
+            max_outstanding=2,
+        )
+        memory.dmas[dma.name] = dma
+        dma.connect(engine, memory.inject)
+        dma.start(stop_ps=9 * MS)
+        engine.run(until_ps=9 * MS)
+        assert any(txn.realtime_behind for txn in memory.received[2:])
+
+    def test_start_before_connect_rejected(self):
+        dma = make_dma()
+        with pytest.raises(RuntimeError):
+            dma.start()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            make_dma(transaction_bytes=0)
+        with pytest.raises(ValueError):
+            make_dma(max_outstanding=0)
+
+
+class TestCore:
+    def test_core_npi_is_worst_dma(self):
+        core = Core("x", cluster="media", queue_class=QueueClass.MEDIA)
+        good = make_dma("x.good", "x")
+        bad = make_dma("x.bad", "x")
+        good.meter = BandwidthMeter(target_bytes_per_s=1.0)
+        good.meter.record_completion(10**9, 0, now_ps=1)
+        core.add_dma(good)
+        core.add_dma(bad)
+        # bad has made no progress well into the frame -> low NPI
+        assert core.npi(9 * MS) < 1.0
+
+    def test_add_foreign_dma_rejected(self):
+        core = Core("x", cluster="media", queue_class=QueueClass.MEDIA)
+        with pytest.raises(ValueError):
+            core.add_dma(make_dma("y.read", "y"))
+
+    def test_npi_requires_dmas(self):
+        core = Core("x", cluster="media", queue_class=QueueClass.MEDIA)
+        with pytest.raises(RuntimeError):
+            core.npi(0)
+
+    def test_byte_accounting(self):
+        core = Core("x", cluster="media", queue_class=QueueClass.MEDIA)
+        dma = make_dma("x.read", "x")
+        core.add_dma(dma)
+        assert core.total_completed_bytes() == 0
+        assert core.total_issued_bytes() == 0
+
+
+class TestRegistry:
+    def test_all_table2_cores_present(self):
+        expected = {
+            "gpu", "display", "dsp", "gps", "image_processor", "wifi",
+            "video_codec", "usb", "rotator", "modem", "jpeg", "audio",
+            "camera", "cpu",
+        }
+        assert set(CORE_CLASSES) == expected
+
+    def test_performance_types_match_table2(self):
+        assert CORE_CLASSES["gpu"].performance_type == "frame rate"
+        assert CORE_CLASSES["display"].performance_type == "buffer occupancy"
+        assert CORE_CLASSES["dsp"].performance_type == "latency"
+        assert CORE_CLASSES["gps"].performance_type == "processing time"
+        assert CORE_CLASSES["wifi"].performance_type == "bandwidth"
+        assert CORE_CLASSES["camera"].performance_type == "buffer occupancy"
+        assert CORE_CLASSES["modem"].performance_type == "processing time"
+        assert CORE_CLASSES["audio"].performance_type == "latency"
+
+    def test_create_core_uses_registry(self):
+        core = create_core("gpu", cluster="compute", queue_class=QueueClass.GPU)
+        assert type(core).__name__ == "GpuCore"
+
+    def test_create_core_falls_back_to_generic(self):
+        core = create_core("npu", cluster="compute", queue_class=QueueClass.SYSTEM)
+        assert type(core) is Core
+        assert core.name == "npu"

@@ -1,0 +1,79 @@
+"""Unit tests for the DRAM address mapper."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.address import AddressMapper
+from repro.sim.config import DramConfig
+
+
+def test_coordinates_stay_within_organisation(dram_config):
+    mapper = AddressMapper(dram_config)
+    for address in range(0, 64 * 1024 * 1024, 1_234_567):
+        decoded = mapper.decode(address)
+        assert 0 <= decoded.channel < dram_config.channels
+        assert 0 <= decoded.rank < dram_config.ranks_per_channel
+        assert 0 <= decoded.bank < dram_config.banks_per_rank
+        assert 0 <= decoded.column < dram_config.row_size_bytes
+        assert 0 <= decoded.row < mapper.rows_per_bank
+
+
+def test_sequential_stream_stays_in_one_row_within_interleave(dram_config):
+    mapper = AddressMapper(dram_config)
+    base = mapper.decode(0)
+    same_row = mapper.decode(dram_config.row_size_bytes - 1)
+    assert base.channel == same_row.channel
+    assert base.bank_key == same_row.bank_key
+    assert base.row == same_row.row
+
+
+def test_adjacent_interleave_blocks_alternate_channels(dram_config):
+    mapper = AddressMapper(dram_config)
+    first = mapper.decode(0)
+    second = mapper.decode(dram_config.row_size_bytes)
+    assert first.channel != second.channel
+
+
+def test_addresses_wrap_at_capacity(dram_config):
+    mapper = AddressMapper(dram_config)
+    assert mapper.decode(dram_config.capacity_bytes + 64) == mapper.decode(64)
+
+
+def test_negative_address_rejected(dram_config):
+    mapper = AddressMapper(dram_config)
+    with pytest.raises(ValueError):
+        mapper.decode(-1)
+
+
+def test_interleave_must_be_power_of_two(dram_config):
+    with pytest.raises(ValueError):
+        AddressMapper(dram_config, channel_interleave_bytes=3000)
+
+
+def test_interleave_cannot_exceed_row_size(dram_config):
+    with pytest.raises(ValueError):
+        AddressMapper(dram_config, channel_interleave_bytes=dram_config.row_size_bytes * 2)
+
+
+def test_disjoint_regions_map_to_disjoint_rows():
+    config = DramConfig()
+    mapper = AddressMapper(config)
+    region = 64 * 1024 * 1024
+    a = mapper.decode(0)
+    b = mapper.decode(region)
+    assert (a.channel, a.rank, a.bank, a.row) != (b.channel, b.rank, b.bank, b.row)
+
+
+@given(address=st.integers(min_value=0, max_value=2**40))
+def test_decode_is_deterministic(address):
+    mapper = AddressMapper(DramConfig())
+    assert mapper.decode(address) == mapper.decode(address)
+
+
+@given(address=st.integers(min_value=0, max_value=2**34 - 1))
+def test_bank_key_matches_rank_and_bank(address):
+    mapper = AddressMapper(DramConfig())
+    decoded = mapper.decode(address)
+    assert decoded.bank_key == (decoded.rank, decoded.bank)

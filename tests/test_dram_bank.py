@@ -1,0 +1,82 @@
+"""Unit tests for the bank row-buffer state machine and rank activation windows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.bank import Bank, RowBufferState
+from repro.dram.rank import Rank
+from repro.dram.timing import DramTimingPs
+from repro.sim.config import DramTimingConfig
+
+
+class TestBank:
+    def test_initially_closed(self):
+        bank = Bank(rank=0, index=0)
+        assert bank.classify(5) is RowBufferState.CLOSED
+
+    def test_hit_and_miss_classification(self):
+        bank = Bank(rank=0, index=0)
+        bank.record_access(5, RowBufferState.CLOSED, ready_at_ps=100)
+        assert bank.classify(5) is RowBufferState.HIT
+        assert bank.classify(6) is RowBufferState.MISS
+
+    def test_counters_track_access_types(self):
+        bank = Bank(rank=0, index=0)
+        bank.record_access(1, RowBufferState.CLOSED, 10)
+        bank.record_access(1, RowBufferState.HIT, 20)
+        bank.record_access(2, RowBufferState.MISS, 30)
+        assert bank.total_accesses == 3
+        assert bank.hits == 1
+        assert bank.misses == 1
+        assert bank.closed_accesses == 1
+        assert bank.hit_rate == pytest.approx(1 / 3)
+
+    def test_precharge_closes_row(self):
+        bank = Bank(rank=0, index=0)
+        bank.record_access(7, RowBufferState.CLOSED, 10)
+        bank.precharge()
+        assert bank.classify(7) is RowBufferState.CLOSED
+
+    def test_idle_bank_hit_rate_zero(self):
+        assert Bank(rank=0, index=0).hit_rate == 0.0
+
+    def test_negative_ready_time_rejected(self):
+        bank = Bank(rank=0, index=0)
+        with pytest.raises(ValueError):
+            bank.record_access(1, RowBufferState.HIT, -5)
+
+
+class TestRank:
+    @pytest.fixture
+    def timing(self) -> DramTimingPs:
+        return DramTimingPs.from_config(DramTimingConfig(), 1866.0)
+
+    def test_first_activation_unconstrained(self, timing):
+        rank = Rank(0)
+        assert rank.earliest_activation_ps(1000, timing) == 1000
+
+    def test_trrd_spacing_enforced(self, timing):
+        rank = Rank(0)
+        rank.record_activation(1000)
+        earliest = rank.earliest_activation_ps(1000, timing)
+        assert earliest == 1000 + timing.t_rrd_ps
+
+    def test_tfaw_window_enforced(self, timing):
+        rank = Rank(0)
+        for index in range(4):
+            rank.record_activation(1000 + index * timing.t_rrd_ps)
+        earliest = rank.earliest_activation_ps(1000, timing)
+        assert earliest >= 1000 + timing.t_faw_ps
+
+    def test_activation_order_enforced(self, timing):
+        rank = Rank(0)
+        rank.record_activation(1000)
+        with pytest.raises(ValueError):
+            rank.record_activation(500)
+
+    def test_activation_count(self, timing):
+        rank = Rank(0)
+        for index in range(6):
+            rank.record_activation(index * 100_000)
+        assert rank.total_activations == 6

@@ -1,0 +1,142 @@
+"""Tests for the DVFS controller and the governor-in-the-loop runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.device import DramDevice
+from repro.dvfs import (
+    DvfsController,
+    OppTable,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    PriorityPressureGovernor,
+    run_with_governor,
+)
+from repro.dvfs.experiment import compare_governors
+from repro.sim.clock import MS, US
+from repro.sim.config import DramConfig
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def dram() -> DramDevice:
+    return DramDevice(DramConfig(io_freq_mhz=1700.0))
+
+
+class TestDvfsController:
+    def test_initial_point_snaps_to_table(self, engine):
+        dram = DramDevice(DramConfig(io_freq_mhz=1750.0))
+        controller = DvfsController(engine, dram, PerformanceGovernor())
+        assert controller.current_point in controller.opp_table
+        assert dram.config.io_freq_mhz == controller.current_point.freq_mhz
+
+    def test_rejects_non_positive_interval(self, engine, dram):
+        with pytest.raises(ValueError):
+            DvfsController(engine, dram, PerformanceGovernor(), interval_ps=0)
+
+    def test_cannot_start_twice(self, engine, dram):
+        controller = DvfsController(engine, dram, PerformanceGovernor(), interval_ps=US)
+        controller.start(stop_ps=10 * US)
+        with pytest.raises(RuntimeError):
+            controller.start()
+
+    def test_performance_governor_raises_frequency(self, engine, dram):
+        controller = DvfsController(
+            engine, dram, PerformanceGovernor(), interval_ps=US
+        )
+        controller.start(stop_ps=10 * US)
+        engine.run(until_ps=10 * US)
+        assert controller.current_frequency_mhz() == controller.opp_table.highest.freq_mhz
+        assert dram.config.io_freq_mhz == controller.opp_table.highest.freq_mhz
+        assert controller.samples_taken >= 5
+
+    def test_powersave_governor_walks_to_lowest_point(self, engine, dram):
+        controller = DvfsController(engine, dram, PowersaveGovernor(), interval_ps=US)
+        controller.start(stop_ps=20 * US)
+        engine.run(until_ps=20 * US)
+        assert controller.current_frequency_mhz() == controller.opp_table.lowest.freq_mhz
+        assert controller.transitions >= 1
+
+    def test_residency_fractions_sum_to_one_after_running(self, engine, dram):
+        controller = DvfsController(engine, dram, PowersaveGovernor(), interval_ps=US)
+        controller.start(stop_ps=20 * US)
+        engine.run(until_ps=20 * US)
+        fractions = controller.residency_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert all(0.0 <= value <= 1.0 for value in fractions.values())
+
+    def test_residency_empty_before_running(self, engine, dram):
+        controller = DvfsController(engine, dram, PowersaveGovernor(), interval_ps=US)
+        fractions = controller.residency_fractions()
+        assert all(value == 0.0 for value in fractions.values())
+
+    def test_frequency_trace_is_recorded(self, engine, dram):
+        controller = DvfsController(engine, dram, PowersaveGovernor(), interval_ps=US)
+        controller.start(stop_ps=5 * US)
+        engine.run(until_ps=5 * US)
+        assert len(controller.frequency_trace) >= 2
+        assert controller.frequency_trace.values[-1] == controller.current_frequency_mhz()
+
+    def test_mean_frequency_between_bounds(self, engine, dram):
+        controller = DvfsController(engine, dram, PowersaveGovernor(), interval_ps=US)
+        controller.start(stop_ps=20 * US)
+        engine.run(until_ps=20 * US)
+        mean = controller.time_weighted_mean_freq_mhz()
+        assert controller.opp_table.lowest.freq_mhz <= mean <= controller.opp_table.highest.freq_mhz
+
+    def test_idle_system_sample_reports_zero_utilisation(self, engine, dram):
+        controller = DvfsController(engine, dram, PerformanceGovernor(), interval_ps=US)
+        controller.start(stop_ps=2 * US)
+        engine.run(until_ps=2 * US)
+        observation = controller.sample(engine.now_ps + US)
+        assert observation.bus_utilisation == 0.0
+        assert observation.max_priority == 0
+
+
+class TestRunWithGovernor:
+    @pytest.fixture(scope="class")
+    def pressure_result(self):
+        return run_with_governor(
+            PriorityPressureGovernor(),
+            case="B",
+            policy="priority_qos",
+            duration_ps=2 * MS,
+            traffic_scale=0.25,
+            interval_ps=50 * US,
+        )
+
+    def test_result_reports_governor_and_energy(self, pressure_result):
+        assert pressure_result.governor == "priority_pressure"
+        assert pressure_result.total_energy_mj > 0.0
+        assert pressure_result.transitions >= 0
+        assert sum(pressure_result.residency.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_mean_frequency_within_opp_range(self, pressure_result):
+        table = OppTable.lpddr4_default()
+        assert table.lowest.freq_mhz <= pressure_result.mean_freq_mhz <= table.highest.freq_mhz
+
+    def test_experiment_metrics_present(self, pressure_result):
+        assert pressure_result.experiment.dram_bandwidth_bytes_per_s > 0
+        assert pressure_result.experiment.min_core_npi
+
+    def test_compare_governors_runs_each(self):
+        results = compare_governors(
+            {
+                "performance": PerformanceGovernor(),
+                "powersave": PowersaveGovernor(),
+            },
+            case="B",
+            policy="priority_qos",
+            duration_ps=MS,
+            traffic_scale=0.2,
+            interval_ps=100 * US,
+        )
+        assert set(results) == {"performance", "powersave"}
+        # Powersave parks the DRAM at a lower mean frequency than performance.
+        assert results["powersave"].mean_freq_mhz <= results["performance"].mean_freq_mhz

@@ -1,0 +1,173 @@
+"""Tests for the DVFS governor policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dvfs.governor import (
+    ConservativeGovernor,
+    GovernorSample,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    PriorityPressureGovernor,
+    StaticGovernor,
+    available_governors,
+    make_governor,
+)
+from repro.dvfs.opp import OppTable
+
+
+TABLE = OppTable.lpddr4_default()
+
+
+def sample(
+    utilisation: float = 0.5,
+    max_priority: int = 0,
+    mean_priority: float = 0.0,
+    min_npi: float = 2.0,
+    point=None,
+) -> GovernorSample:
+    return GovernorSample(
+        now_ps=1_000_000,
+        bus_utilisation=utilisation,
+        max_priority=max_priority,
+        mean_priority=mean_priority,
+        min_npi=min_npi,
+        current_point=point or TABLE.nearest(1600.0),
+    )
+
+
+class TestGovernorSample:
+    def test_rejects_out_of_range_utilisation(self):
+        with pytest.raises(ValueError):
+            sample(utilisation=1.5)
+        with pytest.raises(ValueError):
+            sample(utilisation=-0.1)
+
+    def test_rejects_negative_priorities(self):
+        with pytest.raises(ValueError):
+            sample(max_priority=-1)
+
+
+class TestSimpleGovernors:
+    def test_performance_always_highest(self):
+        governor = PerformanceGovernor()
+        assert governor.decide(sample(utilisation=0.0), TABLE) == TABLE.highest
+        assert governor.decide(sample(utilisation=1.0), TABLE) == TABLE.highest
+
+    def test_powersave_always_lowest(self):
+        governor = PowersaveGovernor()
+        assert governor.decide(sample(utilisation=1.0), TABLE) == TABLE.lowest
+
+    def test_static_pins_nearest(self):
+        governor = StaticGovernor(1450.0)
+        chosen = governor.decide(sample(), TABLE)
+        assert chosen.freq_mhz in (1400.0, 1500.0)
+
+    def test_static_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            StaticGovernor(0.0)
+
+
+class TestOndemandGovernor:
+    def test_jumps_to_max_under_load(self):
+        governor = OndemandGovernor()
+        assert governor.decide(sample(utilisation=0.9), TABLE) == TABLE.highest
+
+    def test_steps_down_when_idle(self):
+        governor = OndemandGovernor()
+        start = TABLE.nearest(1600.0)
+        decision = governor.decide(sample(utilisation=0.1, point=start), TABLE)
+        assert decision == TABLE.step_down(start)
+
+    def test_holds_in_between(self):
+        governor = OndemandGovernor()
+        start = TABLE.nearest(1600.0)
+        assert governor.decide(sample(utilisation=0.5, point=start), TABLE) == start
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            OndemandGovernor(up_threshold=0.2, down_threshold=0.5)
+
+
+class TestConservativeGovernor:
+    def test_steps_up_one_point_under_load(self):
+        governor = ConservativeGovernor()
+        start = TABLE.nearest(1400.0)
+        assert governor.decide(sample(utilisation=0.9, point=start), TABLE) == TABLE.step_up(start)
+
+    def test_steps_down_one_point_when_idle(self):
+        governor = ConservativeGovernor()
+        start = TABLE.nearest(1700.0)
+        assert governor.decide(sample(utilisation=0.1, point=start), TABLE) == TABLE.step_down(start)
+
+
+class TestPriorityPressureGovernor:
+    def test_urgent_priority_forces_max_frequency(self):
+        governor = PriorityPressureGovernor()
+        decision = governor.decide(sample(max_priority=7, utilisation=0.2), TABLE)
+        assert decision == TABLE.highest
+
+    def test_missed_target_forces_max_frequency(self):
+        governor = PriorityPressureGovernor()
+        decision = governor.decide(sample(min_npi=0.8, utilisation=0.2), TABLE)
+        assert decision == TABLE.highest
+
+    def test_relaxed_system_steps_down(self):
+        governor = PriorityPressureGovernor()
+        start = TABLE.nearest(1700.0)
+        decision = governor.decide(
+            sample(max_priority=0, utilisation=0.3, point=start), TABLE
+        )
+        assert decision == TABLE.step_down(start)
+
+    def test_moderate_priority_holds_frequency(self):
+        governor = PriorityPressureGovernor()
+        start = TABLE.nearest(1600.0)
+        decision = governor.decide(
+            sample(max_priority=4, utilisation=0.5, point=start), TABLE
+        )
+        assert decision == start
+
+    def test_busy_bus_prevents_step_down(self):
+        governor = PriorityPressureGovernor()
+        start = TABLE.nearest(1700.0)
+        decision = governor.decide(
+            sample(max_priority=0, utilisation=0.95, point=start), TABLE
+        )
+        assert decision == start
+
+    def test_rejects_inconsistent_thresholds(self):
+        with pytest.raises(ValueError):
+            PriorityPressureGovernor(raise_priority=2, lower_priority=4)
+        with pytest.raises(ValueError):
+            PriorityPressureGovernor(busy_utilisation=0.0)
+
+    @given(
+        utilisation=st.floats(min_value=0.0, max_value=1.0),
+        priority=st.integers(min_value=0, max_value=7),
+        npi=st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_decision_is_always_a_table_point(self, utilisation, priority, npi):
+        governor = PriorityPressureGovernor()
+        decision = governor.decide(
+            sample(utilisation=utilisation, max_priority=priority, min_npi=npi), TABLE
+        )
+        assert decision in TABLE
+
+
+class TestGovernorRegistry:
+    def test_registry_contains_all_parameterless_governors(self):
+        names = set(available_governors())
+        assert {"performance", "powersave", "ondemand", "conservative", "priority_pressure"} == names
+
+    def test_make_governor_by_name(self):
+        governor = make_governor("ondemand", up_threshold=0.8, down_threshold=0.2)
+        assert isinstance(governor, OndemandGovernor)
+        assert governor.up_threshold == 0.8
+
+    def test_make_governor_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown governor"):
+            make_governor("warp-speed")

@@ -1,0 +1,92 @@
+"""Tests for the operating-performance-point table."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dvfs.opp import OperatingPoint, OppTable
+
+
+@pytest.fixture
+def table() -> OppTable:
+    return OppTable.lpddr4_default()
+
+
+class TestOperatingPoint:
+    def test_rejects_non_positive_values(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(0.0, 1.1)
+        with pytest.raises(ValueError):
+            OperatingPoint(1600.0, -1.0)
+
+    def test_relative_dynamic_power_scales_with_freq_and_voltage_squared(self):
+        reference = OperatingPoint(1866.0, 1.125)
+        half = OperatingPoint(933.0, 1.125)
+        assert half.relative_dynamic_power(reference) == pytest.approx(0.5)
+        lower_v = OperatingPoint(1866.0, 1.125 / 2)
+        assert lower_v.relative_dynamic_power(reference) == pytest.approx(0.25)
+
+    def test_ordering_by_frequency(self):
+        assert OperatingPoint(1300.0, 1.0) < OperatingPoint(1400.0, 1.1)
+
+
+class TestOppTable:
+    def test_default_table_spans_fig7_sweep(self, table):
+        freqs = [p.freq_mhz for p in table]
+        assert freqs[0] == 1300.0
+        assert freqs[-1] == 1866.0
+        assert set([1300.0, 1400.0, 1500.0, 1600.0, 1700.0]).issubset(freqs)
+
+    def test_rejects_empty_and_duplicates(self):
+        with pytest.raises(ValueError):
+            OppTable([])
+        with pytest.raises(ValueError):
+            OppTable([OperatingPoint(1600.0, 1.1), OperatingPoint(1600.0, 1.2)])
+
+    def test_rejects_decreasing_voltage(self):
+        with pytest.raises(ValueError):
+            OppTable([OperatingPoint(1300.0, 1.2), OperatingPoint(1600.0, 1.0)])
+
+    def test_lowest_and_highest(self, table):
+        assert table.lowest.freq_mhz == 1300.0
+        assert table.highest.freq_mhz == 1866.0
+
+    def test_nearest(self, table):
+        assert table.nearest(1350.0).freq_mhz in (1300.0, 1400.0)
+        assert table.nearest(1866.0).freq_mhz == 1866.0
+        assert table.nearest(5000.0).freq_mhz == 1866.0
+        assert table.nearest(100.0).freq_mhz == 1300.0
+
+    def test_floor_and_ceiling(self, table):
+        assert table.floor(1650.0).freq_mhz == 1600.0
+        assert table.floor(100.0).freq_mhz == 1300.0
+        assert table.ceiling(1650.0).freq_mhz == 1700.0
+        assert table.ceiling(5000.0).freq_mhz == 1866.0
+
+    def test_step_up_and_down_saturate(self, table):
+        assert table.step_up(table.highest) == table.highest
+        assert table.step_down(table.lowest) == table.lowest
+        assert table.step_up(table.lowest).freq_mhz == 1400.0
+        assert table.step_down(table.highest).freq_mhz == 1700.0
+
+    def test_index_of_unknown_point_raises(self, table):
+        with pytest.raises(ValueError):
+            table.index_of(OperatingPoint(999.0, 1.0))
+
+    def test_contains_and_len(self, table):
+        assert table.lowest in table
+        assert OperatingPoint(999.0, 1.0) not in table
+        assert len(table) == 6
+
+    @given(freq=st.floats(min_value=500.0, max_value=2500.0))
+    def test_floor_never_exceeds_request_when_possible(self, freq):
+        table = OppTable.lpddr4_default()
+        point = table.floor(freq)
+        if freq >= table.lowest.freq_mhz:
+            assert point.freq_mhz <= freq
+
+    @given(freq=st.floats(min_value=500.0, max_value=2500.0))
+    def test_nearest_is_a_table_point(self, freq):
+        table = OppTable.lpddr4_default()
+        assert table.nearest(freq) in table

@@ -1,0 +1,160 @@
+"""Tests for the 2D-mesh interconnect topology."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memctrl.transaction import QueueClass, Transaction
+from repro.noc.mesh import build_mesh, xy_next_hop, xy_path
+from repro.noc.network import Network
+from repro.noc.topology import ClusterSpec
+from repro.sim.clock import MS
+from repro.sim.config import NocConfig, SimulationConfig
+from repro.sim.engine import Engine
+from repro.system.builder import build_system
+from repro.system.experiment import run_experiment
+
+CLUSTERS = [
+    ClusterSpec(name="compute", link_bytes_per_ns=16.0, members=("cpu", "gpu", "dsp")),
+    ClusterSpec(name="media", link_bytes_per_ns=16.0, members=("display", "camera")),
+    ClusterSpec(name="system", link_bytes_per_ns=8.0, members=("usb", "gps")),
+]
+
+
+def make_transaction(core: str, uid_offset: int = 0) -> Transaction:
+    return Transaction(
+        source=core,
+        dma=f"{core}.read",
+        queue_class=QueueClass.SYSTEM,
+        address=0x100 + uid_offset * 64,
+        size_bytes=64,
+        is_write=False,
+    )
+
+
+class TestXyRouting:
+    def test_next_hop_moves_along_x_first(self):
+        assert xy_next_hop((2, 1)) == (1, 1)
+        assert xy_next_hop((1, 1)) == (0, 1)
+        assert xy_next_hop((0, 1)) == (0, 0)
+
+    def test_egress_has_no_next_hop(self):
+        with pytest.raises(ValueError):
+            xy_next_hop((0, 0))
+
+    def test_negative_coordinates_rejected(self):
+        with pytest.raises(ValueError):
+            xy_next_hop((-1, 0))
+
+    def test_path_ends_at_egress(self):
+        assert xy_path((2, 1)) == [(2, 1), (1, 1), (0, 1), (0, 0)]
+        assert xy_path((0, 0)) == [(0, 0)]
+
+    @given(x=st.integers(min_value=0, max_value=6), y=st.integers(min_value=0, max_value=6))
+    def test_path_length_is_manhattan_distance_plus_one(self, x, y):
+        assert len(xy_path((x, y))) == x + y + 1
+
+
+class TestBuildMesh:
+    def test_places_every_cluster(self):
+        topology = build_mesh(
+            Engine(), CLUSTERS, arbitration="round_robin",
+            root_link_bytes_per_ns=64.0, router_latency_ns=5.0, columns=2,
+        )
+        assert set(topology.cluster_node) == {"compute", "media", "system"}
+        assert (0, 0) not in topology.cluster_node.values()
+        assert topology.root is topology.nodes[(0, 0)]
+        assert len(topology.routers()) == topology.columns * topology.rows
+
+    def test_cluster_for_resolves_cores(self):
+        topology = build_mesh(
+            Engine(), CLUSTERS, arbitration="round_robin",
+            root_link_bytes_per_ns=64.0, router_latency_ns=5.0,
+        )
+        assert topology.cluster_for("gpu") is topology.nodes[topology.cluster_node["compute"]]
+        with pytest.raises(KeyError):
+            topology.cluster_for("toaster")
+
+    def test_hops_to_controller_positive(self):
+        topology = build_mesh(
+            Engine(), CLUSTERS, arbitration="round_robin",
+            root_link_bytes_per_ns=64.0, router_latency_ns=5.0,
+        )
+        for cluster in ("compute", "media", "system"):
+            assert topology.hops_to_controller(cluster) >= 2
+
+    def test_requires_clusters_and_capacity(self):
+        with pytest.raises(ValueError):
+            build_mesh(Engine(), [], arbitration="fcfs",
+                       root_link_bytes_per_ns=64.0, router_latency_ns=5.0)
+        with pytest.raises(ValueError):
+            build_mesh(Engine(), CLUSTERS, arbitration="fcfs",
+                       root_link_bytes_per_ns=64.0, router_latency_ns=5.0, columns=0)
+
+    def test_duplicate_core_rejected(self):
+        clusters = CLUSTERS + [ClusterSpec(name="dup", link_bytes_per_ns=8.0, members=("gpu",))]
+        with pytest.raises(ValueError):
+            build_mesh(Engine(), clusters, arbitration="fcfs",
+                       root_link_bytes_per_ns=64.0, router_latency_ns=5.0)
+
+
+class TestMeshNetwork:
+    def test_packets_traverse_mesh_to_sink(self):
+        engine = Engine()
+        network = Network(
+            engine,
+            CLUSTERS,
+            config=NocConfig(arbitration="round_robin", topology="mesh"),
+        )
+        delivered = []
+        network.set_sink(delivered.append)
+        for index, core in enumerate(("gpu", "display", "usb", "gps")):
+            network.inject(core, make_transaction(core, index))
+        engine.run(until_ps=10_000_000)
+        assert len(delivered) == 4
+        assert network.in_flight() == 0
+        assert network.average_latency_ps() > 0
+
+    def test_farther_cluster_sees_longer_latency(self):
+        """A core whose cluster sits deeper in the mesh pays more hops."""
+        engine = Engine()
+        network = Network(
+            engine,
+            CLUSTERS,
+            config=NocConfig(arbitration="round_robin", topology="mesh", mesh_columns=2),
+        )
+        topology = network.topology
+        near = min(topology.cluster_node, key=lambda c: topology.hops_to_controller(c))
+        far = max(topology.cluster_node, key=lambda c: topology.hops_to_controller(c))
+        assert topology.hops_to_controller(far) > topology.hops_to_controller(near)
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError, match="unknown NoC topology"):
+            NocConfig(topology="torus")
+
+    def test_mesh_columns_validated(self):
+        with pytest.raises(ValueError):
+            NocConfig(mesh_columns=0)
+
+
+class TestMeshSystem:
+    def test_full_system_runs_on_mesh(self):
+        config = SimulationConfig(
+            duration_ps=MS,
+            warmup_ps=100_000_000,
+            noc=NocConfig(arbitration="priority_qos", topology="mesh"),
+        )
+        result = run_experiment(
+            case="B",
+            policy="priority_qos",
+            config=config,
+            traffic_scale=0.2,
+        )
+        assert result.served_transactions > 0
+        assert result.dram_bandwidth_bytes_per_s > 0
+
+    def test_builder_honours_mesh_topology(self):
+        config = SimulationConfig(noc=NocConfig(topology="mesh"))
+        system = build_system(case="B", policy="priority_qos", config=config, traffic_scale=0.2)
+        assert system.network.topology.__class__.__name__ == "MeshTopology"

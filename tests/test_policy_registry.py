@@ -1,0 +1,91 @@
+"""Tests for runtime registration of user-defined scheduling policies."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.memctrl.policies import (
+    _POLICY_REGISTRY,
+    available_policies,
+    make_policy,
+    register_policy,
+)
+from repro.memctrl.scheduler import SchedulingContext, SchedulingPolicy
+from repro.memctrl.transaction import QueueClass, Transaction
+from repro.sim.config import NocConfig
+
+
+class _ToyPolicy(SchedulingPolicy):
+    """Always serve the newest transaction (for testing only)."""
+
+    name = "toy_newest_first"
+
+    def select(
+        self, candidates: List[Transaction], context: SchedulingContext
+    ) -> Transaction:
+        self._check_candidates(candidates)
+        return max(candidates, key=lambda t: t.uid)
+
+
+@pytest.fixture
+def clean_registry():
+    """Remove the toy policy from the registry after each test."""
+    yield
+    _POLICY_REGISTRY.pop(_ToyPolicy.name, None)
+
+
+class TestRegisterPolicy:
+    def test_registered_policy_is_constructible(self, clean_registry):
+        register_policy(_ToyPolicy)
+        assert _ToyPolicy.name in available_policies()
+        policy = make_policy(_ToyPolicy.name)
+        assert isinstance(policy, _ToyPolicy)
+
+    def test_registered_policy_accepted_as_noc_arbitration(self, clean_registry):
+        register_policy(_ToyPolicy)
+        config = NocConfig(arbitration=_ToyPolicy.name)
+        assert config.arbitration == _ToyPolicy.name
+
+    def test_duplicate_registration_requires_replace(self, clean_registry):
+        register_policy(_ToyPolicy)
+        with pytest.raises(ValueError, match="already registered"):
+            register_policy(_ToyPolicy)
+        register_policy(_ToyPolicy, replace=True)
+
+    def test_builtin_name_collision_is_refused(self, clean_registry):
+        class Impostor(_ToyPolicy):
+            name = "fcfs"
+
+        with pytest.raises(ValueError):
+            register_policy(Impostor)
+        # The genuine FCFS implementation is untouched.
+        assert available_policies()["fcfs"].__name__ == "FcfsPolicy"
+
+    def test_non_policy_class_rejected(self):
+        with pytest.raises(TypeError):
+            register_policy(object)  # type: ignore[arg-type]
+
+    def test_policy_without_name_rejected(self):
+        class Nameless(SchedulingPolicy):
+            name = "base"
+
+            def select(self, candidates, context):  # pragma: no cover - not called
+                return candidates[0]
+
+        with pytest.raises(ValueError):
+            register_policy(Nameless)
+
+    def test_registered_policy_selects(self, clean_registry):
+        register_policy(_ToyPolicy)
+        policy = make_policy(_ToyPolicy.name)
+        transactions = [
+            Transaction(
+                source="a", dma="a.read", queue_class=QueueClass.MEDIA,
+                address=0, size_bytes=64, is_write=False,
+            )
+            for _ in range(3)
+        ]
+        context = SchedulingContext(now_ps=0, is_row_hit=lambda _t: False)
+        assert policy.select(transactions, context) is transactions[-1]

@@ -1,0 +1,87 @@
+"""Unit and property tests for the power-model parameter sets."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.power.params import DramPowerParams, NocPowerParams
+
+
+class TestDramPowerParams:
+    def test_defaults_are_positive(self):
+        params = DramPowerParams()
+        for name, value in params.__dict__.items():
+            assert value > 0, name
+
+    def test_rejects_non_positive_fields(self):
+        with pytest.raises(ValueError):
+            DramPowerParams(activate_precharge_nj=0.0)
+        with pytest.raises(ValueError):
+            DramPowerParams(read_pj_per_byte=-1.0)
+        with pytest.raises(ValueError):
+            DramPowerParams(vdd_v=0.0)
+
+    def test_scaled_to_same_point_is_identity(self):
+        params = DramPowerParams()
+        scaled = params.scaled_to(params.reference_freq_mhz)
+        assert scaled == params
+
+    def test_scaling_down_frequency_reduces_background_power(self):
+        params = DramPowerParams()
+        scaled = params.scaled_to(933.0)
+        assert scaled.active_standby_mw_per_rank < params.active_standby_mw_per_rank
+        assert scaled.idle_standby_mw_per_rank < params.idle_standby_mw_per_rank
+        # Per-event energies are voltage-bound, not frequency-bound.
+        assert scaled.activate_precharge_nj == pytest.approx(params.activate_precharge_nj)
+        assert scaled.read_pj_per_byte == pytest.approx(params.read_pj_per_byte)
+
+    def test_scaling_down_voltage_reduces_event_energy_quadratically(self):
+        params = DramPowerParams()
+        scaled = params.scaled_to(params.reference_freq_mhz, voltage_v=params.vdd_v / 2)
+        assert scaled.activate_precharge_nj == pytest.approx(params.activate_precharge_nj / 4)
+        assert scaled.read_pj_per_byte == pytest.approx(params.read_pj_per_byte / 4)
+        assert scaled.io_pj_per_byte == pytest.approx(params.io_pj_per_byte / 4)
+
+    def test_scaled_to_rejects_bad_inputs(self):
+        params = DramPowerParams()
+        with pytest.raises(ValueError):
+            params.scaled_to(0.0)
+        with pytest.raises(ValueError):
+            params.scaled_to(1600.0, voltage_v=-0.5)
+
+    @given(
+        freq=st.floats(min_value=100.0, max_value=4000.0),
+        voltage=st.floats(min_value=0.4, max_value=1.4),
+    )
+    def test_scaled_parameters_stay_positive(self, freq, voltage):
+        scaled = DramPowerParams().scaled_to(freq, voltage_v=voltage)
+        for name, value in scaled.__dict__.items():
+            assert value > 0, name
+
+    @given(freq=st.floats(min_value=100.0, max_value=1866.0))
+    def test_background_power_monotone_in_frequency(self, freq):
+        base = DramPowerParams()
+        scaled = base.scaled_to(freq)
+        assert scaled.active_standby_mw_per_rank <= base.active_standby_mw_per_rank + 1e-9
+
+    def test_frozen(self):
+        params = DramPowerParams()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            params.vdd_v = 2.0  # type: ignore[misc]
+
+
+class TestNocPowerParams:
+    def test_defaults_are_positive(self):
+        params = NocPowerParams()
+        assert params.hop_pj_per_byte > 0
+        assert params.packet_overhead_pj > 0
+        assert params.leakage_mw_per_router > 0
+
+    def test_rejects_non_positive_fields(self):
+        with pytest.raises(ValueError):
+            NocPowerParams(hop_pj_per_byte=0.0)
+        with pytest.raises(ValueError):
+            NocPowerParams(leakage_mw_per_router=-3.0)

@@ -1,0 +1,68 @@
+"""Unit tests for clock/time-unit helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.clock import MS, NS, PS, SECOND, US, Clock, freq_mhz_to_period_ps
+
+
+def test_unit_constants_are_consistent():
+    assert NS == 1000 * PS
+    assert US == 1000 * NS
+    assert MS == 1000 * US
+    assert SECOND == 1000 * MS
+
+
+def test_period_of_1866_mhz_clock():
+    clock = Clock(1866.0)
+    assert clock.period_ps == 536  # 1 / 1866 MHz = 535.9 ps
+
+
+def test_cycles_to_time_round_trip():
+    clock = Clock(1000.0)  # exactly 1 ns period
+    assert clock.period_ps == 1000
+    assert clock.cycles_to_ps(10) == 10 * NS
+    assert clock.ps_to_cycles(10 * NS) == pytest.approx(10.0)
+
+
+def test_invalid_frequency_rejected():
+    with pytest.raises(ValueError):
+        Clock(0)
+    with pytest.raises(ValueError):
+        Clock(-5)
+    with pytest.raises(ValueError):
+        freq_mhz_to_period_ps(0)
+
+
+def test_negative_cycles_rejected():
+    clock = Clock(100.0)
+    with pytest.raises(ValueError):
+        clock.cycles_to_ps(-1)
+    with pytest.raises(ValueError):
+        clock.ps_to_cycles(-1)
+
+
+def test_scaled_returns_new_clock():
+    clock = Clock(1866.0)
+    slower = clock.scaled(1300.0)
+    assert slower.freq_mhz == 1300.0
+    assert clock.freq_mhz == 1866.0
+    assert slower.period_ps > clock.period_ps
+
+
+@given(freq=st.floats(min_value=1.0, max_value=10000.0))
+def test_period_is_positive_and_monotone(freq):
+    assert freq_mhz_to_period_ps(freq) >= 1
+    assert freq_mhz_to_period_ps(freq) >= freq_mhz_to_period_ps(freq * 2)
+
+
+@given(
+    freq=st.floats(min_value=10.0, max_value=5000.0),
+    cycles=st.integers(min_value=0, max_value=10**6),
+)
+def test_cycle_conversion_is_approximately_invertible(freq, cycles):
+    clock = Clock(freq)
+    time_ps = clock.cycles_to_ps(cycles)
+    assert clock.ps_to_cycles(time_ps) == pytest.approx(cycles, abs=1.0)

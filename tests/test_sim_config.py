@@ -1,0 +1,117 @@
+"""Unit tests for configuration dataclasses (Table 1 defaults)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import (
+    DramConfig,
+    DramTimingConfig,
+    MemoryControllerConfig,
+    NocConfig,
+    SimulationConfig,
+)
+
+
+class TestDramTimingConfig:
+    def test_table1_defaults(self):
+        timing = DramTimingConfig()
+        assert (timing.cl, timing.t_rcd, timing.t_rp) == (36, 34, 34)
+        assert (timing.t_wtr, timing.t_rtp, timing.t_wr) == (19, 14, 34)
+        assert (timing.t_rrd, timing.t_faw) == (19, 75)
+
+    def test_service_cycle_ordering(self):
+        timing = DramTimingConfig()
+        assert timing.row_hit_cycles() < timing.row_closed_cycles() < timing.row_miss_cycles()
+
+    def test_invalid_timing_rejected(self):
+        with pytest.raises(ValueError):
+            DramTimingConfig(cl=0)
+
+
+class TestDramConfig:
+    def test_table1_organisation(self):
+        dram = DramConfig()
+        assert dram.channels == 2
+        assert dram.ranks_per_channel == 2
+        assert dram.banks_per_rank == 8
+        assert dram.total_banks == 32
+        assert dram.capacity_bytes == 2 * 1024**3
+        assert dram.io_freq_mhz == 1866.0
+
+    def test_peak_bandwidth(self):
+        dram = DramConfig()
+        expected = 2 * 8 * 1866.0 * 1e6
+        assert dram.peak_bandwidth_bytes_per_s() == pytest.approx(expected)
+
+    def test_with_frequency_returns_copy(self):
+        dram = DramConfig()
+        slower = dram.with_frequency(1300.0)
+        assert slower.io_freq_mhz == 1300.0
+        assert dram.io_freq_mhz == 1866.0
+
+    def test_row_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            DramConfig(row_size_bytes=3000)
+
+    def test_invalid_channels_rejected(self):
+        with pytest.raises(ValueError):
+            DramConfig(channels=0)
+
+
+class TestMemoryControllerConfig:
+    def test_table1_defaults(self):
+        controller = MemoryControllerConfig()
+        assert controller.total_entries == 42
+        assert controller.transaction_queues == 5
+        assert controller.aging_threshold_cycles == 10_000
+        assert controller.row_buffer_delta == 6
+        assert controller.entries_per_queue == 8
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryControllerConfig(row_buffer_delta=9)
+
+    def test_invalid_scheduler_window_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryControllerConfig(scheduler_window_entries=0)
+
+
+class TestNocConfig:
+    def test_defaults_valid(self):
+        noc = NocConfig()
+        assert noc.link_bytes_per_ns > 0
+
+    def test_unknown_arbitration_rejected(self):
+        with pytest.raises(ValueError):
+            NocConfig(arbitration="magic")
+
+    def test_policy_names_accepted(self):
+        for name in ["fcfs", "round_robin", "priority_qos", "priority_rowbuffer"]:
+            assert NocConfig(arbitration=name).arbitration == name
+
+
+class TestSimulationConfig:
+    def test_defaults(self):
+        config = SimulationConfig()
+        assert config.duration_ps == 33_000_000_000
+        assert config.priority_bits == 3
+        assert config.priority_levels == 8
+        assert config.max_priority == 7
+
+    def test_with_overrides(self):
+        config = SimulationConfig()
+        changed = config.with_overrides(priority_bits=2, seed=7)
+        assert changed.priority_bits == 2
+        assert changed.seed == 7
+        assert config.priority_bits == 3
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(sim_scale=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(sim_scale=1.5)
+
+    def test_invalid_priority_bits_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(priority_bits=0)

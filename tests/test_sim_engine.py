@@ -1,0 +1,140 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Engine
+
+
+def test_events_fire_in_time_order(engine):
+    fired = []
+    engine.schedule(300, fired.append, "late")
+    engine.schedule(100, fired.append, "early")
+    engine.schedule(200, fired.append, "middle")
+    engine.run()
+    assert fired == ["early", "middle", "late"]
+
+
+def test_same_time_events_fire_in_scheduling_order(engine):
+    fired = []
+    for label in ["first", "second", "third"]:
+        engine.schedule(50, fired.append, label)
+    engine.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_now_advances_to_event_time(engine):
+    observed = []
+    engine.schedule(1234, lambda: observed.append(engine.now_ps))
+    engine.run()
+    assert observed == [1234]
+    assert engine.now_ps == 1234
+
+
+def test_run_until_respects_horizon(engine):
+    fired = []
+    engine.schedule(100, fired.append, "inside")
+    engine.schedule(5000, fired.append, "outside")
+    executed = engine.run(until_ps=1000)
+    assert executed == 1
+    assert fired == ["inside"]
+    assert engine.now_ps == 1000
+    assert engine.pending_events == 1
+
+
+def test_run_advances_clock_to_horizon_when_queue_drains(engine):
+    engine.schedule(10, lambda: None)
+    engine.run(until_ps=9999)
+    assert engine.now_ps == 9999
+
+
+def test_scheduling_in_the_past_is_rejected(engine):
+    engine.schedule(100, lambda: None)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.schedule_at(50, lambda: None)
+
+
+def test_negative_delay_rejected(engine):
+    with pytest.raises(ValueError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_cancelled_events_do_not_fire(engine):
+    fired = []
+    event = engine.schedule(100, fired.append, "cancelled")
+    engine.schedule(200, fired.append, "kept")
+    event.cancel()
+    engine.run()
+    assert fired == ["kept"]
+
+
+def test_events_scheduled_during_run_are_executed(engine):
+    fired = []
+
+    def chain(depth: int) -> None:
+        fired.append(depth)
+        if depth < 3:
+            engine.schedule(10, chain, depth + 1)
+
+    engine.schedule(0, chain, 0)
+    engine.run()
+    assert fired == [0, 1, 2, 3]
+
+
+def test_step_executes_single_event(engine):
+    fired = []
+    engine.schedule(10, fired.append, "a")
+    engine.schedule(20, fired.append, "b")
+    assert engine.step() is True
+    assert fired == ["a"]
+    assert engine.step() is True
+    assert engine.step() is False
+
+
+def test_max_events_limits_execution(engine):
+    fired = []
+    for index in range(10):
+        engine.schedule(index, fired.append, index)
+    executed = engine.run(max_events=4)
+    assert executed == 4
+    assert fired == [0, 1, 2, 3]
+
+
+def test_drain_cancelled_removes_tombstones(engine):
+    events = [engine.schedule(i, lambda: None) for i in range(5)]
+    for event in events[:3]:
+        event.cancel()
+    removed = engine.drain_cancelled()
+    assert removed == 3
+    assert engine.pending_events == 2
+
+
+def test_reentrant_run_is_rejected(engine):
+    def nested():
+        with pytest.raises(RuntimeError):
+            engine.run()
+
+    engine.schedule(1, nested)
+    engine.run()
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=50))
+def test_fired_count_matches_scheduled(delays):
+    engine = Engine()
+    for delay in delays:
+        engine.schedule(delay, lambda: None)
+    engine.run()
+    assert engine.fired_events == len(delays)
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=50))
+def test_execution_order_is_sorted_by_time(delays):
+    engine = Engine()
+    observed = []
+    for delay in delays:
+        engine.schedule(delay, lambda d=delay: observed.append(d))
+    engine.run()
+    assert observed == sorted(delays)

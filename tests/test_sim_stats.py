@@ -1,0 +1,135 @@
+"""Unit tests for statistics primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import Counter, Histogram, RunningMean, WindowedRate, percentile
+
+
+class TestCounter:
+    def test_increment(self):
+        counter = Counter("served")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("served")
+        with pytest.raises(ValueError):
+            counter.increment(-1)
+
+    def test_reset(self):
+        counter = Counter("served")
+        counter.increment(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestRunningMean:
+    def test_empty_mean_is_zero(self):
+        assert RunningMean().mean == 0.0
+
+    def test_mean_min_max(self):
+        stats = RunningMean()
+        for sample in [2.0, 4.0, 6.0]:
+            stats.add(sample)
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 6.0
+        assert stats.count == 3
+
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=100))
+    def test_mean_matches_reference(self, samples):
+        stats = RunningMean()
+        for sample in samples:
+            stats.add(sample)
+        assert stats.mean == pytest.approx(sum(samples) / len(samples), rel=1e-9, abs=1e-6)
+        assert stats.minimum == min(samples)
+        assert stats.maximum == max(samples)
+
+
+class TestHistogram:
+    def test_fractions_sum_to_one(self):
+        histogram = Histogram(range(4))
+        histogram.add(0, 2)
+        histogram.add(3, 6)
+        fractions = histogram.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions[3] == pytest.approx(0.75)
+
+    def test_unknown_bucket_rejected(self):
+        histogram = Histogram(range(4))
+        with pytest.raises(KeyError):
+            histogram.add(9)
+
+    def test_empty_fractions_are_zero(self):
+        histogram = Histogram(range(3))
+        assert all(value == 0.0 for value in histogram.fractions().values())
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(ValueError):
+            Histogram([])
+
+
+class TestWindowedRate:
+    def test_rate_over_window(self):
+        window = WindowedRate(window_ps=1000)
+        window.add(0, 100.0)
+        window.add(500, 100.0)
+        assert window.window_total(500) == pytest.approx(200.0)
+        assert window.rate(500) == pytest.approx(0.2)
+
+    def test_old_samples_are_evicted(self):
+        window = WindowedRate(window_ps=1000)
+        window.add(0, 100.0)
+        window.add(2000, 50.0)
+        assert window.window_total(2000) == pytest.approx(50.0)
+        assert window.lifetime_total == pytest.approx(150.0)
+
+    def test_window_mean(self):
+        window = WindowedRate(window_ps=1000)
+        assert window.window_mean(100) == 0.0
+        window.add(100, 10.0)
+        window.add(200, 30.0)
+        assert window.window_mean(200) == pytest.approx(20.0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedRate(0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10**6),
+                st.floats(min_value=0, max_value=1e6),
+            ),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    def test_window_total_never_exceeds_lifetime(self, samples):
+        window = WindowedRate(window_ps=10_000)
+        samples = sorted(samples, key=lambda pair: pair[0])
+        for time_ps, amount in samples:
+            window.add(time_ps, amount)
+        last_time = samples[-1][0]
+        assert window.window_total(last_time) <= window.lifetime_total + 1e-6
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_median(self):
+        assert percentile([5.0, 1.0, 3.0], 0.5) == 3.0
+
+    def test_extremes(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 4.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)

@@ -1,0 +1,70 @@
+"""Unit tests for time-series tracing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.trace import TimeSeries, TraceRecorder
+
+
+class TestTimeSeries:
+    def test_append_and_stats(self):
+        series = TimeSeries("npi.core.display")
+        series.append(0, 1.0)
+        series.append(10, 0.5)
+        series.append(20, 2.0)
+        assert len(series) == 3
+        assert series.minimum() == 0.5
+        assert series.maximum() == 2.0
+        assert series.mean() == pytest.approx(3.5 / 3)
+        assert series.final() == 2.0
+
+    def test_out_of_order_append_rejected(self):
+        series = TimeSeries("x")
+        series.append(100, 1.0)
+        with pytest.raises(ValueError):
+            series.append(50, 2.0)
+
+    def test_empty_series_stats(self):
+        series = TimeSeries("empty")
+        assert series.minimum() == 0.0
+        assert series.mean() == 0.0
+        assert series.fraction_below(1.0) == 0.0
+
+    def test_value_at(self):
+        series = TimeSeries("x")
+        series.append(10, 1.0)
+        series.append(20, 2.0)
+        assert series.value_at(5) == 0.0
+        assert series.value_at(15) == 1.0
+        assert series.value_at(25) == 2.0
+
+    def test_fraction_below(self):
+        series = TimeSeries("x")
+        for time_ps, value in enumerate([0.5, 1.5, 0.8, 2.0]):
+            series.append(time_ps, value)
+        assert series.fraction_below(1.0) == pytest.approx(0.5)
+
+    def test_after_trims_early_samples(self):
+        series = TimeSeries("x")
+        for time_ps, value in [(0, 0.1), (100, 0.2), (200, 5.0)]:
+            series.append(time_ps, value)
+        trimmed = series.after(100)
+        assert trimmed.as_pairs() == [(100, 0.2), (200, 5.0)]
+        assert trimmed.minimum() == 0.2
+
+
+class TestTraceRecorder:
+    def test_record_creates_series(self):
+        recorder = TraceRecorder()
+        recorder.record("a", 0, 1.0)
+        recorder.record("a", 10, 2.0)
+        recorder.record("b", 0, 3.0)
+        assert len(recorder) == 2
+        assert "a" in recorder
+        assert recorder.get("a").final() == 2.0
+        assert recorder.names() == ["a", "b"]
+
+    def test_get_missing_series_returns_none(self):
+        recorder = TraceRecorder()
+        assert recorder.get("missing") is None

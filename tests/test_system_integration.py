@@ -1,0 +1,184 @@
+"""Integration tests: full system builds and short end-to-end runs.
+
+These use short durations and reduced traffic so the whole file runs in tens
+of seconds; the benchmark harness exercises the full-scale configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import (
+    bandwidth_ordering,
+    fraction_of_time_failing,
+    mean_priority,
+    npi_summary,
+    qos_satisfied,
+)
+from repro.analysis.report import (
+    format_bandwidth_table,
+    format_core_summary,
+    format_npi_table,
+    format_priority_distribution,
+    format_settings_table,
+)
+from repro.sim.clock import MS
+from repro.system.builder import build_system
+from repro.system.experiment import (
+    compare_policies,
+    critical_core_minimums,
+    frequency_sweep,
+    run_experiment,
+)
+from repro.system.platform import table1_settings
+
+SHORT = 3 * MS
+SCALE = 0.3
+
+
+@pytest.fixture(scope="module")
+def priority_result():
+    return run_experiment(
+        case="A", policy="priority_qos", duration_ps=SHORT, traffic_scale=SCALE
+    )
+
+
+@pytest.fixture(scope="module")
+def fcfs_result():
+    return run_experiment(
+        case="A", policy="fcfs", duration_ps=SHORT, traffic_scale=SCALE
+    )
+
+
+class TestBuildSystem:
+    def test_case_a_builds_all_cores(self):
+        system = build_system(case="A", policy="priority_qos", traffic_scale=SCALE)
+        assert len(system.cores) == 14
+        assert len(system.dmas) == len(system.workload.dmas)
+        assert system.adaptation_enabled is True
+
+    def test_case_b_omits_inactive_cores(self):
+        system = build_system(case="B", policy="fcfs", traffic_scale=SCALE)
+        assert "camera" not in system.cores
+        assert "gps" not in system.cores
+        assert system.adaptation_enabled is False
+        assert system.dram.config.io_freq_mhz == 1700.0
+
+    def test_adaptation_override(self):
+        system = build_system(
+            case="A", policy="fcfs", adaptation_enabled=True, traffic_scale=SCALE
+        )
+        assert system.adaptation_enabled is True
+
+    def test_dram_frequency_override(self):
+        system = build_system(case="A", policy="priority_qos", dram_freq_mhz=1300.0)
+        assert system.dram.config.io_freq_mhz == 1300.0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            build_system(case="A", policy="not_a_policy")
+
+
+class TestRunExperiment:
+    def test_result_contains_every_core(self, priority_result):
+        assert set(priority_result.min_core_npi) == {
+            "camera", "image_processor", "video_codec", "rotator", "jpeg",
+            "display", "gpu", "dsp", "cpu", "gps", "modem", "wifi", "usb", "audio",
+        }
+        assert priority_result.policy == "priority_qos"
+        assert priority_result.served_transactions > 0
+        assert priority_result.dram_bandwidth_bytes_per_s > 0
+        assert 0 <= priority_result.dram_row_hit_rate <= 1
+        assert priority_result.average_latency_ps > 0
+
+    def test_traces_recorded_per_core(self, priority_result):
+        series = priority_result.npi_series("display")
+        assert len(series) > 10
+        assert series.times_ps[-1] <= priority_result.duration_ps
+
+    def test_priority_distributions_present(self, priority_result):
+        assert "display.read" in priority_result.priority_distributions
+        fractions = priority_result.priority_distributions["display.read"]
+        assert sum(fractions.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_baseline_does_not_adapt(self, fcfs_result):
+        assert fcfs_result.adaptation_enabled is False
+        for distribution in fcfs_result.priority_distributions.values():
+            assert distribution.get(0, 0.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_keep_trace_false_drops_traces(self):
+        result = run_experiment(
+            case="A",
+            policy="fcfs",
+            duration_ps=SHORT,
+            traffic_scale=SCALE,
+            keep_trace=False,
+        )
+        with pytest.raises(RuntimeError):
+            result.npi_series("display")
+
+    def test_failing_cores_uses_threshold(self, fcfs_result):
+        assert fcfs_result.failing_cores(threshold=0.01) == []
+        assert set(fcfs_result.failing_cores(threshold=10.0)) == set(
+            fcfs_result.min_core_npi
+        )
+
+    def test_critical_core_minimums_subset(self, priority_result):
+        minimums = critical_core_minimums(priority_result)
+        assert set(minimums).issubset(set(priority_result.min_core_npi))
+        assert "display" in minimums
+
+
+class TestSweeps:
+    def test_compare_policies_returns_one_result_each(self):
+        results = compare_policies(
+            ["fcfs", "priority_qos"], case="A", duration_ps=SHORT, traffic_scale=SCALE
+        )
+        assert set(results) == {"fcfs", "priority_qos"}
+        ordering = bandwidth_ordering(results)
+        assert len(ordering) == 2
+
+    def test_frequency_sweep_slower_dram_is_not_faster(self):
+        results = frequency_sweep(
+            [1866.0, 1300.0],
+            case="A",
+            policy="priority_qos",
+            duration_ps=SHORT,
+            traffic_scale=SCALE,
+        )
+        assert set(results) == {1866.0, 1300.0}
+        assert (
+            results[1300.0].dram_bandwidth_bytes_per_s
+            <= results[1866.0].dram_bandwidth_bytes_per_s * 1.05
+        )
+        assert results[1300.0].dram_freq_mhz == 1300.0
+
+
+class TestAnalysis:
+    def test_qos_satisfied_and_summary(self, priority_result):
+        summary = npi_summary(priority_result, cores=["display", "dsp"])
+        assert set(summary) == {"display", "dsp"}
+        assert qos_satisfied(priority_result, cores=["rotator"], threshold=0.01)
+
+    def test_fraction_of_time_failing_in_range(self, fcfs_result):
+        fraction = fraction_of_time_failing(fcfs_result, "dsp")
+        assert 0.0 <= fraction <= 1.0
+
+    def test_mean_priority(self):
+        assert mean_priority({0: 0.5, 7: 0.5}) == pytest.approx(3.5)
+        assert mean_priority({}) == 0.0
+
+    def test_reports_render_as_text(self, priority_result, fcfs_result):
+        results = {"priority_qos": priority_result, "fcfs": fcfs_result}
+        npi_table = format_npi_table(results, cores=["display", "dsp", "gpu"])
+        assert "display" in npi_table and "priority_qos" in npi_table
+        bandwidth_table = format_bandwidth_table(results)
+        assert "GB/s" in bandwidth_table
+        settings_table = format_settings_table(table1_settings("A"))
+        assert "dram_io_freq_mhz" in settings_table
+        distribution = format_priority_distribution(
+            {1866.0: priority_result.priority_distributions["display.read"]}
+        )
+        assert "1866" in distribution
+        summary = format_core_summary(priority_result, cores=["display"])
+        assert "bandwidth" in summary

@@ -1,0 +1,85 @@
+"""Unit tests for the platform presets (Tables 1 and 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system.platform import (
+    CASE_A_CRITICAL_CORES,
+    CASE_B_CRITICAL_CORES,
+    cluster_specs_for,
+    critical_cores_for,
+    simulation_config_for_case,
+    table1_settings,
+    table2_core_types,
+)
+from repro.traffic.camcorder import camcorder_workload
+
+
+class TestTable1:
+    def test_case_a_frequency(self):
+        settings = table1_settings("A")
+        assert settings["dram_io_freq_mhz"] == 1866.0
+        assert settings["memory_controller_total_entries"] == 42
+        assert settings["memory_controller_transaction_queues"] == 5
+        assert settings["dram_channels"] == 2
+        assert settings["dram_ranks_per_channel"] == 2
+        assert settings["dram_banks_per_rank"] == 8
+        assert settings["timing_cl_trcd_trp"] == (36, 34, 34)
+        assert settings["timing_twtr_trtp_twr"] == (19, 14, 34)
+        assert settings["timing_trrd_tfaw"] == (19, 75)
+
+    def test_case_b_frequency(self):
+        assert table1_settings("B")["dram_io_freq_mhz"] == 1700.0
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(ValueError):
+            table1_settings("Z")
+
+
+class TestTable2:
+    def test_types_cover_every_registered_core(self):
+        types = table2_core_types()
+        assert types["gpu"] == "frame rate"
+        assert types["display"] == "buffer occupancy"
+        assert types["dsp"] == "latency"
+        assert types["gps"] == "processing time"
+        assert types["wifi"] == "bandwidth"
+        assert len(types) == 14
+
+
+class TestSimulationConfigForCase:
+    def test_case_sets_dram_frequency(self):
+        assert simulation_config_for_case("A").dram.io_freq_mhz == 1866.0
+        assert simulation_config_for_case("B").dram.io_freq_mhz == 1700.0
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(ValueError):
+            simulation_config_for_case("X")
+
+
+class TestClusters:
+    def test_cluster_specs_cover_all_cores(self):
+        workload = camcorder_workload("A")
+        specs = cluster_specs_for(workload)
+        members = [core for spec in specs for core in spec.members]
+        assert sorted(members) == sorted(workload.cores())
+        assert {spec.name for spec in specs} == {"media", "compute", "system"}
+
+    def test_case_b_drops_empty_members(self):
+        workload = camcorder_workload("B")
+        specs = cluster_specs_for(workload)
+        members = [core for spec in specs for core in spec.members]
+        assert "camera" not in members
+
+
+class TestCriticalCores:
+    def test_case_lists(self):
+        assert critical_cores_for("A") == CASE_A_CRITICAL_CORES
+        assert critical_cores_for("b") == CASE_B_CRITICAL_CORES
+        assert "display" in CASE_A_CRITICAL_CORES
+        assert "dsp" in CASE_B_CRITICAL_CORES
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(ValueError):
+            critical_cores_for("Z")

@@ -1,0 +1,164 @@
+"""Unit tests for traffic generators, address streams and the camcorder workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.clock import MS, US
+from repro.sim.engine import Engine
+from repro.traffic.addresses import (
+    RandomAddressStream,
+    SequentialAddressStream,
+    StridedAddressStream,
+)
+from repro.traffic.bursty import FrameBurstGenerator
+from repro.traffic.camcorder import (
+    CASE_B_INACTIVE_CORES,
+    camcorder_workload,
+)
+from repro.traffic.constant import ConstantRateGenerator
+from repro.traffic.poisson import PoissonGenerator
+
+
+class TestAddressStreams:
+    def test_sequential_walks_and_wraps(self):
+        stream = SequentialAddressStream(base=1000, region_bytes=4096)
+        addresses = [stream.next_address(1024) for _ in range(5)]
+        assert addresses == [1000, 2024, 3048, 4072, 1000]
+
+    def test_strided_wraps_within_region(self):
+        stream = StridedAddressStream(base=0, region_bytes=8192, stride_bytes=4096)
+        assert [stream.next_address(64) for _ in range(3)] == [0, 4096, 0]
+
+    def test_random_stays_in_region_and_aligned(self):
+        stream = RandomAddressStream(
+            np.random.default_rng(1), base=1 << 20, region_bytes=1 << 16, align_bytes=256
+        )
+        for _ in range(100):
+            address = stream.next_address(256)
+            assert (1 << 20) <= address < (1 << 20) + (1 << 16)
+            assert (address - (1 << 20)) % 256 == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialAddressStream(base=-1, region_bytes=10)
+        with pytest.raises(ValueError):
+            SequentialAddressStream(base=0, region_bytes=0)
+        with pytest.raises(ValueError):
+            StridedAddressStream(0, 100, 0)
+
+
+class TestGenerators:
+    def test_frame_burst_releases_whole_frame_at_boundaries(self):
+        engine = Engine()
+        releases = []
+        generator = FrameBurstGenerator(bytes_per_frame=1000, frame_period_ps=10 * MS)
+        generator.start(engine, lambda size: releases.append((engine.now_ps, size)))
+        engine.run(until_ps=25 * MS)
+        assert releases == [(0, 1000), (10 * MS, 1000), (20 * MS, 1000)]
+        assert generator.average_bytes_per_s() == pytest.approx(1000 / (10e-3))
+
+    def test_constant_rate_releases_chunks_at_fixed_interval(self):
+        engine = Engine()
+        releases = []
+        generator = ConstantRateGenerator(bytes_per_s=1e6, chunk_bytes=100)
+        generator.start(engine, lambda size: releases.append(engine.now_ps))
+        engine.run(until_ps=MS)
+        # 1 MB/s with 100-byte chunks -> one chunk every 100 us -> ~10 chunks in 1 ms
+        assert 9 <= len(releases) <= 11
+        assert releases[1] - releases[0] == pytest.approx(100 * US, rel=0.01)
+
+    def test_poisson_mean_rate_approximately_correct(self):
+        engine = Engine()
+        total = {"bytes": 0}
+        generator = PoissonGenerator(
+            np.random.default_rng(7), bytes_per_s=10e6, chunk_bytes=256
+        )
+        generator.start(engine, lambda size: total.__setitem__("bytes", total["bytes"] + size))
+        engine.run(until_ps=20 * MS)
+        achieved = total["bytes"] / 20e-3
+        assert achieved == pytest.approx(10e6, rel=0.25)
+
+    def test_generator_stops_at_horizon(self):
+        engine = Engine()
+        releases = []
+        generator = ConstantRateGenerator(bytes_per_s=1e6, chunk_bytes=100)
+        generator.start(engine, lambda size: releases.append(engine.now_ps), stop_ps=500 * US)
+        engine.run()
+        assert all(time_ps <= 500 * US for time_ps in releases)
+
+    def test_generator_cannot_start_twice(self):
+        engine = Engine()
+        generator = ConstantRateGenerator(bytes_per_s=1e6, chunk_bytes=100)
+        generator.start(engine, lambda size: None)
+        with pytest.raises(RuntimeError):
+            generator.start(engine, lambda size: None)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            FrameBurstGenerator(0, MS)
+        with pytest.raises(ValueError):
+            ConstantRateGenerator(0, 100)
+        with pytest.raises(ValueError):
+            PoissonGenerator(np.random.default_rng(0), 1e6, 0)
+
+
+class TestCamcorderWorkload:
+    def test_case_a_contains_all_table2_cores(self):
+        workload = camcorder_workload("A")
+        cores = set(workload.cores())
+        expected = {
+            "camera", "image_processor", "video_codec", "rotator", "jpeg",
+            "display", "gpu", "dsp", "cpu", "gps", "modem", "wifi", "usb", "audio",
+        }
+        assert cores == expected
+
+    def test_case_b_disables_table1_cores(self):
+        workload = camcorder_workload("B")
+        cores = set(workload.cores())
+        for inactive in CASE_B_INACTIVE_CORES:
+            assert inactive not in cores
+        assert "dsp" in cores and "display" in cores
+
+    def test_traffic_scale_scales_demand_linearly(self):
+        full = camcorder_workload("A", traffic_scale=1.0)
+        half = camcorder_workload("A", traffic_scale=0.5)
+        assert half.total_demand_bytes_per_s() == pytest.approx(
+            full.total_demand_bytes_per_s() / 2
+        )
+
+    def test_rotator_rate_matches_paper(self):
+        workload = camcorder_workload("A")
+        rotator = workload.specs_for_core("rotator")
+        assert len(rotator) == 2
+        for spec in rotator:
+            assert spec.bytes_per_s == pytest.approx(89e6)
+
+    def test_regions_are_disjoint(self):
+        workload = camcorder_workload("A")
+        regions = [(s.region_base, s.region_base + s.region_bytes) for s in workload.dmas]
+        regions.sort()
+        for (start_a, end_a), (start_b, _end_b) in zip(regions, regions[1:]):
+            assert end_a <= start_b
+
+    def test_meter_types_match_table2(self):
+        workload = camcorder_workload("A")
+        assert workload.meter_type_of("gpu") == "frame_progress"
+        assert workload.meter_type_of("dsp") == "latency"
+        assert workload.meter_type_of("display") == "occupancy"
+        assert workload.meter_type_of("gps") == "processing_time"
+        assert workload.meter_type_of("wifi") == "bandwidth"
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(ValueError):
+            camcorder_workload("C")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            camcorder_workload("A", traffic_scale=0)
+
+    def test_unknown_core_lookup_raises(self):
+        workload = camcorder_workload("B")
+        with pytest.raises(KeyError):
+            workload.meter_type_of("camera")
