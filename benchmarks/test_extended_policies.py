@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import cached_run
+from benchmarks.conftest import cached_run, policy_grid, prefetch
 from repro.analysis.metrics import qos_satisfied
 from repro.analysis.report import format_bandwidth_table, format_npi_table
 from repro.sim.clock import MS
@@ -21,6 +21,12 @@ from repro.system.platform import critical_cores_for
 
 DURATION_PS = 8 * MS
 POLICIES = ["atlas", "tcm", "sms", "edf", "priority_qos"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _prefetch_grid():
+    """Batch the whole grid through one sweep so cold runs can parallelise."""
+    prefetch(policy_grid("A", POLICIES, duration_ps=DURATION_PS))
 
 
 @pytest.mark.parametrize("policy", POLICIES)

@@ -12,12 +12,18 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import cached_run
+from benchmarks.conftest import cached_run, policy_grid, prefetch
 from repro.analysis.report import format_npi_table
 from repro.system.platform import critical_cores_for
 
 POLICIES = ["fcfs", "round_robin", "frame_rate_qos", "priority_qos"]
 REPORTED_CORES = list(critical_cores_for("B")) + ["audio", "gpu"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _prefetch_grid():
+    """Batch the whole grid through one sweep so cold runs can parallelise."""
+    prefetch(policy_grid("B", POLICIES))
 
 
 @pytest.mark.parametrize("policy", POLICIES)

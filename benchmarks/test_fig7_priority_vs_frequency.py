@@ -16,12 +16,31 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import cached_run
+from benchmarks.conftest import BENCH_DURATION_PS, BENCH_TRAFFIC_SCALE, cached_run, prefetch
 from repro.analysis.metrics import mean_priority, priority_distribution_table
 from repro.analysis.report import format_priority_distribution
+from repro.runner import RunSpec
 
 FREQUENCIES_MHZ = [1700.0, 1600.0, 1500.0, 1400.0, 1300.0]
 DMA = "image_processor.read"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _prefetch_grid():
+    """Batch the whole grid through one sweep so cold runs can parallelise."""
+    prefetch(
+        [
+            RunSpec(
+                case="A",
+                policy="priority_qos",
+                duration_ps=BENCH_DURATION_PS,
+                traffic_scale=BENCH_TRAFFIC_SCALE,
+                dram_freq_mhz=freq,
+                label=f"{freq:g}",
+            )
+            for freq in FREQUENCIES_MHZ
+        ]
+    )
 
 
 @pytest.mark.parametrize("freq", FREQUENCIES_MHZ)

@@ -17,10 +17,16 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import cached_run
+from benchmarks.conftest import cached_run, policy_grid, prefetch
 from repro.analysis.report import format_bandwidth_table
 
 POLICIES = ["round_robin", "fcfs", "priority_qos", "priority_rowbuffer", "fr_fcfs"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _prefetch_grid():
+    """Batch the whole grid through one sweep so cold runs can parallelise."""
+    prefetch(policy_grid("A", POLICIES))
 
 
 @pytest.mark.parametrize("policy", POLICIES)

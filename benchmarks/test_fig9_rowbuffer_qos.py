@@ -11,12 +11,18 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import cached_run
+from benchmarks.conftest import cached_run, policy_grid, prefetch
 from repro.analysis.report import format_npi_table
 from repro.system.platform import critical_cores_for
 
 POLICIES = ["priority_rowbuffer", "fr_fcfs"]
 REPORTED_CORES = list(critical_cores_for("A")) + ["dsp", "audio"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _prefetch_grid():
+    """Batch the whole grid through one sweep so cold runs can parallelise."""
+    prefetch(policy_grid("A", POLICIES))
 
 
 @pytest.mark.parametrize("policy", POLICIES)

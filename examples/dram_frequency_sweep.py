@@ -6,14 +6,21 @@ the image processor spends at each priority level.  As frequency drops and
 memory contention grows, the distribution should shift toward the higher
 priority levels — the self-adaptation the paper shows in Fig. 7.
 
-Run with:  python examples/dram_frequency_sweep.py
+The sweep goes through the orchestrator, so the frequency points fan out
+across worker processes and a rerun served from the result cache finishes in
+milliseconds.
+
+Run with:  python examples/dram_frequency_sweep.py [--jobs 3] \
+    [--cache-dir .repro-cache]
 """
 
 from __future__ import annotations
 
-from repro import frequency_sweep
+import argparse
+
 from repro.analysis.metrics import mean_priority, priority_distribution_table
 from repro.analysis.report import format_priority_distribution
+from repro.runner import sweep_frequencies
 from repro.sim.clock import MS
 
 FREQUENCIES_MHZ = [1700.0, 1500.0, 1300.0]
@@ -21,13 +28,26 @@ DMA = "image_processor.read"
 
 
 def main() -> None:
-    results = frequency_sweep(
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the sweep"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="on-disk result cache (omit to disable)"
+    )
+    args = parser.parse_args()
+
+    results, stats = sweep_frequencies(
         FREQUENCIES_MHZ,
         case="A",
         policy="priority_qos",
         duration_ps=8 * MS,
         traffic_scale=0.9,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
+    print(stats.summary())
+    print()
 
     table = priority_distribution_table(results, DMA)
     print(f"Time share per priority level for {DMA} (Fig. 7 analogue)\n")

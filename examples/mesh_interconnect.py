@@ -12,7 +12,7 @@ Run with:  python examples/mesh_interconnect.py
 from __future__ import annotations
 
 from repro.sim.clock import MS
-from repro.sim.config import NocConfig, SimulationConfig
+from repro.sim.config import NocConfig
 from repro.system.builder import build_system
 from repro.system.platform import simulation_config_for_case
 

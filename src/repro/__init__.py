@@ -9,6 +9,10 @@ public API is intentionally small:
 * :func:`repro.run_experiment`, :func:`repro.compare_policies`,
   :func:`repro.frequency_sweep` — the experiment runners behind every table
   and figure of the paper's evaluation.
+* :class:`repro.RunSpec`, :func:`repro.run_sweep`,
+  :func:`repro.sweep_compare_policies`, :func:`repro.sweep_frequencies` —
+  the sweep orchestrator: the same experiments fanned out across worker
+  processes with an on-disk result cache (see docs/running_experiments.md).
 * :mod:`repro.core` — the SARA contribution itself: NPI performance meters,
   the NPI-to-priority look-up table and the adaptation framework.
 
@@ -33,6 +37,14 @@ from repro.sim.config import (
     MemoryControllerConfig,
     NocConfig,
     SimulationConfig,
+)
+from repro.runner import (
+    ResultCache,
+    RunSpec,
+    SweepStats,
+    run_sweep,
+    sweep_compare_policies,
+    sweep_frequencies,
 )
 from repro.system import (
     ExperimentResult,
@@ -64,8 +76,11 @@ __all__ = [
     "PriorityAdapter",
     "PriorityLookupTable",
     "ProcessingTimeMeter",
+    "ResultCache",
+    "RunSpec",
     "SaraFramework",
     "SimulationConfig",
+    "SweepStats",
     "System",
     "__version__",
     "build_system",
@@ -73,7 +88,10 @@ __all__ = [
     "compare_policies",
     "frequency_sweep",
     "run_experiment",
+    "run_sweep",
     "simulation_config_for_case",
+    "sweep_compare_policies",
+    "sweep_frequencies",
     "table1_settings",
     "table2_core_types",
 ]

@@ -9,7 +9,7 @@ a terminal or a log file.  They are used by the example scripts and the CLI.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Tuple
 
 from repro.sim.trace import TimeSeries
 

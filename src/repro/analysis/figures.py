@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.analysis.metrics import priority_distribution_table
 from repro.sim.clock import MS

@@ -7,7 +7,7 @@ target, and how the policies order in delivered DRAM bandwidth.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.system.experiment import ExperimentResult
 

@@ -20,7 +20,7 @@ from repro.sim.config import (
     NocConfig,
     SimulationConfig,
 )
-from repro.sim.trace import TimeSeries, TraceRecorder
+from repro.sim.trace import TraceRecorder
 from repro.system.experiment import ExperimentResult
 
 PathLike = Union[str, Path]

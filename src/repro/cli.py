@@ -23,9 +23,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.analysis.figures import export_csv, fig7_rows, fig8_rows, min_npi_rows
+from repro.analysis.figures import export_csv, fig7_rows, min_npi_rows
 from repro.analysis.metrics import priority_distribution_table
 from repro.analysis.paper import (
     check_fig8_bandwidth_ordering,
@@ -45,9 +45,10 @@ from repro.dvfs.experiment import run_with_governor
 from repro.dvfs.governor import available_governors, make_governor
 from repro.memctrl.policies import available_policies
 from repro.power import estimate_system_energy, format_energy_report
+from repro.runner import sweep_compare_policies, sweep_frequencies
 from repro.sim.clock import MS
 from repro.system.builder import build_system
-from repro.system.experiment import compare_policies, frequency_sweep, run_experiment
+from repro.system.experiment import run_experiment
 from repro.system.platform import critical_cores_for, table1_settings, table2_core_types
 
 #: Default simulated window for CLI runs (milliseconds).
@@ -69,6 +70,28 @@ def _add_common_run_arguments(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=1.0,
         help="linear scale on all offered traffic (1.0 = paper rates)",
+    )
+
+
+def _positive_int(value: str) -> int:
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return jobs
+
+
+def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    """Orchestrator knobs shared by the multi-run commands."""
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the sweep (1 = run in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the on-disk result cache (omit to disable caching)",
     )
 
 
@@ -94,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     compare = subparsers.add_parser("compare", help="compare several policies on one case")
     _add_common_run_arguments(compare)
+    _add_sweep_arguments(compare)
     compare.add_argument(
         "--policies",
         nargs="+",
@@ -104,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = subparsers.add_parser("sweep", help="Fig. 7 DRAM frequency sweep")
     _add_common_run_arguments(sweep)
+    _add_sweep_arguments(sweep)
     sweep.add_argument("--policy", default="priority_qos", choices=sorted(available_policies()))
     sweep.add_argument("--dma", default="image_processor.read", help="DMA whose priorities to report")
     sweep.add_argument(
@@ -178,12 +203,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     duration_ps = int(args.duration_ms * MS)
-    results = compare_policies(
+    results, stats = sweep_compare_policies(
         args.policies,
         case=args.case,
         duration_ps=duration_ps,
         traffic_scale=args.traffic_scale,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
+    print(stats.summary())
     critical = critical_cores_for(args.case)
     print(f"Minimum NPI per critical core (case {args.case})")
     print(format_npi_table(results, critical))
@@ -206,13 +234,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     duration_ps = int(args.duration_ms * MS)
-    sweep = frequency_sweep(
+    sweep, stats = sweep_frequencies(
         args.frequencies,
         case=args.case,
         policy=args.policy,
         duration_ps=duration_ps,
         traffic_scale=args.traffic_scale,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
+    print(stats.summary())
     table = priority_distribution_table(sweep, args.dma)
     print(f"Fig. 7 — priority-level residency of {args.dma}")
     print(format_priority_distribution(table))

@@ -11,7 +11,6 @@ refresh is injected per rank.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.dram.address import DecodedAddress

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Optional, Type
+from typing import Dict, Type
 
 from repro.dvfs.opp import OperatingPoint, OppTable
 

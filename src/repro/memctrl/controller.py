@@ -49,6 +49,20 @@ class MemoryController:
             queue_class: TransactionQueue(queue_class.value, window)
             for queue_class in QueueClass
         }
+        # Incrementally maintained per-channel candidate index: for each
+        # channel, an insertion-ordered map per queue class.  With the default
+        # (unbounded) scheduler window this lets _candidates_for_channel hand
+        # the policy its candidate list without rescanning every queue on
+        # every scheduling decision; a bounded window falls back to the
+        # windowed scan.
+        self._pending_by_channel: List[Dict[QueueClass, Dict[int, Transaction]]] = [
+            {queue_class: {} for queue_class in QueueClass}
+            for _ in range(dram.config.channels)
+        ]
+        self._unbounded_window = self.config.scheduler_window_entries is None
+        # Incrementally maintained count of queued transactions; has_space()
+        # runs on every NoC forward attempt, so it must not sum queue lengths.
+        self._pending_count = 0
         self.aging = AgingTracker(
             self.config.aging_threshold_cycles, dram.timing.clock_period_ps
         )
@@ -88,7 +102,7 @@ class MemoryController:
 
     def has_space(self) -> bool:
         """Whether the front-end can accept another transaction right now."""
-        return self.pending_transactions() < self.config.total_entries
+        return self._pending_count < self.config.total_entries
 
     # ------------------------------------------------------------------ #
     # Transaction flow
@@ -98,15 +112,31 @@ class MemoryController:
         now = self.engine.now_ps
         queue = self.queues[transaction.queue_class]
         queue.push(transaction, now)
-        self._channel_of[transaction.uid] = self.dram.channel_of(transaction.address)
-        self._try_schedule(self._channel_of[transaction.uid])
+        self._pending_count += 1
+        channel = self.dram.channel_of(transaction.address)
+        self._channel_of[transaction.uid] = channel
+        if self._unbounded_window:
+            self._pending_by_channel[channel][transaction.queue_class][
+                transaction.uid
+            ] = transaction
+        self._try_schedule(channel)
 
     def pending_transactions(self) -> int:
         """Total transactions waiting in all class queues."""
-        return sum(len(queue) for queue in self.queues.values())
+        return self._pending_count
 
     def _candidates_for_channel(self, channel: int) -> List[Transaction]:
-        candidates: List[Transaction] = []
+        if self._unbounded_window:
+            # Fast path: the per-channel index already holds exactly the
+            # pending transactions of this channel, in the same order the
+            # windowed scan would produce (queue-class order, FIFO within a
+            # class).
+            candidates: List[Transaction] = []
+            for bucket in self._pending_by_channel[channel].values():
+                if bucket:
+                    candidates.extend(bucket.values())
+            return candidates
+        candidates = []
         for queue in self.queues.values():
             for transaction in queue.visible():
                 if self._channel_of[transaction.uid] == channel:
@@ -130,6 +160,9 @@ class MemoryController:
         )
         chosen = self.policy.select(candidates, context)
         self.queues[chosen.queue_class].remove(chosen)
+        if self._unbounded_window:
+            self._pending_by_channel[channel][chosen.queue_class].pop(chosen.uid)
+        self._pending_count -= 1
         self._issue(chosen, channel)
 
     def _issue(self, transaction: Transaction, channel: int) -> None:

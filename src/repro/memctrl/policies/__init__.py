@@ -22,7 +22,7 @@ paper's own comparison, used by the extended benchmarks):
 * :class:`EdfPolicy` — earliest-deadline-first with per-class budgets.
 """
 
-from typing import Dict, Optional, Type
+from typing import Dict, Type
 
 from repro.memctrl.policies.atlas import AtlasPolicy
 from repro.memctrl.policies.edf import EdfPolicy

@@ -8,10 +8,44 @@ also clears the backlog of transactions that have waited at least T cycles.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from repro.memctrl.scheduler import SchedulingContext, SchedulingPolicy
 from repro.memctrl.transaction import Transaction
+
+
+def urgent_group(
+    candidates: List[Transaction], context: SchedulingContext
+) -> List[Transaction]:
+    """The candidates competing at the top effective priority.
+
+    A transaction's effective priority is its own priority, except that
+    transactions past the aging threshold are promoted *to* the most urgent
+    level currently present (never beyond), which is how the scheduler
+    "periodically clears the backlog" without letting stale low-priority
+    traffic pre-empt genuinely urgent transactions.  The top effective
+    priority therefore always equals the top raw priority, and the urgent
+    group is "top raw priority or aged".
+
+    This runs for every scheduling decision of every channel (and every NoC
+    switch allocation), so the aging predicate is evaluated against a cutoff
+    timestamp computed once per decision, not per candidate.
+    """
+    top = -1
+    for transaction in candidates:
+        priority = transaction.priority
+        if priority > top:
+            top = priority
+    aging = context.aging
+    if aging is None:
+        return [t for t in candidates if t.priority == top]
+    cutoff = aging.cutoff_ps(context.now_ps)
+    return [
+        t
+        for t in candidates
+        if t.priority == top
+        or (t.enqueued_ps is not None and t.enqueued_ps <= cutoff)
+    ]
 
 
 class PriorityQosPolicy(SchedulingPolicy):
@@ -28,49 +62,26 @@ class PriorityQosPolicy(SchedulingPolicy):
         self._turn = 0
 
     def _round_robin_pick(self, candidates: List[Transaction]) -> Transaction:
-        chosen = min(
-            candidates,
-            key=lambda t: (
-                self._last_served_turn.get(t.dma, -1),
-                t.enqueued_ps if t.enqueued_ps is not None else t.created_ps,
-                t.uid,
-            ),
-        )
+        if len(candidates) == 1:
+            chosen = candidates[0]
+        else:
+            last_served = self._last_served_turn.get
+            # Transaction.sort_key caches (enqueued-or-created time, uid), so
+            # the tie-break tuple is two lookups instead of three attributes.
+            chosen = min(
+                candidates, key=lambda t: (last_served(t.dma, -1), t.sort_key)
+            )
         self._turn += 1
         self._last_served_turn[chosen.dma] = self._turn
         return chosen
-
-    @staticmethod
-    def effective_priorities(
-        candidates: List[Transaction], context: SchedulingContext
-    ) -> Dict[int, int]:
-        """Per-transaction priority after the aging backstop.
-
-        Transactions that have waited at least T cycles are promoted into the
-        most urgent group currently present (but still compete round-robin
-        within it), which is how the scheduler "periodically clears the
-        backlog" without letting stale low-priority traffic pre-empt genuinely
-        urgent transactions.
-        """
-        top = max(t.priority for t in candidates)
-        effective: Dict[int, int] = {}
-        for transaction in candidates:
-            if context.aging is not None and context.aging.is_aged(
-                transaction, context.now_ps
-            ):
-                effective[transaction.uid] = max(transaction.priority, top)
-            else:
-                effective[transaction.uid] = transaction.priority
-        return effective
 
     def select(
         self, candidates: List[Transaction], context: SchedulingContext
     ) -> Transaction:
         self._check_candidates(candidates)
-        effective = self.effective_priorities(candidates, context)
-        top_priority = max(effective.values())
-        top = [t for t in candidates if effective[t.uid] == top_priority]
-        chosen = self._round_robin_pick(top)
-        if context.aging is not None and context.aging.is_aged(chosen, context.now_ps):
-            context.aging.record_aged_service()
+        group = urgent_group(candidates, context)
+        chosen = self._round_robin_pick(group)
+        aging = context.aging
+        if aging is not None and aging.is_aged(chosen, context.now_ps):
+            aging.record_aged_service()
         return chosen

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.memctrl.policies.priority_qos import PriorityQosPolicy
+from repro.memctrl.policies.priority_qos import PriorityQosPolicy, urgent_group
 from repro.memctrl.scheduler import SchedulingContext, SchedulingPolicy
 from repro.memctrl.transaction import Transaction
 
@@ -27,13 +27,11 @@ class PriorityRowBufferPolicy(SchedulingPolicy):
         self, candidates: List[Transaction], context: SchedulingContext
     ) -> Transaction:
         self._check_candidates(candidates)
-        effective = PriorityQosPolicy.effective_priorities(candidates, context)
-        delta = context.row_buffer_delta
-        top_priority = max(effective.values())
-        row_hits = [t for t in candidates if context.is_row_hit(t)]
+        is_row_hit = context.is_row_hit
 
-        if top_priority < delta:
+        if max(t.priority for t in candidates) < context.row_buffer_delta:
             # No transaction is urgent: spend the slot on DRAM efficiency.
+            row_hits = [t for t in candidates if is_row_hit(t)]
             if row_hits:
                 return self.oldest(row_hits)
             return self._priority_rr.select(candidates, context)
@@ -41,8 +39,8 @@ class PriorityRowBufferPolicy(SchedulingPolicy):
         # At least one urgent transaction: QoS comes first.  Within the most
         # urgent group a row hit is still preferred (the "PA = PB, choose A"
         # clause), because it costs nothing in QoS terms.
-        top = [t for t in candidates if effective[t.uid] == top_priority]
-        top_hits = [t for t in top if context.is_row_hit(t)]
+        top = urgent_group(candidates, context)
+        top_hits = [t for t in top if is_row_hit(t)]
         if top_hits:
             return self.oldest(top_hits)
         return self._priority_rr.select(top, context)

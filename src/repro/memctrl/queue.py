@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Iterable, List
+from itertools import islice
+from typing import Dict, Iterator, List
 
 from repro.memctrl.transaction import Transaction
 
@@ -16,6 +16,10 @@ class TransactionQueue:
     model accepts every transaction but only exposes the oldest
     ``visible_entries`` to the scheduler, which is what bounds the reordering
     window exactly as a finite command queue would.
+
+    Storage is an insertion-ordered ``uid -> transaction`` map: iteration
+    order is FIFO (matching the old deque) while the scheduler's arbitrary
+    removals are O(1) instead of an equality scan per issue.
     """
 
     def __init__(self, name: str, visible_entries: int) -> None:
@@ -23,40 +27,36 @@ class TransactionQueue:
             raise ValueError("visible_entries must be positive")
         self.name = name
         self.visible_entries = visible_entries
-        self._pending: Deque[Transaction] = deque()
+        self._pending: Dict[int, Transaction] = {}
         self.peak_occupancy = 0
         self.total_enqueued = 0
 
     def push(self, transaction: Transaction, now_ps: int) -> None:
-        transaction.enqueued_ps = now_ps
-        self._pending.append(transaction)
+        transaction.enqueued_ps = now_ps  # also refreshes transaction.sort_key
+        self._pending[transaction.uid] = transaction
         self.total_enqueued += 1
         if len(self._pending) > self.peak_occupancy:
             self.peak_occupancy = len(self._pending)
 
     def visible(self) -> List[Transaction]:
         """The transactions the scheduler may currently reorder among."""
-        window: List[Transaction] = []
-        for transaction in self._pending:
-            window.append(transaction)
-            if len(window) >= self.visible_entries:
-                break
-        return window
+        pending = self._pending
+        if len(pending) <= self.visible_entries:
+            return list(pending.values())
+        return list(islice(pending.values(), self.visible_entries))
 
     def remove(self, transaction: Transaction) -> None:
         """Remove a transaction that the scheduler selected for issue."""
-        try:
-            self._pending.remove(transaction)
-        except ValueError:
+        if self._pending.pop(transaction.uid, None) is None:
             raise KeyError(
                 f"transaction #{transaction.uid} is not in queue '{self.name}'"
-            ) from None
+            )
 
     def __len__(self) -> int:
         return len(self._pending)
 
-    def __iter__(self) -> Iterable[Transaction]:
-        return iter(self._pending)
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self._pending.values())
 
     @property
     def is_empty(self) -> bool:

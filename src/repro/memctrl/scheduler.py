@@ -4,10 +4,13 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from operator import attrgetter
 from typing import Callable, List, Optional
 
 from repro.memctrl.aging import AgingTracker
 from repro.memctrl.transaction import Transaction
+
+_SORT_KEY = attrgetter("sort_key")
 
 
 @dataclass
@@ -44,11 +47,10 @@ class SchedulingPolicy(abc.ABC):
 
     @staticmethod
     def oldest(candidates: List[Transaction]) -> Transaction:
-        """Oldest candidate by enqueue time (stable on transaction id)."""
-        return min(
-            candidates,
-            key=lambda t: (
-                t.enqueued_ps if t.enqueued_ps is not None else t.created_ps,
-                t.uid,
-            ),
-        )
+        """Oldest candidate by enqueue time (stable on transaction id).
+
+        ``Transaction.sort_key`` caches the ``(enqueued_ps, uid)`` tuple
+        (falling back to creation time before enqueue), so the scan reads one
+        attribute per element instead of building a tuple per comparison.
+        """
+        return min(candidates, key=_SORT_KEY)

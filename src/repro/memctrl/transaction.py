@@ -5,7 +5,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import Optional, Tuple
 
 
 class QueueClass(Enum):
@@ -21,7 +21,7 @@ class QueueClass(Enum):
 _transaction_ids = itertools.count()
 
 
-@dataclass
+@dataclass(eq=False)
 class Transaction:
     """A single memory transaction.
 
@@ -29,6 +29,11 @@ class Transaction:
     (level 7 is the most urgent with k = 3 priority bits).  ``realtime_behind``
     is the hint the frame-rate-based QoS baseline uses: the issuing core sets
     it when its frame progress lags the real-time deadline.
+
+    Transactions compare by identity (``eq=False``): every instance carries a
+    unique ``uid``, so the generated field-by-field ``__eq__`` could never
+    find two equal instances anyway — it only made every queue membership
+    test compare a dozen fields per element on the scheduler's hot path.
     """
 
     source: str
@@ -45,6 +50,11 @@ class Transaction:
     completed_ps: Optional[int] = None
     row_hit: Optional[bool] = None
     uid: int = field(default_factory=lambda: next(_transaction_ids))
+    #: Age-ordering key used by the schedulers: ``(enqueued_ps, uid)`` once
+    #: the transaction enters a controller queue, ``(created_ps, uid)``
+    #: before that.  Cached here so hot-path ``min()``/``sort()`` calls read
+    #: an attribute instead of rebuilding tuples per comparison.
+    sort_key: Tuple[int, int] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
@@ -53,6 +63,23 @@ class Transaction:
             raise ValueError(f"address must be non-negative, got {self.address}")
         if self.priority < 0:
             raise ValueError(f"priority must be non-negative, got {self.priority}")
+        self.sort_key = (
+            self.enqueued_ps if self.enqueued_ps is not None else self.created_ps,
+            self.uid,
+        )
+
+    def __setattr__(self, name: str, value: object) -> None:
+        object.__setattr__(self, name, value)
+        if name == "enqueued_ps":
+            # Keep the cached ordering key coherent for callers that assign
+            # enqueued_ps directly instead of going through TransactionQueue.
+            uid = getattr(self, "uid", None)  # unset mid-__init__
+            if uid is not None:
+                object.__setattr__(
+                    self,
+                    "sort_key",
+                    (value if value is not None else self.created_ps, uid),
+                )
 
     @property
     def latency_ps(self) -> Optional[int]:

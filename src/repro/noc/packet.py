@@ -8,13 +8,17 @@ from typing import List
 from repro.memctrl.transaction import Transaction
 
 
-@dataclass
+@dataclass(eq=False)
 class Packet:
     """A memory transaction in flight through the NoC.
 
     The packet records the time it entered the network and every router it
     traversed, which the analysis layer uses to attribute interconnect latency
     separately from DRAM latency.
+
+    Packets compare by identity (``eq=False``); the generated ``__eq__``
+    recursed into the wrapped transaction on every port-queue membership
+    test in the routers.
     """
 
     transaction: Transaction

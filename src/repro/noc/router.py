@@ -80,12 +80,12 @@ class Router:
         """Total packets waiting across all input ports."""
         return sum(len(queue) for queue in self._ports.values())
 
-    def _candidates(self) -> Dict[int, Packet]:
-        """Map transaction uid -> packet for everything queued at any port."""
-        candidates: Dict[int, Packet] = {}
+    def _candidates(self) -> Dict[int, "tuple[Packet, Deque[Packet]]"]:
+        """Map transaction uid -> (packet, its port queue) for everything queued."""
+        candidates: Dict[int, "tuple[Packet, Deque[Packet]]"] = {}
         for queue in self._ports.values():
             for packet in queue:
-                candidates[packet.transaction.uid] = packet
+                candidates[packet.transaction.uid] = (packet, queue)
         return candidates
 
     def _try_forward(self) -> None:
@@ -98,13 +98,11 @@ class Router:
         if not candidates:
             return
         chosen_txn = self.arbiter.select(
-            [packet.transaction for packet in candidates.values()], self.engine.now_ps
+            [packet.transaction for packet, _ in candidates.values()],
+            self.engine.now_ps,
         )
-        packet = candidates[chosen_txn.uid]
-        for queue in self._ports.values():
-            if packet in queue:
-                queue.remove(packet)
-                break
+        packet, queue = candidates[chosen_txn.uid]
+        queue.remove(packet)
         self._busy = True
         finish_ps = self.output_link.reserve(self.engine.now_ps, packet.size_bytes)
         self.engine.schedule_at(finish_ps + self.latency_ps, self._deliver, packet)

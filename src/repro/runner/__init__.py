@@ -1,0 +1,44 @@
+"""Sweep orchestration: parallel experiment execution with result caching.
+
+Every figure and table of the paper's evaluation is a composition of
+:func:`~repro.system.experiment.run_experiment` calls, and a full benchmark
+sweep multiplies cases x policies x frequencies x durations.  This package
+turns those compositions into declarative :class:`RunSpec` grids that
+
+* fan out across worker processes (``--jobs``), and
+* skip any point whose result is already in the on-disk cache
+  (``--cache-dir``), keyed by a stable hash of the full simulation
+  configuration.
+
+The sequential path stays byte-identical: a parallel sweep produces exactly
+the same :class:`~repro.system.experiment.ExperimentResult` values as running
+each spec in-process, because every run is seeded from its own
+:class:`~repro.sim.config.SimulationConfig` and shares no state with its
+siblings.
+"""
+
+from repro.runner.cache import CACHE_SCHEMA_VERSION, ResultCache, cache_key
+from repro.runner.sweep import (
+    AblationGrid,
+    RunSpec,
+    SweepStats,
+    compare_policies_specs,
+    frequency_sweep_specs,
+    run_sweep,
+    sweep_compare_policies,
+    sweep_frequencies,
+)
+
+__all__ = [
+    "AblationGrid",
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "RunSpec",
+    "SweepStats",
+    "cache_key",
+    "compare_policies_specs",
+    "frequency_sweep_specs",
+    "run_sweep",
+    "sweep_compare_policies",
+    "sweep_frequencies",
+]

@@ -1,0 +1,332 @@
+"""The sweep orchestrator: declarative run grids, worker processes, caching.
+
+A sweep is a list of :class:`RunSpec` points.  :func:`run_sweep` resolves
+each point against the result cache, fans the remaining cold points out
+across ``jobs`` worker processes (``spawn`` start method, so workers never
+inherit mutable interpreter state and behave identically on every platform)
+and returns results in spec order together with a :class:`SweepStats`
+summary.
+
+Determinism: a run's randomness is derived entirely from its
+:class:`~repro.sim.config.SimulationConfig` seed, and each worker builds its
+simulation from scratch from the pickled spec, so a parallel sweep is
+bit-identical to running the same specs sequentially in one process
+(``tests/test_runner_sweep.py`` asserts this).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.serialize import simulation_config_to_dict
+from repro.runner.cache import ResultCache, cache_key
+from repro.sim.config import SimulationConfig
+from repro.system.experiment import ExperimentResult, run_experiment
+from repro.system.platform import simulation_config_for_case
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One point of a sweep: everything :func:`run_experiment` needs.
+
+    ``label`` names the point in mapping-shaped sweep results (defaults to
+    the policy for policy comparisons and the frequency for DVFS sweeps).
+    ``seed`` optionally overrides the configuration seed, for replication
+    grids that vary nothing else.
+    """
+
+    case: str = "A"
+    policy: str = "priority_qos"
+    duration_ps: Optional[int] = None
+    traffic_scale: float = 1.0
+    config: Optional[SimulationConfig] = None
+    adaptation_enabled: Optional[bool] = None
+    dram_freq_mhz: Optional[float] = None
+    dram_model: str = "transaction"
+    keep_trace: bool = True
+    seed: Optional[int] = None
+    label: Optional[str] = None
+
+    def resolved_config(self) -> SimulationConfig:
+        """The fully resolved configuration this spec will simulate."""
+        config = self.config or simulation_config_for_case(self.case)
+        if self.duration_ps is not None:
+            config = config.with_overrides(duration_ps=self.duration_ps)
+        if self.seed is not None:
+            config = config.with_overrides(seed=self.seed)
+        if self.dram_freq_mhz is not None:
+            config = config.with_overrides(
+                dram=config.dram.with_frequency(self.dram_freq_mhz)
+            )
+        return config
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Everything that can influence this spec's result, as plain JSON."""
+        return {
+            "case": self.case,
+            "policy": self.policy,
+            "traffic_scale": self.traffic_scale,
+            "adaptation_enabled": self.adaptation_enabled,
+            "dram_model": self.dram_model,
+            "keep_trace": self.keep_trace,
+            "config": simulation_config_to_dict(self.resolved_config()),
+        }
+
+    def key(self) -> str:
+        """Stable cache key for this spec."""
+        return cache_key(self.fingerprint())
+
+    def display_label(self) -> str:
+        if self.label is not None:
+            return self.label
+        return f"{self.case}/{self.policy}"
+
+
+@dataclass
+class SweepStats:
+    """What a sweep did: how many points ran, how many the cache served."""
+
+    total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    jobs: int = 1
+    elapsed_s: float = 0.0
+    cache_dir: Optional[str] = None
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable summary for CLI / script output."""
+        parts = [
+            f"{self.total} run(s)",
+            f"{self.cache_hits} cache hit(s)",
+            f"{self.executed} executed",
+            f"jobs={self.jobs}",
+            f"{self.elapsed_s:.2f}s",
+        ]
+        if self.cache_dir:
+            parts.append(f"cache={self.cache_dir}")
+        return "sweep: " + ", ".join(parts)
+
+
+def _execute_spec(spec: RunSpec) -> ExperimentResult:
+    """Run one spec in the current process (also the worker entry point).
+
+    The resolved configuration already carries the duration, seed and DRAM
+    frequency overrides, so :func:`run_experiment` is called with the
+    remaining orthogonal knobs only.
+    """
+    return run_experiment(
+        case=spec.case,
+        policy=spec.policy,
+        traffic_scale=spec.traffic_scale,
+        config=spec.resolved_config(),
+        adaptation_enabled=spec.adaptation_enabled,
+        dram_model=spec.dram_model,
+        keep_trace=spec.keep_trace,
+    )
+
+
+def run_sweep(
+    specs: Sequence[RunSpec],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    cache_dir: Optional[str] = None,
+) -> Tuple[List[ExperimentResult], SweepStats]:
+    """Execute a sweep, reusing cached points and parallelising the rest.
+
+    Parameters
+    ----------
+    specs:
+        The grid points, in the order results should be returned.
+    jobs:
+        Worker processes for the cold points.  ``1`` (the default) runs
+        everything in-process; higher values use a ``spawn`` pool.
+    cache / cache_dir:
+        An existing :class:`ResultCache`, or a directory path to open one in.
+        ``None`` disables caching.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir)
+
+    started = time.perf_counter()
+    specs = list(specs)
+    results: List[Optional[ExperimentResult]] = [None] * len(specs)
+    stats = SweepStats(
+        total=len(specs),
+        jobs=jobs,
+        cache_dir=str(cache.directory) if cache is not None else None,
+    )
+
+    # Identical grid points (same cache key) execute once and share the
+    # result, whether or not an on-disk cache is attached.
+    cold: List[Tuple[List[int], RunSpec, str]] = []
+    cold_by_key: Dict[str, Tuple[List[int], RunSpec, str]] = {}
+    for index, spec in enumerate(specs):
+        key = spec.key()
+        duplicate = cold_by_key.get(key)
+        if duplicate is not None:
+            duplicate[0].append(index)
+            stats.cache_hits += 1
+            continue
+        if cache is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                results[index] = cached
+                stats.cache_hits += 1
+                continue
+        entry = ([index], spec, key)
+        cold.append(entry)
+        cold_by_key[key] = entry
+
+    if cold:
+        cold_specs = [spec for _, spec, _ in cold]
+        if jobs == 1 or len(cold) == 1:
+            cold_results = [_execute_spec(spec) for spec in cold_specs]
+        else:
+            context = multiprocessing.get_context("spawn")
+            with context.Pool(processes=min(jobs, len(cold))) as pool:
+                cold_results = pool.map(_execute_spec, cold_specs, chunksize=1)
+        for (indices, spec, key), result in zip(cold, cold_results):
+            for index in indices:
+                results[index] = result
+            stats.executed += 1
+            if cache is not None:
+                cache.put(key, result, include_trace=spec.keep_trace)
+
+    stats.elapsed_s = time.perf_counter() - started
+    return list(results), stats  # type: ignore[arg-type]
+
+
+# --------------------------------------------------------------------------- #
+# Grid builders mirroring repro.system.experiment's sequential helpers
+# --------------------------------------------------------------------------- #
+def compare_policies_specs(
+    policies: Sequence[str],
+    case: str = "A",
+    duration_ps: Optional[int] = None,
+    traffic_scale: float = 1.0,
+    config: Optional[SimulationConfig] = None,
+    keep_trace: bool = True,
+) -> List[RunSpec]:
+    """One spec per policy on the same case (Figs. 5, 6, 8, 9)."""
+    base = RunSpec(
+        case=case,
+        duration_ps=duration_ps,
+        traffic_scale=traffic_scale,
+        config=config,
+        keep_trace=keep_trace,
+    )
+    return [replace(base, policy=policy, label=policy) for policy in policies]
+
+
+def frequency_sweep_specs(
+    frequencies_mhz: Iterable[float],
+    case: str = "A",
+    policy: str = "priority_qos",
+    duration_ps: Optional[int] = None,
+    traffic_scale: float = 1.0,
+    config: Optional[SimulationConfig] = None,
+) -> List[RunSpec]:
+    """One spec per DRAM frequency for one policy (Fig. 7)."""
+    base = RunSpec(
+        case=case,
+        policy=policy,
+        duration_ps=duration_ps,
+        traffic_scale=traffic_scale,
+        config=config,
+        keep_trace=False,
+    )
+    return [
+        replace(base, dram_freq_mhz=freq, label=f"{freq:g}")
+        for freq in frequencies_mhz
+    ]
+
+
+def sweep_compare_policies(
+    policies: Sequence[str],
+    case: str = "A",
+    duration_ps: Optional[int] = None,
+    traffic_scale: float = 1.0,
+    config: Optional[SimulationConfig] = None,
+    keep_trace: bool = True,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    cache_dir: Optional[str] = None,
+) -> Tuple[Dict[str, ExperimentResult], SweepStats]:
+    """Parallel, cached drop-in for :func:`repro.system.experiment.compare_policies`."""
+    specs = compare_policies_specs(
+        policies,
+        case=case,
+        duration_ps=duration_ps,
+        traffic_scale=traffic_scale,
+        config=config,
+        keep_trace=keep_trace,
+    )
+    results, stats = run_sweep(specs, jobs=jobs, cache=cache, cache_dir=cache_dir)
+    return dict(zip(policies, results)), stats
+
+
+def sweep_frequencies(
+    frequencies_mhz: Iterable[float],
+    case: str = "A",
+    policy: str = "priority_qos",
+    duration_ps: Optional[int] = None,
+    traffic_scale: float = 1.0,
+    config: Optional[SimulationConfig] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    cache_dir: Optional[str] = None,
+) -> Tuple[Dict[float, ExperimentResult], SweepStats]:
+    """Parallel, cached drop-in for :func:`repro.system.experiment.frequency_sweep`."""
+    frequencies = list(frequencies_mhz)
+    specs = frequency_sweep_specs(
+        frequencies,
+        case=case,
+        policy=policy,
+        duration_ps=duration_ps,
+        traffic_scale=traffic_scale,
+        config=config,
+    )
+    results, stats = run_sweep(specs, jobs=jobs, cache=cache, cache_dir=cache_dir)
+    return dict(zip(frequencies, results)), stats
+
+
+@dataclass
+class AblationGrid:
+    """A labelled grid of config variations for ablation sweeps.
+
+    Built by the ablation benchmarks: one base spec plus a mapping from label
+    to the :class:`SimulationConfig` to substitute.  ``specs()`` yields them
+    in insertion order so results line up with the labels.
+    """
+
+    base: RunSpec
+    variants: Dict[str, SimulationConfig] = field(default_factory=dict)
+
+    def add(self, label: str, config: SimulationConfig) -> None:
+        self.variants[label] = config
+
+    def specs(self) -> List[RunSpec]:
+        return [
+            replace(self.base, config=config, label=label)
+            for label, config in self.variants.items()
+        ]
+
+    def run(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        cache_dir: Optional[str] = None,
+    ) -> Tuple[Dict[str, ExperimentResult], SweepStats]:
+        results, stats = run_sweep(
+            self.specs(), jobs=jobs, cache=cache, cache_dir=cache_dir
+        )
+        return dict(zip(self.variants, results)), stats

@@ -10,7 +10,7 @@ split over 5 transaction queues.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 
 @dataclass(frozen=True)

@@ -3,14 +3,30 @@
 The engine keeps a binary heap of :class:`Event` objects ordered by
 ``(time_ps, sequence)``.  Components schedule callbacks; the engine fires them
 in timestamp order until a time horizon is reached or the queue drains.
-Events may be cancelled, which leaves a tombstone on the heap that is skipped
-when popped — cheaper and simpler than heap surgery.
+
+Two hot-path shortcuts keep per-event overhead low under heavy sweeps:
+
+* Events scheduled for the *current* timestamp (``delay_ps == 0`` bursts,
+  completion cascades) bypass the heap entirely and go into a FIFO bucket.
+  Sequence numbers guarantee that anything already on the heap for the same
+  timestamp still fires first, so execution order is identical to the pure
+  heap — just without an O(log n) push/pop per event.
+* Cancelled events leave a tombstone on the heap that is skipped when popped
+  — cheaper and simpler than heap surgery.  The engine counts live
+  tombstones and compacts the heap in place once they exceed both a fixed
+  floor and half of the queue, so a workload that cancels heavily cannot
+  bloat the heap indefinitely.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+#: Compaction never triggers below this many tombstones (a small heap is
+#: cheap to carry and compacting it would thrash).
+COMPACT_MIN_TOMBSTONES = 64
 
 
 class Event:
@@ -21,7 +37,7 @@ class Event:
     deterministic regardless of heap internals.
     """
 
-    __slots__ = ("time_ps", "sequence", "callback", "args", "cancelled")
+    __slots__ = ("time_ps", "sequence", "callback", "args", "cancelled", "engine")
 
     def __init__(
         self,
@@ -29,16 +45,22 @@ class Event:
         sequence: int,
         callback: Callable[..., None],
         args: tuple,
+        engine: Optional["Engine"] = None,
     ) -> None:
         self.time_ps = time_ps
         self.sequence = sequence
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.engine = engine
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when it reaches the heap top."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.engine is not None:
+            self.engine._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time_ps, self.sequence) < (other.time_ps, other.sequence)
@@ -52,10 +74,19 @@ class Engine:
     """Event-driven simulation kernel with integer-picosecond time."""
 
     def __init__(self) -> None:
-        self._queue: List[Event] = []
+        # The heap stores ``(time_ps, sequence, event)`` tuples so that heap
+        # sifting compares plain integers at C speed instead of calling
+        # Event.__lt__ per comparison.
+        self._queue: List[tuple] = []
+        # Events scheduled for exactly the current timestamp.  Invariant:
+        # every event in the bucket has ``time_ps == self._now_ps`` — time
+        # only advances once the bucket is empty, because a bucket event
+        # always sorts before any heap event at a later time.
+        self._bucket: Deque[Event] = deque()
         self._now_ps: int = 0
         self._sequence: int = 0
         self._fired: int = 0
+        self._cancelled: int = 0
         self._running = False
 
     @property
@@ -65,13 +96,18 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still on the heap (including cancelled tombstones)."""
-        return len(self._queue)
+        """Number of events still queued (including cancelled tombstones)."""
+        return len(self._queue) + len(self._bucket)
 
     @property
     def fired_events(self) -> int:
         """Number of events executed so far."""
         return self._fired
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Number of tombstones currently queued."""
+        return self._cancelled
 
     def schedule_at(
         self, time_ps: int, callback: Callable[..., None], *args: Any
@@ -81,9 +117,15 @@ class Engine:
             raise ValueError(
                 f"cannot schedule event in the past: {time_ps} < now {self._now_ps}"
             )
-        event = Event(time_ps, self._sequence, callback, args)
+        event = Event(time_ps, self._sequence, callback, args, self)
         self._sequence += 1
-        heapq.heappush(self._queue, event)
+        if time_ps == self._now_ps:
+            # Same-timestamp fast path: FIFO order equals sequence order, and
+            # heap events at this timestamp all carry smaller sequences, so
+            # the run loop can merge the two sources exactly.
+            self._bucket.append(event)
+        else:
+            heapq.heappush(self._queue, (time_ps, event.sequence, event))
         return event
 
     def schedule(
@@ -93,6 +135,39 @@ class Engine:
         if delay_ps < 0:
             raise ValueError(f"delay must be non-negative, got {delay_ps}")
         return self.schedule_at(self._now_ps + delay_ps, callback, *args)
+
+    def _note_cancelled(self) -> None:
+        """Account for a new tombstone and compact the heap if it dominates."""
+        self._cancelled += 1
+        if (
+            self._cancelled >= COMPACT_MIN_TOMBSTONES
+            and self._cancelled * 2 >= len(self._queue) + len(self._bucket)
+        ):
+            self.drain_cancelled()
+
+    def _next_event(self) -> Optional[Event]:
+        """Pop the next live event in ``(time_ps, sequence)`` order."""
+        queue = self._queue
+        bucket = self._bucket
+        pop = heapq.heappop
+        while queue or bucket:
+            if bucket and (
+                not queue
+                or queue[0][0] > self._now_ps
+                or queue[0][1] > bucket[0].sequence
+            ):
+                event = bucket.popleft()
+            else:
+                event = pop(queue)[2]
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            # Detach the engine reference: a cancel() after the event fired
+            # must not count a tombstone that is no longer queued (and the
+            # compaction trigger must not chase it).
+            event.engine = None
+            return event
+        return None
 
     def run(self, until_ps: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run the simulation.
@@ -117,16 +192,22 @@ class Engine:
         self._running = True
         executed = 0
         try:
-            while self._queue:
+            while self._queue or self._bucket:
                 if max_events is not None and executed >= max_events:
                     break
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until_ps is not None and event.time_ps > until_ps:
+                event = self._next_event()
+                if event is None:
                     break
-                heapq.heappop(self._queue)
+                if until_ps is not None and event.time_ps > until_ps:
+                    # Put the event back; it belongs to a later run() call.
+                    event.engine = self
+                    if event.time_ps == self._now_ps:
+                        self._bucket.appendleft(event)
+                    else:
+                        heapq.heappush(
+                            self._queue, (event.time_ps, event.sequence, event)
+                        )
+                    break
                 self._now_ps = event.time_ps
                 event.callback(*event.args)
                 executed += 1
@@ -144,20 +225,28 @@ class Engine:
 
         Returns ``True`` if an event fired, ``False`` if the queue is empty.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now_ps = event.time_ps
-            event.callback(*event.args)
-            self._fired += 1
-            return True
-        return False
+        event = self._next_event()
+        if event is None:
+            return False
+        self._now_ps = event.time_ps
+        event.callback(*event.args)
+        self._fired += 1
+        return True
 
     def drain_cancelled(self) -> int:
-        """Remove cancelled tombstones from the heap; returns how many."""
-        before = len(self._queue)
-        live = [event for event in self._queue if not event.cancelled]
+        """Remove cancelled tombstones in place; returns how many were removed.
+
+        This runs automatically once tombstones outnumber live events (see
+        :data:`COMPACT_MIN_TOMBSTONES`) but can also be called explicitly.
+        The heap list keeps its identity so iterators held by the run loop
+        stay valid.
+        """
+        before = len(self._queue) + len(self._bucket)
+        live = [entry for entry in self._queue if not entry[2].cancelled]
         heapq.heapify(live)
-        self._queue = live
-        return before - len(live)
+        self._queue[:] = live
+        live_bucket = [event for event in self._bucket if not event.cancelled]
+        self._bucket.clear()
+        self._bucket.extend(live_bucket)
+        self._cancelled = 0
+        return before - len(self._queue) - len(self._bucket)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -38,11 +39,13 @@ class TimeSeries:
 
     def after(self, time_ps: int) -> "TimeSeries":
         """A new series containing only the samples at or after ``time_ps``."""
+        # Samples are appended in time order (enforced by append), so the
+        # first surviving sample can be found by bisection and the rest
+        # copied with a slice instead of an element-by-element scan.
+        start = bisect_left(self.times_ps, time_ps)
         trimmed = TimeSeries(self.name)
-        for t, v in zip(self.times_ps, self.values):
-            if t >= time_ps:
-                trimmed.times_ps.append(t)
-                trimmed.values.append(v)
+        trimmed.times_ps = self.times_ps[start:]
+        trimmed.values = self.values[start:]
         return trimmed
 
     def final(self) -> float:

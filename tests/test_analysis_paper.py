@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.analysis.paper import (
     PAPER_CLAIMS,
     ClaimCheck,

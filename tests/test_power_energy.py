@@ -14,7 +14,7 @@ from repro.power import (
     estimate_system_energy,
     format_energy_report,
 )
-from repro.sim.clock import MS, US
+from repro.sim.clock import MS
 from repro.sim.config import DramConfig
 from repro.system.builder import build_system
 

@@ -1,0 +1,140 @@
+"""Unit tests for the sweep result cache (repro.runner.cache)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.serialize import experiment_result_to_dict
+from repro.runner import ResultCache, RunSpec
+from repro.sim.clock import MS
+from repro.system.experiment import run_experiment
+from repro.system.platform import simulation_config_for_case
+
+SHORT_PS = MS // 2
+
+
+def make_spec(**overrides) -> RunSpec:
+    defaults = dict(
+        case="B", policy="fcfs", duration_ps=SHORT_PS, traffic_scale=0.2
+    )
+    defaults.update(overrides)
+    return RunSpec(**defaults)
+
+
+class TestCacheKey:
+    def test_same_spec_same_key(self):
+        assert make_spec().key() == make_spec().key()
+
+    def test_key_is_hex_sha256(self):
+        key = make_spec().key()
+        assert len(key) == 64
+        int(key, 16)  # must be valid hex
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"case": "A"},
+            {"policy": "round_robin"},
+            {"duration_ps": SHORT_PS + 1},
+            {"traffic_scale": 0.3},
+            # Case B's default I/O frequency is 1700 MHz; overriding it to
+            # that same value is semantically identical and must share the
+            # key, so probe with a genuinely different frequency.
+            {"dram_freq_mhz": 1333.0},
+            {"adaptation_enabled": True},
+            {"dram_model": "command"},
+            {"keep_trace": False},
+            {"seed": 7},
+        ],
+    )
+    def test_any_field_change_changes_key(self, change):
+        assert make_spec().key() != make_spec(**change).key()
+
+    def test_nested_config_field_changes_key(self):
+        config = simulation_config_for_case("B")
+        tweaked = config.with_overrides(
+            memory_controller=replace(
+                config.memory_controller, aging_threshold_cycles=99
+            )
+        )
+        assert make_spec(config=config).key() != make_spec(config=tweaked).key()
+
+    def test_dram_timing_change_changes_key(self):
+        config = simulation_config_for_case("B")
+        tweaked = config.with_overrides(
+            dram=replace(config.dram, timing=replace(config.dram.timing, cl=40))
+        )
+        assert make_spec(config=config).key() != make_spec(config=tweaked).key()
+
+    def test_explicit_config_matches_equivalent_defaults(self):
+        # Resolving case B's default config explicitly must hit the same
+        # cache entry as leaving config=None.
+        explicit = simulation_config_for_case("B").with_overrides(
+            duration_ps=SHORT_PS
+        )
+        assert make_spec().key() == make_spec(config=explicit).key()
+
+    def test_seed_override_matches_config_seed(self):
+        config = simulation_config_for_case("B").with_overrides(
+            duration_ps=SHORT_PS, seed=7
+        )
+        assert make_spec(seed=7).key() == make_spec(config=config).key()
+
+    def test_label_does_not_affect_key(self):
+        assert make_spec(label="x").key() == make_spec(label="y").key()
+
+
+class TestCacheRoundTrip:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            case="B", policy="fcfs", duration_ps=SHORT_PS, traffic_scale=0.2
+        )
+
+    def test_round_trip_preserves_metrics(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        key = make_spec().key()
+        assert key not in cache
+        path = cache.put(key, result)
+        assert path.is_file()
+        assert key in cache
+        loaded = cache.get(key)
+        # The serialized forms (the exact metric payload) must match.
+        assert experiment_result_to_dict(loaded) == experiment_result_to_dict(
+            result
+        )
+
+    def test_round_trip_preserves_trace(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        key = make_spec().key()
+        cache.put(key, result, include_trace=True)
+        loaded = cache.get(key)
+        assert loaded.trace is not None
+        core = next(iter(result.min_core_npi))
+        original = result.npi_series(core)
+        restored = loaded.npi_series(core)
+        assert restored.times_ps == original.times_ps
+        assert restored.values == original.values
+
+    def test_miss_returns_none_and_counts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("0" * 64) is None
+        assert cache.misses == 1
+        assert cache.hits == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        key = make_spec().key()
+        cache.put(key, result)
+        cache.path_for(key).write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_entries_and_clear(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        cache.put(make_spec().key(), result)
+        cache.put(make_spec(policy="round_robin").key(), result)
+        assert cache.entries() == 2
+        assert cache.clear() == 2
+        assert cache.entries() == 0

@@ -1,0 +1,129 @@
+"""Tests for the sweep orchestrator: parallel parity, caching, dedup.
+
+The acceptance gate for the runner subsystem lives here: a 4-point
+policy-comparison sweep executed with ``jobs=4`` must produce results
+identical to the sequential path, and a warm-cache rerun of the same sweep
+must complete in under 10 % of the cold-run wall time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.serialize import experiment_result_to_dict
+from repro.runner import (
+    AblationGrid,
+    RunSpec,
+    compare_policies_specs,
+    run_sweep,
+    sweep_compare_policies,
+    sweep_frequencies,
+)
+from repro.sim.clock import MS
+from repro.system.experiment import compare_policies
+from repro.system.platform import simulation_config_for_case
+
+SHORT_PS = 2 * MS // 5
+TRAFFIC = 0.2
+POLICIES = ["fcfs", "round_robin", "frame_rate_qos", "priority_qos"]
+
+
+def _fingerprints(results):
+    return [experiment_result_to_dict(r, include_trace=True) for r in results]
+
+
+class TestRunSweep:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            run_sweep([RunSpec()], jobs=0)
+
+    def test_duplicate_specs_execute_once(self):
+        spec = RunSpec(
+            case="B", policy="fcfs", duration_ps=SHORT_PS, traffic_scale=TRAFFIC
+        )
+        results, stats = run_sweep([spec, spec])
+        assert stats.total == 2
+        assert stats.executed == 1
+        assert stats.cache_hits == 1
+        assert results[0] is results[1]
+
+    def test_sweep_frequencies_maps_by_frequency(self):
+        frequencies = [1700.0, 1300.0]
+        results, stats = sweep_frequencies(
+            frequencies,
+            case="B",
+            policy="fcfs",
+            duration_ps=SHORT_PS,
+            traffic_scale=TRAFFIC,
+        )
+        assert sorted(results) == sorted(frequencies)
+        assert stats.executed == 2
+        for freq, result in results.items():
+            assert result.dram_freq_mhz == freq
+
+    def test_ablation_grid_labels_line_up(self):
+        base = RunSpec(
+            case="B", policy="fcfs", duration_ps=SHORT_PS, traffic_scale=TRAFFIC
+        )
+        grid = AblationGrid(base=base)
+        config = simulation_config_for_case("B")
+        grid.add("seed2018", config)
+        grid.add("seed7", config.with_overrides(seed=7))
+        results, stats = grid.run()
+        assert list(results) == ["seed2018", "seed7"]
+        assert stats.executed == 2
+        assert (
+            results["seed2018"].served_transactions
+            != results["seed7"].served_transactions
+            or results["seed2018"].min_core_npi != results["seed7"].min_core_npi
+        )
+
+
+class TestParallelParityAndCache:
+    """The ISSUE acceptance criterion, as an executable test."""
+
+    def test_4_jobs_bit_identical_and_warm_cache_under_10_percent(self, tmp_path):
+        sequential = compare_policies(
+            POLICIES, case="B", duration_ps=SHORT_PS, traffic_scale=TRAFFIC
+        )
+
+        cold, cold_stats = sweep_compare_policies(
+            POLICIES,
+            case="B",
+            duration_ps=SHORT_PS,
+            traffic_scale=TRAFFIC,
+            jobs=4,
+            cache_dir=tmp_path,
+        )
+        assert cold_stats.executed == len(POLICIES)
+        assert cold_stats.cache_hits == 0
+
+        # Worker processes must reproduce the sequential path bit for bit.
+        assert _fingerprints(cold.values()) == _fingerprints(sequential.values())
+
+        warm, warm_stats = sweep_compare_policies(
+            POLICIES,
+            case="B",
+            duration_ps=SHORT_PS,
+            traffic_scale=TRAFFIC,
+            jobs=4,
+            cache_dir=tmp_path,
+        )
+        assert warm_stats.executed == 0
+        assert warm_stats.cache_hits == len(POLICIES)
+        assert _fingerprints(warm.values()) == _fingerprints(sequential.values())
+
+        # A warm rerun is served entirely from disk: under 10 % of the cold
+        # wall time (in practice a few milliseconds versus seconds).
+        assert warm_stats.elapsed_s < 0.10 * cold_stats.elapsed_s
+
+    def test_2_workers_match_sequential_specs_api(self, tmp_path):
+        specs = compare_policies_specs(
+            POLICIES[:2], case="B", duration_ps=SHORT_PS, traffic_scale=TRAFFIC
+        )
+        parallel, stats = run_sweep(specs, jobs=2)
+        assert stats.executed == 2
+        sequential = compare_policies(
+            POLICIES[:2], case="B", duration_ps=SHORT_PS, traffic_scale=TRAFFIC
+        )
+        assert _fingerprints(parallel) == _fingerprints(sequential.values())

@@ -103,6 +103,16 @@ def test_max_events_limits_execution(engine):
     assert fired == [0, 1, 2, 3]
 
 
+def test_cancel_after_fire_does_not_count_a_tombstone(engine):
+    fired = []
+    event = engine.schedule(10, fired.append, "x")
+    engine.run()
+    assert fired == ["x"]
+    event.cancel()
+    assert engine.cancelled_pending == 0
+    assert engine.drain_cancelled() == 0
+
+
 def test_drain_cancelled_removes_tombstones(engine):
     events = [engine.schedule(i, lambda: None) for i in range(5)]
     for event in events[:3]:
