@@ -74,15 +74,15 @@ def cached_sweep(specs: List[RunSpec]) -> List[ExperimentResult]:
 
 
 def policy_grid(
-    case: str,
+    scenario: str,
     policies: List[str],
     duration_ps: int = BENCH_DURATION_PS,
     traffic_scale: float = BENCH_TRAFFIC_SCALE,
 ) -> List[RunSpec]:
-    """Specs for one case under several policies (the common figure grid)."""
+    """Specs for one scenario under several policies (the common figure grid)."""
     return [
         RunSpec(
-            case=case,
+            scenario=scenario,
             policy=policy,
             duration_ps=duration_ps,
             traffic_scale=traffic_scale,
@@ -104,7 +104,7 @@ def prefetch(specs: List[RunSpec]) -> None:
 
 
 def cached_run(
-    case: str,
+    scenario: str,
     policy: str,
     duration_ps: int = BENCH_DURATION_PS,
     traffic_scale: float = BENCH_TRAFFIC_SCALE,
@@ -113,7 +113,7 @@ def cached_run(
 ) -> ExperimentResult:
     """Run (or reuse) one benchmark experiment."""
     spec = RunSpec(
-        case=case,
+        scenario=scenario,
         policy=policy,
         duration_ps=duration_ps,
         traffic_scale=traffic_scale,

@@ -17,15 +17,15 @@ import pytest
 
 from benchmarks.conftest import cached_run, prefetch
 from repro.runner import RunSpec
+from repro.scenario import scenario_config
 from repro.sim.clock import MS
-from repro.system.platform import simulation_config_for_case
 
 DURATION_PS = 10 * MS
 THRESHOLDS = [1_000, 10_000, 200_000]
 
 
 def _config(threshold: int):
-    config = simulation_config_for_case("A")
+    config = scenario_config("case_a")
     return config.with_overrides(
         memory_controller=replace(
             config.memory_controller, aging_threshold_cycles=threshold
@@ -39,7 +39,7 @@ def _prefetch_grid():
     prefetch(
         [
             RunSpec(
-                case="A",
+                scenario="case_a",
                 policy="priority_qos",
                 duration_ps=DURATION_PS,
                 config=_config(threshold),

@@ -17,9 +17,9 @@ from dataclasses import replace
 
 import pytest
 
+from repro.scenario import scenario_config
 from repro.sim.clock import MS
 from repro.system.experiment import run_experiment
-from repro.system.platform import simulation_config_for_case
 
 DURATION_PS = 10 * MS
 DELTAS = [0, 3, 6, 7]
@@ -28,12 +28,12 @@ _RESULTS = {}
 
 def _run(delta: int):
     if delta not in _RESULTS:
-        config = simulation_config_for_case("A")
+        config = scenario_config("case_a")
         config = config.with_overrides(
             memory_controller=replace(config.memory_controller, row_buffer_delta=delta)
         )
         _RESULTS[delta] = run_experiment(
-            case="A",
+            scenario="case_a",
             policy="priority_rowbuffer",
             duration_ps=DURATION_PS,
             config=config,

@@ -11,9 +11,9 @@ from __future__ import annotations
 
 import pytest
 
+from repro.scenario import scenario_config
 from repro.sim.clock import MS
 from repro.system.experiment import run_experiment
-from repro.system.platform import simulation_config_for_case
 
 DURATION_PS = 10 * MS
 BIT_WIDTHS = [1, 2, 3]
@@ -22,9 +22,9 @@ _RESULTS = {}
 
 def _run(bits: int):
     if bits not in _RESULTS:
-        config = simulation_config_for_case("A", priority_bits=bits)
+        config = scenario_config("case_a").with_overrides(priority_bits=bits)
         _RESULTS[bits] = run_experiment(
-            case="A",
+            scenario="case_a",
             policy="priority_qos",
             duration_ps=DURATION_PS,
             config=config,

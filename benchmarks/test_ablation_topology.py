@@ -13,10 +13,10 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.metrics import qos_satisfied
+from repro.scenario import critical_cores_for, scenario_config
 from repro.sim.clock import MS
 from repro.sim.config import NocConfig
 from repro.system.experiment import run_experiment
-from repro.system.platform import critical_cores_for, simulation_config_for_case
 
 DURATION_PS = 8 * MS
 _RESULTS = {}
@@ -24,7 +24,7 @@ _RESULTS = {}
 
 def _run(topology: str):
     if topology not in _RESULTS:
-        base = simulation_config_for_case("A")
+        base = scenario_config("case_a")
         config = base.with_overrides(
             duration_ps=DURATION_PS,
             noc=NocConfig(
@@ -35,7 +35,7 @@ def _run(topology: str):
             ),
         )
         _RESULTS[topology] = run_experiment(
-            case="A",
+            scenario="case_a",
             policy="priority_qos",
             config=config,
             duration_ps=DURATION_PS,
@@ -53,7 +53,7 @@ def test_topology_run(benchmark, topology):
 def test_topology_shape():
     tree = _run("tree")
     mesh = _run("mesh")
-    critical = critical_cores_for("A")
+    critical = critical_cores_for("case_a")
 
     print("\nTopology ablation (case A, Policy 1)")
     print(f"{'topology':<10}{'bandwidth (GB/s)':>18}{'avg latency (ns)':>18}  failing critical cores")

@@ -13,9 +13,9 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.metrics import qos_satisfied
+from repro.scenario import critical_cores_for
 from repro.sim.clock import MS
 from repro.system.experiment import run_experiment
-from repro.system.platform import critical_cores_for
 
 DURATION_PS = 8 * MS
 _RESULTS = {}
@@ -24,7 +24,7 @@ _RESULTS = {}
 def _run(dram_model: str):
     if dram_model not in _RESULTS:
         _RESULTS[dram_model] = run_experiment(
-            case="A",
+            scenario="case_a",
             policy="priority_rowbuffer",
             duration_ps=DURATION_PS,
             dram_model=dram_model,
@@ -59,6 +59,6 @@ def test_backends_agree_on_headline_figures():
     # Row-buffer locality seen by the scheduler is comparable.
     assert abs(command.dram_row_hit_rate - transaction.dram_row_hit_rate) < 0.25
     # The QoS conclusion (Policy 2 degrades nobody) holds on both backends.
-    critical = critical_cores_for("A")
+    critical = critical_cores_for("case_a")
     assert qos_satisfied(transaction, cores=critical)
     assert qos_satisfied(command, cores=critical)

@@ -34,7 +34,7 @@ def _run(name: str) -> DvfsResult:
     if name not in _RESULTS:
         _RESULTS[name] = run_with_governor(
             _GOVERNORS[name](),
-            case="A",
+            scenario="case_a",
             policy="priority_qos",
             duration_ps=DURATION_PS,
             traffic_scale=1.0,

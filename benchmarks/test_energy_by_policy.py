@@ -23,7 +23,7 @@ _REPORTS = {}
 
 def _run(policy: str):
     if policy not in _REPORTS:
-        system = build_system(case="A", policy=policy)
+        system = build_system(scenario="case_a", policy=policy)
         system.run(duration_ps=DURATION_PS)
         _REPORTS[policy] = (estimate_system_energy(system), system.dram.row_hit_rate)
     return _REPORTS[policy]

@@ -16,8 +16,8 @@ import pytest
 from benchmarks.conftest import cached_run, policy_grid, prefetch
 from repro.analysis.metrics import qos_satisfied
 from repro.analysis.report import format_bandwidth_table, format_npi_table
+from repro.scenario import critical_cores_for
 from repro.sim.clock import MS
-from repro.system.platform import critical_cores_for
 
 DURATION_PS = 8 * MS
 POLICIES = ["atlas", "tcm", "sms", "edf", "priority_qos"]
@@ -26,20 +26,20 @@ POLICIES = ["atlas", "tcm", "sms", "edf", "priority_qos"]
 @pytest.fixture(scope="module", autouse=True)
 def _prefetch_grid():
     """Batch the whole grid through one sweep so cold runs can parallelise."""
-    prefetch(policy_grid("A", POLICIES, duration_ps=DURATION_PS))
+    prefetch(policy_grid("case_a", POLICIES, duration_ps=DURATION_PS))
 
 
 @pytest.mark.parametrize("policy", POLICIES)
 def test_extended_policy_run(benchmark, policy):
     result = benchmark.pedantic(
-        lambda: cached_run("A", policy, duration_ps=DURATION_PS), rounds=1, iterations=1
+        lambda: cached_run("case_a", policy, duration_ps=DURATION_PS), rounds=1, iterations=1
     )
     assert result.served_transactions > 0
 
 
 def test_extended_policy_shape():
-    results = {policy: cached_run("A", policy, duration_ps=DURATION_PS) for policy in POLICIES}
-    critical = critical_cores_for("A")
+    results = {policy: cached_run("case_a", policy, duration_ps=DURATION_PS) for policy in POLICIES}
+    critical = critical_cores_for("case_a")
 
     print("\nExtended baselines — minimum NPI per critical core (case A)")
     print(format_npi_table(results, critical))

@@ -19,30 +19,30 @@ import pytest
 
 from benchmarks.conftest import cached_run, policy_grid, prefetch
 from repro.analysis.report import format_npi_table
-from repro.system.platform import critical_cores_for
+from repro.scenario import critical_cores_for
 
 POLICIES = ["fcfs", "round_robin", "frame_rate_qos", "priority_qos"]
-REPORTED_CORES = list(critical_cores_for("A")) + ["dsp", "audio", "gpu"]
+REPORTED_CORES = list(critical_cores_for("case_a")) + ["dsp", "audio", "gpu"]
 
 
 @pytest.fixture(scope="module", autouse=True)
 def _prefetch_grid():
     """Batch the whole grid through one sweep so cold runs can parallelise."""
-    prefetch(policy_grid("A", POLICIES))
+    prefetch(policy_grid("case_a", POLICIES))
 
 
 @pytest.mark.parametrize("policy", POLICIES)
 def test_fig5_policy_run(benchmark, policy):
     """Run test case A under one policy (results shared via the session cache)."""
     result = benchmark.pedantic(
-        lambda: cached_run("A", policy), rounds=1, iterations=1
+        lambda: cached_run("case_a", policy), rounds=1, iterations=1
     )
     assert result.served_transactions > 0
     assert result.dram_bandwidth_bytes_per_s > 0
 
 
 def test_fig5_shape():
-    results = {policy: cached_run("A", policy) for policy in POLICIES}
+    results = {policy: cached_run("case_a", policy) for policy in POLICIES}
 
     print("\nFig. 5 — minimum NPI of critical cores, test case A")
     print(format_npi_table(results, cores=REPORTED_CORES))

@@ -14,29 +14,29 @@ import pytest
 
 from benchmarks.conftest import cached_run, policy_grid, prefetch
 from repro.analysis.report import format_npi_table
-from repro.system.platform import critical_cores_for
+from repro.scenario import critical_cores_for
 
 POLICIES = ["fcfs", "round_robin", "frame_rate_qos", "priority_qos"]
-REPORTED_CORES = list(critical_cores_for("B")) + ["audio", "gpu"]
+REPORTED_CORES = list(critical_cores_for("case_b")) + ["audio", "gpu"]
 
 
 @pytest.fixture(scope="module", autouse=True)
 def _prefetch_grid():
     """Batch the whole grid through one sweep so cold runs can parallelise."""
-    prefetch(policy_grid("B", POLICIES))
+    prefetch(policy_grid("case_b", POLICIES))
 
 
 @pytest.mark.parametrize("policy", POLICIES)
 def test_fig6_policy_run(benchmark, policy):
     result = benchmark.pedantic(
-        lambda: cached_run("B", policy), rounds=1, iterations=1
+        lambda: cached_run("case_b", policy), rounds=1, iterations=1
     )
     assert result.served_transactions > 0
     assert result.dram_freq_mhz == 1700.0
 
 
 def test_fig6_shape():
-    results = {policy: cached_run("B", policy) for policy in POLICIES}
+    results = {policy: cached_run("case_b", policy) for policy in POLICIES}
 
     print("\nFig. 6 — minimum NPI of critical cores, test case B")
     print(format_npi_table(results, cores=REPORTED_CORES))

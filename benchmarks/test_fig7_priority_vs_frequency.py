@@ -31,7 +31,7 @@ def _prefetch_grid():
     prefetch(
         [
             RunSpec(
-                case="A",
+                scenario="case_a",
                 policy="priority_qos",
                 duration_ps=BENCH_DURATION_PS,
                 traffic_scale=BENCH_TRAFFIC_SCALE,
@@ -46,7 +46,7 @@ def _prefetch_grid():
 @pytest.mark.parametrize("freq", FREQUENCIES_MHZ)
 def test_fig7_frequency_run(benchmark, freq):
     result = benchmark.pedantic(
-        lambda: cached_run("A", "priority_qos", dram_freq_mhz=freq),
+        lambda: cached_run("case_a", "priority_qos", dram_freq_mhz=freq),
         rounds=1,
         iterations=1,
     )
@@ -55,7 +55,7 @@ def test_fig7_frequency_run(benchmark, freq):
 
 def test_fig7_shape():
     results = {
-        freq: cached_run("A", "priority_qos", dram_freq_mhz=freq)
+        freq: cached_run("case_a", "priority_qos", dram_freq_mhz=freq)
         for freq in FREQUENCIES_MHZ
     }
     table = priority_distribution_table(results, DMA)

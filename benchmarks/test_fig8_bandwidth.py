@@ -26,19 +26,19 @@ POLICIES = ["round_robin", "fcfs", "priority_qos", "priority_rowbuffer", "fr_fcf
 @pytest.fixture(scope="module", autouse=True)
 def _prefetch_grid():
     """Batch the whole grid through one sweep so cold runs can parallelise."""
-    prefetch(policy_grid("A", POLICIES))
+    prefetch(policy_grid("case_a", POLICIES))
 
 
 @pytest.mark.parametrize("policy", POLICIES)
 def test_fig8_policy_run(benchmark, policy):
     result = benchmark.pedantic(
-        lambda: cached_run("A", policy), rounds=1, iterations=1
+        lambda: cached_run("case_a", policy), rounds=1, iterations=1
     )
     assert result.dram_bandwidth_bytes_per_s > 0
 
 
 def test_fig8_shape():
-    results = {policy: cached_run("A", policy) for policy in POLICIES}
+    results = {policy: cached_run("case_a", policy) for policy in POLICIES}
 
     print("\nFig. 8 — average DRAM bandwidth per scheduling policy")
     print(format_bandwidth_table(results))

@@ -13,28 +13,28 @@ import pytest
 
 from benchmarks.conftest import cached_run, policy_grid, prefetch
 from repro.analysis.report import format_npi_table
-from repro.system.platform import critical_cores_for
+from repro.scenario import critical_cores_for
 
 POLICIES = ["priority_rowbuffer", "fr_fcfs"]
-REPORTED_CORES = list(critical_cores_for("A")) + ["dsp", "audio"]
+REPORTED_CORES = list(critical_cores_for("case_a")) + ["dsp", "audio"]
 
 
 @pytest.fixture(scope="module", autouse=True)
 def _prefetch_grid():
     """Batch the whole grid through one sweep so cold runs can parallelise."""
-    prefetch(policy_grid("A", POLICIES))
+    prefetch(policy_grid("case_a", POLICIES))
 
 
 @pytest.mark.parametrize("policy", POLICIES)
 def test_fig9_policy_run(benchmark, policy):
     result = benchmark.pedantic(
-        lambda: cached_run("A", policy), rounds=1, iterations=1
+        lambda: cached_run("case_a", policy), rounds=1, iterations=1
     )
     assert result.served_transactions > 0
 
 
 def test_fig9_shape():
-    results = {policy: cached_run("A", policy) for policy in POLICIES}
+    results = {policy: cached_run("case_a", policy) for policy in POLICIES}
 
     print("\nFig. 9 — minimum NPI under QoS-RB vs FR-FCFS (test case A)")
     print(format_npi_table(results, cores=REPORTED_CORES))

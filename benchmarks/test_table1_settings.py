@@ -41,7 +41,7 @@ def test_table1_settings(benchmark):
 
 def test_case_b_deactivates_the_listed_cores(benchmark):
     system = benchmark.pedantic(
-        lambda: build_system(case="B", policy="priority_qos", traffic_scale=0.1),
+        lambda: build_system(scenario="case_b", policy="priority_qos", traffic_scale=0.1),
         rounds=1,
         iterations=1,
     )

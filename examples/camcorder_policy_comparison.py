@@ -13,8 +13,8 @@ from __future__ import annotations
 
 from repro import compare_policies
 from repro.analysis.report import format_bandwidth_table, format_npi_table
+from repro.scenario import critical_cores_for
 from repro.sim.clock import MS
-from repro.system.platform import critical_cores_for
 
 POLICIES = ["fcfs", "round_robin", "frame_rate_qos", "priority_qos"]
 
@@ -22,13 +22,13 @@ POLICIES = ["fcfs", "round_robin", "frame_rate_qos", "priority_qos"]
 def main() -> None:
     results = compare_policies(
         POLICIES,
-        case="A",
+        scenario="case_a",
         duration_ps=8 * MS,
         traffic_scale=0.8,
     )
 
     print("Minimum NPI of the critical cores during the run (Fig. 5 analogue)\n")
-    cores = list(critical_cores_for("A")) + ["dsp", "audio"]
+    cores = list(critical_cores_for("case_a")) + ["dsp", "audio"]
     print(format_npi_table(results, cores=cores))
     print()
     print("Average DRAM bandwidth per policy (Fig. 8 analogue)\n")

@@ -27,7 +27,7 @@ def main() -> None:
     systems = {}
     for model in ("transaction", "command"):
         system = build_system(
-            case="A", policy=POLICY, traffic_scale=TRAFFIC_SCALE, dram_model=model
+            scenario="case_a", policy=POLICY, traffic_scale=TRAFFIC_SCALE, dram_model=model
         )
         system.run(duration_ps=DURATION_PS)
         systems[model] = system

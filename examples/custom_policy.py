@@ -4,7 +4,12 @@ The policy registry is open: subclass
 :class:`~repro.memctrl.scheduler.SchedulingPolicy`, give it a unique ``name``
 and call :func:`~repro.memctrl.policies.register_policy`.  The new policy can
 then be used everywhere a built-in one can — the memory controller, the NoC
-arbiters, the experiment runner and the CLI.
+arbiters, the experiment runner and the CLI.  Because this module registers
+at import time it also works as a *plugin module*: parallel sweeps import it
+in every worker, so the custom policy runs under ``--jobs N`` too:
+
+    python -m repro compare case_a --plugin-module examples.custom_policy \
+        --policies priority_qos strict_priority --jobs 4
 
 The example policy below ("strict_priority") follows the paper's Policy 1 but
 drops both the round-robin tiebreak and the aging backstop: ties are broken
@@ -23,9 +28,9 @@ from repro.analysis.report import format_npi_table
 from repro.memctrl.policies import register_policy
 from repro.memctrl.scheduler import SchedulingContext, SchedulingPolicy
 from repro.memctrl.transaction import Transaction
+from repro.scenario import critical_cores_for
 from repro.sim.clock import MS
 from repro.system.experiment import compare_policies
-from repro.system.platform import critical_cores_for
 
 
 class StrictPriorityPolicy(SchedulingPolicy):
@@ -42,17 +47,20 @@ class StrictPriorityPolicy(SchedulingPolicy):
         return self.oldest(urgent)
 
 
-def main() -> None:
-    register_policy(StrictPriorityPolicy)
+# Register at import time so the module doubles as a --plugin-module: sweep
+# workers import it by name and see the policy before running their specs.
+register_policy(StrictPriorityPolicy, replace=True)
 
+
+def main() -> None:
     results = compare_policies(
         ["priority_qos", "strict_priority"],
-        case="A",
+        scenario="case_a",
         duration_ps=6 * MS,
         traffic_scale=0.6,
     )
 
-    critical = critical_cores_for("A")
+    critical = critical_cores_for("case_a")
     print("Custom policy versus the paper's Policy 1 (minimum NPI per critical core)\n")
     print(format_npi_table(results, critical))
     print()

@@ -39,7 +39,7 @@ def main() -> None:
 
     results, stats = sweep_frequencies(
         FREQUENCIES_MHZ,
-        case="A",
+        scenario="case_a",
         policy="priority_qos",
         duration_ps=8 * MS,
         traffic_scale=0.9,

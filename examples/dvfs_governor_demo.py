@@ -35,7 +35,7 @@ GOVERNORS = {
 def main() -> None:
     results = compare_governors(
         GOVERNORS,
-        case="A",
+        scenario="case_a",
         policy="priority_qos",
         duration_ps=6 * MS,
         traffic_scale=0.6,

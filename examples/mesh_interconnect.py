@@ -11,10 +11,10 @@ Run with:  python examples/mesh_interconnect.py
 
 from __future__ import annotations
 
+from repro.scenario import scenario_config
 from repro.sim.clock import MS
 from repro.sim.config import NocConfig
 from repro.system.builder import build_system
-from repro.system.platform import simulation_config_for_case
 
 DURATION_PS = 5 * MS
 TRAFFIC_SCALE = 0.6
@@ -22,7 +22,7 @@ POLICY = "priority_qos"
 
 
 def run_on(topology: str):
-    base = simulation_config_for_case("A")
+    base = scenario_config("case_a")
     config = base.with_overrides(
         noc=NocConfig(
             link_bytes_per_ns=base.noc.link_bytes_per_ns,
@@ -32,7 +32,7 @@ def run_on(topology: str):
             mesh_columns=2,
         )
     )
-    system = build_system(case="A", policy=POLICY, config=config, traffic_scale=TRAFFIC_SCALE)
+    system = build_system(scenario="case_a", policy=POLICY, config=config, traffic_scale=TRAFFIC_SCALE)
     system.run(duration_ps=DURATION_PS)
     return system
 

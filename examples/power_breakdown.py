@@ -27,7 +27,7 @@ def main() -> None:
     energy_per_byte = {}
     activation_mj = {}
     for policy in POLICIES:
-        system = build_system(case="A", policy=policy, traffic_scale=TRAFFIC_SCALE)
+        system = build_system(scenario="case_a", policy=policy, traffic_scale=TRAFFIC_SCALE)
         system.run(duration_ps=DURATION_PS)
         report = estimate_system_energy(system)
         energy_per_byte[policy] = report.energy_per_byte_pj

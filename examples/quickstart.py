@@ -17,7 +17,7 @@ from repro.sim.clock import MS
 
 def main() -> None:
     result = run_experiment(
-        case="A",                 # all cores active, LPDDR4 @ 1866 MHz (Table 1)
+        scenario="case_a",        # all cores active, LPDDR4 @ 1866 MHz (Table 1)
         policy="priority_qos",    # the paper's Policy 1
         duration_ps=8 * MS,       # a slice of the 33 ms frame, for a quick demo
         traffic_scale=0.6,        # trim traffic so the demo runs in a few seconds

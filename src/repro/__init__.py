@@ -3,9 +3,13 @@
 This package reproduces the DAC 2018 paper by Song, Alavoine and Lin.  The
 public API is intentionally small:
 
+* :class:`repro.Scenario` / :func:`repro.get_scenario` — declarative,
+  serializable experiment setups: platform + workload + policy + sweep axes
+  as plain data, with a bundled catalog and open registries for workloads,
+  traffic models, address streams and policies (see docs/scenarios.md).
 * :func:`repro.build_system` / :class:`repro.System` — assemble a simulated
-  heterogeneous MPSoC (cores, NoC, memory controller, LPDDR4 DRAM) running
-  the camcorder use case under a chosen scheduling policy.
+  heterogeneous MPSoC (cores, NoC, memory controller, LPDDR4 DRAM) from a
+  scenario, under a chosen scheduling policy.
 * :func:`repro.run_experiment`, :func:`repro.compare_policies`,
   :func:`repro.frequency_sweep` — the experiment runners behind every table
   and figure of the paper's evaluation.
@@ -45,6 +49,19 @@ from repro.runner import (
     run_sweep,
     sweep_compare_policies,
     sweep_frequencies,
+    sweep_scenario,
+)
+from repro.scenario import (
+    Scenario,
+    ScenarioError,
+    available_scenarios,
+    critical_cores_for,
+    get_scenario,
+    load_plugins,
+    register_scenario,
+    resolve_scenario,
+    scenario_config,
+    scenario_from_file,
 )
 from repro.system import (
     ExperimentResult,
@@ -53,7 +70,6 @@ from repro.system import (
     compare_policies,
     frequency_sweep,
     run_experiment,
-    simulation_config_for_case,
     table1_settings,
     table2_core_types,
 )
@@ -79,19 +95,29 @@ __all__ = [
     "ResultCache",
     "RunSpec",
     "SaraFramework",
+    "Scenario",
+    "ScenarioError",
     "SimulationConfig",
     "SweepStats",
     "System",
     "__version__",
+    "available_scenarios",
     "build_system",
     "camcorder_workload",
     "compare_policies",
+    "critical_cores_for",
     "frequency_sweep",
+    "get_scenario",
+    "load_plugins",
+    "register_scenario",
+    "resolve_scenario",
     "run_experiment",
     "run_sweep",
-    "simulation_config_for_case",
+    "scenario_config",
+    "scenario_from_file",
     "sweep_compare_policies",
     "sweep_frequencies",
+    "sweep_scenario",
     "table1_settings",
     "table2_core_types",
 ]

@@ -19,9 +19,9 @@ from pathlib import Path
 from typing import Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.analysis.metrics import priority_distribution_table
+from repro.scenario import critical_cores_for
 from repro.sim.clock import MS
 from repro.system.experiment import ExperimentResult
-from repro.system.platform import critical_cores_for
 
 Row = List[Union[str, float, int]]
 
@@ -53,12 +53,12 @@ def npi_time_rows(
 
 def fig5_rows(results: Mapping[str, ExperimentResult]) -> List[Row]:
     """Fig. 5 — NPI of case A's critical cores under each arbitration policy."""
-    return npi_time_rows(results, cores=critical_cores_for("A"))
+    return npi_time_rows(results, cores=critical_cores_for("case_a"))
 
 
 def fig6_rows(results: Mapping[str, ExperimentResult]) -> List[Row]:
     """Fig. 6 — NPI of case B's critical cores under each arbitration policy."""
-    return npi_time_rows(results, cores=critical_cores_for("B"))
+    return npi_time_rows(results, cores=critical_cores_for("case_b"))
 
 
 def fig7_rows(
@@ -86,7 +86,7 @@ def fig8_rows(results: Mapping[str, ExperimentResult]) -> List[Row]:
 
 def fig9_rows(results: Mapping[str, ExperimentResult]) -> List[Row]:
     """Fig. 9 — NPI traces for the row-buffer-optimisation comparison (case A)."""
-    return npi_time_rows(results, cores=critical_cores_for("A"))
+    return npi_time_rows(results, cores=critical_cores_for("case_a"))
 
 
 def min_npi_rows(

@@ -18,8 +18,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional
 
 from repro.analysis.metrics import bandwidth_gain, bandwidth_ordering, qos_satisfied
+from repro.scenario import critical_cores_for
 from repro.system.experiment import ExperimentResult
-from repro.system.platform import critical_cores_for
 
 
 @dataclass(frozen=True)
@@ -73,17 +73,23 @@ class ClaimCheck:
 # Shape checks per figure
 # --------------------------------------------------------------------------- #
 def check_policy_failures(
-    results: Mapping[str, ExperimentResult], case: str
+    results: Mapping[str, ExperimentResult], scenario
 ) -> List[ClaimCheck]:
     """Figs. 5/6 shape: which policies fail which critical cores.
 
     The reproduction target is the *pattern*: the baselines each leave at
     least one critical core below target while the priority-based policy
-    satisfies every core.
+    satisfies every core.  For scenarios beyond the paper's two cases the
+    same structural check applies under the scenario's own experiment label.
+
+    ``scenario`` may be a catalog name or a :class:`~repro.scenario.Scenario`
+    object — pass the object for file-based scenarios whose names are not in
+    the catalog.
     """
-    critical = critical_cores_for(case)
+    critical = critical_cores_for(scenario)
+    name = getattr(scenario, "name", scenario)
     checks: List[ClaimCheck] = []
-    experiment = "fig5" if case.upper() == "A" else "fig6"
+    experiment = {"case_a": "fig5", "case_b": "fig6"}.get(name, name)
 
     for baseline in ("fcfs", "round_robin", "frame_rate_qos"):
         if baseline not in results:
@@ -193,7 +199,7 @@ def check_fig8_bandwidth_ordering(
 def check_fig9_qos_preserved(results: Mapping[str, ExperimentResult]) -> List[ClaimCheck]:
     """Fig. 9 shape: QoS-RB keeps every core passing, FR-FCFS does not."""
     checks: List[ClaimCheck] = []
-    critical = critical_cores_for("A")
+    critical = critical_cores_for("case_a")
     if "priority_rowbuffer" in results:
         checks.append(
             ClaimCheck(

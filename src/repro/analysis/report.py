@@ -103,7 +103,7 @@ def format_core_summary(result: ExperimentResult, cores: Optional[Iterable[str]]
     lines = [_format_row(row, widths) for row in rows]
     lines.insert(1, "-" * len(lines[0]))
     lines.append(
-        f"policy={result.policy}  case={result.case}  "
+        f"policy={result.policy}  scenario={result.scenario}  "
         f"bandwidth={result.dram_bandwidth_gb_per_s():.2f} GB/s  "
         f"row-hit={result.dram_row_hit_rate * 100:.1f}%"
     )

@@ -3,27 +3,30 @@
 Long benchmark runs are expensive (tens of seconds each), so being able to
 save an :class:`~repro.system.experiment.ExperimentResult` to disk and reload
 it later — for re-plotting, regression comparison or EXPERIMENTS.md updates —
-is worth a small amount of serialisation code.  Traces are included
-optionally because the full NPI time series of a 33 ms run is large.
+is worth a small amount of serialisation code.
+
+Traces are stored in a compact columnar form: most series of one run are
+sampled on the same time axis (every adaptation interval), so the axes are
+deduplicated into a pool and uniform axes collapse to ``start/step/count``
+instead of one integer per sample.  Decoding also accepts the legacy
+per-series ``times_ps``/``values`` layout, so old result files stay
+readable.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
-from repro.sim.config import (
-    DramConfig,
-    DramTimingConfig,
-    MemoryControllerConfig,
-    NocConfig,
-    SimulationConfig,
-)
+from repro.sim.config import SimulationConfig
 from repro.sim.trace import TraceRecorder
 from repro.system.experiment import ExperimentResult
 
 PathLike = Union[str, Path]
+
+#: Marker of the compact columnar trace layout.
+TRACE_FORMAT_COLUMNAR = "columnar/1"
 
 
 # --------------------------------------------------------------------------- #
@@ -31,61 +34,71 @@ PathLike = Union[str, Path]
 # --------------------------------------------------------------------------- #
 def simulation_config_to_dict(config: SimulationConfig) -> Dict[str, object]:
     """Flatten a :class:`SimulationConfig` (and its nested configs) to a dict."""
-    return {
-        "duration_ps": config.duration_ps,
-        "seed": config.seed,
-        "sim_scale": config.sim_scale,
-        "priority_bits": config.priority_bits,
-        "adaptation_interval_ps": config.adaptation_interval_ps,
-        "warmup_ps": config.warmup_ps,
-        "dram": {
-            "io_freq_mhz": config.dram.io_freq_mhz,
-            "channels": config.dram.channels,
-            "ranks_per_channel": config.dram.ranks_per_channel,
-            "banks_per_rank": config.dram.banks_per_rank,
-            "row_size_bytes": config.dram.row_size_bytes,
-            "bus_bytes_per_cycle": config.dram.bus_bytes_per_cycle,
-            "capacity_bytes": config.dram.capacity_bytes,
-            "timing": dict(config.dram.timing.__dict__),
-        },
-        "memory_controller": dict(config.memory_controller.__dict__),
-        "noc": dict(config.noc.__dict__),
-    }
+    return config.to_dict()
 
 
 def simulation_config_from_dict(data: Dict[str, object]) -> SimulationConfig:
     """Rebuild a :class:`SimulationConfig` from :func:`simulation_config_to_dict`."""
-    dram_data = dict(data["dram"])  # type: ignore[arg-type]
-    timing = DramTimingConfig(**dram_data.pop("timing"))
-    dram = DramConfig(timing=timing, **dram_data)
-    controller = MemoryControllerConfig(**data["memory_controller"])  # type: ignore[arg-type]
-    noc = NocConfig(**data["noc"])  # type: ignore[arg-type]
-    return SimulationConfig(
-        duration_ps=int(data["duration_ps"]),
-        seed=int(data["seed"]),
-        sim_scale=float(data["sim_scale"]),
-        priority_bits=int(data["priority_bits"]),
-        adaptation_interval_ps=int(data["adaptation_interval_ps"]),
-        warmup_ps=int(data["warmup_ps"]),
-        dram=dram,
-        memory_controller=controller,
-        noc=noc,
-    )
+    return SimulationConfig.from_dict(data)
 
 
 # --------------------------------------------------------------------------- #
-# Experiment results
+# Traces
 # --------------------------------------------------------------------------- #
-def _trace_to_dict(trace: TraceRecorder) -> Dict[str, Dict[str, list]]:
-    return {
-        name: {"times_ps": list(series.times_ps), "values": list(series.values)}
-        for name, series in ((name, trace.get(name)) for name in trace.names())
-        if series is not None
-    }
+def _encode_axis(times_ps: List[int]) -> Dict[str, object]:
+    """Encode one time axis: uniform axes as start/step/count, else deltas."""
+    if len(times_ps) >= 2:
+        step = times_ps[1] - times_ps[0]
+        if all(
+            times_ps[i + 1] - times_ps[i] == step for i in range(1, len(times_ps) - 1)
+        ):
+            return {"start": times_ps[0], "step": step, "count": len(times_ps)}
+    deltas = [times_ps[0]] if times_ps else []
+    for previous, current in zip(times_ps, times_ps[1:]):
+        deltas.append(current - previous)
+    return {"deltas": deltas}
 
 
-def _trace_from_dict(data: Dict[str, Dict[str, list]]) -> TraceRecorder:
+def _decode_axis(data: Dict[str, object]) -> List[int]:
+    if "deltas" in data:
+        times: List[int] = []
+        position = 0
+        for index, delta in enumerate(data["deltas"]):  # type: ignore[union-attr]
+            position = int(delta) if index == 0 else position + int(delta)
+            times.append(position)
+        return times
+    start, step, count = int(data["start"]), int(data["step"]), int(data["count"])
+    return [start + step * index for index in range(count)]
+
+
+def _trace_to_dict(trace: TraceRecorder) -> Dict[str, object]:
+    axes: List[Dict[str, object]] = []
+    axis_index: Dict[Tuple[int, ...], int] = {}
+    series_payload: Dict[str, Dict[str, object]] = {}
+    for name in trace.names():
+        series = trace.get(name)
+        if series is None:
+            continue
+        key = tuple(series.times_ps)
+        index = axis_index.get(key)
+        if index is None:
+            index = len(axes)
+            axis_index[key] = index
+            axes.append(_encode_axis(list(series.times_ps)))
+        series_payload[name] = {"axis": index, "values": list(series.values)}
+    return {"format": TRACE_FORMAT_COLUMNAR, "axes": axes, "series": series_payload}
+
+
+def _trace_from_dict(data: Dict[str, object]) -> TraceRecorder:
     trace = TraceRecorder()
+    if data.get("format") == TRACE_FORMAT_COLUMNAR:
+        axes = [_decode_axis(axis) for axis in data["axes"]]  # type: ignore[union-attr]
+        for name, payload in data["series"].items():  # type: ignore[union-attr]
+            series = trace.series(name)
+            for time_ps, value in zip(axes[int(payload["axis"])], payload["values"]):
+                series.append(int(time_ps), float(value))
+        return trace
+    # Legacy layout: one times/values pair per series.
     for name, payload in data.items():
         series = trace.series(name)
         for time_ps, value in zip(payload["times_ps"], payload["values"]):
@@ -93,12 +106,15 @@ def _trace_from_dict(data: Dict[str, Dict[str, list]]) -> TraceRecorder:
     return trace
 
 
+# --------------------------------------------------------------------------- #
+# Experiment results
+# --------------------------------------------------------------------------- #
 def experiment_result_to_dict(
     result: ExperimentResult, include_trace: bool = False
 ) -> Dict[str, object]:
     """Convert an :class:`ExperimentResult` into a JSON-compatible dict."""
     payload: Dict[str, object] = {
-        "case": result.case,
+        "scenario": result.scenario,
         "policy": result.policy,
         "adaptation_enabled": result.adaptation_enabled,
         "duration_ps": result.duration_ps,
@@ -124,8 +140,9 @@ def experiment_result_from_dict(data: Dict[str, object]) -> ExperimentResult:
     trace: Optional[TraceRecorder] = None
     if "trace" in data:
         trace = _trace_from_dict(data["trace"])  # type: ignore[arg-type]
+    scenario = data.get("scenario", data.get("case"))  # "case": pre-scenario files
     return ExperimentResult(
-        case=str(data["case"]),
+        scenario=str(scenario),
         policy=str(data["policy"]),
         adaptation_enabled=bool(data["adaptation_enabled"]),
         duration_ps=int(data["duration_ps"]),

@@ -1,21 +1,23 @@
-"""Command-line interface for the SARA reproduction.
+"""Command-line interface for the SARA reproduction — scenario-first.
 
-``python -m repro <command>`` exposes the main entry points of the library
-without writing any Python:
+``python -m repro <command>`` exposes the library around named, declarative
+scenarios (bundled ones, plus any ``.json``/``.toml`` scenario file):
 
-* ``policies`` / ``governors`` — list the registered scheduling policies and
-  DVFS governors.
-* ``settings`` — print the Table-1/Table-2 platform settings.
-* ``run`` — one experiment (case, policy, duration), printing the per-core
-  summary and optionally saving the result as JSON.
-* ``compare`` — several policies on one case (Figs. 5/6/8/9), printing the
-  NPI and bandwidth tables plus the paper's shape checks.
-* ``sweep`` — the Fig. 7 DRAM-frequency sweep and priority-distribution table.
-* ``dvfs`` — a governor-in-the-loop run with the QoS / energy trade-off.
-* ``energy`` — the memory-system energy breakdown of one run.
+* ``scenarios list|show|validate`` — browse the catalog, print one scenario's
+  full spec, or schema-check (and optionally smoke-run) scenario files.
+* ``run <scenario>`` — one experiment, printing the per-core summary and
+  optionally saving the result as JSON.
+* ``compare <scenario>`` — several policies on one scenario (Figs. 5/6/8/9).
+* ``sweep <scenario>`` — the Fig. 7 DRAM-frequency sweep.
+* ``grid <scenario>`` — the scenario's declared sweep axes, expanded and run.
+* ``dvfs`` / ``energy`` — governor-in-the-loop and energy-breakdown runs.
+* ``policies`` / ``governors`` / ``settings`` — registry and platform tables.
 
-Durations are given in milliseconds of *simulated* time; the full frame
-period of the paper is 33 ms, but a few milliseconds already show the
+Every run-like command accepts ``--set dotted.path=value`` overrides (e.g.
+``--set platform.sim.seed=7``) and ``--plugin-module`` imports, which also
+propagate into sweep worker processes — custom policies and workloads work
+under ``--jobs N``.  Durations are in milliseconds of *simulated* time; the
+paper's frame period is 33 ms, but a few milliseconds already show the
 contended phase on a laptop-friendly budget.
 """
 
@@ -23,7 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.figures import export_csv, fig7_rows, min_npi_rows
 from repro.analysis.metrics import priority_distribution_table
@@ -45,11 +47,21 @@ from repro.dvfs.experiment import run_with_governor
 from repro.dvfs.governor import available_governors, make_governor
 from repro.memctrl.policies import available_policies
 from repro.power import estimate_system_energy, format_energy_report
-from repro.runner import sweep_compare_policies, sweep_frequencies
+from repro.runner import sweep_compare_policies, sweep_frequencies, sweep_scenario
+from repro.scenario import (
+    ScenarioError,
+    available_scenarios,
+    builtin_scenario_paths,
+    critical_cores_for,
+    describe_scenario,
+    get_scenario,
+    load_plugins,
+    scenario_from_file,
+)
 from repro.sim.clock import MS
 from repro.system.builder import build_system
 from repro.system.experiment import run_experiment
-from repro.system.platform import critical_cores_for, table1_settings, table2_core_types
+from repro.system.platform import table1_settings, table2_core_types
 
 #: Default simulated window for CLI runs (milliseconds).
 DEFAULT_DURATION_MS = 4.0
@@ -57,8 +69,17 @@ DEFAULT_DURATION_MS = 4.0
 FIG7_FREQUENCIES = (1300.0, 1400.0, 1500.0, 1600.0, 1700.0)
 
 
+def _add_scenario_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        default="case_a",
+        help="scenario name (see `repro scenarios list`) or a .json/.toml scenario file",
+    )
+
+
 def _add_common_run_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--case", choices=("A", "B"), default="A", help="camcorder test case")
+    _add_scenario_argument(parser)
     parser.add_argument(
         "--duration-ms",
         type=float,
@@ -68,8 +89,26 @@ def _add_common_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--traffic-scale",
         type=float,
-        default=1.0,
-        help="linear scale on all offered traffic (1.0 = paper rates)",
+        default=None,
+        help="linear scale on all offered traffic (default: the scenario's own rates)",
+    )
+    parser.add_argument(
+        "--set",
+        dest="settings",
+        metavar="PATH=VALUE",
+        action="append",
+        default=[],
+        help="override one scenario setting by dotted path, "
+        "e.g. --set platform.sim.seed=7 --set workload.params.streams=16",
+    )
+    parser.add_argument(
+        "--plugin-module",
+        dest="plugin_modules",
+        metavar="MODULE",
+        action="append",
+        default=[],
+        help="import this module first (and in every sweep worker) so its "
+        "registered policies/workloads/scenarios are available",
     )
 
 
@@ -103,46 +142,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    scenarios = subparsers.add_parser("scenarios", help="browse and validate scenarios")
+    scenario_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+    scenario_sub.add_parser("list", help="list every known scenario")
+    show = scenario_sub.add_parser("show", help="print one scenario's full spec as JSON")
+    _add_scenario_argument(show)
+    validate = scenario_sub.add_parser(
+        "validate", help="schema-check scenario files (optionally with a smoke run)"
+    )
+    validate.add_argument(
+        "scenarios",
+        nargs="*",
+        default=[],
+        help="scenario names or files (default: every bundled scenario)",
+    )
+    validate.add_argument(
+        "--smoke-ms",
+        type=float,
+        default=None,
+        help="also run each scenario for this many simulated milliseconds",
+    )
+    validate.add_argument(
+        "--smoke-traffic-scale",
+        type=float,
+        default=0.1,
+        help="traffic scale for the smoke runs (default 0.1)",
+    )
+
     subparsers.add_parser("policies", help="list registered scheduling policies")
     subparsers.add_parser("governors", help="list registered DVFS governors")
 
     settings = subparsers.add_parser("settings", help="print Table 1 / Table 2 settings")
-    settings.add_argument("--case", choices=("A", "B"), default="A")
+    _add_scenario_argument(settings)
 
-    run = subparsers.add_parser("run", help="run one experiment")
+    run = subparsers.add_parser("run", help="run one scenario")
     _add_common_run_arguments(run)
-    run.add_argument("--policy", default="priority_qos", choices=sorted(available_policies()))
-    run.add_argument("--dram-model", default="transaction", choices=("transaction", "command"))
+    run.add_argument("--policy", default=None, help="scheduling policy (default: the scenario's)")
+    run.add_argument("--dram-model", default=None, choices=("transaction", "command"))
     run.add_argument("--output-json", default=None, help="save the result to this JSON file")
 
-    compare = subparsers.add_parser("compare", help="compare several policies on one case")
+    compare = subparsers.add_parser("compare", help="compare several policies on one scenario")
     _add_common_run_arguments(compare)
     _add_sweep_arguments(compare)
     compare.add_argument(
         "--policies",
         nargs="+",
-        default=["fcfs", "round_robin", "frame_rate_qos", "priority_qos"],
-        choices=sorted(available_policies()),
+        default=None,
+        help="policies to compare (default: the scenario's policy sweep axis, "
+        "or the paper's Fig. 5 set)",
     )
     compare.add_argument("--output-csv", default=None, help="export per-core minimum NPI rows")
 
     sweep = subparsers.add_parser("sweep", help="Fig. 7 DRAM frequency sweep")
     _add_common_run_arguments(sweep)
     _add_sweep_arguments(sweep)
-    sweep.add_argument("--policy", default="priority_qos", choices=sorted(available_policies()))
+    sweep.add_argument("--policy", default=None, help="scheduling policy (default: the scenario's)")
     sweep.add_argument("--dma", default="image_processor.read", help="DMA whose priorities to report")
     sweep.add_argument(
         "--frequencies",
         nargs="+",
         type=float,
-        default=list(FIG7_FREQUENCIES),
-        help="DRAM I/O frequencies in MHz",
+        default=None,
+        help="DRAM I/O frequencies in MHz (default: the scenario's frequency "
+        "sweep axis, or the paper's Fig. 7 points)",
     )
     sweep.add_argument("--output-csv", default=None, help="export the Fig. 7 rows to CSV")
 
+    grid = subparsers.add_parser(
+        "grid", help="run the sweep axes a scenario declares (its full grid)"
+    )
+    _add_common_run_arguments(grid)
+    _add_sweep_arguments(grid)
+
     dvfs = subparsers.add_parser("dvfs", help="run with a DVFS governor in the loop")
     _add_common_run_arguments(dvfs)
-    dvfs.add_argument("--policy", default="priority_qos", choices=sorted(available_policies()))
+    dvfs.add_argument("--policy", default=None, help="scheduling policy (default: the scenario's)")
     dvfs.add_argument("--governor", default="priority_pressure", choices=sorted(available_governors()))
     dvfs.add_argument(
         "--interval-us", type=float, default=100.0, help="governor decision interval (microseconds)"
@@ -150,14 +224,86 @@ def build_parser() -> argparse.ArgumentParser:
 
     energy = subparsers.add_parser("energy", help="memory-system energy of one run")
     _add_common_run_arguments(energy)
-    energy.add_argument("--policy", default="priority_rowbuffer", choices=sorted(available_policies()))
+    energy.add_argument(
+        "--policy", default="priority_rowbuffer", help="scheduling policy for the energy run"
+    )
 
     return parser
+
+
+def _parse_settings(pairs: Sequence[str]) -> List[tuple]:
+    settings = []
+    for pair in pairs:
+        if "=" not in pair:
+            raise ScenarioError(f"--set expects PATH=VALUE, got '{pair}'")
+        path, value = pair.split("=", 1)
+        settings.append((path.strip(), value.strip()))
+    return settings
+
+
+def _check_policy(name: Optional[str]) -> None:
+    """Validate a policy name against the (possibly plugin-extended) registry."""
+    if name is not None and name not in available_policies():
+        known = ", ".join(sorted(available_policies()))
+        raise ScenarioError(f"unknown scheduling policy '{name}' (known: {known})")
+
+
+def _resolved_scenario(args: argparse.Namespace):
+    scenario = get_scenario(args.scenario)
+    settings = _parse_settings(args.settings)
+    if settings:
+        scenario = scenario.apply_settings(dict(settings))
+    return scenario
 
 
 # --------------------------------------------------------------------------- #
 # Command implementations
 # --------------------------------------------------------------------------- #
+def _cmd_scenarios_list() -> int:
+    print("Known scenarios (bundled and runtime-registered):")
+    for name in available_scenarios():
+        print(f"  {describe_scenario(name)}")
+    print("\nRun one with:  python -m repro run <scenario>")
+    return 0
+
+
+def _cmd_scenarios_show(args: argparse.Namespace) -> int:
+    print(get_scenario(args.scenario).to_json())
+    return 0
+
+
+def _cmd_scenarios_validate(args: argparse.Namespace) -> int:
+    refs = list(args.scenarios) or sorted(builtin_scenario_paths())
+    failures = 0
+    for ref in refs:
+        label = str(ref)
+        try:
+            if isinstance(ref, str) and ref.endswith((".json", ".toml")):
+                scenario = scenario_from_file(ref)
+            else:
+                scenario = get_scenario(ref)
+            scenario.build_workload()  # resolves the workload registry too
+            if args.smoke_ms is not None:
+                result = run_experiment(
+                    scenario=scenario,
+                    duration_ps=int(args.smoke_ms * MS),
+                    traffic_scale=args.smoke_traffic_scale,
+                    keep_trace=False,
+                )
+                detail = (
+                    f"smoke run OK ({result.served_transactions} transactions, "
+                    f"policy {result.policy})"
+                )
+            else:
+                detail = "schema OK"
+            print(f"[PASS] {scenario.name:<26}{detail}")
+        except (ScenarioError, ValueError) as exc:
+            failures += 1
+            print(f"[FAIL] {label}: {exc}")
+    print(f"validated {len(refs)} scenario(s), {failures} failure(s)")
+    return 1 if failures else 0
+
+
 def _cmd_policies() -> int:
     print("Registered scheduling policies (memory controller and NoC arbiters):")
     for name, policy_cls in sorted(available_policies().items()):
@@ -175,8 +321,9 @@ def _cmd_governors() -> int:
 
 
 def _cmd_settings(args: argparse.Namespace) -> int:
-    print(f"Table 1 — simulation settings (case {args.case})")
-    print(format_settings_table(table1_settings(args.case)))
+    settings = table1_settings(args.scenario)
+    print(f"Table 1 — simulation settings (scenario {settings['scenario']})")
+    print(format_settings_table(settings))
     print()
     print("Table 2 — cores and target-performance types")
     print(format_settings_table(table2_core_types()))
@@ -184,15 +331,17 @@ def _cmd_settings(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    _check_policy(args.policy)
+    scenario = _resolved_scenario(args)
     duration_ps = int(args.duration_ms * MS)
     result = run_experiment(
-        case=args.case,
+        scenario=scenario,
         policy=args.policy,
         duration_ps=duration_ps,
         traffic_scale=args.traffic_scale,
         dram_model=args.dram_model,
     )
-    print(format_core_summary(result, critical_cores_for(args.case)))
+    print(format_core_summary(result, critical_cores_for(scenario)))
     failing = result.failing_cores()
     print(f"failing cores: {failing or 'none'}")
     if args.output_json:
@@ -201,27 +350,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_policies(scenario) -> List[str]:
+    axis = scenario.sweep.get("policy")
+    if axis:
+        return list(axis)
+    return ["fcfs", "round_robin", "frame_rate_qos", "priority_qos"]
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
+    scenario = _resolved_scenario(args)
+    policies = args.policies or _default_policies(scenario)
+    for policy in policies:
+        _check_policy(policy)
     duration_ps = int(args.duration_ms * MS)
     results, stats = sweep_compare_policies(
-        args.policies,
-        case=args.case,
+        policies,
+        scenario=scenario,
         duration_ps=duration_ps,
         traffic_scale=args.traffic_scale,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        plugin_modules=args.plugin_modules,
     )
     print(stats.summary())
-    critical = critical_cores_for(args.case)
-    print(f"Minimum NPI per critical core (case {args.case})")
+    critical = critical_cores_for(scenario)
+    print(f"Minimum NPI per critical core (scenario {scenario.name})")
     print(format_npi_table(results, critical))
     print()
     print("Average DRAM bandwidth")
     print(format_bandwidth_table(results))
     print()
-    checks = check_policy_failures(results, args.case)
+    checks = check_policy_failures(results, scenario)
     checks += check_fig8_bandwidth_ordering(results)
-    checks += check_fig9_qos_preserved(results)
+    if scenario.name == "case_a":
+        checks += check_fig9_qos_preserved(results)
     for check in checks:
         print(check)
     summary = summarize_checks(checks)
@@ -233,15 +395,22 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    _check_policy(args.policy)
+    scenario = _resolved_scenario(args)
+    frequencies = args.frequencies
+    if frequencies is None:
+        axis = scenario.sweep.get("platform.sim.dram.io_freq_mhz")
+        frequencies = [float(f) for f in axis] if axis else list(FIG7_FREQUENCIES)
     duration_ps = int(args.duration_ms * MS)
     sweep, stats = sweep_frequencies(
-        args.frequencies,
-        case=args.case,
+        frequencies,
+        scenario=scenario,
         policy=args.policy,
         duration_ps=duration_ps,
         traffic_scale=args.traffic_scale,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        plugin_modules=args.plugin_modules,
     )
     print(stats.summary())
     table = priority_distribution_table(sweep, args.dma)
@@ -253,12 +422,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_grid(args: argparse.Namespace) -> int:
+    scenario = _resolved_scenario(args)
+    if not scenario.sweep:
+        print(f"scenario '{scenario.name}' declares no sweep axes")
+        return 1
+    duration_ps = int(args.duration_ms * MS)
+    results, stats = sweep_scenario(
+        scenario,
+        duration_ps=duration_ps,
+        traffic_scale=args.traffic_scale,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        plugin_modules=args.plugin_modules,
+    )
+    print(stats.summary())
+    print(f"Grid over {scenario.name}'s declared axes ({len(results)} points)")
+    width = max(len(label) for label in results)
+    print(f"{'point'.ljust(width)}  bandwidth GB/s  failing cores")
+    for label, result in results.items():
+        failing = ",".join(result.failing_cores()) or "none"
+        print(f"{label.ljust(width)}  {result.dram_bandwidth_gb_per_s():13.2f}  {failing}")
+    return 0
+
+
 def _cmd_dvfs(args: argparse.Namespace) -> int:
+    _check_policy(args.policy)
+    scenario = _resolved_scenario(args)
     duration_ps = int(args.duration_ms * MS)
     governor = make_governor(args.governor)
     result = run_with_governor(
         governor,
-        case=args.case,
+        scenario=scenario,
         policy=args.policy,
         duration_ps=duration_ps,
         traffic_scale=args.traffic_scale,
@@ -276,8 +471,12 @@ def _cmd_dvfs(args: argparse.Namespace) -> int:
 
 
 def _cmd_energy(args: argparse.Namespace) -> int:
+    _check_policy(args.policy)
+    scenario = _resolved_scenario(args)
     duration_ps = int(args.duration_ms * MS)
-    system = build_system(case=args.case, policy=args.policy, traffic_scale=args.traffic_scale)
+    system = build_system(
+        scenario=scenario, policy=args.policy, traffic_scale=args.traffic_scale
+    )
     system.run(duration_ps=duration_ps)
     print(format_energy_report(estimate_system_energy(system)))
     return 0
@@ -286,22 +485,36 @@ def _cmd_energy(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     args = build_parser().parse_args(argv)
-    if args.command == "policies":
-        return _cmd_policies()
-    if args.command == "governors":
-        return _cmd_governors()
-    if args.command == "settings":
-        return _cmd_settings(args)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "compare":
-        return _cmd_compare(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
-    if args.command == "dvfs":
-        return _cmd_dvfs(args)
-    if args.command == "energy":
-        return _cmd_energy(args)
+    try:
+        load_plugins(getattr(args, "plugin_modules", ()))
+        if args.command == "scenarios":
+            if args.scenarios_command == "list":
+                return _cmd_scenarios_list()
+            if args.scenarios_command == "show":
+                return _cmd_scenarios_show(args)
+            if args.scenarios_command == "validate":
+                return _cmd_scenarios_validate(args)
+        if args.command == "policies":
+            return _cmd_policies()
+        if args.command == "governors":
+            return _cmd_governors()
+        if args.command == "settings":
+            return _cmd_settings(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "grid":
+            return _cmd_grid(args)
+        if args.command == "dvfs":
+            return _cmd_dvfs(args)
+        if args.command == "energy":
+            return _cmd_energy(args)
+    except (ScenarioError, ImportError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

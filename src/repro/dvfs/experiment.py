@@ -44,10 +44,10 @@ class DvfsResult:
 
 def run_with_governor(
     governor: Governor,
-    case: str = "A",
-    policy: str = "priority_qos",
+    scenario: str = "case_a",
+    policy: Optional[str] = None,
     duration_ps: Optional[int] = None,
-    traffic_scale: float = 1.0,
+    traffic_scale: Optional[float] = None,
     config: Optional[SimulationConfig] = None,
     opp_table: Optional[OppTable] = None,
     interval_ps: int = 100_000_000,
@@ -61,7 +61,7 @@ def run_with_governor(
     share.
     """
     system = build_system(
-        case=case,
+        scenario=scenario,
         policy=policy,
         config=config,
         traffic_scale=traffic_scale,
@@ -97,10 +97,10 @@ def run_with_governor(
 
 def compare_governors(
     governors: Dict[str, Governor],
-    case: str = "A",
-    policy: str = "priority_qos",
+    scenario: str = "case_a",
+    policy: Optional[str] = None,
     duration_ps: Optional[int] = None,
-    traffic_scale: float = 1.0,
+    traffic_scale: Optional[float] = None,
     interval_ps: int = 100_000_000,
 ) -> Dict[str, DvfsResult]:
     """Run the same workload under several governors (DVFS ablation bench)."""
@@ -108,7 +108,7 @@ def compare_governors(
     for name, governor in governors.items():
         results[name] = run_with_governor(
             governor,
-            case=case,
+            scenario=scenario,
             policy=policy,
             duration_ps=duration_ps,
             traffic_scale=traffic_scale,

@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Callable, Deque, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.noc.arbiter import NocArbiter
 from repro.noc.link import Link
@@ -24,6 +23,16 @@ class Router:
     happens to share its input port.  The winner occupies the link for its
     serialisation delay plus the router's pipeline latency and is handed to
     the downstream sink (another router or the memory controller).
+
+    The candidate set is maintained incrementally, mirroring the memory
+    controller's per-channel index: ``_candidates`` maps transaction uid to
+    ``(packet, owning port)`` and is updated on receive and forward, so an
+    arbitration reads the queued packets directly instead of rebuilding a
+    map of every port queue per decision, and the winner is removed in O(1)
+    instead of a linear queue scan.  Selection is unaffected: every policy
+    breaks ties on total per-transaction keys (enqueue time, uid), never on
+    candidate order, and the parity test in ``tests/test_noc_index_parity.py``
+    asserts bit-identical results against a rebuild-per-arbitration reference.
     """
 
     def __init__(
@@ -43,7 +52,10 @@ class Router:
         self.output_link = output_link
         self.latency_ps = round(latency_ns * NS)
         self._sink = sink
-        self._ports: Dict[str, Deque[Packet]] = {}
+        # Per-port insertion-ordered queues (uid -> packet) plus the flat
+        # incrementally maintained candidate index over all ports.
+        self._ports: Dict[str, Dict[int, Packet]] = {}
+        self._candidates: Dict[int, Tuple[Packet, Dict[int, Packet]]] = {}
         self._busy = False
         self._gate: Optional[Callable[[], bool]] = None
         self.forwarded_packets = 0
@@ -69,40 +81,34 @@ class Router:
 
     def add_port(self, port_name: str) -> None:
         """Declare an input port; receiving on an undeclared port also creates it."""
-        self._ports.setdefault(port_name, deque())
+        self._ports.setdefault(port_name, {})
 
     def receive(self, port_name: str, packet: Packet) -> None:
         """Accept a packet on an input port and try to allocate the switch."""
-        self._ports.setdefault(port_name, deque()).append(packet)
+        port = self._ports.setdefault(port_name, {})
+        uid = packet.transaction.uid
+        port[uid] = packet
+        self._candidates[uid] = (packet, port)
         self._try_forward()
 
     def occupancy(self) -> int:
         """Total packets waiting across all input ports."""
-        return sum(len(queue) for queue in self._ports.values())
-
-    def _candidates(self) -> Dict[int, "tuple[Packet, Deque[Packet]]"]:
-        """Map transaction uid -> (packet, its port queue) for everything queued."""
-        candidates: Dict[int, "tuple[Packet, Deque[Packet]]"] = {}
-        for queue in self._ports.values():
-            for packet in queue:
-                candidates[packet.transaction.uid] = (packet, queue)
-        return candidates
+        return len(self._candidates)
 
     def _try_forward(self) -> None:
         if self._busy or self._sink is None:
             return
+        if not self._candidates:
+            return
         if self._gate is not None and not self._gate():
             self.stalled_attempts += 1
             return
-        candidates = self._candidates()
-        if not candidates:
-            return
         chosen_txn = self.arbiter.select(
-            [packet.transaction for packet, _ in candidates.values()],
+            [packet.transaction for packet, _ in self._candidates.values()],
             self.engine.now_ps,
         )
-        packet, queue = candidates[chosen_txn.uid]
-        queue.remove(packet)
+        packet, port = self._candidates.pop(chosen_txn.uid)
+        del port[chosen_txn.uid]
         self._busy = True
         finish_ps = self.output_link.reserve(self.engine.now_ps, packet.size_bytes)
         self.engine.schedule_at(finish_ps + self.latency_ps, self._deliver, packet)

@@ -5,10 +5,12 @@ Every figure and table of the paper's evaluation is a composition of
 sweep multiplies cases x policies x frequencies x durations.  This package
 turns those compositions into declarative :class:`RunSpec` grids that
 
-* fan out across worker processes (``--jobs``), and
+* fan out across worker processes (``--jobs``),
 * skip any point whose result is already in the on-disk cache
-  (``--cache-dir``), keyed by a stable hash of the full simulation
-  configuration.
+  (``--cache-dir``), keyed by a stable hash of the fully resolved,
+  serialized scenario, and
+* import each spec's plugin modules inside every worker, so runtime
+  registrations (policies, workloads, scenarios) survive ``spawn``.
 
 The sequential path stays byte-identical: a parallel sweep produces exactly
 the same :class:`~repro.system.experiment.ExperimentResult` values as running
@@ -25,8 +27,10 @@ from repro.runner.sweep import (
     compare_policies_specs,
     frequency_sweep_specs,
     run_sweep,
+    scenario_grid_specs,
     sweep_compare_policies,
     sweep_frequencies,
+    sweep_scenario,
 )
 
 __all__ = [
@@ -39,6 +43,8 @@ __all__ = [
     "compare_policies_specs",
     "frequency_sweep_specs",
     "run_sweep",
+    "scenario_grid_specs",
     "sweep_compare_policies",
     "sweep_frequencies",
+    "sweep_scenario",
 ]

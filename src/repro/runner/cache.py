@@ -2,12 +2,13 @@
 
 A cache key is the SHA-256 of the canonical JSON form of everything that can
 influence an :class:`~repro.system.experiment.ExperimentResult`: the fully
-resolved :class:`~repro.sim.config.SimulationConfig` (including nested DRAM
-timing, controller and NoC configs), the scheduling policy, the workload case
-and traffic scale, the DRAM model and whether the NPI trace is kept.  Two
-runs with identical configurations therefore share one cache entry, and any
-field change — a different seed, one DRAM timing parameter, a new aging
-threshold — produces a different key.
+resolved, serialized :class:`~repro.scenario.Scenario` (platform with nested
+DRAM timing, controller and NoC configs; workload kind and parameters;
+policy; every override baked in), whether the NPI trace is kept, and the
+plugin modules the run imports.  Two runs described by the same scenario
+therefore share one cache entry, and any field change — a different seed,
+one DRAM timing parameter, a new workload parameter — produces a different
+key.
 
 Entries are plain JSON files (via :mod:`repro.analysis.serialize`) sharded
 into 256 two-hex-digit subdirectories, so a cache directory can be inspected
@@ -36,8 +37,9 @@ PathLike = Union[str, Path]
 
 #: Version of the simulation semantics baked into every cache key.  Bump it
 #: when engine, scheduler or workload changes make previously cached results
-#: stale even though the configuration hash is unchanged.
-CACHE_SCHEMA_VERSION = 1
+#: stale even though the configuration hash is unchanged.  Version 2: cache
+#: keys moved from hand-built config fingerprints to serialized scenarios.
+CACHE_SCHEMA_VERSION = 2
 
 
 def _canonical_json(payload: Dict[str, object]) -> str:

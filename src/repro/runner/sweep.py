@@ -7,11 +7,21 @@ inherit mutable interpreter state and behave identically on every platform)
 and returns results in spec order together with a :class:`SweepStats`
 summary.
 
-Determinism: a run's randomness is derived entirely from its
-:class:`~repro.sim.config.SimulationConfig` seed, and each worker builds its
-simulation from scratch from the pickled spec, so a parallel sweep is
-bit-identical to running the same specs sequentially in one process
-(``tests/test_runner_sweep.py`` asserts this).
+Every spec references a :class:`~repro.scenario.Scenario` — by catalog name,
+file path or as an object — and its cache key is the SHA-256 of the fully
+resolved, serialized scenario.  A grid over *platforms and workloads* (not
+just numeric knobs) therefore flows through :func:`run_sweep` and its cache
+unchanged: one spec per scenario file is all it takes.
+
+Custom policies, workloads and traffic models registered at runtime survive
+parallel sweeps through the plugin hook: ``RunSpec.plugin_modules`` names the
+modules whose import performs the registrations, and every spawn worker
+imports them before executing its spec.
+
+Determinism: a run's randomness is derived entirely from its scenario's
+seed, and each worker builds its simulation from scratch from the pickled
+spec, so a parallel sweep is bit-identical to running the same specs
+sequentially in one process (``tests/test_runner_sweep.py`` asserts this).
 """
 
 from __future__ import annotations
@@ -19,60 +29,66 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.analysis.serialize import simulation_config_to_dict
 from repro.runner.cache import ResultCache, cache_key
+from repro.scenario import Scenario, get_scenario, load_plugins, resolve_scenario
 from repro.sim.config import SimulationConfig
 from repro.system.experiment import ExperimentResult, run_experiment
-from repro.system.platform import simulation_config_for_case
 
 
 @dataclass(frozen=True)
 class RunSpec:
     """One point of a sweep: everything :func:`run_experiment` needs.
 
-    ``label`` names the point in mapping-shaped sweep results (defaults to
-    the policy for policy comparisons and the frequency for DVFS sweeps).
-    ``seed`` optionally overrides the configuration seed, for replication
-    grids that vary nothing else.
+    ``scenario`` names the baseline; every other field is an override baked
+    into the resolved scenario before execution (``settings`` applies
+    dotted-path overrides exactly like the CLI's ``--set``).  ``label`` names
+    the point in mapping-shaped sweep results; ``seed`` optionally overrides
+    the configuration seed, for replication grids that vary nothing else.
+    ``plugin_modules`` are imported in every worker process before the run,
+    so runtime-registered policies and workloads work under ``--jobs N``.
     """
 
-    case: str = "A"
-    policy: str = "priority_qos"
+    scenario: Union[str, Scenario] = "case_a"
+    policy: Optional[str] = None
     duration_ps: Optional[int] = None
-    traffic_scale: float = 1.0
+    traffic_scale: Optional[float] = None
     config: Optional[SimulationConfig] = None
     adaptation_enabled: Optional[bool] = None
     dram_freq_mhz: Optional[float] = None
-    dram_model: str = "transaction"
+    dram_model: Optional[str] = None
     keep_trace: bool = True
     seed: Optional[int] = None
     label: Optional[str] = None
+    settings: Tuple[Tuple[str, Any], ...] = ()
+    plugin_modules: Tuple[str, ...] = ()
 
-    def resolved_config(self) -> SimulationConfig:
-        """The fully resolved configuration this spec will simulate."""
-        config = self.config or simulation_config_for_case(self.case)
-        if self.duration_ps is not None:
-            config = config.with_overrides(duration_ps=self.duration_ps)
-        if self.seed is not None:
-            config = config.with_overrides(seed=self.seed)
-        if self.dram_freq_mhz is not None:
-            config = config.with_overrides(
-                dram=config.dram.with_frequency(self.dram_freq_mhz)
-            )
-        return config
+    def resolved_scenario(self) -> Scenario:
+        """The fully resolved scenario this spec will simulate."""
+        return resolve_scenario(
+            self.scenario,
+            policy=self.policy,
+            config=self.config,
+            duration_ps=self.duration_ps,
+            seed=self.seed,
+            traffic_scale=self.traffic_scale,
+            adaptation_enabled=self.adaptation_enabled,
+            dram_freq_mhz=self.dram_freq_mhz,
+            dram_model=self.dram_model,
+            settings=self.settings,
+        )
 
     def fingerprint(self) -> Dict[str, object]:
-        """Everything that can influence this spec's result, as plain JSON."""
+        """Everything that can influence this spec's result, as plain JSON.
+
+        The serialized scenario carries the platform, workload, policy and
+        every override, so the cache key is exactly "the scenario that ran".
+        """
         return {
-            "case": self.case,
-            "policy": self.policy,
-            "traffic_scale": self.traffic_scale,
-            "adaptation_enabled": self.adaptation_enabled,
-            "dram_model": self.dram_model,
+            "scenario": self.resolved_scenario().to_dict(),
             "keep_trace": self.keep_trace,
-            "config": simulation_config_to_dict(self.resolved_config()),
+            "plugin_modules": list(self.plugin_modules),
         }
 
     def key(self) -> str:
@@ -82,7 +98,8 @@ class RunSpec:
     def display_label(self) -> str:
         if self.label is not None:
             return self.label
-        return f"{self.case}/{self.policy}"
+        resolved = self.resolved_scenario()
+        return f"{resolved.name}/{resolved.policy}"
 
 
 @dataclass
@@ -117,17 +134,15 @@ class SweepStats:
 def _execute_spec(spec: RunSpec) -> ExperimentResult:
     """Run one spec in the current process (also the worker entry point).
 
-    The resolved configuration already carries the duration, seed and DRAM
-    frequency overrides, so :func:`run_experiment` is called with the
-    remaining orthogonal knobs only.
+    Plugin modules are imported first so that registrations (policies,
+    workloads, traffic models, scenarios) exist in this process — which is
+    what makes runtime registrations visible inside ``spawn`` workers.  The
+    resolved scenario already carries every override, so
+    :func:`run_experiment` is called with the scenario alone.
     """
+    load_plugins(spec.plugin_modules)
     return run_experiment(
-        case=spec.case,
-        policy=spec.policy,
-        traffic_scale=spec.traffic_scale,
-        config=spec.resolved_config(),
-        adaptation_enabled=spec.adaptation_enabled,
-        dram_model=spec.dram_model,
+        scenario=spec.resolved_scenario(),
         keep_trace=spec.keep_trace,
     )
 
@@ -158,6 +173,15 @@ def run_sweep(
 
     started = time.perf_counter()
     specs = list(specs)
+    # Load every spec's plugin modules here in the parent too: computing a
+    # spec's cache key resolves its scenario, which may itself be a plugin
+    # registration (workers repeat the import for their own process).
+    seen_plugins = set()
+    for spec in specs:
+        fresh = [m for m in spec.plugin_modules if m not in seen_plugins]
+        if fresh:
+            load_plugins(fresh)
+            seen_plugins.update(fresh)
     results: List[Optional[ExperimentResult]] = [None] * len(specs)
     stats = SweepStats(
         total=len(specs),
@@ -210,39 +234,43 @@ def run_sweep(
 # --------------------------------------------------------------------------- #
 def compare_policies_specs(
     policies: Sequence[str],
-    case: str = "A",
+    scenario: Union[str, Scenario] = "case_a",
     duration_ps: Optional[int] = None,
-    traffic_scale: float = 1.0,
+    traffic_scale: Optional[float] = None,
     config: Optional[SimulationConfig] = None,
     keep_trace: bool = True,
+    plugin_modules: Sequence[str] = (),
 ) -> List[RunSpec]:
-    """One spec per policy on the same case (Figs. 5, 6, 8, 9)."""
+    """One spec per policy on the same scenario (Figs. 5, 6, 8, 9)."""
     base = RunSpec(
-        case=case,
+        scenario=scenario,
         duration_ps=duration_ps,
         traffic_scale=traffic_scale,
         config=config,
         keep_trace=keep_trace,
+        plugin_modules=tuple(plugin_modules),
     )
     return [replace(base, policy=policy, label=policy) for policy in policies]
 
 
 def frequency_sweep_specs(
     frequencies_mhz: Iterable[float],
-    case: str = "A",
-    policy: str = "priority_qos",
+    scenario: Union[str, Scenario] = "case_a",
+    policy: Optional[str] = None,
     duration_ps: Optional[int] = None,
-    traffic_scale: float = 1.0,
+    traffic_scale: Optional[float] = None,
     config: Optional[SimulationConfig] = None,
+    plugin_modules: Sequence[str] = (),
 ) -> List[RunSpec]:
     """One spec per DRAM frequency for one policy (Fig. 7)."""
     base = RunSpec(
-        case=case,
+        scenario=scenario,
         policy=policy,
         duration_ps=duration_ps,
         traffic_scale=traffic_scale,
         config=config,
         keep_trace=False,
+        plugin_modules=tuple(plugin_modules),
     )
     return [
         replace(base, dram_freq_mhz=freq, label=f"{freq:g}")
@@ -250,25 +278,58 @@ def frequency_sweep_specs(
     ]
 
 
+def scenario_grid_specs(
+    scenario: Union[str, Scenario],
+    duration_ps: Optional[int] = None,
+    traffic_scale: Optional[float] = None,
+    keep_trace: bool = False,
+    plugin_modules: Sequence[str] = (),
+) -> List[RunSpec]:
+    """Expand a scenario's declared sweep axes into one spec per grid point.
+
+    The axes live in the scenario file (``sweep: {"policy": [...], ...}``),
+    so a whole experiment grid — over policies, frequencies, workload
+    parameters, anything addressable by dotted path — ships as data.
+    """
+    spec = get_scenario(scenario)
+    grid: List[RunSpec] = []
+    for point in spec.sweep_points():
+        label = ", ".join(f"{axis.split('.')[-1]}={value}" for axis, value in sorted(point.items()))
+        grid.append(
+            RunSpec(
+                scenario=spec,
+                duration_ps=duration_ps,
+                traffic_scale=traffic_scale,
+                keep_trace=keep_trace,
+                settings=tuple(sorted(point.items())),
+                label=label or spec.name,
+                plugin_modules=tuple(plugin_modules),
+            )
+        )
+    return grid
+
+
 def sweep_compare_policies(
     policies: Sequence[str],
-    case: str = "A",
+    scenario: Union[str, Scenario] = "case_a",
     duration_ps: Optional[int] = None,
-    traffic_scale: float = 1.0,
+    traffic_scale: Optional[float] = None,
     config: Optional[SimulationConfig] = None,
     keep_trace: bool = True,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     cache_dir: Optional[str] = None,
+    plugin_modules: Sequence[str] = (),
 ) -> Tuple[Dict[str, ExperimentResult], SweepStats]:
     """Parallel, cached drop-in for :func:`repro.system.experiment.compare_policies`."""
     specs = compare_policies_specs(
         policies,
-        case=case,
+        scenario=scenario,
         duration_ps=duration_ps,
         traffic_scale=traffic_scale,
         config=config,
         keep_trace=keep_trace,
+        plugin_modules=plugin_modules,
     )
     results, stats = run_sweep(specs, jobs=jobs, cache=cache, cache_dir=cache_dir)
     return dict(zip(policies, results)), stats
@@ -276,27 +337,49 @@ def sweep_compare_policies(
 
 def sweep_frequencies(
     frequencies_mhz: Iterable[float],
-    case: str = "A",
-    policy: str = "priority_qos",
+    scenario: Union[str, Scenario] = "case_a",
+    policy: Optional[str] = None,
     duration_ps: Optional[int] = None,
-    traffic_scale: float = 1.0,
+    traffic_scale: Optional[float] = None,
     config: Optional[SimulationConfig] = None,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     cache_dir: Optional[str] = None,
+    plugin_modules: Sequence[str] = (),
 ) -> Tuple[Dict[float, ExperimentResult], SweepStats]:
     """Parallel, cached drop-in for :func:`repro.system.experiment.frequency_sweep`."""
     frequencies = list(frequencies_mhz)
     specs = frequency_sweep_specs(
         frequencies,
-        case=case,
+        scenario=scenario,
         policy=policy,
         duration_ps=duration_ps,
         traffic_scale=traffic_scale,
         config=config,
+        plugin_modules=plugin_modules,
     )
     results, stats = run_sweep(specs, jobs=jobs, cache=cache, cache_dir=cache_dir)
     return dict(zip(frequencies, results)), stats
+
+
+def sweep_scenario(
+    scenario: Union[str, Scenario],
+    duration_ps: Optional[int] = None,
+    traffic_scale: Optional[float] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    cache_dir: Optional[str] = None,
+    plugin_modules: Sequence[str] = (),
+) -> Tuple[Dict[str, ExperimentResult], SweepStats]:
+    """Run a scenario's declared sweep grid; results keyed by point label."""
+    specs = scenario_grid_specs(
+        scenario,
+        duration_ps=duration_ps,
+        traffic_scale=traffic_scale,
+        plugin_modules=plugin_modules,
+    )
+    results, stats = run_sweep(specs, jobs=jobs, cache=cache, cache_dir=cache_dir)
+    return dict(zip((spec.label or "" for spec in specs), results)), stats
 
 
 @dataclass

@@ -1,0 +1,71 @@
+"""Declarative scenarios: serializable platform/workload specs and registries.
+
+A :class:`Scenario` bundles everything one experiment needs — platform
+(simulation config + interconnect link widths), workload (resolved by name
+through :data:`WORKLOADS`), default policy, critical cores and sweep axes —
+as plain, versioned, JSON/TOML-serializable data.  The bundled catalog
+(``repro scenarios list``) carries the paper's two camcorder cases plus new
+workload families; :func:`register_scenario` and the plugin hook
+(:func:`load_plugins`, ``--plugin-module``) extend every registry at runtime,
+including inside spawn sweep workers.
+"""
+
+from repro.scenario.builders import CONSTANT_RATE_PREFETCH
+from repro.scenario.catalog import (
+    BUILTIN_SCENARIO_DIR,
+    available_scenarios,
+    builtin_scenario_paths,
+    critical_cores_for,
+    describe_scenario,
+    get_scenario,
+    register_scenario,
+    scenario_config,
+    unregister_scenario,
+)
+from repro.scenario.errors import RegistryError, ScenarioError
+from repro.scenario.plugins import load_plugins
+from repro.scenario.registry import ADDRESS_STREAMS, TRAFFIC_MODELS, WORKLOADS, Registry
+from repro.scenario.spec import (
+    SCENARIO_SCHEMA_VERSION,
+    PlatformSpec,
+    Scenario,
+    WorkloadSpec,
+    resolve_scenario,
+    scenario_from_file,
+)
+from repro.scenario.workloads import (
+    build_workload,
+    dma_spec_from_dict,
+    dma_spec_to_dict,
+    place_regions,
+)
+
+__all__ = [
+    "ADDRESS_STREAMS",
+    "BUILTIN_SCENARIO_DIR",
+    "CONSTANT_RATE_PREFETCH",
+    "PlatformSpec",
+    "Registry",
+    "RegistryError",
+    "SCENARIO_SCHEMA_VERSION",
+    "Scenario",
+    "ScenarioError",
+    "TRAFFIC_MODELS",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "available_scenarios",
+    "build_workload",
+    "builtin_scenario_paths",
+    "critical_cores_for",
+    "describe_scenario",
+    "dma_spec_from_dict",
+    "dma_spec_to_dict",
+    "get_scenario",
+    "load_plugins",
+    "place_regions",
+    "register_scenario",
+    "resolve_scenario",
+    "scenario_config",
+    "scenario_from_file",
+    "unregister_scenario",
+]

@@ -1,0 +1,90 @@
+"""Registry-backed builders for traffic models and address streams.
+
+These replace the hard-wired ``if spec.traffic == ...`` dispatch the system
+builder used to carry: each traffic class and address pattern is one registry
+entry, so plugins can add new ones (e.g. an on/off bursty model) without
+touching the builder.  Builders receive the :class:`~repro.traffic.camcorder.DmaSpec`
+they are building for plus the keyword context the system builder supplies.
+"""
+
+from __future__ import annotations
+
+from repro.scenario.registry import ADDRESS_STREAMS, TRAFFIC_MODELS
+from repro.sim.random import derive_rng
+from repro.traffic.addresses import (
+    AddressStream,
+    RandomAddressStream,
+    SequentialAddressStream,
+    StridedAddressStream,
+)
+from repro.traffic.bursty import FrameBurstGenerator
+from repro.traffic.camcorder import DmaSpec
+from repro.traffic.constant import ConstantRateGenerator
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.poisson import PoissonGenerator
+
+#: Constant-rate DMAs (display refill, camera drain, radio buffers) prefetch
+#: slightly ahead of the externally imposed rate, as real buffer-refill
+#: engines do.  Without this headroom the achieved rate can never exceed the
+#: target and measurement jitter alone would report spurious QoS misses.
+CONSTANT_RATE_PREFETCH = 1.05
+
+
+@TRAFFIC_MODELS.register("frame_burst")
+def _build_frame_burst(spec: DmaSpec, *, frame_period_ps: int, seed: int) -> TrafficGenerator:
+    period = spec.window_ps or frame_period_ps
+    bytes_per_frame = max(spec.transaction_bytes, round(spec.bytes_per_s * period / 1e12))
+    # Round the burst up to a whole number of transactions so that the
+    # DMA can actually reach 100 % frame progress; otherwise the trailing
+    # partial transaction would leave the meter fractionally short of its
+    # target at every frame boundary.
+    remainder = bytes_per_frame % spec.transaction_bytes
+    if remainder:
+        bytes_per_frame += spec.transaction_bytes - remainder
+    return FrameBurstGenerator(
+        bytes_per_frame=bytes_per_frame,
+        frame_period_ps=period,
+        start_offset_ps=spec.start_offset_ps,
+    )
+
+
+@TRAFFIC_MODELS.register("constant")
+def _build_constant(spec: DmaSpec, *, frame_period_ps: int, seed: int) -> TrafficGenerator:
+    return ConstantRateGenerator(
+        bytes_per_s=spec.bytes_per_s * CONSTANT_RATE_PREFETCH,
+        chunk_bytes=spec.transaction_bytes,
+        start_offset_ps=spec.start_offset_ps,
+    )
+
+
+@TRAFFIC_MODELS.register("poisson")
+def _build_poisson(spec: DmaSpec, *, frame_period_ps: int, seed: int) -> TrafficGenerator:
+    return PoissonGenerator(
+        rng=derive_rng(seed, f"traffic.{spec.name}"),
+        bytes_per_s=spec.bytes_per_s,
+        chunk_bytes=spec.transaction_bytes,
+        start_offset_ps=spec.start_offset_ps,
+    )
+
+
+@ADDRESS_STREAMS.register("sequential")
+def _build_sequential(spec: DmaSpec, *, seed: int) -> AddressStream:
+    return SequentialAddressStream(base=spec.region_base, region_bytes=spec.region_bytes)
+
+
+@ADDRESS_STREAMS.register("random")
+def _build_random(spec: DmaSpec, *, seed: int) -> AddressStream:
+    return RandomAddressStream(
+        rng=derive_rng(seed, f"addresses.{spec.name}"),
+        base=spec.region_base,
+        region_bytes=spec.region_bytes,
+        align_bytes=spec.transaction_bytes,
+    )
+
+
+@ADDRESS_STREAMS.register("strided")
+def _build_strided(spec: DmaSpec, *, seed: int) -> AddressStream:
+    stride = spec.stride_bytes or spec.transaction_bytes * 2
+    return StridedAddressStream(
+        base=spec.region_base, region_bytes=spec.region_bytes, stride_bytes=stride
+    )

@@ -1,0 +1,16 @@
+"""Errors raised by the declarative scenario layer."""
+
+from __future__ import annotations
+
+
+class ScenarioError(ValueError):
+    """A scenario file or dictionary failed schema validation.
+
+    The message always carries the dotted path of the offending entry
+    (e.g. ``scenario.platform.sim.dram.channels``) so that authors of
+    scenario files can fix them without reading the loader source.
+    """
+
+
+class RegistryError(ValueError):
+    """A registry lookup or registration failed (unknown key or collision)."""

@@ -1,0 +1,36 @@
+"""Plugin import hook: make runtime registrations survive spawn workers.
+
+Registries (scheduling policies, workloads, traffic models, address streams,
+scenarios) live in process memory, so anything registered at runtime used to
+vanish inside ``spawn`` sweep workers — the ROADMAP's ``jobs=1`` caveat for
+custom policies.  The fix is declarative too: a run spec carries the *names*
+of the modules whose import performs the registrations, and every worker
+imports them before executing its spec.  The CLI's ``--plugin-module`` and
+:attr:`repro.runner.RunSpec.plugin_modules` both route through here.
+"""
+
+from __future__ import annotations
+
+import importlib
+from types import ModuleType
+from typing import Iterable, List
+
+
+def load_plugins(modules: Iterable[str]) -> List[ModuleType]:
+    """Import every named plugin module (idempotent, order-preserving).
+
+    A failing import is re-raised with the module name and a reminder that
+    the module must be importable in worker processes too (i.e. reachable
+    from ``sys.path``, not defined inline in a notebook cell).
+    """
+    loaded: List[ModuleType] = []
+    for name in modules:
+        try:
+            loaded.append(importlib.import_module(name))
+        except ImportError as exc:
+            raise ImportError(
+                f"cannot import plugin module '{name}': {exc}. Plugin modules "
+                "must be importable by name in every worker process; install "
+                "the package or add its directory to PYTHONPATH."
+            ) from exc
+    return loaded

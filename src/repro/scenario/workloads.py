@@ -1,0 +1,330 @@
+"""Workload factories registered with the scenario workload registry.
+
+The paper's camcorder workload is one entry; the others open new workload
+families the same declarative machinery serves:
+
+* ``camcorder`` — the paper's Fig. 2 use case (cases A and B).
+* ``inline`` — a fully declarative workload: every DMA is spelled out as a
+  mapping inside the scenario file, no Python required.
+* ``ar_glasses`` — a 90 fps augmented-reality burst workload: stereo camera
+  feeds, heavy GPU rendering, latency-critical hand tracking, WiFi offload.
+* ``manycore_streaming`` — N identical streaming engines plus one random
+  CPU agent, the many-core scaling stress of the ROADMAP's north star.
+* ``latency_bandwidth_stress`` — adversarial mix of tight-latency agents and
+  saturating bandwidth hogs, built to separate QoS policies from baselines.
+
+Factories receive the scenario's ``workload.params`` mapping and return a
+:class:`~repro.traffic.camcorder.CamcorderWorkload` (the generic container:
+a frame period plus a tuple of :class:`DmaSpec`).  Unknown parameters are
+rejected with the factory's known keys so scenario typos fail loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.memctrl.transaction import QueueClass
+from repro.scenario.errors import ScenarioError
+from repro.scenario.registry import WORKLOADS
+from repro.sim.clock import MS
+from repro.traffic.camcorder import (
+    FRAME_PERIOD_30FPS_PS,
+    CamcorderWorkload,
+    DmaSpec,
+    camcorder_workload,
+)
+
+MB = 1_000_000
+
+#: Region size used when factories auto-place DMAs in disjoint buffers.
+DEFAULT_REGION_BYTES = 64 * 1024 * 1024
+
+
+def _check_params(params: Mapping[str, Any], known: Sequence[str], factory: str) -> None:
+    unknown = sorted(set(params) - set(known))
+    if unknown:
+        raise ScenarioError(
+            f"workload.params: unknown key(s) {unknown} for workload '{factory}' "
+            f"(known: {sorted(known)})"
+        )
+
+
+def place_regions(
+    specs: Sequence[DmaSpec], region_bytes: int = DEFAULT_REGION_BYTES
+) -> List[DmaSpec]:
+    """Give every DMA its own disjoint address region.
+
+    Cores then interfere only through shared bandwidth, not through shared
+    rows — the same discipline the camcorder workload applies.
+    """
+    return [
+        replace(spec, region_base=index * region_bytes, region_bytes=region_bytes)
+        for index, spec in enumerate(specs)
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# DmaSpec <-> plain data (used by the "inline" workload and `scenarios show`)
+# --------------------------------------------------------------------------- #
+def dma_spec_to_dict(spec: DmaSpec) -> Dict[str, Any]:
+    """Serialise a :class:`DmaSpec` to plain data (enum becomes its value)."""
+    data = dict(spec.__dict__)
+    data["queue_class"] = spec.queue_class.value
+    return data
+
+
+def dma_spec_from_dict(data: Mapping[str, Any], path: str = "dma") -> DmaSpec:
+    """Rebuild a :class:`DmaSpec` from plain data with actionable errors."""
+    if not isinstance(data, Mapping):
+        raise ScenarioError(f"{path}: expected a mapping, got {type(data).__name__}")
+    known = set(DmaSpec.__dataclass_fields__)
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ScenarioError(f"{path}: unknown key(s) {unknown} (known: {sorted(known)})")
+    kwargs = dict(data)
+    for required in ("name", "core", "queue_class", "cluster", "is_write",
+                     "traffic", "bytes_per_s", "transaction_bytes", "meter"):
+        if required not in kwargs:
+            raise ScenarioError(f"{path}: required key '{required}' is missing")
+    try:
+        kwargs["queue_class"] = QueueClass(kwargs["queue_class"])
+    except ValueError:
+        raise ScenarioError(
+            f"{path}.queue_class: unknown queue class {kwargs['queue_class']!r} "
+            f"(known: {[q.value for q in QueueClass]})"
+        ) from None
+    try:
+        return DmaSpec(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ScenarioError(f"{path}: {exc}") from None
+
+
+# --------------------------------------------------------------------------- #
+# Factories
+# --------------------------------------------------------------------------- #
+@WORKLOADS.register("camcorder")
+def _camcorder(params: Mapping[str, Any]) -> CamcorderWorkload:
+    _check_params(params, ["case", "traffic_scale", "frame_period_ps"], "camcorder")
+    return camcorder_workload(
+        case=params.get("case", "A"),
+        traffic_scale=params.get("traffic_scale", 1.0),
+        frame_period_ps=params.get("frame_period_ps", FRAME_PERIOD_30FPS_PS),
+    )
+
+
+@WORKLOADS.register("inline")
+def _inline(params: Mapping[str, Any]) -> CamcorderWorkload:
+    _check_params(
+        params,
+        ["label", "frame_period_ps", "traffic_scale", "dmas", "auto_regions"],
+        "inline",
+    )
+    dmas = params.get("dmas")
+    if not isinstance(dmas, list) or not dmas:
+        raise ScenarioError("workload.params.dmas: must be a non-empty list of DMA mappings")
+    specs = [
+        dma_spec_from_dict(entry, path=f"workload.params.dmas[{index}]")
+        for index, entry in enumerate(dmas)
+    ]
+    scale = params.get("traffic_scale", 1.0)
+    if scale != 1.0:
+        specs = [spec.scaled(scale) for spec in specs]
+    if params.get("auto_regions", True):
+        specs = place_regions(specs)
+    return CamcorderWorkload(
+        case=str(params.get("label", "inline")),
+        frame_period_ps=int(params.get("frame_period_ps", FRAME_PERIOD_30FPS_PS)),
+        traffic_scale=scale,
+        dmas=tuple(specs),
+    )
+
+
+@WORKLOADS.register("ar_glasses")
+def _ar_glasses(params: Mapping[str, Any]) -> CamcorderWorkload:
+    """A 90 fps AR-glasses burst workload.
+
+    Two camera sensors stream in, the image processor fuses them, the GPU
+    renders the overlay at frame rate, the display scans out continuously,
+    the DSP runs latency-critical hand tracking, and WiFi offloads compressed
+    frames to a paired phone.  Frames are a third as long as the camcorder's
+    (11 ms), so the burst-drain phases the QoS policies fight over come three
+    times as often.
+    """
+    _check_params(params, ["traffic_scale", "frame_period_ps"], "ar_glasses")
+    scale = params.get("traffic_scale", 1.0)
+    period = int(params.get("frame_period_ps", 11 * MS))
+    specs = [
+        DmaSpec(
+            name="camera.left", core="camera", queue_class=QueueClass.MEDIA,
+            cluster="media", is_write=True, traffic="constant",
+            bytes_per_s=900 * MB, transaction_bytes=2048, meter="occupancy",
+        ),
+        DmaSpec(
+            name="camera.right", core="camera", queue_class=QueueClass.MEDIA,
+            cluster="media", is_write=True, traffic="constant",
+            bytes_per_s=900 * MB, transaction_bytes=2048, meter="occupancy",
+        ),
+        DmaSpec(
+            name="image_processor.read", core="image_processor",
+            queue_class=QueueClass.MEDIA, cluster="media", is_write=False,
+            traffic="frame_burst", bytes_per_s=1800 * MB, transaction_bytes=2048,
+            meter="frame_progress",
+        ),
+        DmaSpec(
+            name="image_processor.write", core="image_processor",
+            queue_class=QueueClass.MEDIA, cluster="media", is_write=True,
+            traffic="frame_burst", bytes_per_s=1200 * MB, transaction_bytes=2048,
+            meter="frame_progress",
+        ),
+        DmaSpec(
+            name="gpu.read", core="gpu", queue_class=QueueClass.GPU,
+            cluster="compute", is_write=False, traffic="frame_burst",
+            bytes_per_s=2200 * MB, transaction_bytes=2048, meter="frame_progress",
+        ),
+        DmaSpec(
+            name="gpu.write", core="gpu", queue_class=QueueClass.GPU,
+            cluster="compute", is_write=True, traffic="frame_burst",
+            bytes_per_s=1600 * MB, transaction_bytes=2048, meter="frame_progress",
+        ),
+        DmaSpec(
+            name="display.read", core="display", queue_class=QueueClass.MEDIA,
+            cluster="media", is_write=False, traffic="constant",
+            bytes_per_s=1800 * MB, transaction_bytes=2048, meter="occupancy",
+        ),
+        DmaSpec(
+            name="dsp.tracking", core="dsp", queue_class=QueueClass.DSP,
+            cluster="compute", is_write=False, traffic="poisson",
+            bytes_per_s=120 * MB, transaction_bytes=256, meter="latency",
+            latency_limit_ns=1200.0, max_outstanding=4,
+        ),
+        DmaSpec(
+            name="wifi.offload", core="wifi", queue_class=QueueClass.SYSTEM,
+            cluster="system", is_write=True, traffic="frame_burst",
+            bytes_per_s=450 * MB, transaction_bytes=2048, meter="processing_time",
+            window_ps=2 * period,
+        ),
+        DmaSpec(
+            name="audio.read", core="audio", queue_class=QueueClass.SYSTEM,
+            cluster="system", is_write=False, traffic="poisson",
+            bytes_per_s=4 * MB, transaction_bytes=256, meter="latency",
+            latency_limit_ns=10_000.0, max_outstanding=2,
+        ),
+    ]
+    specs = place_regions([spec.scaled(scale) for spec in specs])
+    return CamcorderWorkload(
+        case="ar_glasses", frame_period_ps=period, traffic_scale=scale, dmas=tuple(specs)
+    )
+
+
+@WORKLOADS.register("manycore_streaming")
+def _manycore_streaming(params: Mapping[str, Any]) -> CamcorderWorkload:
+    """N identical streaming engines plus one random-access CPU agent.
+
+    Stream cores use generic names ("stream0" …), exercising the builder's
+    fallback core class; the workload scales to arbitrary core counts, which
+    is what the many-core axis of bundled ``manycore_streaming`` sweeps.
+    """
+    _check_params(
+        params,
+        ["streams", "bytes_per_s_per_stream", "traffic_scale", "frame_period_ps"],
+        "manycore_streaming",
+    )
+    streams = int(params.get("streams", 8))
+    if streams < 1:
+        raise ScenarioError("workload.params.streams: must be at least 1")
+    per_stream = float(params.get("bytes_per_s_per_stream", 600 * MB))
+    scale = params.get("traffic_scale", 1.0)
+    period = int(params.get("frame_period_ps", FRAME_PERIOD_30FPS_PS))
+    specs: List[DmaSpec] = []
+    for index in range(streams):
+        # Alternate clusters so the narrow cluster links, not only DRAM,
+        # carry contention; every stream holds a bandwidth target.
+        cluster = ("media", "compute")[index % 2]
+        queue = (QueueClass.MEDIA, QueueClass.GPU)[index % 2]
+        specs.append(
+            DmaSpec(
+                name=f"stream{index}.read", core=f"stream{index}", queue_class=queue,
+                cluster=cluster, is_write=bool(index % 2), traffic="constant",
+                bytes_per_s=per_stream, transaction_bytes=2048, meter="bandwidth",
+            )
+        )
+    specs.append(
+        DmaSpec(
+            name="cpu.read", core="cpu", queue_class=QueueClass.CPU,
+            cluster="compute", is_write=False, traffic="poisson",
+            bytes_per_s=800 * MB, transaction_bytes=2048, meter="bandwidth",
+            target_bytes_per_s=400 * MB, address_pattern="random",
+        )
+    )
+    specs = place_regions([spec.scaled(scale) for spec in specs])
+    return CamcorderWorkload(
+        case="manycore_streaming",
+        frame_period_ps=period,
+        traffic_scale=scale,
+        dmas=tuple(specs),
+    )
+
+
+@WORKLOADS.register("latency_bandwidth_stress")
+def _latency_bandwidth_stress(params: Mapping[str, Any]) -> CamcorderWorkload:
+    """Tight-latency agents against saturating bandwidth hogs.
+
+    The hogs alone exceed the DRAM's peak bandwidth, so any policy that is
+    blind to QoS starves the latency agents — the sharpest separator between
+    the paper's priority policies and the FCFS/FR-FCFS baselines.
+    """
+    _check_params(params, ["traffic_scale", "frame_period_ps", "hogs"], "latency_bandwidth_stress")
+    scale = params.get("traffic_scale", 1.0)
+    period = int(params.get("frame_period_ps", FRAME_PERIOD_30FPS_PS))
+    hogs = int(params.get("hogs", 3))
+    if hogs < 1:
+        raise ScenarioError("workload.params.hogs: must be at least 1")
+    specs: List[DmaSpec] = [
+        DmaSpec(
+            name="dsp.read", core="dsp", queue_class=QueueClass.DSP,
+            cluster="compute", is_write=False, traffic="poisson",
+            bytes_per_s=100 * MB, transaction_bytes=256, meter="latency",
+            latency_limit_ns=1500.0, max_outstanding=4,
+        ),
+        DmaSpec(
+            name="audio.read", core="audio", queue_class=QueueClass.SYSTEM,
+            cluster="system", is_write=False, traffic="poisson",
+            bytes_per_s=6 * MB, transaction_bytes=256, meter="latency",
+            latency_limit_ns=10_000.0, max_outstanding=2,
+        ),
+        DmaSpec(
+            name="modem.write", core="modem", queue_class=QueueClass.SYSTEM,
+            cluster="system", is_write=True, traffic="frame_burst",
+            bytes_per_s=250 * MB, transaction_bytes=2048, meter="processing_time",
+            window_ps=5 * MS,
+        ),
+    ]
+    for index in range(hogs):
+        specs.append(
+            DmaSpec(
+                name=f"gpu.hog{index}", core="gpu", queue_class=QueueClass.GPU,
+                cluster="compute", is_write=bool(index % 2), traffic="frame_burst",
+                bytes_per_s=2500 * MB, transaction_bytes=2048, meter="frame_progress",
+            )
+        )
+    specs.append(
+        DmaSpec(
+            name="cpu.read", core="cpu", queue_class=QueueClass.CPU,
+            cluster="compute", is_write=False, traffic="poisson",
+            bytes_per_s=1500 * MB, transaction_bytes=2048, meter="bandwidth",
+            target_bytes_per_s=500 * MB, address_pattern="random",
+        )
+    )
+    specs = place_regions([spec.scaled(scale) for spec in specs])
+    return CamcorderWorkload(
+        case="latency_bandwidth_stress",
+        frame_period_ps=period,
+        traffic_scale=scale,
+        dmas=tuple(specs),
+    )
+
+
+def build_workload(kind: str, params: Optional[Mapping[str, Any]] = None) -> CamcorderWorkload:
+    """Convenience wrapper: resolve ``kind`` in the registry and build."""
+    return WORKLOADS.get(kind)(dict(params or {}))

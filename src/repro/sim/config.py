@@ -9,8 +9,37 @@ split over 5 transaction queues.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Dict, Mapping, Optional, Type, TypeVar
+
+_C = TypeVar("_C")
+
+
+def _fields_from_mapping(cls: Type[_C], data: Mapping[str, object], path: str) -> Dict[str, object]:
+    """Validate a mapping against a config dataclass's fields.
+
+    Missing keys fall back to the dataclass defaults (so partial
+    configurations in scenario files stay short); unknown keys are rejected
+    with the dotted path of the offending entry and the list of known keys,
+    which is what makes scenario schema errors actionable.
+    """
+    if not isinstance(data, Mapping):
+        raise ValueError(f"{path}: expected a mapping, got {type(data).__name__}")
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"{path}: unknown key(s) {unknown} (known: {sorted(known)})"
+        )
+    return {name: data[name] for name in known if name in data}
+
+
+def _construct(cls: Type[_C], kwargs: Dict[str, object], path: str) -> _C:
+    """Build a config dataclass, rewriting validation errors to carry ``path``."""
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{path}: {exc}") from None
 
 
 @dataclass(frozen=True)
@@ -219,3 +248,52 @@ class SimulationConfig:
     def with_overrides(self, **changes: object) -> "SimulationConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flatten the configuration (and its nested configs) to plain data.
+
+        The result is JSON-compatible and lossless:
+        ``SimulationConfig.from_dict(config.to_dict()) == config``.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, object], path: str = "config"
+    ) -> "SimulationConfig":
+        """Rebuild a configuration from (possibly partial) plain data.
+
+        Missing fields take the Table-1 defaults; unknown or invalid fields
+        raise ``ValueError`` carrying the dotted path of the offending entry.
+        """
+        kwargs = _fields_from_mapping(cls, data, path)
+        if "dram" in kwargs:
+            dram_kwargs = _fields_from_mapping(
+                DramConfig, kwargs["dram"], f"{path}.dram"
+            )
+            if "timing" in dram_kwargs:
+                dram_kwargs["timing"] = _construct(
+                    DramTimingConfig,
+                    _fields_from_mapping(
+                        DramTimingConfig, dram_kwargs["timing"], f"{path}.dram.timing"
+                    ),
+                    f"{path}.dram.timing",
+                )
+            kwargs["dram"] = _construct(DramConfig, dram_kwargs, f"{path}.dram")
+        if "memory_controller" in kwargs:
+            kwargs["memory_controller"] = _construct(
+                MemoryControllerConfig,
+                _fields_from_mapping(
+                    MemoryControllerConfig,
+                    kwargs["memory_controller"],
+                    f"{path}.memory_controller",
+                ),
+                f"{path}.memory_controller",
+            )
+        if "noc" in kwargs:
+            kwargs["noc"] = _construct(
+                NocConfig,
+                _fields_from_mapping(NocConfig, kwargs["noc"], f"{path}.noc"),
+                f"{path}.noc",
+            )
+        return _construct(cls, kwargs, path)

@@ -1,4 +1,4 @@
-"""System assembly: platform presets, the system builder and experiment runner."""
+"""System assembly: the scenario-driven system builder and experiment runner."""
 
 from repro.system.builder import System, build_system
 from repro.system.experiment import (
@@ -8,17 +8,12 @@ from repro.system.experiment import (
     run_experiment,
 )
 from repro.system.platform import (
-    CASE_A_CRITICAL_CORES,
-    CASE_B_CRITICAL_CORES,
     cluster_specs_for,
-    simulation_config_for_case,
     table1_settings,
     table2_core_types,
 )
 
 __all__ = [
-    "CASE_A_CRITICAL_CORES",
-    "CASE_B_CRITICAL_CORES",
     "ExperimentResult",
     "System",
     "build_system",
@@ -26,7 +21,6 @@ __all__ = [
     "compare_policies",
     "frequency_sweep",
     "run_experiment",
-    "simulation_config_for_case",
     "table1_settings",
     "table2_core_types",
 ]

@@ -1,11 +1,12 @@
-"""Assembles a full simulated MPSoC from a workload and a configuration."""
+"""Assembles a full simulated MPSoC from a declarative scenario."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from repro.core.framework import SaraFramework
+from repro.core.npi import make_meter
 from repro.core.priority import PriorityLookupTable
 from repro.cores import create_core
 from repro.cores.base import Core, Dma
@@ -14,34 +15,14 @@ from repro.dram.device import DramDevice
 from repro.memctrl.controller import MemoryController
 from repro.memctrl.policies import make_policy
 from repro.noc.network import Network
+from repro.scenario import ADDRESS_STREAMS, TRAFFIC_MODELS, Scenario, resolve_scenario
 from repro.sim.config import NocConfig, SimulationConfig
 from repro.sim.engine import Engine
-from repro.sim.random import derive_rng
-from repro.system.platform import (
-    ROOT_LINK_BYTES_PER_NS,
-    cluster_specs_for,
-    simulation_config_for_case,
-)
-from repro.traffic.addresses import (
-    AddressStream,
-    RandomAddressStream,
-    SequentialAddressStream,
-)
-from repro.traffic.bursty import FrameBurstGenerator
-from repro.traffic.camcorder import CamcorderWorkload, DmaSpec, camcorder_workload
-from repro.traffic.constant import ConstantRateGenerator
-from repro.traffic.generator import TrafficGenerator
-from repro.traffic.poisson import PoissonGenerator
-from repro.core.npi import make_meter
+from repro.system.platform import cluster_specs_for
+from repro.traffic.camcorder import CamcorderWorkload
 
 #: Policies that carry the SARA priority adaptation end to end.
 PRIORITY_POLICIES = ("priority_qos", "priority_rowbuffer")
-
-#: Constant-rate DMAs (display refill, camera drain, radio buffers) prefetch
-#: slightly ahead of the externally imposed rate, as real buffer-refill
-#: engines do.  Without this headroom the achieved rate can never exceed the
-#: target and measurement jitter alone would report spurious QoS misses.
-CONSTANT_RATE_PREFETCH = 1.05
 
 
 @dataclass
@@ -57,6 +38,7 @@ class System:
     controller: MemoryController
     network: Network
     framework: SaraFramework
+    scenario: Optional[Scenario] = None
     cores: Dict[str, Core] = field(default_factory=dict)
     dmas: Dict[str, Dma] = field(default_factory=dict)
 
@@ -80,105 +62,70 @@ class System:
         return self.dram.average_bandwidth_bytes_per_s(elapsed)
 
 
-def _build_generator(spec: DmaSpec, workload: CamcorderWorkload, seed: int) -> TrafficGenerator:
-    if spec.traffic == "frame_burst":
-        period = spec.window_ps or workload.frame_period_ps
-        bytes_per_frame = max(
-            spec.transaction_bytes, round(spec.bytes_per_s * period / 1e12)
-        )
-        # Round the burst up to a whole number of transactions so that the
-        # DMA can actually reach 100 % frame progress; otherwise the trailing
-        # partial transaction would leave the meter fractionally short of its
-        # target at every frame boundary.
-        remainder = bytes_per_frame % spec.transaction_bytes
-        if remainder:
-            bytes_per_frame += spec.transaction_bytes - remainder
-        return FrameBurstGenerator(
-            bytes_per_frame=bytes_per_frame,
-            frame_period_ps=period,
-            start_offset_ps=spec.start_offset_ps,
-        )
-    if spec.traffic == "constant":
-        return ConstantRateGenerator(
-            bytes_per_s=spec.bytes_per_s * CONSTANT_RATE_PREFETCH,
-            chunk_bytes=spec.transaction_bytes,
-            start_offset_ps=spec.start_offset_ps,
-        )
-    if spec.traffic == "poisson":
-        return PoissonGenerator(
-            rng=derive_rng(seed, f"traffic.{spec.name}"),
-            bytes_per_s=spec.bytes_per_s,
-            chunk_bytes=spec.transaction_bytes,
-            start_offset_ps=spec.start_offset_ps,
-        )
-    raise ValueError(f"unknown traffic class '{spec.traffic}'")
-
-
-def _build_addresses(spec: DmaSpec, seed: int) -> AddressStream:
-    if spec.address_pattern == "sequential":
-        return SequentialAddressStream(base=spec.region_base, region_bytes=spec.region_bytes)
-    if spec.address_pattern == "random":
-        return RandomAddressStream(
-            rng=derive_rng(seed, f"addresses.{spec.name}"),
-            base=spec.region_base,
-            region_bytes=spec.region_bytes,
-            align_bytes=spec.transaction_bytes,
-        )
-    raise ValueError(f"unknown address pattern '{spec.address_pattern}'")
-
-
 def build_system(
-    case: str = "A",
-    policy: str = "priority_qos",
+    scenario: Union[str, Scenario] = "case_a",
+    policy: Optional[str] = None,
     config: Optional[SimulationConfig] = None,
     workload: Optional[CamcorderWorkload] = None,
-    traffic_scale: float = 1.0,
+    traffic_scale: Optional[float] = None,
     adaptation_enabled: Optional[bool] = None,
     dram_freq_mhz: Optional[float] = None,
-    dram_model: str = "transaction",
+    dram_model: Optional[str] = None,
 ) -> System:
-    """Build a complete simulated MPSoC.
+    """Build a complete simulated MPSoC from a scenario.
 
     Parameters
     ----------
-    case:
-        Camcorder test case, "A" (all cores) or "B" (Table 1's reduced set).
+    scenario:
+        A scenario name from the catalog (``repro scenarios list``), a path
+        to a ``.json``/``.toml`` scenario file, or a :class:`Scenario`.
     policy:
-        Memory-controller and NoC arbitration policy (registry name).
+        Memory-controller and NoC arbitration policy (registry name);
+        defaults to the scenario's declared policy.
     config:
-        Simulation configuration; defaults to the Table-1 settings of the case.
+        Replace the scenario's simulation configuration wholesale.
     workload:
-        Explicit workload; defaults to the camcorder workload of the case.
+        Explicit pre-built workload; defaults to the scenario's workload,
+        resolved through the workload registry.
     traffic_scale:
         Linear scale on all offered traffic (only used when ``workload`` is
         not supplied).
     adaptation_enabled:
-        Force SARA adaptation on or off.  By default adaptation is enabled
-        exactly for the priority-based policies, matching the paper's setup.
+        Force SARA adaptation on or off.  By default adaptation follows the
+        scenario, falling back to "enabled exactly for the priority-based
+        policies", matching the paper's setup.
     dram_freq_mhz:
         Override the DRAM I/O frequency (used by the Fig. 7 DVFS sweep).
     dram_model:
-        DRAM backend: "transaction" (default, fast transaction-level model)
-        or "command" (DRAMSim2-style command-level model with refresh).
+        DRAM backend: "transaction" (fast transaction-level model) or
+        "command" (DRAMSim2-style command-level model with refresh).
     """
-    if config is None:
-        config = simulation_config_for_case(case)
-    if workload is None:
-        workload = camcorder_workload(case=case, traffic_scale=traffic_scale)
-    if adaptation_enabled is None:
-        adaptation_enabled = policy in PRIORITY_POLICIES
-    if dram_freq_mhz is not None:
-        config = config.with_overrides(dram=config.dram.with_frequency(dram_freq_mhz))
-
-    engine = Engine()
-    if dram_model == "transaction":
-        dram = DramDevice(config.dram, sim_scale=config.sim_scale)
-    elif dram_model == "command":
-        dram = CommandLevelDram(config.dram, sim_scale=config.sim_scale)
-    else:
+    if dram_model is not None and dram_model not in ("transaction", "command"):
         raise ValueError(
             f"unknown dram_model '{dram_model}' (known: transaction, command)"
         )
+    spec = resolve_scenario(
+        scenario,
+        policy=policy,
+        config=config,
+        traffic_scale=traffic_scale,
+        adaptation_enabled=adaptation_enabled,
+        dram_freq_mhz=dram_freq_mhz,
+        dram_model=dram_model,
+    )
+    config = spec.simulation_config()
+    if workload is None:
+        workload = spec.build_workload()
+    policy = spec.policy
+    adaptation = spec.adaptation_enabled
+    if adaptation is None:
+        adaptation = policy in PRIORITY_POLICIES
+
+    engine = Engine()
+    if spec.platform.dram_model == "transaction":
+        dram: DramDevice = DramDevice(config.dram, sim_scale=config.sim_scale)
+    else:  # "command" — the platform spec already validated the name
+        dram = CommandLevelDram(config.dram, sim_scale=config.sim_scale)
     controller = MemoryController(
         engine, dram, make_policy(policy), config.memory_controller
     )
@@ -191,9 +138,13 @@ def build_system(
     )
     network = Network(
         engine,
-        cluster_specs_for(workload),
+        cluster_specs_for(
+            workload,
+            spec.platform.cluster_links_bytes_per_ns,
+            spec.platform.default_cluster_link_bytes_per_ns,
+        ),
         config=noc_config,
-        root_link_bytes_per_ns=ROOT_LINK_BYTES_PER_NS,
+        root_link_bytes_per_ns=spec.platform.root_link_bytes_per_ns,
     )
     network.set_sink(controller.enqueue)
     # Back-pressure: the root router only forwards while the memory controller
@@ -206,7 +157,7 @@ def build_system(
     framework = SaraFramework(
         engine,
         adaptation_interval_ps=config.adaptation_interval_ps,
-        adaptation_enabled=adaptation_enabled,
+        adaptation_enabled=adaptation,
         priority_bits=config.priority_bits,
     )
 
@@ -215,44 +166,49 @@ def build_system(
         config=config,
         workload=workload,
         policy_name=policy,
-        adaptation_enabled=adaptation_enabled,
+        adaptation_enabled=adaptation,
         dram=dram,
         controller=controller,
         network=network,
         framework=framework,
+        scenario=spec,
     )
 
-    for spec in workload.dmas:
-        if spec.core not in system.cores:
-            system.cores[spec.core] = create_core(
-                spec.core, cluster=spec.cluster, queue_class=spec.queue_class
+    for dma_spec in workload.dmas:
+        if dma_spec.core not in system.cores:
+            system.cores[dma_spec.core] = create_core(
+                dma_spec.core, cluster=dma_spec.cluster, queue_class=dma_spec.queue_class
             )
         meter = make_meter(
-            meter_type=spec.meter,
-            average_bytes_per_s=spec.bytes_per_s,
+            meter_type=dma_spec.meter,
+            average_bytes_per_s=dma_spec.bytes_per_s,
             frame_period_ps=workload.frame_period_ps,
-            target_bytes_per_s=spec.target_bytes_per_s,
-            latency_limit_ns=spec.latency_limit_ns,
-            window_ps=spec.window_ps,
+            target_bytes_per_s=dma_spec.target_bytes_per_s,
+            latency_limit_ns=dma_spec.latency_limit_ns,
+            window_ps=dma_spec.window_ps,
         )
         dma = Dma(
-            name=spec.name,
-            core=spec.core,
-            queue_class=spec.queue_class,
-            is_write=spec.is_write,
-            transaction_bytes=spec.transaction_bytes,
-            generator=_build_generator(spec, workload, config.seed),
-            addresses=_build_addresses(spec, config.seed),
+            name=dma_spec.name,
+            core=dma_spec.core,
+            queue_class=dma_spec.queue_class,
+            is_write=dma_spec.is_write,
+            transaction_bytes=dma_spec.transaction_bytes,
+            generator=TRAFFIC_MODELS.get(dma_spec.traffic)(
+                dma_spec, frame_period_ps=workload.frame_period_ps, seed=config.seed
+            ),
+            addresses=ADDRESS_STREAMS.get(dma_spec.address_pattern)(
+                dma_spec, seed=config.seed
+            ),
             meter=meter,
-            max_outstanding=spec.max_outstanding,
+            max_outstanding=dma_spec.max_outstanding,
         )
         dma.connect(engine, network.inject)
         controller.register_dma(dma.name, dma.on_complete)
         framework.attach(
             dma,
-            table=PriorityLookupTable.for_meter_type(spec.meter, config.priority_bits),
+            table=PriorityLookupTable.for_meter_type(dma_spec.meter, config.priority_bits),
         )
-        system.cores[spec.core].add_dma(dma)
+        system.cores[dma_spec.core].add_dma(dma)
         system.dmas[dma.name] = dma
 
     return system

@@ -1,4 +1,4 @@
-"""Experiment runner: one simulation run per policy / case / frequency point.
+"""Experiment runner: one simulation run per policy / scenario / frequency point.
 
 Every figure and table of the paper's evaluation is a small composition of
 the functions in this module:
@@ -6,26 +6,26 @@ the functions in this module:
 * :func:`run_experiment` — one run, returning NPI traces, bandwidth and
   priority distributions.
 * :func:`compare_policies` — Figs. 5, 6, 8 and 9 (several policies on the
-  same case).
+  same scenario).
 * :func:`frequency_sweep` — Fig. 7 (one policy, several DRAM frequencies).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.scenario import Scenario, critical_cores_for, resolve_scenario
 from repro.sim.config import SimulationConfig
 from repro.sim.trace import TimeSeries, TraceRecorder
 from repro.system.builder import System, build_system
-from repro.system.platform import critical_cores_for, simulation_config_for_case
 
 
 @dataclass
 class ExperimentResult:
     """Everything measured during one simulation run."""
 
-    case: str
+    scenario: str
     policy: str
     adaptation_enabled: bool
     duration_ps: int
@@ -59,36 +59,35 @@ class ExperimentResult:
 
 
 def run_experiment(
-    case: str = "A",
-    policy: str = "priority_qos",
+    scenario: Union[str, Scenario] = "case_a",
+    policy: Optional[str] = None,
     duration_ps: Optional[int] = None,
-    traffic_scale: float = 1.0,
+    traffic_scale: Optional[float] = None,
     config: Optional[SimulationConfig] = None,
     adaptation_enabled: Optional[bool] = None,
     dram_freq_mhz: Optional[float] = None,
     keep_trace: bool = True,
     system: Optional[System] = None,
-    dram_model: str = "transaction",
+    dram_model: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one simulation and collect the paper's metrics.
 
     A pre-built ``system`` may be supplied (the ablation benchmarks do this to
-    tweak internal parameters); otherwise one is built from the arguments.
+    tweak internal parameters); otherwise one is built from the scenario plus
+    the keyword overrides.
     """
     if system is None:
-        if config is None:
-            config = simulation_config_for_case(case)
-        if duration_ps is not None:
-            config = config.with_overrides(duration_ps=duration_ps)
-        system = build_system(
-            case=case,
+        resolved = resolve_scenario(
+            scenario,
             policy=policy,
             config=config,
+            duration_ps=duration_ps,
             traffic_scale=traffic_scale,
             adaptation_enabled=adaptation_enabled,
             dram_freq_mhz=dram_freq_mhz,
             dram_model=dram_model,
         )
+        system = build_system(resolved)
     horizon = duration_ps or system.config.duration_ps
     system.run(duration_ps=horizon)
 
@@ -115,9 +114,12 @@ def run_experiment(
         for dma_name, adapter in framework.adapters.items()
     }
 
+    scenario_name = (
+        system.scenario.name if system.scenario is not None else system.workload.case
+    )
     elapsed = max(1, system.engine.now_ps)
     return ExperimentResult(
-        case=system.workload.case,
+        scenario=scenario_name,
         policy=system.policy_name,
         adaptation_enabled=system.adaptation_enabled,
         duration_ps=elapsed,
@@ -135,17 +137,17 @@ def run_experiment(
 
 def compare_policies(
     policies: Sequence[str],
-    case: str = "A",
+    scenario: Union[str, Scenario] = "case_a",
     duration_ps: Optional[int] = None,
-    traffic_scale: float = 1.0,
+    traffic_scale: Optional[float] = None,
     config: Optional[SimulationConfig] = None,
     keep_trace: bool = True,
 ) -> Dict[str, ExperimentResult]:
-    """Run the same case under several policies (Figs. 5, 6, 8, 9)."""
+    """Run the same scenario under several policies (Figs. 5, 6, 8, 9)."""
     results: Dict[str, ExperimentResult] = {}
     for policy in policies:
         results[policy] = run_experiment(
-            case=case,
+            scenario=scenario,
             policy=policy,
             duration_ps=duration_ps,
             traffic_scale=traffic_scale,
@@ -157,17 +159,17 @@ def compare_policies(
 
 def frequency_sweep(
     frequencies_mhz: Iterable[float],
-    case: str = "A",
-    policy: str = "priority_qos",
+    scenario: Union[str, Scenario] = "case_a",
+    policy: Optional[str] = None,
     duration_ps: Optional[int] = None,
-    traffic_scale: float = 1.0,
+    traffic_scale: Optional[float] = None,
     config: Optional[SimulationConfig] = None,
 ) -> Dict[float, ExperimentResult]:
-    """Run the same case at several DRAM frequencies (Fig. 7)."""
+    """Run the same scenario at several DRAM frequencies (Fig. 7)."""
     results: Dict[float, ExperimentResult] = {}
     for freq in frequencies_mhz:
         results[freq] = run_experiment(
-            case=case,
+            scenario=scenario,
             policy=policy,
             duration_ps=duration_ps,
             traffic_scale=traffic_scale,
@@ -179,8 +181,15 @@ def frequency_sweep(
 
 
 def critical_core_minimums(
-    result: ExperimentResult, case: Optional[str] = None
+    result: ExperimentResult, scenario: Union[str, Scenario, None] = None
 ) -> Dict[str, float]:
-    """Minimum NPI restricted to the paper's critical-core list for the case."""
-    cores = critical_cores_for(case or result.case)
+    """Minimum NPI restricted to the scenario's critical-core list.
+
+    By default the scenario is resolved from the result's recorded name,
+    which works for catalog (bundled or runtime-registered) scenarios; for a
+    result produced from a scenario *file*, pass the :class:`Scenario`
+    object (or its path) explicitly — the name alone no longer identifies it
+    once only the result is held.
+    """
+    cores = critical_cores_for(scenario if scenario is not None else result.scenario)
     return {core: result.min_core_npi.get(core, 0.0) for core in cores if core in result.min_core_npi}

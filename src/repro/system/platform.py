@@ -1,69 +1,30 @@
-"""Platform presets: Tables 1 and 2 of the paper as code.
+"""Platform helpers on top of the declarative scenario catalog.
 
-This module turns the paper's simulation settings into ready-to-use
-configuration objects: the per-test-case DRAM frequency, the memory-controller
-organisation, the NoC cluster layout of Fig. 1, and the Table-2 summary of
-which core carries which type of QoS target.
+The hand-wired per-case constants this module used to carry (DRAM frequency
+per test case, critical-core lists, cluster link widths) now live as data in
+the bundled scenario files (``repro/scenario/data/*.json``); what remains
+here are the Table-1/Table-2 report helpers and the cluster-layout builder
+the system builder uses to turn a workload plus a platform spec into the
+Fig. 1 router tree.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Optional
 
 from repro.cores import CORE_CLASSES
 from repro.noc.topology import ClusterSpec
-from repro.sim.config import DramConfig, MemoryControllerConfig, SimulationConfig
-from repro.traffic.camcorder import CamcorderWorkload
-
-#: DRAM I/O frequency per test case (Table 1).
-CASE_DRAM_FREQ_MHZ: Dict[str, float] = {"A": 1866.0, "B": 1700.0}
-
-#: The "critical cores" whose NPI the paper plots in Fig. 5 (test case A).
-CASE_A_CRITICAL_CORES: Tuple[str, ...] = (
-    "image_processor",
-    "rotator",
-    "video_codec",
-    "display",
-    "camera",
-    "usb",
-    "gps",
-    "wifi",
-)
-
-#: The critical cores plotted in Fig. 6 (test case B).
-CASE_B_CRITICAL_CORES: Tuple[str, ...] = (
-    "image_processor",
-    "video_codec",
-    "display",
-    "usb",
-    "dsp",
-    "wifi",
-)
-
-#: Cluster link bandwidths in bytes per nanosecond.  The media and compute
-#: clusters are wide enough that DRAM is their bottleneck; the system cluster
-#: link is narrow, so system cores also interfere with each other inside the
-#: interconnect (the USB-vs-GPS effect of Fig. 5(a)).
-CLUSTER_LINK_BYTES_PER_NS: Dict[str, float] = {
-    "media": 16.0,
-    "compute": 16.0,
-    "system": 2.0,
-}
-
-#: Root link from the NoC to the memory controller (not the global bottleneck).
-ROOT_LINK_BYTES_PER_NS = 32.0
+from repro.scenario import get_scenario
 
 
-def table1_settings(case: str = "A") -> Dict[str, object]:
-    """The Table-1 simulation settings for a test case, as plain values."""
-    case = case.upper()
-    if case not in CASE_DRAM_FREQ_MHZ:
-        raise ValueError(f"unknown test case '{case}' (expected 'A' or 'B')")
-    dram = DramConfig()
-    controller = MemoryControllerConfig()
+def table1_settings(scenario: str = "case_a") -> Dict[str, object]:
+    """The Table-1 simulation settings of a scenario, as plain values."""
+    spec = get_scenario(_normalise_case(scenario))
+    dram = spec.simulation_config().dram
+    controller = spec.simulation_config().memory_controller
     return {
-        "case": case,
-        "dram_io_freq_mhz": CASE_DRAM_FREQ_MHZ[case],
+        "scenario": spec.name,
+        "dram_io_freq_mhz": dram.io_freq_mhz,
         "memory_controller_total_entries": controller.total_entries,
         "memory_controller_transaction_queues": controller.transaction_queues,
         "dram_capacity_bytes": dram.capacity_bytes,
@@ -87,29 +48,30 @@ def table2_core_types() -> Dict[str, str]:
     }
 
 
-def simulation_config_for_case(
-    case: str = "A",
-    sim_scale: float = 1.0,
-    seed: int = 2018,
-    duration_ps: int = 33_000_000_000,
-    priority_bits: int = 3,
-) -> SimulationConfig:
-    """A :class:`SimulationConfig` with the Table-1 DRAM frequency of a case."""
-    case = case.upper()
-    if case not in CASE_DRAM_FREQ_MHZ:
-        raise ValueError(f"unknown test case '{case}' (expected 'A' or 'B')")
-    dram = DramConfig(io_freq_mhz=CASE_DRAM_FREQ_MHZ[case])
-    return SimulationConfig(
-        duration_ps=duration_ps,
-        seed=seed,
-        sim_scale=sim_scale,
-        priority_bits=priority_bits,
-        dram=dram,
+def _normalise_case(scenario: str) -> str:
+    """Accept the paper's bare case letters ("A"/"B") for the two paper scenarios."""
+    if isinstance(scenario, str) and scenario.upper() in ("A", "B"):
+        return f"case_{scenario.lower()}"
+    return scenario
+
+
+def cluster_specs_for(
+    workload,
+    cluster_links_bytes_per_ns: Optional[Mapping[str, float]] = None,
+    default_link_bytes_per_ns: float = 8.0,
+) -> List[ClusterSpec]:
+    """Build the Fig. 1 cluster layout for the active cores of a workload.
+
+    Link widths come from the scenario's platform spec; the defaults are the
+    paper's (wide media/compute clusters, a narrow system cluster whose cores
+    interfere with each other inside the interconnect — the USB-vs-GPS effect
+    of Fig. 5(a)).
+    """
+    links = dict(
+        cluster_links_bytes_per_ns
+        if cluster_links_bytes_per_ns is not None
+        else {"media": 16.0, "compute": 16.0, "system": 2.0}
     )
-
-
-def cluster_specs_for(workload: CamcorderWorkload) -> List[ClusterSpec]:
-    """Build the Fig. 1 cluster layout for the active cores of a workload."""
     members: Dict[str, List[str]] = {}
     for spec in workload.dmas:
         members.setdefault(spec.cluster, [])
@@ -117,18 +79,8 @@ def cluster_specs_for(workload: CamcorderWorkload) -> List[ClusterSpec]:
             members[spec.cluster].append(spec.core)
     specs: List[ClusterSpec] = []
     for cluster, cores in sorted(members.items()):
-        bandwidth = CLUSTER_LINK_BYTES_PER_NS.get(cluster, 8.0)
+        bandwidth = links.get(cluster, default_link_bytes_per_ns)
         specs.append(
             ClusterSpec(name=cluster, link_bytes_per_ns=bandwidth, members=tuple(cores))
         )
     return specs
-
-
-def critical_cores_for(case: str) -> Tuple[str, ...]:
-    """The cores whose NPI the corresponding paper figure plots."""
-    case = case.upper()
-    if case == "A":
-        return CASE_A_CRITICAL_CORES
-    if case == "B":
-        return CASE_B_CRITICAL_CORES
-    raise ValueError(f"unknown test case '{case}' (expected 'A' or 'B')")

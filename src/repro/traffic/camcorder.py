@@ -43,11 +43,11 @@ class DmaSpec:
     queue_class: QueueClass
     cluster: str
     is_write: bool
-    traffic: str  # "frame_burst" | "constant" | "poisson"
+    traffic: str  # registry key, e.g. "frame_burst" | "constant" | "poisson"
     bytes_per_s: float
     transaction_bytes: int
     meter: str  # "frame_progress" | "latency" | "bandwidth" | "occupancy" | "processing_time"
-    address_pattern: str = "sequential"
+    address_pattern: str = "sequential"  # registry key, e.g. "sequential" | "random" | "strided"
     region_base: int = 0
     region_bytes: int = 64 * 1024 * 1024
     target_bytes_per_s: Optional[float] = None
@@ -55,10 +55,19 @@ class DmaSpec:
     window_ps: Optional[int] = None
     max_outstanding: int = 8
     start_offset_ps: int = 0
+    stride_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.traffic not in {"frame_burst", "constant", "poisson"}:
-            raise ValueError(f"unknown traffic class '{self.traffic}'")
+        # ``traffic`` and ``address_pattern`` are registry keys (see
+        # repro.scenario.registry); they are resolved — and unknown names
+        # rejected with the list of registered kinds — when the system is
+        # built, so that plugin-registered models work here too.
+        if not self.traffic:
+            raise ValueError("traffic class must be a non-empty registry key")
+        if not self.address_pattern:
+            raise ValueError("address pattern must be a non-empty registry key")
+        if self.stride_bytes is not None and self.stride_bytes <= 0:
+            raise ValueError("stride_bytes must be positive when set")
         if self.meter not in {
             "frame_progress",
             "latency",
@@ -67,8 +76,6 @@ class DmaSpec:
             "processing_time",
         }:
             raise ValueError(f"unknown meter type '{self.meter}'")
-        if self.address_pattern not in {"sequential", "random"}:
-            raise ValueError(f"unknown address pattern '{self.address_pattern}'")
         if self.bytes_per_s <= 0:
             raise ValueError("bytes_per_s must be positive")
         if self.transaction_bytes <= 0:

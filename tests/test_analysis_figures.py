@@ -25,7 +25,7 @@ SCALE = 0.25
 @pytest.fixture(scope="module")
 def policy_results():
     return compare_policies(
-        ["fcfs", "priority_qos"], case="B", duration_ps=SHORT, traffic_scale=SCALE
+        ["fcfs", "priority_qos"], scenario="case_b", duration_ps=SHORT, traffic_scale=SCALE
     )
 
 
@@ -33,7 +33,7 @@ def policy_results():
 def sweep_results():
     return frequency_sweep(
         [1300.0, 1700.0],
-        case="B",
+        scenario="case_b",
         policy="priority_qos",
         duration_ps=SHORT,
         traffic_scale=SCALE,
@@ -52,7 +52,7 @@ class TestFigureRows:
 
     def test_npi_time_rows_requires_trace(self, policy_results):
         no_trace = compare_policies(
-            ["fcfs"], case="B", duration_ps=MS, traffic_scale=SCALE, keep_trace=False
+            ["fcfs"], scenario="case_b", duration_ps=MS, traffic_scale=SCALE, keep_trace=False
         )
         with pytest.raises(ValueError):
             npi_time_rows(no_trace, cores=["display"])

@@ -22,7 +22,7 @@ def make_result(
     mean_npi: dict = None,
 ) -> ExperimentResult:
     return ExperimentResult(
-        case="A",
+        scenario="case_a",
         policy=policy,
         adaptation_enabled=True,
         duration_ps=1_000_000,

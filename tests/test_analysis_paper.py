@@ -19,11 +19,11 @@ def make_result(
     policy: str,
     min_npi: dict,
     bandwidth: float = 10e9,
-    case: str = "A",
+    scenario: str = "case_a",
     priority_distributions: dict | None = None,
 ) -> ExperimentResult:
     return ExperimentResult(
-        case=case,
+        scenario=scenario,
         policy=policy,
         adaptation_enabled=policy.startswith("priority"),
         duration_ps=1_000_000,
@@ -61,7 +61,7 @@ class TestPolicyFailureChecks:
             "frame_rate_qos": make_result("frame_rate_qos", dict(PASSING, gps=0.5)),
             "priority_qos": make_result("priority_qos", PASSING),
         }
-        checks = check_policy_failures(results, "A")
+        checks = check_policy_failures(results, "case_a")
         assert all(check.passed for check in checks)
         assert summarize_checks(checks)["failed"] == 0
 
@@ -70,19 +70,19 @@ class TestPolicyFailureChecks:
             "fcfs": make_result("fcfs", PASSING),
             "priority_qos": make_result("priority_qos", PASSING),
         }
-        checks = check_policy_failures(results, "A")
+        checks = check_policy_failures(results, "case_a")
         fcfs_check = next(c for c in checks if "fcfs" in c.description)
         assert not fcfs_check.passed
 
     def test_priority_policy_failure_is_reported(self):
         results = {"priority_qos": make_result("priority_qos", FAILING_DISPLAY)}
-        checks = check_policy_failures(results, "A")
+        checks = check_policy_failures(results, "case_a")
         qos_check = next(c for c in checks if "priority_qos" in c.description)
         assert not qos_check.passed
 
     def test_case_b_uses_fig6_label(self):
-        results = {"priority_qos": make_result("priority_qos", PASSING, case="B")}
-        checks = check_policy_failures(results, "B")
+        results = {"priority_qos": make_result("priority_qos", PASSING, scenario="case_b")}
+        checks = check_policy_failures(results, "case_b")
         assert all(check.experiment == "fig6" for check in checks)
 
 

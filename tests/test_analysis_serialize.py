@@ -21,7 +21,7 @@ from repro.system.experiment import run_experiment
 
 @pytest.fixture(scope="module")
 def result():
-    return run_experiment(case="B", policy="priority_qos", duration_ps=MS, traffic_scale=0.2)
+    return run_experiment(scenario="case_b", policy="priority_qos", duration_ps=MS, traffic_scale=0.2)
 
 
 class TestConfigRoundTrip:
@@ -51,7 +51,7 @@ class TestConfigRoundTrip:
 class TestResultRoundTrip:
     def test_dict_round_trip_preserves_metrics(self, result):
         rebuilt = experiment_result_from_dict(experiment_result_to_dict(result))
-        assert rebuilt.case == result.case
+        assert rebuilt.scenario == result.scenario
         assert rebuilt.policy == result.policy
         assert rebuilt.min_core_npi == pytest.approx(result.min_core_npi)
         assert rebuilt.dram_bandwidth_bytes_per_s == pytest.approx(

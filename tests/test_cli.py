@@ -1,4 +1,4 @@
-"""Tests for the ``python -m repro`` command-line interface."""
+"""Tests for the scenario-first ``python -m repro`` command-line interface."""
 
 from __future__ import annotations
 
@@ -14,15 +14,61 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_unknown_policy_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "--policy", "magic"])
-
     def test_defaults(self):
         args = build_parser().parse_args(["run"])
-        assert args.case == "A"
-        assert args.policy == "priority_qos"
+        assert args.scenario == "case_a"
+        assert args.policy is None
         assert args.duration_ms > 0
+
+    def test_unknown_policy_rejected_at_dispatch(self, capsys):
+        assert main(["run", "--policy", "magic", "--duration-ms", "0.1"]) == 2
+        assert "unknown scheduling policy 'magic'" in capsys.readouterr().err
+
+    def test_unknown_scenario_rejected(self, capsys):
+        assert main(["run", "no_such_scenario", "--duration-ms", "0.1"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_set_syntax_rejected(self, capsys):
+        assert main(["run", "case_b", "--set", "nonsense"]) == 2
+        assert "--set expects PATH=VALUE" in capsys.readouterr().err
+
+    def test_unknown_set_path_rejected(self, capsys):
+        assert main(["run", "case_b", "--set", "platform.sim.warp=9"]) == 2
+        assert "no such setting" in capsys.readouterr().err
+
+
+class TestScenarioCommands:
+    def test_list_names_every_bundled_scenario(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in (
+            "case_a",
+            "case_b",
+            "ar_glasses",
+            "manycore_streaming",
+            "latency_bandwidth_stress",
+        ):
+            assert name in output
+
+    def test_show_prints_lossless_json(self, capsys):
+        assert main(["scenarios", "show", "case_b"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "case_b"
+        assert payload["platform"]["sim"]["dram"]["io_freq_mhz"] == 1700.0
+
+    def test_validate_all_bundled_scenarios(self, capsys):
+        assert main(["scenarios", "validate"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("[PASS]") == 5
+        assert "0 failure(s)" in output
+
+    def test_validate_rejects_broken_file(self, tmp_path, capsys):
+        bad = tmp_path / "broken.json"
+        bad.write_text(json.dumps({"name": "broken", "platform": {"sim": {"seed": -1}}}))
+        assert main(["scenarios", "validate", str(bad)]) == 1
+        output = capsys.readouterr().out
+        assert "[FAIL]" in output
+        assert "seed" in output
 
 
 class TestInformationalCommands:
@@ -39,7 +85,7 @@ class TestInformationalCommands:
             assert name in output
 
     def test_settings_prints_tables(self, capsys):
-        assert main(["settings", "--case", "B"]) == 0
+        assert main(["settings", "case_b"]) == 0
         output = capsys.readouterr().out
         assert "Table 1" in output
         assert "Table 2" in output
@@ -47,7 +93,7 @@ class TestInformationalCommands:
 
 
 class TestRunCommands:
-    COMMON = ["--case", "B", "--duration-ms", "1", "--traffic-scale", "0.2"]
+    COMMON = ["case_b", "--duration-ms", "1", "--traffic-scale", "0.2"]
 
     def test_run_prints_summary_and_saves_json(self, capsys, tmp_path):
         output_path = tmp_path / "result.json"
@@ -57,9 +103,47 @@ class TestRunCommands:
         assert code == 0
         output = capsys.readouterr().out
         assert "policy=priority_qos" in output
+        assert "scenario=case_b" in output
         assert output_path.exists()
         payload = json.loads(output_path.read_text())
         assert payload["policy"] == "priority_qos"
+        assert payload["scenario"] == "case_b"
+
+    def test_run_accepts_scenario_file(self, capsys, tmp_path):
+        from repro.scenario import get_scenario
+
+        path = get_scenario("case_b").save(tmp_path / "my_case.json")
+        code = main(
+            ["run", str(path), "--duration-ms", "0.4", "--traffic-scale", "0.2",
+             "--policy", "fcfs"]
+        )
+        assert code == 0
+        assert "policy=fcfs" in capsys.readouterr().out
+
+    def test_compare_accepts_file_scenario_with_uncatalogued_name(self, capsys, tmp_path):
+        # The shape checks must use the Scenario object in hand, not re-resolve
+        # its name through the catalog (which would fail for file scenarios).
+        from repro.scenario import get_scenario
+
+        scenario = get_scenario("case_b").with_overrides(name="my_custom_case")
+        path = scenario.save(tmp_path / "my_custom.json")
+        code = main(
+            ["compare", str(path), "--duration-ms", "0.4", "--traffic-scale", "0.2",
+             "--policies", "fcfs", "priority_qos"]
+        )
+        output = capsys.readouterr()
+        assert "unknown scenario" not in output.err
+        assert "Minimum NPI per critical core (scenario my_custom_case)" in output.out
+        assert "shape checks:" in output.out
+        assert code in (0, 1)  # shape checks may fail at this tiny duration
+
+    def test_run_set_overrides_scenario(self, capsys):
+        code = main(
+            ["run", *self.COMMON, "--set", "policy=fcfs",
+             "--set", "platform.sim.seed=7"]
+        )
+        assert code == 0
+        assert "policy=fcfs" in capsys.readouterr().out
 
     def test_compare_prints_tables_and_checks(self, capsys, tmp_path):
         csv_path = tmp_path / "npi.csv"
@@ -96,6 +180,15 @@ class TestRunCommands:
         output = capsys.readouterr().out
         assert "Fig. 7" in output
         assert "1700" in output and "1300" in output
+
+    def test_grid_runs_declared_axes(self, capsys):
+        code = main(
+            ["grid", "case_b", "--duration-ms", "0.4", "--traffic-scale", "0.2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Grid over case_b's declared axes (4 points)" in output
+        assert "policy=fcfs" in output
 
     def test_dvfs_reports_residency_and_energy(self, capsys):
         code = main(["dvfs", *self.COMMON, "--governor", "powersave", "--interval-us", "50"])

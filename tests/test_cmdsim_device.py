@@ -161,17 +161,17 @@ class TestCommandVersusTransactionLevel:
 class TestCommandLevelSystem:
     def test_build_system_with_command_backend(self):
         system = build_system(
-            case="B", policy="priority_qos", traffic_scale=0.2, dram_model="command"
+            scenario="case_b", policy="priority_qos", traffic_scale=0.2, dram_model="command"
         )
         assert isinstance(system.dram, CommandLevelDram)
 
     def test_build_system_rejects_unknown_backend(self):
         with pytest.raises(ValueError, match="unknown dram_model"):
-            build_system(case="B", dram_model="quantum")
+            build_system(scenario="case_b", dram_model="quantum")
 
     def test_short_run_with_command_backend_meets_targets(self):
         result = run_experiment(
-            case="B",
+            scenario="case_b",
             policy="priority_qos",
             duration_ps=MS,
             traffic_scale=0.2,

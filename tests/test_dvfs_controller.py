@@ -104,7 +104,7 @@ class TestRunWithGovernor:
     def pressure_result(self):
         return run_with_governor(
             PriorityPressureGovernor(),
-            case="B",
+            scenario="case_b",
             policy="priority_qos",
             duration_ps=2 * MS,
             traffic_scale=0.25,
@@ -131,7 +131,7 @@ class TestRunWithGovernor:
                 "performance": PerformanceGovernor(),
                 "powersave": PowersaveGovernor(),
             },
-            case="B",
+            scenario="case_b",
             policy="priority_qos",
             duration_ps=MS,
             traffic_scale=0.2,

@@ -1,0 +1,84 @@
+"""Bit-identical parity of the router's incremental candidate index.
+
+The router now maintains its candidate set incrementally (uid -> packet,
+port) instead of rebuilding a map of every port queue per arbitration.  The
+reference implementation below re-creates the seed's rebuild-per-arbitration
+behaviour (deque-backed ports, full rescan, linear removal); a full system
+run under each must produce byte-identical results, including the NPI trace.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict
+
+import repro.noc.topology as topology_module
+from repro.analysis.serialize import experiment_result_to_dict
+from repro.noc.packet import Packet
+from repro.noc.router import Router
+from repro.sim.clock import MS
+from repro.system.experiment import run_experiment
+
+SHORT_PS = 2 * MS // 5
+
+
+class RebuildScanRouter(Router):
+    """The seed's router: deque ports, candidate map rebuilt per arbitration."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._deque_ports: Dict[str, Deque[Packet]] = {}
+
+    def add_port(self, port_name: str) -> None:
+        self._deque_ports.setdefault(port_name, deque())
+
+    def receive(self, port_name: str, packet: Packet) -> None:
+        self._deque_ports.setdefault(port_name, deque()).append(packet)
+        self._try_forward()
+
+    def occupancy(self) -> int:
+        return sum(len(queue) for queue in self._deque_ports.values())
+
+    def _try_forward(self) -> None:
+        if self._busy or self._sink is None:
+            return
+        if self._gate is not None and not self._gate():
+            self.stalled_attempts += 1
+            return
+        candidates = {}
+        for queue in self._deque_ports.values():
+            for packet in queue:
+                candidates[packet.transaction.uid] = (packet, queue)
+        if not candidates:
+            return
+        chosen_txn = self.arbiter.select(
+            [packet.transaction for packet, _ in candidates.values()],
+            self.engine.now_ps,
+        )
+        packet, queue = candidates[chosen_txn.uid]
+        queue.remove(packet)
+        self._busy = True
+        finish_ps = self.output_link.reserve(self.engine.now_ps, packet.size_bytes)
+        self.engine.schedule_at(finish_ps + self.latency_ps, self._deliver, packet)
+
+
+def _run(policy: str):
+    return run_experiment(
+        scenario="case_b",
+        policy=policy,
+        duration_ps=SHORT_PS,
+        traffic_scale=0.2,
+        keep_trace=True,
+    )
+
+
+class TestIncrementalIndexParity:
+    def test_traces_bit_identical_to_rebuild_scan(self, monkeypatch):
+        for policy in ("fcfs", "priority_qos"):
+            indexed = _run(policy)
+            monkeypatch.setattr(topology_module, "Router", RebuildScanRouter)
+            reference = _run(policy)
+            monkeypatch.undo()
+            assert experiment_result_to_dict(
+                indexed, include_trace=True
+            ) == experiment_result_to_dict(reference, include_trace=True), policy

@@ -146,7 +146,7 @@ class TestMeshSystem:
             noc=NocConfig(arbitration="priority_qos", topology="mesh"),
         )
         result = run_experiment(
-            case="B",
+            scenario="case_b",
             policy="priority_qos",
             config=config,
             traffic_scale=0.2,
@@ -156,5 +156,5 @@ class TestMeshSystem:
 
     def test_builder_honours_mesh_topology(self):
         config = SimulationConfig(noc=NocConfig(topology="mesh"))
-        system = build_system(case="B", policy="priority_qos", config=config, traffic_scale=0.2)
+        system = build_system(scenario="case_b", policy="priority_qos", config=config, traffic_scale=0.2)
         assert system.network.topology.__class__.__name__ == "MeshTopology"

@@ -118,7 +118,7 @@ class TestDramEnergy:
 class TestSystemEnergy:
     @pytest.fixture(scope="class")
     def finished_system(self):
-        system = build_system(case="B", policy="priority_qos", traffic_scale=0.2)
+        system = build_system(scenario="case_b", policy="priority_qos", traffic_scale=0.2)
         system.run(duration_ps=MS)
         return system
 
@@ -154,7 +154,7 @@ class TestSystemEnergy:
         assert "Average power" in text
 
     def test_unrun_system_is_rejected(self):
-        system = build_system(case="B", policy="fcfs", traffic_scale=0.2)
+        system = build_system(scenario="case_b", policy="fcfs", traffic_scale=0.2)
         with pytest.raises(ValueError):
             estimate_system_energy(system)
 

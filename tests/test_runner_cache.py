@@ -8,16 +8,16 @@ import pytest
 
 from repro.analysis.serialize import experiment_result_to_dict
 from repro.runner import ResultCache, RunSpec
+from repro.scenario import scenario_config
 from repro.sim.clock import MS
 from repro.system.experiment import run_experiment
-from repro.system.platform import simulation_config_for_case
 
 SHORT_PS = MS // 2
 
 
 def make_spec(**overrides) -> RunSpec:
     defaults = dict(
-        case="B", policy="fcfs", duration_ps=SHORT_PS, traffic_scale=0.2
+        scenario="case_b", policy="fcfs", duration_ps=SHORT_PS, traffic_scale=0.2
     )
     defaults.update(overrides)
     return RunSpec(**defaults)
@@ -35,11 +35,11 @@ class TestCacheKey:
     @pytest.mark.parametrize(
         "change",
         [
-            {"case": "A"},
+            {"scenario": "case_a"},
             {"policy": "round_robin"},
             {"duration_ps": SHORT_PS + 1},
             {"traffic_scale": 0.3},
-            # Case B's default I/O frequency is 1700 MHz; overriding it to
+            # case_b's default I/O frequency is 1700 MHz; overriding it to
             # that same value is semantically identical and must share the
             # key, so probe with a genuinely different frequency.
             {"dram_freq_mhz": 1333.0},
@@ -53,7 +53,7 @@ class TestCacheKey:
         assert make_spec().key() != make_spec(**change).key()
 
     def test_nested_config_field_changes_key(self):
-        config = simulation_config_for_case("B")
+        config = scenario_config("case_b")
         tweaked = config.with_overrides(
             memory_controller=replace(
                 config.memory_controller, aging_threshold_cycles=99
@@ -62,7 +62,7 @@ class TestCacheKey:
         assert make_spec(config=config).key() != make_spec(config=tweaked).key()
 
     def test_dram_timing_change_changes_key(self):
-        config = simulation_config_for_case("B")
+        config = scenario_config("case_b")
         tweaked = config.with_overrides(
             dram=replace(config.dram, timing=replace(config.dram.timing, cl=40))
         )
@@ -71,13 +71,13 @@ class TestCacheKey:
     def test_explicit_config_matches_equivalent_defaults(self):
         # Resolving case B's default config explicitly must hit the same
         # cache entry as leaving config=None.
-        explicit = simulation_config_for_case("B").with_overrides(
+        explicit = scenario_config("case_b").with_overrides(
             duration_ps=SHORT_PS
         )
         assert make_spec().key() == make_spec(config=explicit).key()
 
     def test_seed_override_matches_config_seed(self):
-        config = simulation_config_for_case("B").with_overrides(
+        config = scenario_config("case_b").with_overrides(
             duration_ps=SHORT_PS, seed=7
         )
         assert make_spec(seed=7).key() == make_spec(config=config).key()
@@ -90,7 +90,7 @@ class TestCacheRoundTrip:
     @pytest.fixture(scope="class")
     def result(self):
         return run_experiment(
-            case="B", policy="fcfs", duration_ps=SHORT_PS, traffic_scale=0.2
+            scenario="case_b", policy="fcfs", duration_ps=SHORT_PS, traffic_scale=0.2
         )
 
     def test_round_trip_preserves_metrics(self, tmp_path, result):

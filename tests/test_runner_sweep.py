@@ -8,6 +8,8 @@ must complete in under 10 % of the cold-run wall time.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.analysis.serialize import experiment_result_to_dict
@@ -16,12 +18,13 @@ from repro.runner import (
     RunSpec,
     compare_policies_specs,
     run_sweep,
+    scenario_grid_specs,
     sweep_compare_policies,
     sweep_frequencies,
 )
+from repro.scenario import scenario_config
 from repro.sim.clock import MS
-from repro.system.experiment import compare_policies
-from repro.system.platform import simulation_config_for_case
+from repro.system.experiment import compare_policies, run_experiment
 
 SHORT_PS = 2 * MS // 5
 TRAFFIC = 0.2
@@ -39,7 +42,7 @@ class TestRunSweep:
 
     def test_duplicate_specs_execute_once(self):
         spec = RunSpec(
-            case="B", policy="fcfs", duration_ps=SHORT_PS, traffic_scale=TRAFFIC
+            scenario="case_b", policy="fcfs", duration_ps=SHORT_PS, traffic_scale=TRAFFIC
         )
         results, stats = run_sweep([spec, spec])
         assert stats.total == 2
@@ -51,7 +54,7 @@ class TestRunSweep:
         frequencies = [1700.0, 1300.0]
         results, stats = sweep_frequencies(
             frequencies,
-            case="B",
+            scenario="case_b",
             policy="fcfs",
             duration_ps=SHORT_PS,
             traffic_scale=TRAFFIC,
@@ -63,10 +66,10 @@ class TestRunSweep:
 
     def test_ablation_grid_labels_line_up(self):
         base = RunSpec(
-            case="B", policy="fcfs", duration_ps=SHORT_PS, traffic_scale=TRAFFIC
+            scenario="case_b", policy="fcfs", duration_ps=SHORT_PS, traffic_scale=TRAFFIC
         )
         grid = AblationGrid(base=base)
-        config = simulation_config_for_case("B")
+        config = scenario_config("case_b")
         grid.add("seed2018", config)
         grid.add("seed7", config.with_overrides(seed=7))
         results, stats = grid.run()
@@ -84,12 +87,12 @@ class TestParallelParityAndCache:
 
     def test_4_jobs_bit_identical_and_warm_cache_under_10_percent(self, tmp_path):
         sequential = compare_policies(
-            POLICIES, case="B", duration_ps=SHORT_PS, traffic_scale=TRAFFIC
+            POLICIES, scenario="case_b", duration_ps=SHORT_PS, traffic_scale=TRAFFIC
         )
 
         cold, cold_stats = sweep_compare_policies(
             POLICIES,
-            case="B",
+            scenario="case_b",
             duration_ps=SHORT_PS,
             traffic_scale=TRAFFIC,
             jobs=4,
@@ -103,7 +106,7 @@ class TestParallelParityAndCache:
 
         warm, warm_stats = sweep_compare_policies(
             POLICIES,
-            case="B",
+            scenario="case_b",
             duration_ps=SHORT_PS,
             traffic_scale=TRAFFIC,
             jobs=4,
@@ -119,11 +122,70 @@ class TestParallelParityAndCache:
 
     def test_2_workers_match_sequential_specs_api(self, tmp_path):
         specs = compare_policies_specs(
-            POLICIES[:2], case="B", duration_ps=SHORT_PS, traffic_scale=TRAFFIC
+            POLICIES[:2], scenario="case_b", duration_ps=SHORT_PS, traffic_scale=TRAFFIC
         )
         parallel, stats = run_sweep(specs, jobs=2)
         assert stats.executed == 2
         sequential = compare_policies(
-            POLICIES[:2], case="B", duration_ps=SHORT_PS, traffic_scale=TRAFFIC
+            POLICIES[:2], scenario="case_b", duration_ps=SHORT_PS, traffic_scale=TRAFFIC
         )
         assert _fingerprints(parallel) == _fingerprints(sequential.values())
+
+
+class TestScenarioGrid:
+    def test_grid_specs_expand_declared_axes(self):
+        specs = scenario_grid_specs("case_b", duration_ps=SHORT_PS)
+        # case_b declares one axis: 4 policies.
+        assert len(specs) == 4
+        policies = {spec.resolved_scenario().policy for spec in specs}
+        assert policies == {"fcfs", "round_robin", "frame_rate_qos", "priority_qos"}
+        labels = [spec.label for spec in specs]
+        assert len(set(labels)) == len(labels)
+
+    def test_settings_participate_in_cache_key(self):
+        base = RunSpec(scenario="case_b", duration_ps=SHORT_PS)
+        tweaked = RunSpec(
+            scenario="case_b",
+            duration_ps=SHORT_PS,
+            settings=(("platform.sim.seed", 7),),
+        )
+        assert base.key() != tweaked.key()
+
+
+class TestColumnarTraceEncoding:
+    """Cache entries with keep_trace=True use the compact columnar layout."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            scenario="case_b", policy="fcfs", duration_ps=SHORT_PS, traffic_scale=TRAFFIC
+        )
+
+    def test_round_trip_is_lossless(self, result):
+        from repro.analysis.serialize import experiment_result_from_dict
+
+        payload = experiment_result_to_dict(result, include_trace=True)
+        restored = experiment_result_from_dict(json.loads(json.dumps(payload)))
+        for name in result.trace.names():
+            original = result.trace.get(name)
+            loaded = restored.trace.get(name)
+            assert loaded is not None, name
+            assert loaded.times_ps == original.times_ps
+            assert loaded.values == original.values
+
+    def test_columnar_encoding_shrinks_trace_payload(self, result):
+        payload = experiment_result_to_dict(result, include_trace=True)
+        compact = len(json.dumps(payload["trace"]))
+        # The legacy layout stored one times/values pair per series.
+        legacy = len(
+            json.dumps(
+                {
+                    name: {
+                        "times_ps": list(result.trace.get(name).times_ps),
+                        "values": list(result.trace.get(name).values),
+                    }
+                    for name in result.trace.names()
+                }
+            )
+        )
+        assert compact < 0.7 * legacy, (compact, legacy)

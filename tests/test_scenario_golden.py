@@ -1,0 +1,65 @@
+"""Golden checks: the bundled paper scenarios reproduce the seed's configs.
+
+The seed release hard-coded Table 1 in ``simulation_config_for_case`` and the
+camcorder DMA list in ``camcorder_workload``.  Those constants are now data
+in ``repro/scenario/data/case_a.json`` / ``case_b.json``; these tests pin the
+scenario-produced configuration and workload to the seed's exact values so a
+scenario-file edit can never silently drift the paper reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenario import get_scenario
+from repro.sim.config import DramConfig, SimulationConfig
+from repro.traffic.camcorder import camcorder_workload
+
+#: The Table-1 DRAM frequency of each paper case (the only field the two
+#: cases' platform configs differ in).
+CASE_FREQ = {"case_a": 1866.0, "case_b": 1700.0}
+
+
+class TestGoldenConfigs:
+    @pytest.mark.parametrize("name", sorted(CASE_FREQ))
+    def test_scenario_config_equals_seed_config(self, name):
+        expected = SimulationConfig(dram=DramConfig(io_freq_mhz=CASE_FREQ[name]))
+        assert get_scenario(name).simulation_config() == expected
+
+    def test_case_a_table1_values(self):
+        config = get_scenario("case_a").simulation_config()
+        assert config.duration_ps == 33_000_000_000
+        assert config.seed == 2018
+        assert config.priority_bits == 3
+        assert config.memory_controller.total_entries == 42
+        assert config.memory_controller.transaction_queues == 5
+        assert (config.dram.channels, config.dram.ranks_per_channel,
+                config.dram.banks_per_rank) == (2, 2, 8)
+        timing = config.dram.timing
+        assert (timing.cl, timing.t_rcd, timing.t_rp) == (36, 34, 34)
+        assert (timing.t_wtr, timing.t_rtp, timing.t_wr) == (19, 14, 34)
+        assert (timing.t_rrd, timing.t_faw) == (19, 75)
+
+
+class TestGoldenWorkloads:
+    @pytest.mark.parametrize("name,case", [("case_a", "A"), ("case_b", "B")])
+    def test_scenario_workload_equals_seed_workload(self, name, case):
+        assert get_scenario(name).build_workload() == camcorder_workload(case)
+
+    def test_traffic_scale_override_matches_seed_path(self):
+        scenario = get_scenario("case_a")
+        assert scenario.build_workload(traffic_scale=0.4) == camcorder_workload(
+            "A", traffic_scale=0.4
+        )
+
+
+class TestGoldenPlatform:
+    def test_paper_link_widths(self):
+        platform = get_scenario("case_a").platform
+        assert platform.cluster_links_bytes_per_ns == {
+            "media": 16.0,
+            "compute": 16.0,
+            "system": 2.0,
+        }
+        assert platform.root_link_bytes_per_ns == 32.0
+        assert platform.dram_model == "transaction"

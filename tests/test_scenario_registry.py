@@ -1,0 +1,99 @@
+"""Tests for the scenario registries: collisions, unknown keys, plugin surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenario import (
+    ADDRESS_STREAMS,
+    TRAFFIC_MODELS,
+    WORKLOADS,
+    Registry,
+    RegistryError,
+    Scenario,
+    get_scenario,
+    register_scenario,
+    unregister_scenario,
+)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = Registry("gadget")
+        registry.register("widget", object)
+        assert registry.get("widget") is object
+        assert "widget" in registry
+        assert registry.names() == ["widget"]
+
+    def test_decorator_form(self):
+        registry = Registry("gadget")
+
+        @registry.register("fn")
+        def fn():
+            return 42
+
+        assert registry.get("fn") is fn
+
+    def test_collision_requires_replace(self):
+        registry = Registry("gadget")
+        registry.register("widget", int)
+        with pytest.raises(RegistryError, match="already registered"):
+            registry.register("widget", float)
+        registry.register("widget", float, replace=True)
+        assert registry.get("widget") is float
+
+    def test_unknown_key_lists_known_and_suggests(self):
+        registry = Registry("gadget")
+        registry.register("frame_burst", object)
+        registry.register("constant", object)
+        with pytest.raises(RegistryError) as excinfo:
+            registry.get("frame_brust")
+        message = str(excinfo.value)
+        assert "unknown gadget 'frame_brust'" in message
+        assert "constant" in message and "frame_burst" in message
+        assert "did you mean 'frame_burst'" in message
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(RegistryError):
+            Registry("gadget").register("", object)
+
+
+class TestBuiltinRegistrations:
+    def test_traffic_models_registered(self):
+        assert {"frame_burst", "constant", "poisson"} <= set(TRAFFIC_MODELS.names())
+
+    def test_address_streams_registered(self):
+        assert {"sequential", "random", "strided"} <= set(ADDRESS_STREAMS.names())
+
+    def test_workloads_registered(self):
+        assert {
+            "camcorder",
+            "inline",
+            "ar_glasses",
+            "manycore_streaming",
+            "latency_bandwidth_stress",
+        } <= set(WORKLOADS.names())
+
+
+class TestScenarioRegistration:
+    def test_register_and_resolve(self):
+        scenario = Scenario(name="registered_probe")
+        try:
+            register_scenario(scenario)
+            assert get_scenario("registered_probe") is scenario
+        finally:
+            unregister_scenario("registered_probe")
+
+    def test_duplicate_requires_replace(self):
+        scenario = Scenario(name="registered_probe")
+        try:
+            register_scenario(scenario)
+            with pytest.raises(Exception, match="already registered"):
+                register_scenario(scenario)
+            register_scenario(scenario, replace=True)
+        finally:
+            unregister_scenario("registered_probe")
+
+    def test_non_scenario_rejected(self):
+        with pytest.raises(TypeError):
+            register_scenario({"name": "dict"})  # type: ignore[arg-type]

@@ -1,0 +1,173 @@
+"""Tests for the declarative Scenario spec: round trips, validation, overrides."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenario import (
+    PlatformSpec,
+    Scenario,
+    ScenarioError,
+    WorkloadSpec,
+    available_scenarios,
+    get_scenario,
+    scenario_from_file,
+)
+
+
+def sample_scenario() -> Scenario:
+    return Scenario(
+        name="sample",
+        description="round-trip probe",
+        platform=PlatformSpec(
+            cluster_links_bytes_per_ns={"media": 16.0, "system": 2.0},
+            root_link_bytes_per_ns=24.0,
+        ),
+        workload=WorkloadSpec(kind="camcorder", params={"case": "B", "traffic_scale": 0.5}),
+        policy="fcfs",
+        adaptation_enabled=False,
+        critical_cores=("display", "dsp"),
+        sweep={"policy": ["fcfs", "priority_qos"], "platform.sim.seed": [1, 2, 3]},
+    )
+
+
+class TestRoundTrip:
+    def test_from_dict_inverts_to_dict_exactly(self):
+        scenario = sample_scenario()
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_round_trip_survives_json(self):
+        scenario = sample_scenario()
+        rebuilt = Scenario.from_dict(json.loads(json.dumps(scenario.to_dict())))
+        assert rebuilt == scenario
+
+    def test_every_bundled_scenario_round_trips(self):
+        for name, scenario in available_scenarios().items():
+            assert Scenario.from_dict(scenario.to_dict()) == scenario, name
+
+    def test_file_round_trip_json(self, tmp_path):
+        scenario = sample_scenario()
+        path = scenario.save(tmp_path / "sample.json")
+        assert scenario_from_file(path) == scenario
+
+    def test_file_round_trip_toml(self, tmp_path):
+        tomllib = pytest.importorskip("tomllib")
+        assert tomllib is not None
+        # TOML cannot express null, so use a scenario without None fields.
+        scenario = sample_scenario()
+        path = tmp_path / "sample.toml"
+        path.write_text(
+            'schema_version = 1\n'
+            'name = "toml_sample"\n'
+            'policy = "fcfs"\n'
+            'critical_cores = ["display"]\n'
+            '[workload]\n'
+            'kind = "camcorder"\n'
+            '[workload.params]\n'
+            'case = "B"\n'
+            '[platform]\n'
+            'root_link_bytes_per_ns = 24.0\n'
+        )
+        loaded = scenario_from_file(path)
+        assert loaded.name == "toml_sample"
+        assert loaded.workload.params == {"case": "B"}
+        assert loaded.platform.root_link_bytes_per_ns == 24.0
+        assert scenario.name == "sample"  # untouched
+
+    def test_tuples_in_params_become_lists_losslessly(self):
+        scenario = Scenario(
+            name="tuples", workload=WorkloadSpec(kind="camcorder", params={"case": "A"}),
+            sweep={"policy": ("fcfs",)},
+        )
+        assert scenario.sweep["policy"] == ["fcfs"]
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+
+class TestValidationErrors:
+    def test_missing_name(self):
+        with pytest.raises(ScenarioError, match="scenario.name: required"):
+            Scenario.from_dict({"policy": "fcfs"})
+
+    def test_unknown_top_level_key_lists_known_keys(self):
+        with pytest.raises(ScenarioError, match=r"scenario: unknown key\(s\) \['platfrom'\]"):
+            Scenario.from_dict({"name": "x", "platfrom": {}})
+
+    def test_nested_config_error_carries_dotted_path(self):
+        with pytest.raises(ScenarioError, match="scenario.platform.sim.dram"):
+            Scenario.from_dict(
+                {"name": "x", "platform": {"sim": {"dram": {"channels": -2}}}}
+            )
+
+    def test_unknown_sim_key_carries_path_and_known_keys(self):
+        with pytest.raises(ScenarioError, match="scenario.platform.sim: unknown key"):
+            Scenario.from_dict({"name": "x", "platform": {"sim": {"dram_speed": 1}}})
+
+    def test_bad_dram_model(self):
+        with pytest.raises(ScenarioError, match="platform.dram_model"):
+            Scenario.from_dict({"name": "x", "platform": {"dram_model": "quantum"}})
+
+    def test_bad_adaptation_flag(self):
+        with pytest.raises(ScenarioError, match="adaptation_enabled"):
+            Scenario.from_dict({"name": "x", "adaptation_enabled": "yes"})
+
+    def test_wrong_schema_version(self):
+        with pytest.raises(ScenarioError, match="schema_version"):
+            Scenario.from_dict({"name": "x", "schema_version": 99})
+
+    def test_unknown_workload_kind_fails_at_build_with_known_kinds(self):
+        scenario = Scenario(name="x", workload=WorkloadSpec(kind="no_such_workload"))
+        with pytest.raises(ScenarioError, match="unknown workload 'no_such_workload'"):
+            scenario.build_workload()
+
+    def test_unknown_workload_param_rejected(self):
+        scenario = Scenario(
+            name="x", workload=WorkloadSpec(kind="camcorder", params={"speed": 2})
+        )
+        with pytest.raises(ScenarioError, match=r"unknown key\(s\) \['speed'\]"):
+            scenario.build_workload()
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ScenarioError, match="invalid JSON"):
+            scenario_from_file(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ScenarioError, match="cannot read scenario file"):
+            scenario_from_file(tmp_path / "absent.json")
+
+
+class TestSettingsOverrides:
+    def test_set_nested_value_with_coercion(self):
+        scenario = get_scenario("case_b").apply_settings(
+            {"platform.sim.seed": "7", "policy": "fcfs"}
+        )
+        assert scenario.platform.sim.seed == 7
+        assert scenario.policy == "fcfs"
+
+    def test_set_unknown_path_lists_available_keys(self):
+        with pytest.raises(ScenarioError, match="no such setting"):
+            get_scenario("case_b").apply_settings({"platform.sim.warp_factor": "9"})
+
+    def test_set_can_create_workload_params(self):
+        scenario = get_scenario("case_b").apply_settings(
+            {"workload.params.traffic_scale": "0.25"}
+        )
+        assert scenario.workload.params["traffic_scale"] == 0.25
+
+    def test_set_validates_resulting_scenario(self):
+        with pytest.raises(ScenarioError, match="seed"):
+            get_scenario("case_b").apply_settings({"platform.sim.seed": "-4"})
+
+
+class TestSweepPoints:
+    def test_cartesian_product(self):
+        points = sample_scenario().sweep_points()
+        assert len(points) == 6
+        assert {"policy": "fcfs", "platform.sim.seed": 1} in points
+
+    def test_no_axes_yields_single_empty_point(self):
+        scenario = Scenario(name="flat")
+        assert scenario.sweep_points() == [{}]

@@ -39,26 +39,26 @@ SCALE = 0.3
 @pytest.fixture(scope="module")
 def priority_result():
     return run_experiment(
-        case="A", policy="priority_qos", duration_ps=SHORT, traffic_scale=SCALE
+        scenario="case_a", policy="priority_qos", duration_ps=SHORT, traffic_scale=SCALE
     )
 
 
 @pytest.fixture(scope="module")
 def fcfs_result():
     return run_experiment(
-        case="A", policy="fcfs", duration_ps=SHORT, traffic_scale=SCALE
+        scenario="case_a", policy="fcfs", duration_ps=SHORT, traffic_scale=SCALE
     )
 
 
 class TestBuildSystem:
     def test_case_a_builds_all_cores(self):
-        system = build_system(case="A", policy="priority_qos", traffic_scale=SCALE)
+        system = build_system(scenario="case_a", policy="priority_qos", traffic_scale=SCALE)
         assert len(system.cores) == 14
         assert len(system.dmas) == len(system.workload.dmas)
         assert system.adaptation_enabled is True
 
     def test_case_b_omits_inactive_cores(self):
-        system = build_system(case="B", policy="fcfs", traffic_scale=SCALE)
+        system = build_system(scenario="case_b", policy="fcfs", traffic_scale=SCALE)
         assert "camera" not in system.cores
         assert "gps" not in system.cores
         assert system.adaptation_enabled is False
@@ -66,17 +66,17 @@ class TestBuildSystem:
 
     def test_adaptation_override(self):
         system = build_system(
-            case="A", policy="fcfs", adaptation_enabled=True, traffic_scale=SCALE
+            scenario="case_a", policy="fcfs", adaptation_enabled=True, traffic_scale=SCALE
         )
         assert system.adaptation_enabled is True
 
     def test_dram_frequency_override(self):
-        system = build_system(case="A", policy="priority_qos", dram_freq_mhz=1300.0)
+        system = build_system(scenario="case_a", policy="priority_qos", dram_freq_mhz=1300.0)
         assert system.dram.config.io_freq_mhz == 1300.0
 
     def test_unknown_policy_rejected(self):
         with pytest.raises(ValueError):
-            build_system(case="A", policy="not_a_policy")
+            build_system(scenario="case_a", policy="not_a_policy")
 
 
 class TestRunExperiment:
@@ -108,7 +108,7 @@ class TestRunExperiment:
 
     def test_keep_trace_false_drops_traces(self):
         result = run_experiment(
-            case="A",
+            scenario="case_a",
             policy="fcfs",
             duration_ps=SHORT,
             traffic_scale=SCALE,
@@ -132,7 +132,7 @@ class TestRunExperiment:
 class TestSweeps:
     def test_compare_policies_returns_one_result_each(self):
         results = compare_policies(
-            ["fcfs", "priority_qos"], case="A", duration_ps=SHORT, traffic_scale=SCALE
+            ["fcfs", "priority_qos"], scenario="case_a", duration_ps=SHORT, traffic_scale=SCALE
         )
         assert set(results) == {"fcfs", "priority_qos"}
         ordering = bandwidth_ordering(results)
@@ -141,7 +141,7 @@ class TestSweeps:
     def test_frequency_sweep_slower_dram_is_not_faster(self):
         results = frequency_sweep(
             [1866.0, 1300.0],
-            case="A",
+            scenario="case_a",
             policy="priority_qos",
             duration_ps=SHORT,
             traffic_scale=SCALE,

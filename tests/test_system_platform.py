@@ -1,15 +1,13 @@
-"""Unit tests for the platform presets (Tables 1 and 2)."""
+"""Unit tests for the platform helpers (Tables 1 and 2) over the scenario catalog."""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.scenario import critical_cores_for, get_scenario, scenario_config
+from repro.scenario.errors import ScenarioError
 from repro.system.platform import (
-    CASE_A_CRITICAL_CORES,
-    CASE_B_CRITICAL_CORES,
     cluster_specs_for,
-    critical_cores_for,
-    simulation_config_for_case,
     table1_settings,
     table2_core_types,
 )
@@ -17,8 +15,8 @@ from repro.traffic.camcorder import camcorder_workload
 
 
 class TestTable1:
-    def test_case_a_frequency(self):
-        settings = table1_settings("A")
+    def test_case_a_settings(self):
+        settings = table1_settings("case_a")
         assert settings["dram_io_freq_mhz"] == 1866.0
         assert settings["memory_controller_total_entries"] == 42
         assert settings["memory_controller_transaction_queues"] == 5
@@ -30,11 +28,15 @@ class TestTable1:
         assert settings["timing_trrd_tfaw"] == (19, 75)
 
     def test_case_b_frequency(self):
-        assert table1_settings("B")["dram_io_freq_mhz"] == 1700.0
+        assert table1_settings("case_b")["dram_io_freq_mhz"] == 1700.0
 
-    def test_unknown_case_rejected(self):
-        with pytest.raises(ValueError):
-            table1_settings("Z")
+    def test_paper_case_letters_accepted(self):
+        assert table1_settings("A")["scenario"] == "case_a"
+        assert table1_settings("b")["scenario"] == "case_b"
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ScenarioError):
+            table1_settings("case_z")
 
 
 class TestTable2:
@@ -48,14 +50,14 @@ class TestTable2:
         assert len(types) == 14
 
 
-class TestSimulationConfigForCase:
-    def test_case_sets_dram_frequency(self):
-        assert simulation_config_for_case("A").dram.io_freq_mhz == 1866.0
-        assert simulation_config_for_case("B").dram.io_freq_mhz == 1700.0
+class TestScenarioConfig:
+    def test_cases_set_dram_frequency(self):
+        assert scenario_config("case_a").dram.io_freq_mhz == 1866.0
+        assert scenario_config("case_b").dram.io_freq_mhz == 1700.0
 
-    def test_unknown_case_rejected(self):
-        with pytest.raises(ValueError):
-            simulation_config_for_case("X")
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ScenarioError):
+            scenario_config("case_x")
 
 
 class TestClusters:
@@ -72,14 +74,34 @@ class TestClusters:
         members = [core for spec in specs for core in spec.members]
         assert "camera" not in members
 
+    def test_link_widths_come_from_platform_spec(self):
+        scenario = get_scenario("case_a")
+        workload = scenario.build_workload()
+        specs = cluster_specs_for(
+            workload,
+            scenario.platform.cluster_links_bytes_per_ns,
+            scenario.platform.default_cluster_link_bytes_per_ns,
+        )
+        widths = {spec.name: spec.link_bytes_per_ns for spec in specs}
+        assert widths == {"media": 16.0, "compute": 16.0, "system": 2.0}
+
+    def test_unlisted_cluster_falls_back_to_default(self):
+        workload = camcorder_workload("A")
+        specs = cluster_specs_for(workload, {"media": 16.0}, default_link_bytes_per_ns=3.5)
+        widths = {spec.name: spec.link_bytes_per_ns for spec in specs}
+        assert widths["media"] == 16.0
+        assert widths["system"] == 3.5
+
 
 class TestCriticalCores:
     def test_case_lists(self):
-        assert critical_cores_for("A") == CASE_A_CRITICAL_CORES
-        assert critical_cores_for("b") == CASE_B_CRITICAL_CORES
-        assert "display" in CASE_A_CRITICAL_CORES
-        assert "dsp" in CASE_B_CRITICAL_CORES
+        case_a = critical_cores_for("case_a")
+        case_b = critical_cores_for("case_b")
+        assert "display" in case_a
+        assert "gps" in case_a and "gps" not in case_b
+        assert "dsp" in case_b
+        assert len(case_a) == 8 and len(case_b) == 6
 
-    def test_unknown_case_rejected(self):
-        with pytest.raises(ValueError):
-            critical_cores_for("Z")
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ScenarioError):
+            critical_cores_for("case_z")
