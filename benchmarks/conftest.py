@@ -23,12 +23,13 @@ Every test collected from this directory is marked ``slow``; the default
 
 from __future__ import annotations
 
+import atexit
 import os
 from typing import Dict, List, Optional
 
 import pytest
 
-from repro.runner import ResultCache, RunSpec, run_sweep
+from repro.runner import ResultCache, RunSpec, WorkerPool, run_sweep
 from repro.sim.clock import MS
 from repro.sim.config import SimulationConfig
 from repro.system.experiment import ExperimentResult
@@ -48,6 +49,14 @@ _DISK_CACHE: Optional[ResultCache] = (
 _RESULT_CACHE: Dict[str, ExperimentResult] = {}
 _SESSION_STATS = {"runs": 0, "memory_hits": 0, "disk_hits": 0, "executed": 0}
 
+# One warm worker pool for the whole pytest session: the first cold sweep
+# pays the spawn cost (workers import the simulator stack in their
+# initializer), every later figure module reuses the same workers.  The pool
+# starts lazily inside run_sweep, so a fully cached session never spawns.
+_POOL: Optional[WorkerPool] = WorkerPool(BENCH_JOBS) if BENCH_JOBS > 1 else None
+if _POOL is not None:
+    atexit.register(_POOL.close)
+
 
 def cached_sweep(specs: List[RunSpec]) -> List[ExperimentResult]:
     """Resolve a grid of runs through the session (and optional disk) cache."""
@@ -58,7 +67,10 @@ def cached_sweep(specs: List[RunSpec]) -> List[ExperimentResult]:
     if cold:
         disk_hits_before = _DISK_CACHE.hits if _DISK_CACHE is not None else 0
         results, stats = run_sweep(
-            [spec for spec, _ in cold], jobs=BENCH_JOBS, cache=_DISK_CACHE
+            [spec for spec, _ in cold],
+            jobs=BENCH_JOBS,
+            cache=_DISK_CACHE,
+            pool=_POOL,
         )
         for (spec, key), result in zip(cold, results):
             _RESULT_CACHE[key] = result

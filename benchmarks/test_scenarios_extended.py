@@ -1,0 +1,184 @@
+"""Benchmark-tier shape checks for the non-paper scenarios.
+
+The bundled scenarios beyond the paper's two camcorder cases
+(``ar_glasses``, ``manycore_streaming``, ``latency_bandwidth_stress``) only
+had smoke coverage: the CI scenario job runs each for one simulated
+millisecond and checks nothing about the outcome.  These tests graduate them
+to the same treatment as the paper figures — full-contention runs through
+the session-cached sweep harness, with assertions on the qualitative shape
+each scenario was designed to exhibit:
+
+* ``ar_glasses`` — only the priority-based policies deliver the 90 fps
+  burst *and* the latency-critical hand-tracking DSP; FCFS and the
+  frame-rate baseline starve the DSP dramatically.
+* ``manycore_streaming`` — delivered bandwidth scales linearly with the
+  number of streaming engines, every engine holds its target, and the
+  scenario stays uncontended enough that policies agree.
+* ``latency_bandwidth_stress`` — adding bandwidth hogs degrades the
+  latency-critical DSP monotonically under FCFS but never under the
+  priority policy; the hogs themselves share the leftover fairly.
+
+Simulations are deterministic (seeded), so the shapes reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import cached_sweep
+from repro.runner import RunSpec
+from repro.scenario import critical_cores_for
+from repro.sim.clock import MS
+
+#: Simulated window for the stress scenarios (the contended phase is fully
+#: developed well before this); ``ar_glasses`` uses its native 11 ms frame.
+STRESS_DURATION_PS = 8 * MS
+
+AR_POLICIES = ["fcfs", "frame_rate_qos", "priority_qos", "priority_rowbuffer"]
+LBS_POLICIES = ["fcfs", "fr_fcfs", "priority_qos", "priority_rowbuffer"]
+STREAM_COUNTS = [4, 8, 12, 16]
+HOG_COUNTS = [2, 3, 4]
+
+
+def _ar_spec(policy: str) -> RunSpec:
+    return RunSpec(scenario="ar_glasses", policy=policy, keep_trace=False, label=policy)
+
+
+def _manycore_spec(policy: str, streams: int) -> RunSpec:
+    return RunSpec(
+        scenario="manycore_streaming",
+        policy=policy,
+        duration_ps=STRESS_DURATION_PS,
+        settings=(("workload.params.streams", streams),),
+        keep_trace=False,
+        label=f"{policy}/streams{streams}",
+    )
+
+
+def _lbs_spec(policy: str, hogs: int = 3) -> RunSpec:
+    return RunSpec(
+        scenario="latency_bandwidth_stress",
+        policy=policy,
+        duration_ps=STRESS_DURATION_PS,
+        settings=(("workload.params.hogs", hogs),),
+        keep_trace=False,
+        label=f"{policy}/hogs{hogs}",
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _prefetch_grids():
+    """Batch every run of this module through one sweep (warm-pool friendly)."""
+    cached_sweep(
+        [_ar_spec(policy) for policy in AR_POLICIES]
+        + [_manycore_spec(policy, 12) for policy in ("round_robin", "priority_qos")]
+        + [_manycore_spec("priority_qos", streams) for streams in STREAM_COUNTS]
+        + [_lbs_spec(policy, hogs) for policy in ("fcfs", "priority_qos") for hogs in HOG_COUNTS]
+        + [_lbs_spec(policy) for policy in LBS_POLICIES]
+    )
+
+
+class TestArGlasses:
+    """90 fps AR burst: priority policies carry the latency-critical DSP."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return dict(zip(AR_POLICIES, cached_sweep([_ar_spec(p) for p in AR_POLICIES])))
+
+    def test_priority_policies_meet_every_target(self, results):
+        for policy in ("priority_qos", "priority_rowbuffer"):
+            assert results[policy].failing_cores() == [], policy
+        # The hand-tracking DSP has real headroom, not a marginal pass.
+        assert results["priority_qos"].min_core_npi["dsp"] >= 2.0
+
+    def test_baselines_starve_the_hand_tracking_dsp(self, results):
+        for policy in ("fcfs", "frame_rate_qos"):
+            assert results[policy].min_core_npi["dsp"] < 0.5, policy
+
+    def test_frame_rate_cores_hold_under_every_policy(self, results):
+        # The 90 fps pipeline itself (cameras through display) is never the
+        # victim — the scenario isolates the DSP as the discriminating core.
+        for policy, result in results.items():
+            for core in ("camera", "image_processor", "gpu", "display"):
+                assert result.min_core_npi[core] >= 1.0, (policy, core)
+
+    def test_offered_bandwidth_is_policy_invariant(self, results):
+        bandwidths = [r.dram_bandwidth_gb_per_s() for r in results.values()]
+        assert max(bandwidths) <= 1.05 * min(bandwidths)
+
+
+class TestManycoreStreaming:
+    """Bandwidth scales linearly with engines; targets hold; policies agree."""
+
+    def test_bandwidth_scales_linearly_with_streams(self):
+        sweep = dict(
+            zip(
+                STREAM_COUNTS,
+                cached_sweep([_manycore_spec("priority_qos", s) for s in STREAM_COUNTS]),
+            )
+        )
+        bandwidths = [sweep[s].dram_bandwidth_gb_per_s() for s in STREAM_COUNTS]
+        assert bandwidths == sorted(bandwidths)
+        for lo, hi in zip(STREAM_COUNTS, STREAM_COUNTS[1:]):
+            per_stream = (
+                sweep[hi].dram_bandwidth_gb_per_s() - sweep[lo].dram_bandwidth_gb_per_s()
+            ) / (hi - lo)
+            # Each engine offers 700 MB/s (x1.05 constant-rate prefetch).
+            assert 0.6 <= per_stream <= 0.9, per_stream
+        for streams, result in sweep.items():
+            assert result.failing_cores() == [], streams
+
+    def test_uncontended_grid_is_policy_agnostic(self):
+        round_robin, priority = cached_sweep(
+            [_manycore_spec(policy, 12) for policy in ("round_robin", "priority_qos")]
+        )
+        assert round_robin.failing_cores() == []
+        assert priority.failing_cores() == []
+        for core in critical_cores_for("manycore_streaming"):
+            assert round_robin.min_core_npi[core] >= 1.0
+            assert priority.min_core_npi[core] >= 1.0
+        assert round_robin.dram_bandwidth_gb_per_s() == pytest.approx(
+            priority.dram_bandwidth_gb_per_s(), rel=0.02
+        )
+
+
+class TestLatencyBandwidthStress:
+    """Hogs sink FCFS's DSP monotonically; the priority policy never yields."""
+
+    @pytest.fixture(scope="class")
+    def by_policy(self):
+        return dict(zip(LBS_POLICIES, cached_sweep([_lbs_spec(p) for p in LBS_POLICIES])))
+
+    def test_priority_policies_protect_all_latency_cores(self, by_policy):
+        for policy in ("priority_qos", "priority_rowbuffer"):
+            result = by_policy[policy]
+            assert result.failing_cores() == [], policy
+            for core in critical_cores_for("latency_bandwidth_stress"):
+                assert result.min_core_npi[core] >= 1.0, (policy, core)
+
+    def test_fcfs_family_fails_the_dsp(self, by_policy):
+        for policy in ("fcfs", "fr_fcfs"):
+            assert by_policy[policy].failing_cores() == ["dsp"], policy
+            assert by_policy[policy].min_core_npi["dsp"] < 0.6, policy
+
+    def test_added_hogs_degrade_fcfs_dsp_monotonically(self):
+        fcfs = dict(
+            zip(HOG_COUNTS, cached_sweep([_lbs_spec("fcfs", h) for h in HOG_COUNTS]))
+        )
+        dsp = [fcfs[h].min_core_npi["dsp"] for h in HOG_COUNTS]
+        assert dsp[0] > dsp[1] > dsp[2]
+        assert dsp[-1] < 0.5
+
+    def test_priority_qos_holds_targets_at_every_hog_count(self):
+        priority = dict(
+            zip(
+                HOG_COUNTS,
+                cached_sweep([_lbs_spec("priority_qos", h) for h in HOG_COUNTS]),
+            )
+        )
+        for hogs, result in priority.items():
+            assert result.failing_cores() == [], hogs
+            assert result.min_core_npi["dsp"] >= 1.0
+        # More hogs split the leftover bandwidth: the per-hog share shrinks.
+        gpu = [priority[h].min_core_npi["gpu"] for h in HOG_COUNTS]
+        assert gpu[0] > gpu[1] > gpu[2]

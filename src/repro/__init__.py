@@ -14,9 +14,11 @@ public API is intentionally small:
   :func:`repro.frequency_sweep` — the experiment runners behind every table
   and figure of the paper's evaluation.
 * :class:`repro.RunSpec`, :func:`repro.run_sweep`,
-  :func:`repro.sweep_compare_policies`, :func:`repro.sweep_frequencies` —
-  the sweep orchestrator: the same experiments fanned out across worker
-  processes with an on-disk result cache (see docs/running_experiments.md).
+  :class:`repro.WorkerPool`, :func:`repro.sweep_compare_policies`,
+  :func:`repro.sweep_frequencies` — the sweep orchestrator: the same
+  experiments fanned out in cost-balanced batches across a persistent warm
+  worker pool, with an on-disk result cache and per-phase timing
+  (see docs/running_experiments.md).
 * :mod:`repro.core` — the SARA contribution itself: NPI performance meters,
   the NPI-to-priority look-up table and the adaptation framework.
 
@@ -46,6 +48,7 @@ from repro.runner import (
     ResultCache,
     RunSpec,
     SweepStats,
+    WorkerPool,
     run_sweep,
     sweep_compare_policies,
     sweep_frequencies,
@@ -100,6 +103,7 @@ __all__ = [
     "SimulationConfig",
     "SweepStats",
     "System",
+    "WorkerPool",
     "__version__",
     "available_scenarios",
     "build_system",

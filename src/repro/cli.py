@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from typing import List, Optional, Sequence
 
 from repro.analysis.figures import export_csv, fig7_rows, min_npi_rows
@@ -47,7 +48,12 @@ from repro.dvfs.experiment import run_with_governor
 from repro.dvfs.governor import available_governors, make_governor
 from repro.memctrl.policies import available_policies
 from repro.power import estimate_system_energy, format_energy_report
-from repro.runner import sweep_compare_policies, sweep_frequencies, sweep_scenario
+from repro.runner import (
+    WorkerPool,
+    sweep_compare_policies,
+    sweep_frequencies,
+    sweep_scenario,
+)
 from repro.scenario import (
     ScenarioError,
     available_scenarios,
@@ -231,6 +237,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+@contextmanager
+def _sweep_pool(args: argparse.Namespace):
+    """A warm worker pool for the multi-run commands (None when jobs=1).
+
+    One CLI invocation may fan several sweeps through the orchestrator (and
+    future campaign-style commands will chain them); creating the pool here,
+    once, means every sweep of the invocation shares a single spawn cost.
+    """
+    if args.jobs == 1:
+        yield None
+        return
+    with WorkerPool(args.jobs, plugin_modules=args.plugin_modules) as pool:
+        yield pool
+
+
 def _parse_settings(pairs: Sequence[str]) -> List[tuple]:
     settings = []
     for pair in pairs:
@@ -363,15 +384,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     for policy in policies:
         _check_policy(policy)
     duration_ps = int(args.duration_ms * MS)
-    results, stats = sweep_compare_policies(
-        policies,
-        scenario=scenario,
-        duration_ps=duration_ps,
-        traffic_scale=args.traffic_scale,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        plugin_modules=args.plugin_modules,
-    )
+    with _sweep_pool(args) as pool:
+        results, stats = sweep_compare_policies(
+            policies,
+            scenario=scenario,
+            duration_ps=duration_ps,
+            traffic_scale=args.traffic_scale,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            pool=pool,
+            plugin_modules=args.plugin_modules,
+        )
     print(stats.summary())
     critical = critical_cores_for(scenario)
     print(f"Minimum NPI per critical core (scenario {scenario.name})")
@@ -402,16 +425,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         axis = scenario.sweep.get("platform.sim.dram.io_freq_mhz")
         frequencies = [float(f) for f in axis] if axis else list(FIG7_FREQUENCIES)
     duration_ps = int(args.duration_ms * MS)
-    sweep, stats = sweep_frequencies(
-        frequencies,
-        scenario=scenario,
-        policy=args.policy,
-        duration_ps=duration_ps,
-        traffic_scale=args.traffic_scale,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        plugin_modules=args.plugin_modules,
-    )
+    with _sweep_pool(args) as pool:
+        sweep, stats = sweep_frequencies(
+            frequencies,
+            scenario=scenario,
+            policy=args.policy,
+            duration_ps=duration_ps,
+            traffic_scale=args.traffic_scale,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            pool=pool,
+            plugin_modules=args.plugin_modules,
+        )
     print(stats.summary())
     table = priority_distribution_table(sweep, args.dma)
     print(f"Fig. 7 — priority-level residency of {args.dma}")
@@ -428,14 +453,16 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         print(f"scenario '{scenario.name}' declares no sweep axes")
         return 1
     duration_ps = int(args.duration_ms * MS)
-    results, stats = sweep_scenario(
-        scenario,
-        duration_ps=duration_ps,
-        traffic_scale=args.traffic_scale,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        plugin_modules=args.plugin_modules,
-    )
+    with _sweep_pool(args) as pool:
+        results, stats = sweep_scenario(
+            scenario,
+            duration_ps=duration_ps,
+            traffic_scale=args.traffic_scale,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            pool=pool,
+            plugin_modules=args.plugin_modules,
+        )
     print(stats.summary())
     print(f"Grid over {scenario.name}'s declared axes ({len(results)} points)")
     width = max(len(label) for label in results)

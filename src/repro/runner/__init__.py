@@ -20,6 +20,7 @@ siblings.
 """
 
 from repro.runner.cache import CACHE_SCHEMA_VERSION, ResultCache, cache_key
+from repro.runner.pool import WorkerPool, estimate_cost, plan_batches
 from repro.runner.sweep import (
     AblationGrid,
     RunSpec,
@@ -39,9 +40,12 @@ __all__ = [
     "ResultCache",
     "RunSpec",
     "SweepStats",
+    "WorkerPool",
     "cache_key",
     "compare_policies_specs",
+    "estimate_cost",
     "frequency_sweep_specs",
+    "plan_batches",
     "run_sweep",
     "scenario_grid_specs",
     "sweep_compare_policies",

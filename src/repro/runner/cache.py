@@ -24,6 +24,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -61,8 +62,11 @@ def cache_key(fingerprint: Dict[str, object]) -> str:
 class ResultCache:
     """A directory of serialized :class:`ExperimentResult` files.
 
-    The cache counts its own hits, misses and stores so sweeps can report
-    how much work they skipped.
+    The cache counts its own hits, misses and stores, and accumulates the
+    wall-clock it spends deserializing (``read_s``) and serializing
+    (``write_s``) entries, so sweeps can report both how much work they
+    skipped and what the skipping itself cost (the orchestrator surfaces the
+    sum as ``SweepStats.serialize_s``).
     """
 
     def __init__(self, directory: PathLike) -> None:
@@ -70,6 +74,13 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.read_s = 0.0
+        self.write_s = 0.0
+
+    @property
+    def io_s(self) -> float:
+        """Total wall-clock this cache has spent on entry (de)serialization."""
+        return self.read_s + self.write_s
 
     def path_for(self, key: str) -> Path:
         """Location of the entry for ``key`` (whether or not it exists)."""
@@ -81,11 +92,15 @@ class ResultCache:
     def get(self, key: str) -> Optional[ExperimentResult]:
         """Load a cached result, or ``None`` on a miss or unreadable entry."""
         path = self.path_for(key)
+        began = time.perf_counter()
         try:
             data = json.loads(path.read_text())
         except (OSError, ValueError):
             self.misses += 1
             return None
+        finally:
+            self.read_s += time.perf_counter() - began
+        began = time.perf_counter()
         try:
             result = experiment_result_from_dict(data["result"])
         except (KeyError, TypeError, ValueError):
@@ -93,6 +108,8 @@ class ResultCache:
             # run will overwrite it.
             self.misses += 1
             return None
+        finally:
+            self.read_s += time.perf_counter() - began
         self.hits += 1
         return result
 
@@ -104,6 +121,7 @@ class ResultCache:
         half-written JSON file behind.
         """
         path = self.path_for(key)
+        began = time.perf_counter()
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "key": key,
@@ -121,6 +139,8 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        finally:
+            self.write_s += time.perf_counter() - began
         self.stores += 1
         return path
 

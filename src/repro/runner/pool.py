@@ -1,0 +1,220 @@
+"""The warm worker pool: persistent spawn workers and batched dispatch plans.
+
+Every ``run_sweep`` call used to build a fresh ``spawn`` pool, so a campaign
+of several sweeps (the CLI's ``grid`` command, the benchmark harness, a
+notebook iterating on a figure) paid interpreter start-up plus the full
+``repro`` import once per sweep *per worker*.  :class:`WorkerPool` makes the
+pool a first-class, reusable object: start it once (lazily, on first use),
+hand it to as many ``run_sweep`` calls as you like, and the spawn cost — a
+second or so for four workers importing the simulator stack — is paid exactly
+once.  The pool is a context manager, so the common shape is::
+
+    with WorkerPool(jobs=4) as pool:
+        a, _ = run_sweep(grid_a, pool=pool)
+        b, _ = run_sweep(grid_b, pool=pool)   # no second spawn
+
+Workers import the whole simulator stack and every declared plugin module in
+their initializer, so per-spec work inside a worker is just "resolve, build,
+simulate" — no import-system round trips on the hot path.
+
+This module also plans *batched dispatch*: instead of one IPC round trip per
+spec (painful for grids of very short runs), specs are grouped into
+contiguous chunks sized by :func:`estimate_cost` — simulated duration times
+the number of active DMA agents, the two knobs that dominate event count —
+so each worker message carries roughly equal simulated work and the sweep
+still load-balances when one grid point is far heavier than the rest.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.scenario import load_plugins
+
+T = TypeVar("T")
+
+#: Batches per worker the dispatch planner aims for.  More than one batch per
+#: worker keeps the pool load-balanced when batch costs are only estimates;
+#: each extra batch costs one more IPC round trip.
+OVERSUBSCRIBE = 4
+
+#: Fallback agent count when a workload cannot be built in the parent (e.g. a
+#: workload kind only registered inside workers via plugin modules).
+DEFAULT_AGENT_ESTIMATE = 8
+
+
+#: How long :meth:`WorkerPool.start` waits for every worker to finish its
+#: initializer before giving up on the readiness handshake.  A worker that
+#: dies during start-up surfaces through the pool's own error handling; the
+#: handshake only exists so start-up cost is *measured* in
+#: ``pool_startup_s`` rather than leaking into the first batch.
+STARTUP_TIMEOUT_S = 120.0
+
+
+def _worker_init(plugin_modules: Tuple[str, ...], ready: Any) -> None:
+    """Per-worker one-time setup: import the simulator stack and plugins.
+
+    Runs in the worker process right after spawn.  Importing
+    ``repro.runner.sweep`` here pulls in the scenario, system and engine
+    modules, so the import cost lands in pool start-up (measured as
+    ``SweepStats.pool_startup_s``) instead of silently inflating the first
+    batch; plugin imports run once per process instead of once per spec.
+    Releasing the semaphore signals the parent's :meth:`WorkerPool.start`,
+    which blocks until every worker is actually ready — release never
+    blocks, so a worker respawned mid-campaign just signals into the void
+    and starts serving batches immediately.
+    """
+    try:
+        import repro.runner.sweep  # noqa: F401  (imports the full simulator stack)
+
+        load_plugins(plugin_modules)
+    except Exception:
+        # Raising from an initializer would make the pool respawn workers in
+        # a crash loop (and, because the replacement would also crash, hang
+        # the parent).  A failed import is not cached in sys.modules, so the
+        # import retries when the first batch runs and the real error
+        # surfaces as an ordinary task failure with the actionable message.
+        pass
+    finally:
+        ready.release()
+
+
+class WorkerPool:
+    """A persistent ``spawn`` worker pool, reusable across sweeps.
+
+    The pool starts lazily: constructing one is free, and the first
+    ``run_sweep`` (or an explicit :meth:`start`) pays the spawn cost.
+    ``plugin_modules`` are imported once per worker at start-up; sweeps whose
+    specs declare *additional* plugin modules still work — workers import
+    those on first use through the idempotent-fast
+    :func:`~repro.scenario.load_plugins`.
+    """
+
+    def __init__(self, jobs: int, plugin_modules: Sequence[str] = ()) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.plugin_modules = tuple(dict.fromkeys(plugin_modules))
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        #: Wall-clock cost of the most recent :meth:`start`.
+        self.startup_s = 0.0
+        #: How many times this pool has actually spawned workers.
+        self.starts = 0
+
+    @property
+    def started(self) -> bool:
+        return self._pool is not None
+
+    def start(self) -> float:
+        """Spawn the workers if needed; returns the start-up cost just paid.
+
+        Returns ``0.0`` when the pool is already warm — callers can therefore
+        unconditionally add the return value to their ``pool_startup_s``.
+        """
+        if self._pool is not None:
+            return 0.0
+        began = time.perf_counter()
+        context = multiprocessing.get_context("spawn")
+        # Readiness handshake: every worker releases once from its
+        # initializer and the parent acquires jobs times, so start() returns
+        # only when all workers have imported the simulator stack and the
+        # spawn cost is fully attributed here instead of bleeding into the
+        # first dispatched batch.  (A semaphore, not a barrier: release
+        # never blocks, so a worker respawned later cannot stall on a
+        # handshake nobody else is attending.)
+        ready = context.Semaphore(0)
+        self._pool = context.Pool(
+            processes=self.jobs,
+            initializer=_worker_init,
+            initargs=(self.plugin_modules, ready),
+        )
+        deadline = time.monotonic() + STARTUP_TIMEOUT_S
+        for _ in range(self.jobs):
+            if not ready.acquire(timeout=max(0.0, deadline - time.monotonic())):
+                break  # pragma: no cover - degraded: cost lands in batch 1
+        self.startup_s = time.perf_counter() - began
+        self.starts += 1
+        return self.startup_s
+
+    def imap_unordered(
+        self, function: Callable[[T], Any], iterable: Iterable[T]
+    ) -> Iterable[Any]:
+        """Stream ``function`` over ``iterable``, yielding results as they land.
+
+        Completion order is arbitrary — callers must carry their own indices
+        (the sweep's batched dispatch does) — which is exactly what lets cache
+        writes and progress reporting overlap the remaining execution.
+        """
+        self.start()
+        assert self._pool is not None
+        return self._pool.imap_unordered(function, iterable)
+
+    def close(self) -> None:
+        """Terminate the workers.  The pool can be started again later."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------- #
+# Batched dispatch planning
+# --------------------------------------------------------------------------- #
+def estimate_cost(spec: Any) -> float:
+    """Estimated execution cost of one run spec (arbitrary relative units).
+
+    Event count — and therefore wall time — scales with how long the
+    simulation runs and how many DMA agents generate traffic, so the
+    heuristic is ``simulated duration x active agents``.  The agent count
+    comes from the resolved scenario's workload spec list, which is plain
+    data and cheap to build; a workload that cannot be built in this process
+    (a worker-only plugin registration) falls back to a fixed estimate
+    rather than failing the plan.
+    """
+    scenario = spec.resolved_scenario()
+    duration_ps = max(1, scenario.platform.sim.duration_ps)
+    try:
+        agents = len(scenario.build_workload().dmas)
+    except Exception:
+        agents = DEFAULT_AGENT_ESTIMATE
+    return float(duration_ps) * max(1, agents)
+
+
+def plan_batches(
+    costed_items: Sequence[Tuple[T, float]],
+    jobs: int,
+    oversubscribe: int = OVERSUBSCRIBE,
+) -> List[List[T]]:
+    """Group items into contiguous batches of roughly equal estimated cost.
+
+    Aims for about ``jobs x oversubscribe`` batches: enough slack that the
+    pool stays balanced when estimates are off, few enough that IPC stays a
+    rounding error.  Order within and across batches follows the input, so a
+    dispatch plan is deterministic for a given grid.  An item costlier than
+    the target gets a batch of its own; a grid of uniform short runs packs
+    many specs per message.
+    """
+    if not costed_items:
+        return []
+    total = sum(cost for _, cost in costed_items)
+    target = total / max(1, jobs * oversubscribe)
+    batches: List[List[T]] = []
+    current: List[T] = []
+    current_cost = 0.0
+    for item, cost in costed_items:
+        if current and current_cost + cost > target:
+            batches.append(current)
+            current, current_cost = [], 0.0
+        current.append(item)
+        current_cost += cost
+    if current:
+        batches.append(current)
+    return batches

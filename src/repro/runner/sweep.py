@@ -13,28 +13,43 @@ resolved, serialized scenario.  A grid over *platforms and workloads* (not
 just numeric knobs) therefore flows through :func:`run_sweep` and its cache
 unchanged: one spec per scenario file is all it takes.
 
+Parallel execution goes through a :class:`~repro.runner.pool.WorkerPool`:
+either one the caller owns (warm — started once, shared by many sweeps) or
+an ephemeral one this call spawns and tears down.  Cold specs are grouped
+into contiguous batches of roughly equal estimated cost (simulated duration
+times active agents), each batch is one IPC round trip, and finished batches
+stream back via ``imap_unordered`` so cache writes and progress reporting
+overlap the remaining execution.  :class:`SweepStats` splits the sweep's wall
+time into measured phases (resolve / build / simulate / serialize / pool
+start-up) so a regression is attributable to the phase that caused it.
+
 Custom policies, workloads and traffic models registered at runtime survive
 parallel sweeps through the plugin hook: ``RunSpec.plugin_modules`` names the
 modules whose import performs the registrations, and every spawn worker
-imports them before executing its spec.
+imports them once, in its initializer.
 
 Determinism: a run's randomness is derived entirely from its scenario's
 seed, and each worker builds its simulation from scratch from the pickled
-spec, so a parallel sweep is bit-identical to running the same specs
-sequentially in one process (``tests/test_runner_sweep.py`` asserts this).
+spec, so a parallel sweep — batched or not, warm pool or cold — is
+bit-identical to running the same specs sequentially in one process
+(``tests/test_runner_sweep.py`` asserts this).
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
-from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.runner.cache import ResultCache, cache_key
+from repro.runner.pool import WorkerPool, estimate_cost, plan_batches
 from repro.scenario import Scenario, get_scenario, load_plugins, resolve_scenario
 from repro.sim.config import SimulationConfig
-from repro.system.experiment import ExperimentResult, run_experiment
+from repro.system.experiment import (
+    ExperimentResult,
+    RunTimings,
+    run_experiment_timed,
+)
 
 
 @dataclass(frozen=True)
@@ -65,19 +80,33 @@ class RunSpec:
     plugin_modules: Tuple[str, ...] = ()
 
     def resolved_scenario(self) -> Scenario:
-        """The fully resolved scenario this spec will simulate."""
-        return resolve_scenario(
-            self.scenario,
-            policy=self.policy,
-            config=self.config,
-            duration_ps=self.duration_ps,
-            seed=self.seed,
-            traffic_scale=self.traffic_scale,
-            adaptation_enabled=self.adaptation_enabled,
-            dram_freq_mhz=self.dram_freq_mhz,
-            dram_model=self.dram_model,
-            settings=self.settings,
-        )
+        """The fully resolved scenario this spec will simulate (memoized).
+
+        Resolution is pure — a deterministic function of the spec's frozen
+        fields — and every consumer (``key()``, ``display_label()``, the
+        execution itself) needs the same answer, so the first call caches the
+        result on the instance (``object.__setattr__``: the dataclass is
+        frozen, but the cache is not a field and never participates in
+        equality or hashing).  The cache rides along in the pickle, so a
+        worker process inherits the parent's resolution instead of redoing
+        it.
+        """
+        cached = self.__dict__.get("_resolved")
+        if cached is None:
+            cached = resolve_scenario(
+                self.scenario,
+                policy=self.policy,
+                config=self.config,
+                duration_ps=self.duration_ps,
+                seed=self.seed,
+                traffic_scale=self.traffic_scale,
+                adaptation_enabled=self.adaptation_enabled,
+                dram_freq_mhz=self.dram_freq_mhz,
+                dram_model=self.dram_model,
+                settings=self.settings,
+            )
+            object.__setattr__(self, "_resolved", cached)
+        return cached
 
     def fingerprint(self) -> Dict[str, object]:
         """Everything that can influence this spec's result, as plain JSON.
@@ -104,18 +133,53 @@ class RunSpec:
 
 @dataclass
 class SweepStats:
-    """What a sweep did: how many points ran, how many the cache served."""
+    """What a sweep did, and where its time went.
+
+    Counters (``total`` / ``cache_hits`` / ``executed`` / ``batches``) say
+    how much work ran; the ``*_s`` phase fields say where the wall clock
+    went, so a perf regression is attributable to one phase:
+
+    * ``resolve_s`` — scenario resolution and cache-key hashing (parent
+      process, plus any residual resolution inside workers).
+    * ``build_s`` / ``sim_s`` — system construction and the simulation runs
+      themselves.  Summed *across* workers, so with ``jobs > 1`` these can
+      legitimately exceed ``elapsed_s``.
+    * ``serialize_s`` — result-cache reads and writes in the parent.
+    * ``pool_startup_s`` — spawn cost paid by *this* sweep.  Zero when a
+      warm :class:`~repro.runner.pool.WorkerPool` was handed in, which is
+      the whole point of keeping one.
+    """
 
     total: int = 0
     cache_hits: int = 0
     executed: int = 0
     jobs: int = 1
+    batches: int = 0
     elapsed_s: float = 0.0
+    resolve_s: float = 0.0
+    build_s: float = 0.0
+    sim_s: float = 0.0
+    serialize_s: float = 0.0
+    pool_startup_s: float = 0.0
     cache_dir: Optional[str] = None
 
     @property
     def hit_rate(self) -> float:
         return self.cache_hits / self.total if self.total else 0.0
+
+    def add_timings(self, timings: RunTimings) -> None:
+        """Fold one run's phase breakdown into the sweep totals."""
+        self.resolve_s += timings.resolve_s
+        self.build_s += timings.build_s
+        self.sim_s += timings.sim_s
+
+    def phases(self) -> Dict[str, float]:
+        """The measured phases as a name -> seconds mapping (for reports)."""
+        return {
+            f.name[: -len("_s")]: getattr(self, f.name)
+            for f in fields(self)
+            if f.name.endswith("_s") and f.name != "elapsed_s"
+        }
 
     def summary(self) -> str:
         """One-line human-readable summary for CLI / script output."""
@@ -126,25 +190,54 @@ class SweepStats:
             f"jobs={self.jobs}",
             f"{self.elapsed_s:.2f}s",
         ]
+        phase_parts = [
+            f"{name} {seconds:.2f}s"
+            for name, seconds in self.phases().items()
+            if seconds >= 0.005
+        ]
+        if phase_parts:
+            parts.append("[" + ", ".join(phase_parts) + "]")
         if self.cache_dir:
             parts.append(f"cache={self.cache_dir}")
         return "sweep: " + ", ".join(parts)
 
 
 def _execute_spec(spec: RunSpec) -> ExperimentResult:
-    """Run one spec in the current process (also the worker entry point).
+    """Run one spec in the current process (timings discarded).
 
-    Plugin modules are imported first so that registrations (policies,
-    workloads, traffic models, scenarios) exist in this process — which is
-    what makes runtime registrations visible inside ``spawn`` workers.  The
-    resolved scenario already carries every override, so
-    :func:`run_experiment` is called with the scenario alone.
+    Plugin modules are loaded first so that registrations (policies,
+    workloads, traffic models, scenarios) exist in this process; the call is
+    a few dictionary lookups when the modules are already imported.
+    Execution goes through :func:`run_experiment_timed` — the same path the
+    sweep's sequential and batched modes use — so this convenience wrapper
+    cannot drift from what sweeps actually run.
     """
     load_plugins(spec.plugin_modules)
-    return run_experiment(
-        scenario=spec.resolved_scenario(),
-        keep_trace=spec.keep_trace,
+    result, _ = run_experiment_timed(
+        spec.resolved_scenario(), keep_trace=spec.keep_trace
     )
+    return result
+
+
+def _execute_batch(
+    batch: List[Tuple[int, RunSpec]],
+) -> List[Tuple[int, ExperimentResult, RunTimings]]:
+    """Worker entry point: run one batch of (cold-index, spec) pairs.
+
+    One batch is one IPC round trip.  Per-spec plugin loading stays for
+    correctness — a spec may declare modules the pool initializer did not
+    know about — but is effectively free: the initializer already imported
+    the declared set, and :func:`load_plugins` skips anything in
+    ``sys.modules``.
+    """
+    executed: List[Tuple[int, ExperimentResult, RunTimings]] = []
+    for position, spec in batch:
+        load_plugins(spec.plugin_modules)
+        result, timings = run_experiment_timed(
+            spec.resolved_scenario(), keep_trace=spec.keep_trace
+        )
+        executed.append((position, result, timings))
+    return executed
 
 
 def run_sweep(
@@ -152,6 +245,9 @@ def run_sweep(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     cache_dir: Optional[str] = None,
+    pool: Optional[WorkerPool] = None,
+    batching: bool = True,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> Tuple[List[ExperimentResult], SweepStats]:
     """Execute a sweep, reusing cached points and parallelising the rest.
 
@@ -161,10 +257,24 @@ def run_sweep(
         The grid points, in the order results should be returned.
     jobs:
         Worker processes for the cold points.  ``1`` (the default) runs
-        everything in-process; higher values use a ``spawn`` pool.
+        everything in-process; higher values spawn an ephemeral
+        :class:`WorkerPool` for this call.  Ignored when ``pool`` is given.
     cache / cache_dir:
         An existing :class:`ResultCache`, or a directory path to open one in.
         ``None`` disables caching.
+    pool:
+        A caller-owned :class:`WorkerPool` to execute on.  The pool is
+        started if needed (only that start-up lands in ``pool_startup_s``)
+        and is *not* closed afterwards — that is what lets one warm pool
+        serve a whole campaign of sweeps for a single spawn cost.
+    batching:
+        Group cold specs into cost-balanced batches (one IPC round trip per
+        batch) instead of dispatching one spec per message.  Results are
+        bit-identical either way; ``False`` exists for measurement and as an
+        escape hatch.
+    progress:
+        Optional ``callback(done, cold_total)`` invoked in the parent as
+        executed specs stream back, interleaved with execution.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -185,12 +295,16 @@ def run_sweep(
     results: List[Optional[ExperimentResult]] = [None] * len(specs)
     stats = SweepStats(
         total=len(specs),
-        jobs=jobs,
+        jobs=pool.jobs if pool is not None else jobs,
         cache_dir=str(cache.directory) if cache is not None else None,
     )
+    cache_io_before = cache.io_s if cache is not None else 0.0
 
     # Identical grid points (same cache key) execute once and share the
-    # result, whether or not an on-disk cache is attached.
+    # result, whether or not an on-disk cache is attached.  Key computation
+    # resolves each distinct scenario once (memoized on the spec), which is
+    # the parent's share of the resolve phase.
+    resolve_started = time.perf_counter()
     cold: List[Tuple[List[int], RunSpec, str]] = []
     cold_by_key: Dict[str, Tuple[List[int], RunSpec, str]] = {}
     for index, spec in enumerate(specs):
@@ -209,24 +323,124 @@ def run_sweep(
         entry = ([index], spec, key)
         cold.append(entry)
         cold_by_key[key] = entry
+    stats.resolve_s += (
+        time.perf_counter()
+        - resolve_started
+        - ((cache.io_s - cache_io_before) if cache is not None else 0.0)
+    )
 
     if cold:
-        cold_specs = [spec for _, spec, _ in cold]
-        if jobs == 1 or len(cold) == 1:
-            cold_results = [_execute_spec(spec) for spec in cold_specs]
+        use_pool = pool is not None or (jobs > 1 and len(cold) > 1)
+        if not use_pool:
+            _run_cold_inprocess(cold, results, stats, cache, progress)
         else:
-            context = multiprocessing.get_context("spawn")
-            with context.Pool(processes=min(jobs, len(cold))) as pool:
-                cold_results = pool.map(_execute_spec, cold_specs, chunksize=1)
-        for (indices, spec, key), result in zip(cold, cold_results):
-            for index in indices:
-                results[index] = result
-            stats.executed += 1
-            if cache is not None:
-                cache.put(key, result, include_trace=spec.keep_trace)
+            _run_cold_on_pool(
+                cold, results, stats, cache, progress, pool, jobs, batching
+            )
 
+    if cache is not None:
+        stats.serialize_s += cache.io_s - cache_io_before
     stats.elapsed_s = time.perf_counter() - started
     return list(results), stats  # type: ignore[arg-type]
+
+
+def _land_result(
+    entry: Tuple[List[int], RunSpec, str],
+    result: ExperimentResult,
+    timings: RunTimings,
+    results: List[Optional[ExperimentResult]],
+    stats: SweepStats,
+    cache: Optional[ResultCache],
+    progress: Optional[Callable[[int, int], None]],
+    done: int,
+    cold_total: int,
+) -> None:
+    """Account one executed cold point: stats, placement, cache, progress.
+
+    The single landing path shared by the sequential and pooled modes, so
+    their bookkeeping (phase totals, duplicate placement, cache writes,
+    progress reporting) cannot drift apart.
+    """
+    indices, spec, key = entry
+    stats.add_timings(timings)
+    for index in indices:
+        results[index] = result
+    stats.executed += 1
+    if cache is not None:
+        cache.put(key, result, include_trace=spec.keep_trace)
+    if progress is not None:
+        progress(done, cold_total)
+
+
+def _run_cold_inprocess(
+    cold: List[Tuple[List[int], RunSpec, str]],
+    results: List[Optional[ExperimentResult]],
+    stats: SweepStats,
+    cache: Optional[ResultCache],
+    progress: Optional[Callable[[int, int], None]],
+) -> None:
+    """Sequential execution path (``jobs=1``, or a single cold point)."""
+    for done, entry in enumerate(cold, start=1):
+        _, spec, _ = entry
+        load_plugins(spec.plugin_modules)
+        result, timings = run_experiment_timed(
+            spec.resolved_scenario(), keep_trace=spec.keep_trace
+        )
+        _land_result(
+            entry, result, timings, results, stats, cache, progress, done, len(cold)
+        )
+
+
+def _run_cold_on_pool(
+    cold: List[Tuple[List[int], RunSpec, str]],
+    results: List[Optional[ExperimentResult]],
+    stats: SweepStats,
+    cache: Optional[ResultCache],
+    progress: Optional[Callable[[int, int], None]],
+    pool: Optional[WorkerPool],
+    jobs: int,
+    batching: bool,
+) -> None:
+    """Parallel execution path: batched dispatch on a (possibly warm) pool.
+
+    Batches stream back in completion order; each landing batch is placed by
+    its cold index, written to the cache and reported — all while the
+    remaining batches are still executing in the workers.
+    """
+    own_pool = pool is None
+    if own_pool:
+        plugin_modules = [m for _, spec, _ in cold for m in spec.plugin_modules]
+        pool = WorkerPool(min(jobs, len(cold)), plugin_modules=plugin_modules)
+    assert pool is not None
+    try:
+        stats.pool_startup_s += pool.start()
+        if batching:
+            costed = [
+                ((position, spec), estimate_cost(spec))
+                for position, (_, spec, _) in enumerate(cold)
+            ]
+            batches = plan_batches(costed, pool.jobs)
+        else:
+            batches = [[(position, spec)] for position, (_, spec, _) in enumerate(cold)]
+        stats.batches = len(batches)
+        done = 0
+        for landed in pool.imap_unordered(_execute_batch, batches):
+            for position, result, timings in landed:
+                done += 1
+                _land_result(
+                    cold[position],
+                    result,
+                    timings,
+                    results,
+                    stats,
+                    cache,
+                    progress,
+                    done,
+                    len(cold),
+                )
+    finally:
+        if own_pool:
+            pool.close()
 
 
 # --------------------------------------------------------------------------- #
@@ -319,6 +533,7 @@ def sweep_compare_policies(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     cache_dir: Optional[str] = None,
+    pool: Optional[WorkerPool] = None,
     plugin_modules: Sequence[str] = (),
 ) -> Tuple[Dict[str, ExperimentResult], SweepStats]:
     """Parallel, cached drop-in for :func:`repro.system.experiment.compare_policies`."""
@@ -331,7 +546,9 @@ def sweep_compare_policies(
         keep_trace=keep_trace,
         plugin_modules=plugin_modules,
     )
-    results, stats = run_sweep(specs, jobs=jobs, cache=cache, cache_dir=cache_dir)
+    results, stats = run_sweep(
+        specs, jobs=jobs, cache=cache, cache_dir=cache_dir, pool=pool
+    )
     return dict(zip(policies, results)), stats
 
 
@@ -345,6 +562,7 @@ def sweep_frequencies(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     cache_dir: Optional[str] = None,
+    pool: Optional[WorkerPool] = None,
     plugin_modules: Sequence[str] = (),
 ) -> Tuple[Dict[float, ExperimentResult], SweepStats]:
     """Parallel, cached drop-in for :func:`repro.system.experiment.frequency_sweep`."""
@@ -358,7 +576,9 @@ def sweep_frequencies(
         config=config,
         plugin_modules=plugin_modules,
     )
-    results, stats = run_sweep(specs, jobs=jobs, cache=cache, cache_dir=cache_dir)
+    results, stats = run_sweep(
+        specs, jobs=jobs, cache=cache, cache_dir=cache_dir, pool=pool
+    )
     return dict(zip(frequencies, results)), stats
 
 
@@ -369,6 +589,7 @@ def sweep_scenario(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     cache_dir: Optional[str] = None,
+    pool: Optional[WorkerPool] = None,
     plugin_modules: Sequence[str] = (),
 ) -> Tuple[Dict[str, ExperimentResult], SweepStats]:
     """Run a scenario's declared sweep grid; results keyed by point label."""
@@ -378,7 +599,9 @@ def sweep_scenario(
         traffic_scale=traffic_scale,
         plugin_modules=plugin_modules,
     )
-    results, stats = run_sweep(specs, jobs=jobs, cache=cache, cache_dir=cache_dir)
+    results, stats = run_sweep(
+        specs, jobs=jobs, cache=cache, cache_dir=cache_dir, pool=pool
+    )
     return dict(zip((spec.label or "" for spec in specs), results)), stats
 
 
@@ -408,8 +631,9 @@ class AblationGrid:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         cache_dir: Optional[str] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> Tuple[Dict[str, ExperimentResult], SweepStats]:
         results, stats = run_sweep(
-            self.specs(), jobs=jobs, cache=cache, cache_dir=cache_dir
+            self.specs(), jobs=jobs, cache=cache, cache_dir=cache_dir, pool=pool
         )
         return dict(zip(self.variants, results)), stats

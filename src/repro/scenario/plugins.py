@@ -12,6 +12,7 @@ imports them before executing its spec.  The CLI's ``--plugin-module`` and
 from __future__ import annotations
 
 import importlib
+import sys
 from types import ModuleType
 from typing import Iterable, List
 
@@ -19,12 +20,19 @@ from typing import Iterable, List
 def load_plugins(modules: Iterable[str]) -> List[ModuleType]:
     """Import every named plugin module (idempotent, order-preserving).
 
-    A failing import is re-raised with the module name and a reminder that
-    the module must be importable in worker processes too (i.e. reachable
-    from ``sys.path``, not defined inline in a notebook cell).
+    Already-imported modules are returned straight from :data:`sys.modules`
+    without touching the import machinery, so calling this once per spec on a
+    sweep's hot path costs a few dictionary lookups, not an import-system
+    round trip per call.  A failing import is re-raised with the module name
+    and a reminder that the module must be importable in worker processes too
+    (i.e. reachable from ``sys.path``, not defined inline in a notebook cell).
     """
     loaded: List[ModuleType] = []
     for name in modules:
+        module = sys.modules.get(name)
+        if module is not None:
+            loaded.append(module)
+            continue
         try:
             loaded.append(importlib.import_module(name))
         except ImportError as exc:

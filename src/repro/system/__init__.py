@@ -3,9 +3,11 @@
 from repro.system.builder import System, build_system
 from repro.system.experiment import (
     ExperimentResult,
+    RunTimings,
     compare_policies,
     frequency_sweep,
     run_experiment,
+    run_experiment_timed,
 )
 from repro.system.platform import (
     cluster_specs_for,
@@ -15,12 +17,14 @@ from repro.system.platform import (
 
 __all__ = [
     "ExperimentResult",
+    "RunTimings",
     "System",
     "build_system",
     "cluster_specs_for",
     "compare_policies",
     "frequency_sweep",
     "run_experiment",
+    "run_experiment_timed",
     "table1_settings",
     "table2_core_types",
 ]

@@ -12,8 +12,9 @@ the functions in this module:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.scenario import Scenario, critical_cores_for, resolve_scenario
 from repro.sim.config import SimulationConfig
@@ -133,6 +134,49 @@ def run_experiment(
         priority_distributions=priority_distributions,
         trace=framework.trace if keep_trace else None,
     )
+
+
+@dataclass
+class RunTimings:
+    """Wall-clock phase breakdown of one experiment execution.
+
+    ``resolve_s`` covers scenario resolution (zero when the caller hands over
+    an already-resolved :class:`Scenario`, e.g. a memoized
+    :meth:`repro.runner.RunSpec.resolved_scenario`), ``build_s`` the system
+    construction, and ``sim_s`` the event-driven run plus metric collection.
+    The sweep orchestrator sums these per-run timings into its
+    :class:`~repro.runner.SweepStats` phase fields so a slow sweep can be
+    attributed to the phase that actually regressed.
+    """
+
+    resolve_s: float = 0.0
+    build_s: float = 0.0
+    sim_s: float = 0.0
+
+
+def run_experiment_timed(
+    scenario: Union[str, Scenario],
+    keep_trace: bool = True,
+) -> Tuple[ExperimentResult, RunTimings]:
+    """Run one scenario-described experiment, reporting per-phase timings.
+
+    Semantically identical to ``run_experiment(scenario=..., keep_trace=...)``
+    — resolution with no overrides is a no-op and pre-building the system is
+    exactly what :func:`run_experiment` does internally — but the three phases
+    are timed separately.  This is the worker entry point of the sweep
+    orchestrator's batched dispatch.
+    """
+    timings = RunTimings()
+    started = time.perf_counter()
+    resolved = resolve_scenario(scenario)
+    built = time.perf_counter()
+    timings.resolve_s = built - started
+    system = build_system(resolved)
+    ran = time.perf_counter()
+    timings.build_s = ran - built
+    result = run_experiment(scenario=resolved, keep_trace=keep_trace, system=system)
+    timings.sim_s = time.perf_counter() - ran
+    return result, timings
 
 
 def compare_policies(

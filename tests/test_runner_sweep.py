@@ -132,6 +132,56 @@ class TestParallelParityAndCache:
         assert _fingerprints(parallel) == _fingerprints(sequential.values())
 
 
+class TestResolvedScenarioMemoization:
+    """key() + display_label() + execution resolve the scenario exactly once."""
+
+    def test_single_resolution_per_spec(self, monkeypatch):
+        import repro.runner.sweep as sweep_module
+        from repro.runner.sweep import _execute_spec
+
+        calls = []
+        real_resolve = sweep_module.resolve_scenario
+
+        def counting_resolve(*args, **kwargs):
+            calls.append(args)
+            return real_resolve(*args, **kwargs)
+
+        monkeypatch.setattr(sweep_module, "resolve_scenario", counting_resolve)
+        spec = RunSpec(
+            scenario="case_b",
+            policy="fcfs",
+            duration_ps=MS // 50,
+            traffic_scale=TRAFFIC,
+        )
+        spec.key()
+        spec.display_label()
+        spec.key()
+        result = _execute_spec(spec)
+        assert result.policy == "fcfs"
+        assert len(calls) == 1
+
+    def test_replace_does_not_inherit_stale_resolution(self):
+        from dataclasses import replace as dc_replace
+
+        base = RunSpec(scenario="case_b", policy="fcfs", duration_ps=SHORT_PS)
+        assert base.resolved_scenario().policy == "fcfs"
+        changed = dc_replace(base, policy="round_robin")
+        assert changed.resolved_scenario().policy == "round_robin"
+        # The original spec's memoized resolution is untouched.
+        assert base.resolved_scenario().policy == "fcfs"
+
+    def test_memoized_resolution_survives_pickling(self):
+        import pickle
+
+        spec = RunSpec(scenario="case_b", policy="fcfs", duration_ps=SHORT_PS)
+        resolved = spec.resolved_scenario()
+        clone = pickle.loads(pickle.dumps(spec))
+        # The worker-side copy carries the parent's resolution (equal data)
+        # and does not need to resolve again.
+        assert clone.__dict__.get("_resolved") == resolved
+        assert clone == spec
+
+
 class TestScenarioGrid:
     def test_grid_specs_expand_declared_axes(self):
         specs = scenario_grid_specs("case_b", duration_ps=SHORT_PS)

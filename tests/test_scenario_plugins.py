@@ -57,6 +57,23 @@ class TestPluginLoading:
         with pytest.raises(ImportError, match="no_such_plugin_module"):
             load_plugins(["no_such_plugin_module"])
 
+    def test_load_plugins_skips_already_imported_modules(self, monkeypatch):
+        # The sweep hot path calls load_plugins once per spec; after the
+        # first import the call must not touch the import machinery at all.
+        import repro.scenario.plugins as plugins_module
+
+        (module,) = load_plugins([PLUGIN])
+
+        def exploding_import(name):
+            raise AssertionError(
+                f"import machinery invoked for already-imported module {name!r}"
+            )
+
+        monkeypatch.setattr(
+            plugins_module.importlib, "import_module", exploding_import
+        )
+        assert load_plugins([PLUGIN]) == [module]
+
 
 class TestPluginUnderSpawnWorkers:
     def test_custom_policy_jobs4_matches_jobs1(self, plugin_loaded):
