@@ -85,6 +85,18 @@ def cached_sweep(specs: List[RunSpec]) -> List[ExperimentResult]:
     return [_RESULT_CACHE[key] for _, key in keyed]
 
 
+def figure_axis(subgrid: str, axis: str) -> List:
+    """One declared axis of the bundled ``paper_figures`` campaign.
+
+    The figure benchmarks and the campaign file must agree on what each
+    figure's grid is; reading the axis from the campaign makes the file the
+    single source of truth instead of a hand-rolled list per module.
+    """
+    from repro.campaign import get_campaign
+
+    return list(get_campaign("paper_figures").subgrid(subgrid).axes[axis])
+
+
 def policy_grid(
     scenario: str,
     policies: List[str],

@@ -12,11 +12,11 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import cached_run, policy_grid, prefetch
+from benchmarks.conftest import cached_run, figure_axis, policy_grid, prefetch
 from repro.analysis.report import format_npi_table
 from repro.scenario import critical_cores_for
 
-POLICIES = ["fcfs", "round_robin", "frame_rate_qos", "priority_qos"]
+POLICIES = figure_axis("fig6", "policy")
 REPORTED_CORES = list(critical_cores_for("case_b")) + ["audio", "gpu"]
 
 

@@ -16,12 +16,18 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import BENCH_DURATION_PS, BENCH_TRAFFIC_SCALE, cached_run, prefetch
+from benchmarks.conftest import (
+    BENCH_DURATION_PS,
+    BENCH_TRAFFIC_SCALE,
+    cached_run,
+    figure_axis,
+    prefetch,
+)
 from repro.analysis.metrics import mean_priority, priority_distribution_table
 from repro.analysis.report import format_priority_distribution
 from repro.runner import RunSpec
 
-FREQUENCIES_MHZ = [1700.0, 1600.0, 1500.0, 1400.0, 1300.0]
+FREQUENCIES_MHZ = [float(f) for f in figure_axis("fig7", "platform.sim.dram.io_freq_mhz")]
 DMA = "image_processor.read"
 
 

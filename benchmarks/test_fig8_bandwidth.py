@@ -17,10 +17,10 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import cached_run, policy_grid, prefetch
+from benchmarks.conftest import cached_run, figure_axis, policy_grid, prefetch
 from repro.analysis.report import format_bandwidth_table
 
-POLICIES = ["round_robin", "fcfs", "priority_qos", "priority_rowbuffer", "fr_fcfs"]
+POLICIES = figure_axis("fig8", "policy")
 
 
 @pytest.fixture(scope="module", autouse=True)

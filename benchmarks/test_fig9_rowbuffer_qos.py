@@ -11,11 +11,11 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import cached_run, policy_grid, prefetch
+from benchmarks.conftest import cached_run, figure_axis, policy_grid, prefetch
 from repro.analysis.report import format_npi_table
 from repro.scenario import critical_cores_for
 
-POLICIES = ["priority_rowbuffer", "fr_fcfs"]
+POLICIES = figure_axis("fig9", "policy")
 REPORTED_CORES = list(critical_cores_for("case_a")) + ["dsp", "audio"]
 
 

@@ -19,6 +19,10 @@ public API is intentionally small:
   experiments fanned out in cost-balanced batches across a persistent warm
   worker pool, with an on-disk result cache and per-phase timing
   (see docs/running_experiments.md).
+* :class:`repro.Campaign` / :func:`repro.get_campaign` /
+  :class:`repro.CampaignScheduler` — declarative experiment campaigns:
+  named sub-grids (``fig5`` … ``fig9``) scheduled through one shared pool
+  and reported per figure (see docs/campaigns.md).
 * :mod:`repro.core` — the SARA contribution itself: NPI performance meters,
   the NPI-to-priority look-up table and the adaptation framework.
 
@@ -26,6 +30,16 @@ See README.md for a quickstart and EXPERIMENTS.md for the paper-versus-
 measured comparison.
 """
 
+from repro.campaign import (
+    Campaign,
+    CampaignError,
+    CampaignScheduler,
+    SubGrid,
+    available_campaigns,
+    campaign_from_file,
+    campaign_report_md,
+    get_campaign,
+)
 from repro.core import (
     BandwidthMeter,
     BufferOccupancyMeter,
@@ -83,6 +97,9 @@ __all__ = [
     "BandwidthMeter",
     "BufferOccupancyMeter",
     "CamcorderWorkload",
+    "Campaign",
+    "CampaignError",
+    "CampaignScheduler",
     "DmaSpec",
     "DramConfig",
     "DramTimingConfig",
@@ -101,16 +118,21 @@ __all__ = [
     "Scenario",
     "ScenarioError",
     "SimulationConfig",
+    "SubGrid",
     "SweepStats",
     "System",
     "WorkerPool",
     "__version__",
+    "available_campaigns",
     "available_scenarios",
     "build_system",
     "camcorder_workload",
+    "campaign_from_file",
+    "campaign_report_md",
     "compare_policies",
     "critical_cores_for",
     "frequency_sweep",
+    "get_campaign",
     "get_scenario",
     "load_plugins",
     "register_scenario",

@@ -1,0 +1,76 @@
+"""The campaign catalog: bundled campaign files plus file-path references.
+
+Bundled campaigns live as JSON files in ``repro/campaign/data/`` — the
+``paper_figures`` campaign reproducing every figure of the paper's
+evaluation, and the ``extended`` campaign promoting the non-paper scenarios
+to first-class experiments — and are loaded lazily on first use.  The CLI
+accepts filesystem paths wherever a campaign name is expected, mirroring the
+scenario catalog.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.campaign.spec import Campaign, CampaignError, campaign_from_file
+from repro.scenario import is_path_ref
+
+#: Directory holding the bundled campaign files.
+BUILTIN_CAMPAIGN_DIR = Path(__file__).resolve().parent / "data"
+
+_builtin_cache: Dict[str, Campaign] = {}
+
+
+def builtin_campaign_paths() -> Dict[str, Path]:
+    """Name -> path for every bundled campaign file."""
+    return {
+        path.stem: path
+        for path in sorted(BUILTIN_CAMPAIGN_DIR.glob("*.json"))
+    }
+
+
+def available_campaigns() -> Dict[str, Campaign]:
+    """Every bundled campaign, by name."""
+    return {name: _load_builtin(name) for name in builtin_campaign_paths()}
+
+
+def _load_builtin(name: str) -> Campaign:
+    cached = _builtin_cache.get(name)
+    if cached is None:
+        cached = campaign_from_file(builtin_campaign_paths()[name])
+        if cached.name != name:
+            raise CampaignError(
+                f"bundled campaign file '{name}.json' declares name "
+                f"'{cached.name}'; file stem and campaign name must match"
+            )
+        _builtin_cache[name] = cached
+    return cached
+
+
+def get_campaign(ref: Union[str, Path, Campaign]) -> Campaign:
+    """Resolve a campaign reference: an object, a bundled name, or a file path."""
+    if isinstance(ref, Campaign):
+        return ref
+    if isinstance(ref, Path):
+        return campaign_from_file(ref)
+    if not isinstance(ref, str):
+        raise TypeError(f"campaign reference must be a name, path or Campaign, got {type(ref)!r}")
+    builtins = builtin_campaign_paths()
+    if ref in builtins:
+        return _load_builtin(ref)
+    if is_path_ref(ref):
+        return campaign_from_file(ref)
+    raise CampaignError(
+        f"unknown campaign '{ref}' (bundled: {', '.join(builtins) or 'none'}; "
+        "a path to a .json/.toml campaign file also works)"
+    )
+
+
+def describe_campaign(ref: Union[str, Path, Campaign]) -> str:
+    """One-line summary used by ``repro campaign list``."""
+    campaign = get_campaign(ref)
+    return (
+        f"{campaign.name:<18}{len(campaign.subgrids)} sub-grid(s) "
+        f"[{', '.join(campaign.subgrid_names())}]  {campaign.description}"
+    )

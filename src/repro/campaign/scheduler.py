@@ -1,0 +1,247 @@
+"""The campaign scheduler: every sub-grid through one pool, one spawn cost.
+
+Running a campaign sub-grid by sub-grid wastes the two resources the warm
+worker pool exists to save: each sweep would pay its own scheduling
+round-trips, and a short sub-grid (Fig. 9 is two runs) cannot load-balance
+against a long one (Fig. 7 is five).  :class:`CampaignScheduler` instead
+flattens *all* sub-grids into one stream of :class:`~repro.runner.RunSpec`
+points, orders it by estimated cost (heaviest first, so stragglers start
+early), and feeds the whole stream through a single
+:func:`~repro.runner.run_sweep` call on one shared
+:class:`~repro.runner.WorkerPool` — one ``pool_startup`` phase for the whole
+campaign.
+
+The orchestrator's key-level deduplication and result cache make the
+scheduler *cache-aware for free*: a point two figures share (Fig. 8 and
+Fig. 9 both run ``priority_rowbuffer`` on case A) executes once, and a point
+already materialized in ``--cache-dir`` is never re-simulated.  The
+``observer`` landing hook attributes every point's outcome back to the
+sub-grid it came from, so :class:`CampaignResult` carries per-sub-grid
+phase-split :class:`~repro.runner.SweepStats` alongside the campaign totals.
+
+Determinism: the cost ordering only changes *when* a point executes, never
+what it computes — results are reordered back into each sub-grid's declared
+point order, and ``tests/test_campaign_scheduler.py`` asserts bit-identical
+parity against running every sub-grid through the plain sweep path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.report import Point
+from repro.campaign.spec import Campaign, CampaignError, SubGrid
+from repro.runner import (
+    ResultCache,
+    RunSpec,
+    SweepStats,
+    WorkerPool,
+    estimate_cost,
+    run_sweep,
+)
+from repro.scenario import Scenario
+from repro.system.experiment import ExperimentResult, RunTimings
+
+
+@dataclass(frozen=True)
+class ScheduledRun:
+    """One planned point: which sub-grid it belongs to and what it runs."""
+
+    subgrid: str
+    label: str
+    settings: Dict[str, Any]
+    spec: RunSpec
+    cost: float
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign run produced, grouped back per sub-grid."""
+
+    campaign: Campaign
+    #: sub-grid name -> points in the sub-grid's declared order.
+    points: Dict[str, List[Point]] = field(default_factory=dict)
+    #: Resolved scenario per sub-grid (drives report columns/critical cores).
+    scenarios: Dict[str, Scenario] = field(default_factory=dict)
+    #: Campaign totals from the single flattened sweep.
+    stats: SweepStats = field(default_factory=SweepStats)
+    #: Per-sub-grid counters and phase splits, attributed by the observer.
+    subgrid_stats: Dict[str, SweepStats] = field(default_factory=dict)
+
+    #: Memoized check outcomes per sub-grid (checks are pure over the
+    #: results, and the report renders them in several places — evaluate
+    #: each sub-grid's declared checks exactly once per outcome).
+    _check_cache: Dict[str, list] = field(default_factory=dict, repr=False, compare=False)
+
+    def subgrids(self) -> List[SubGrid]:
+        """The sub-grids that actually ran, in campaign order."""
+        return [
+            subgrid for subgrid in self.campaign.subgrids if subgrid.name in self.points
+        ]
+
+    def _require_ran(self, subgrid: str) -> None:
+        if subgrid not in self.points:
+            ran = ", ".join(self.points) or "none"
+            raise CampaignError(
+                f"sub-grid '{subgrid}' was not part of this run (ran: {ran})"
+            )
+
+    def results(self, subgrid: str) -> Dict[str, ExperimentResult]:
+        """One sub-grid's results keyed by point label, in point order."""
+        self._require_ran(subgrid)
+        return {label: result for _, label, result in self.points[subgrid]}
+
+    def checks(self, subgrid: str) -> list:
+        """One sub-grid's (kind, outcome) check pairs (evaluated once, cached)."""
+        self._require_ran(subgrid)
+        cached = self._check_cache.get(subgrid)
+        if cached is None:
+            from repro.campaign.report import run_subgrid_checks
+
+            cached = run_subgrid_checks(
+                self.campaign.subgrid(subgrid),
+                self.scenarios[subgrid],
+                self.points[subgrid],
+            )
+            self._check_cache[subgrid] = cached
+        return cached
+
+
+class CampaignScheduler:
+    """Plan and execute a campaign's sub-grids on one shared worker pool."""
+
+    def __init__(
+        self,
+        campaign: Campaign,
+        duration_ms: Optional[float] = None,
+        traffic_scale: Optional[float] = None,
+        plugin_modules: Sequence[str] = (),
+    ) -> None:
+        self.campaign = campaign
+        self.duration_ms = duration_ms
+        self.traffic_scale = traffic_scale
+        self.plugin_modules = tuple(plugin_modules)
+
+    def _selected(self, subgrids: Optional[Sequence[str]]) -> List[SubGrid]:
+        if subgrids is None:
+            return list(self.campaign.subgrids)
+        # Deduplicate (a repeated --subgrid flag) so the plan and the stats
+        # count every point once.
+        return [self.campaign.subgrid(name) for name in dict.fromkeys(subgrids)]
+
+    def plan(self, subgrids: Optional[Sequence[str]] = None) -> List[ScheduledRun]:
+        """Flatten the selected sub-grids into one cost-ordered run stream.
+
+        Heaviest points first (stable for equal costs, so the plan is
+        deterministic for a given campaign): when the stream hits the pool,
+        long runs start immediately and short ones fill the tail instead of
+        leaving workers idle behind a late straggler.
+        """
+        scheduled: List[ScheduledRun] = []
+        for subgrid in self._selected(subgrids):
+            specs = subgrid.run_specs(
+                default_duration_ms=self.campaign.duration_ms,
+                default_traffic_scale=self.campaign.traffic_scale,
+                duration_ms=self.duration_ms,
+                traffic_scale=self.traffic_scale,
+                plugin_modules=self.plugin_modules,
+            )
+            for point, spec in zip(subgrid.points(), specs):
+                scheduled.append(
+                    ScheduledRun(
+                        subgrid=subgrid.name,
+                        label=spec.label or subgrid.name,
+                        settings=point,
+                        spec=spec,
+                        cost=estimate_cost(spec),
+                    )
+                )
+        scheduled.sort(key=lambda run: -run.cost)
+        return scheduled
+
+    def run(
+        self,
+        subgrids: Optional[Sequence[str]] = None,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        cache_dir: Optional[str] = None,
+        pool: Optional[WorkerPool] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> CampaignResult:
+        """Execute the plan through one ``run_sweep`` call and regroup.
+
+        ``pool``/``jobs``/``cache``/``cache_dir``/``progress`` have
+        :func:`~repro.runner.run_sweep` semantics; the whole campaign is one
+        sweep, so a cold pool spawns exactly once and ``pool_startup_s``
+        appears once in the campaign totals (and never in the per-sub-grid
+        stats, which only carry work attributable to their own points).
+        """
+        plan = self.plan(subgrids)
+        selected = self._selected(subgrids)
+        outcome = CampaignResult(campaign=self.campaign)
+        for subgrid in selected:
+            outcome.scenarios[subgrid.name] = subgrid.resolved_scenario()
+            outcome.subgrid_stats[subgrid.name] = SweepStats(
+                total=0, jobs=pool.jobs if pool is not None else jobs
+            )
+
+        owner: List[Tuple[str, str, Dict[str, Any]]] = [
+            (run.subgrid, run.label, run.settings) for run in plan
+        ]
+
+        def observer(
+            index: int,
+            result: ExperimentResult,
+            timings: Optional[RunTimings],
+            from_cache: bool,
+        ) -> None:
+            name = owner[index][0]
+            stats = outcome.subgrid_stats[name]
+            stats.total += 1
+            if from_cache:
+                stats.cache_hits += 1
+            else:
+                stats.executed += 1
+            if timings is not None:
+                stats.add_timings(timings)
+
+        results, stats = run_sweep(
+            [run.spec for run in plan],
+            jobs=jobs,
+            cache=cache,
+            cache_dir=cache_dir,
+            pool=pool,
+            progress=progress,
+            observer=observer,
+        )
+        outcome.stats = stats
+
+        # Per-sub-grid wall-clock is not separable out of one flattened,
+        # possibly parallel sweep; report each sub-grid's *attributed work
+        # time* (sum of its phase totals) as elapsed instead of leaving a
+        # misleading 0.00s next to non-zero phases.
+        for stats_entry in outcome.subgrid_stats.values():
+            stats_entry.elapsed_s = sum(stats_entry.phases().values())
+
+        # Regroup keyed by the point's *settings* (always unique within a
+        # sub-grid), not its display label — pathological string axis values
+        # can render two distinct points to the same label.
+        by_subgrid: Dict[str, Dict[str, Point]] = {s.name: {} for s in selected}
+        for (name, label, settings), result in zip(owner, results):
+            if result is None:  # pragma: no cover - run_sweep always fills
+                raise CampaignError(f"sub-grid '{name}' point '{label}' produced no result")
+            by_subgrid[name][_point_key(settings)] = (settings, label, result)
+        # Regroup in each sub-grid's declared point order, not plan order.
+        for subgrid in selected:
+            ordered = [
+                by_subgrid[subgrid.name][_point_key(point)]
+                for point in subgrid.points()
+            ]
+            outcome.points[subgrid.name] = ordered
+        return outcome
+
+
+def _point_key(settings: Dict[str, Any]) -> str:
+    """Canonical identity of one point within its sub-grid."""
+    return repr(sorted(settings.items()))

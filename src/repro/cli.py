@@ -5,11 +5,16 @@ scenarios (bundled ones, plus any ``.json``/``.toml`` scenario file):
 
 * ``scenarios list|show|validate`` — browse the catalog, print one scenario's
   full spec, or schema-check (and optionally smoke-run) scenario files.
+* ``campaign list|show|run|report|validate`` — declarative experiment
+  campaigns: named sub-grids (``fig5`` … ``fig9``) scheduled through one
+  shared worker pool, reported per figure as markdown or JSON.
 * ``run <scenario>`` — one experiment, printing the per-core summary and
   optionally saving the result as JSON.
 * ``compare <scenario>`` — several policies on one scenario (Figs. 5/6/8/9).
 * ``sweep <scenario>`` — the Fig. 7 DRAM-frequency sweep.
-* ``grid <scenario>`` — the scenario's declared sweep axes, expanded and run.
+* ``grid <scenario>`` — the scenario's declared sweep axes (or one named
+  axis set via ``--axis-set``), expanded, run and reported through the
+  shared campaign report layer (``--format md|json``).
 * ``dvfs`` / ``energy`` — governor-in-the-loop and energy-breakdown runs.
 * ``policies`` / ``governors`` / ``settings`` — registry and platform tables.
 
@@ -24,8 +29,10 @@ contended phase on a laptop-friendly budget.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from contextlib import contextmanager
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis.figures import export_csv, fig7_rows, min_npi_rows
@@ -37,13 +44,21 @@ from repro.analysis.paper import (
     summarize_checks,
 )
 from repro.analysis.report import (
-    format_bandwidth_table,
     format_core_summary,
-    format_npi_table,
     format_priority_distribution,
     format_settings_table,
 )
 from repro.analysis.serialize import save_result
+from repro.campaign import (
+    CampaignScheduler,
+    builtin_campaign_paths,
+    campaign_report_md,
+    campaign_report_payload,
+    describe_campaign,
+    format_points_table,
+    get_campaign,
+    points_payload,
+)
 from repro.dvfs.experiment import run_with_governor
 from repro.dvfs.governor import available_governors, make_governor
 from repro.memctrl.policies import available_policies
@@ -175,6 +190,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="traffic scale for the smoke runs (default 0.1)",
     )
 
+    campaign = subparsers.add_parser(
+        "campaign", help="declarative experiment campaigns (named sub-grids)"
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+    campaign_sub.add_parser("list", help="list every bundled campaign")
+    campaign_show = campaign_sub.add_parser(
+        "show", help="print one campaign's full spec as JSON"
+    )
+    campaign_show.add_argument(
+        "campaign", help="campaign name (see `repro campaign list`) or a .json/.toml file"
+    )
+    for subcommand, description in (
+        ("run", "run a campaign's sub-grids through one shared worker pool"),
+        ("report", "like run, but print only the rendered report"),
+    ):
+        campaign_run = campaign_sub.add_parser(subcommand, help=description)
+        campaign_run.add_argument(
+            "campaign",
+            help="campaign name (see `repro campaign list`) or a .json/.toml file",
+        )
+        campaign_run.add_argument(
+            "--subgrid",
+            dest="subgrids",
+            metavar="NAME",
+            action="append",
+            default=None,
+            help="run only this sub-grid (repeatable; default: all sub-grids)",
+        )
+        campaign_run.add_argument(
+            "--duration-ms",
+            type=float,
+            default=None,
+            help="override every sub-grid's simulated duration (default: the "
+            "campaign's own declarations)",
+        )
+        campaign_run.add_argument(
+            "--traffic-scale",
+            type=float,
+            default=None,
+            help="override the offered-traffic scale for every sub-grid",
+        )
+        campaign_run.add_argument(
+            "--format", choices=("md", "json"), default="md", help="report format"
+        )
+        campaign_run.add_argument(
+            "--output", default=None, help="write the report to this file instead of stdout"
+        )
+        campaign_run.add_argument(
+            "--strict",
+            action="store_true",
+            help="exit non-zero when any declared check fails",
+        )
+        campaign_run.add_argument(
+            "--plugin-module",
+            dest="plugin_modules",
+            metavar="MODULE",
+            action="append",
+            default=[],
+            help="import this module first (and in every sweep worker)",
+        )
+        _add_sweep_arguments(campaign_run)
+    campaign_validate = campaign_sub.add_parser(
+        "validate", help="schema-check campaign files (optionally with a smoke run)"
+    )
+    campaign_validate.add_argument(
+        "campaigns",
+        nargs="*",
+        default=[],
+        help="campaign names or files (default: every bundled campaign)",
+    )
+    campaign_validate.add_argument(
+        "--smoke-ms",
+        type=float,
+        default=None,
+        help="also run one sub-grid of each campaign for this many simulated ms",
+    )
+    campaign_validate.add_argument(
+        "--smoke-subgrid",
+        default=None,
+        help="sub-grid for the smoke run (default: the fewest-point one)",
+    )
+    campaign_validate.add_argument(
+        "--smoke-traffic-scale",
+        type=float,
+        default=0.1,
+        help="traffic scale for the smoke runs (default 0.1)",
+    )
+
     subparsers.add_parser("policies", help="list registered scheduling policies")
     subparsers.add_parser("governors", help="list registered DVFS governors")
 
@@ -219,6 +322,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_run_arguments(grid)
     _add_sweep_arguments(grid)
+    grid.add_argument(
+        "--axis-set",
+        default=None,
+        help="named axis set to expand (for scenarios whose sweep declares "
+        "named sets; default: every set)",
+    )
+    grid.add_argument(
+        "--format", choices=("md", "json"), default="md", help="report format"
+    )
 
     dvfs = subparsers.add_parser("dvfs", help="run with a DVFS governor in the loop")
     _add_common_run_arguments(dvfs)
@@ -325,6 +437,96 @@ def _cmd_scenarios_validate(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_campaign_list() -> int:
+    print("Bundled campaigns:")
+    for name in builtin_campaign_paths():
+        print(f"  {describe_campaign(name)}")
+    print("\nRun one with:  python -m repro campaign run <campaign> [--jobs N]")
+    return 0
+
+
+def _cmd_campaign_show(args: argparse.Namespace) -> int:
+    print(get_campaign(args.campaign).to_json())
+    return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace, report_only: bool) -> int:
+    campaign = get_campaign(args.campaign)
+    scheduler = CampaignScheduler(
+        campaign,
+        duration_ms=args.duration_ms,
+        traffic_scale=args.traffic_scale,
+        plugin_modules=args.plugin_modules,
+    )
+    with _sweep_pool(args) as pool:
+        outcome = scheduler.run(
+            subgrids=args.subgrids,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            pool=pool,
+        )
+    failed_checks = sum(
+        1
+        for subgrid in outcome.subgrids()
+        for _, check in outcome.checks(subgrid.name)
+        if not check.passed
+    )
+    if not report_only:
+        print(f"campaign {campaign.name}: {outcome.stats.summary()}")
+        for name, stats in outcome.subgrid_stats.items():
+            print(f"  {name}: {stats.summary()}")
+        print()
+    report = (
+        json.dumps(campaign_report_payload(outcome), indent=2)
+        if args.format == "json"
+        else campaign_report_md(outcome)
+    )
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report + "\n")
+        print(f"report written to {path}")
+    else:
+        print(report)
+    if args.strict and failed_checks:
+        print(f"{failed_checks} declared check(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _smoke_subgrid(campaign, requested: Optional[str]) -> str:
+    """The sub-grid a campaign smoke run executes (the fewest-point one)."""
+    if requested is not None:
+        return campaign.subgrid(requested).name
+    return min(campaign.subgrids, key=lambda s: len(s.points())).name
+
+
+def _cmd_campaign_validate(args: argparse.Namespace) -> int:
+    refs = list(args.campaigns) or sorted(builtin_campaign_paths())
+    failures = 0
+    for ref in refs:
+        try:
+            campaign = get_campaign(ref)
+            total = campaign.validate(deep=True)
+            detail = f"{len(campaign.subgrids)} sub-grid(s), {total} point(s)"
+            if args.smoke_ms is not None:
+                subgrid = _smoke_subgrid(campaign, args.smoke_subgrid)
+                scheduler = CampaignScheduler(
+                    campaign,
+                    duration_ms=args.smoke_ms,
+                    traffic_scale=args.smoke_traffic_scale,
+                )
+                outcome = scheduler.run(subgrids=[subgrid])
+                executed = outcome.subgrid_stats[subgrid].total
+                detail += f"; smoke ran {subgrid} ({executed} point(s)) OK"
+            print(f"[PASS] {campaign.name:<18}{detail}")
+        except (ScenarioError, ValueError) as exc:
+            failures += 1
+            print(f"[FAIL] {ref}: {exc}")
+    print(f"validated {len(refs)} campaign(s), {failures} failure(s)")
+    return 1 if failures else 0
+
+
 def _cmd_policies() -> int:
     print("Registered scheduling policies (memory controller and NoC arbiters):")
     for name, policy_cls in sorted(available_policies().items()):
@@ -372,7 +574,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _default_policies(scenario) -> List[str]:
-    axis = scenario.sweep.get("policy")
+    axis = scenario.sweep_axis("policy")
     if axis:
         return list(axis)
     return ["fcfs", "round_robin", "frame_rate_qos", "priority_qos"]
@@ -398,10 +600,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     print(stats.summary())
     critical = critical_cores_for(scenario)
     print(f"Minimum NPI per critical core (scenario {scenario.name})")
-    print(format_npi_table(results, critical))
+    print(format_points_table(results, ("min_npi", "failing"), critical))
     print()
     print("Average DRAM bandwidth")
-    print(format_bandwidth_table(results))
+    print(format_points_table(results, ("bandwidth", "row_hit", "latency"), critical))
     print()
     checks = check_policy_failures(results, scenario)
     checks += check_fig8_bandwidth_ordering(results)
@@ -422,7 +624,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     scenario = _resolved_scenario(args)
     frequencies = args.frequencies
     if frequencies is None:
-        axis = scenario.sweep.get("platform.sim.dram.io_freq_mhz")
+        axis = scenario.sweep_axis("platform.sim.dram.io_freq_mhz")
         frequencies = [float(f) for f in axis] if axis else list(FIG7_FREQUENCIES)
     duration_ps = int(args.duration_ms * MS)
     with _sweep_pool(args) as pool:
@@ -438,6 +640,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             plugin_modules=args.plugin_modules,
         )
     print(stats.summary())
+    critical = critical_cores_for(scenario)
+    print(f"Sweep points (scenario {scenario.name})")
+    print(
+        format_points_table(
+            {f"{freq:g} MHz": result for freq, result in sweep.items()},
+            ("bandwidth", "latency", "min_npi"),
+            critical,
+        )
+    )
+    print()
     table = priority_distribution_table(sweep, args.dma)
     print(f"Fig. 7 — priority-level residency of {args.dma}")
     print(format_priority_distribution(table))
@@ -452,24 +664,45 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     if not scenario.sweep:
         print(f"scenario '{scenario.name}' declares no sweep axes")
         return 1
+    if args.axis_set is not None:
+        axis_sets: List[Optional[str]] = [args.axis_set]
+    elif scenario.sweep_is_named:
+        axis_sets = list(scenario.sweep_axis_sets())
+    else:
+        axis_sets = [None]
     duration_ps = int(args.duration_ms * MS)
+    critical = critical_cores_for(scenario)
+    payload = {"scenario": scenario.name, "axis_sets": {}}
     with _sweep_pool(args) as pool:
-        results, stats = sweep_scenario(
-            scenario,
-            duration_ps=duration_ps,
-            traffic_scale=args.traffic_scale,
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            pool=pool,
-            plugin_modules=args.plugin_modules,
-        )
-    print(stats.summary())
-    print(f"Grid over {scenario.name}'s declared axes ({len(results)} points)")
-    width = max(len(label) for label in results)
-    print(f"{'point'.ljust(width)}  bandwidth GB/s  failing cores")
-    for label, result in results.items():
-        failing = ",".join(result.failing_cores()) or "none"
-        print(f"{label.ljust(width)}  {result.dram_bandwidth_gb_per_s():13.2f}  {failing}")
+        for axis_set in axis_sets:
+            results, stats = sweep_scenario(
+                scenario,
+                duration_ps=duration_ps,
+                traffic_scale=args.traffic_scale,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                pool=pool,
+                plugin_modules=args.plugin_modules,
+                axis_set=axis_set,
+            )
+            set_label = axis_set or "declared axes"
+            if args.format == "json":
+                payload["axis_sets"][set_label] = {
+                    "rows": points_payload(results, cores=critical),
+                    "stats": {
+                        "total": stats.total,
+                        "cache_hits": stats.cache_hits,
+                        "executed": stats.executed,
+                        "phases": stats.phases(),
+                    },
+                }
+            else:
+                print(stats.summary())
+                print(f"Grid over {scenario.name}'s {set_label} ({len(results)} points)")
+                print(format_points_table(results, cores=critical))
+                print()
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -521,6 +754,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 return _cmd_scenarios_show(args)
             if args.scenarios_command == "validate":
                 return _cmd_scenarios_validate(args)
+        if args.command == "campaign":
+            if args.campaign_command == "list":
+                return _cmd_campaign_list()
+            if args.campaign_command == "show":
+                return _cmd_campaign_show(args)
+            if args.campaign_command == "run":
+                return _cmd_campaign_run(args, report_only=False)
+            if args.campaign_command == "report":
+                return _cmd_campaign_run(args, report_only=True)
+            if args.campaign_command == "validate":
+                return _cmd_campaign_validate(args)
         if args.command == "policies":
             return _cmd_policies()
         if args.command == "governors":

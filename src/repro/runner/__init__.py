@@ -23,6 +23,7 @@ from repro.runner.cache import CACHE_SCHEMA_VERSION, ResultCache, cache_key
 from repro.runner.pool import WorkerPool, estimate_cost, plan_batches
 from repro.runner.sweep import (
     AblationGrid,
+    Observer,
     RunSpec,
     SweepStats,
     compare_policies_specs,
@@ -37,6 +38,7 @@ from repro.runner.sweep import (
 __all__ = [
     "AblationGrid",
     "CACHE_SCHEMA_VERSION",
+    "Observer",
     "ResultCache",
     "RunSpec",
     "SweepStats",

@@ -43,7 +43,13 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from repro.runner.cache import ResultCache, cache_key
 from repro.runner.pool import WorkerPool, estimate_cost, plan_batches
-from repro.scenario import Scenario, get_scenario, load_plugins, resolve_scenario
+from repro.scenario import (
+    Scenario,
+    get_scenario,
+    load_plugins,
+    resolve_scenario,
+    settings_label,
+)
 from repro.sim.config import SimulationConfig
 from repro.system.experiment import (
     ExperimentResult,
@@ -240,6 +246,15 @@ def _execute_batch(
     return executed
 
 
+#: Per-spec landing callback: ``observer(index, result, timings, from_cache)``.
+#: ``timings`` is the run's phase breakdown for the spec that actually
+#: executed and ``None`` for cache hits and deduplicated duplicates
+#: (``from_cache=True``).  Invoked exactly once per spec index, in landing
+#: order.  This is how campaign-level callers attribute one flattened sweep's
+#: work back to the sub-grids it came from.
+Observer = Callable[[int, ExperimentResult, Optional[RunTimings], bool], None]
+
+
 def run_sweep(
     specs: Sequence[RunSpec],
     jobs: int = 1,
@@ -248,6 +263,7 @@ def run_sweep(
     pool: Optional[WorkerPool] = None,
     batching: bool = True,
     progress: Optional[Callable[[int, int], None]] = None,
+    observer: Optional[Observer] = None,
 ) -> Tuple[List[ExperimentResult], SweepStats]:
     """Execute a sweep, reusing cached points and parallelising the rest.
 
@@ -275,6 +291,10 @@ def run_sweep(
     progress:
         Optional ``callback(done, cold_total)`` invoked in the parent as
         executed specs stream back, interleaved with execution.
+    observer:
+        Optional per-spec landing callback (see :data:`Observer`), called
+        once per spec index with its result, its phase timings (``None`` for
+        cached/deduplicated points) and whether it came from the cache.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -319,6 +339,8 @@ def run_sweep(
             if cached is not None:
                 results[index] = cached
                 stats.cache_hits += 1
+                if observer is not None:
+                    observer(index, cached, None, True)
                 continue
         entry = ([index], spec, key)
         cold.append(entry)
@@ -332,10 +354,10 @@ def run_sweep(
     if cold:
         use_pool = pool is not None or (jobs > 1 and len(cold) > 1)
         if not use_pool:
-            _run_cold_inprocess(cold, results, stats, cache, progress)
+            _run_cold_inprocess(cold, results, stats, cache, progress, observer)
         else:
             _run_cold_on_pool(
-                cold, results, stats, cache, progress, pool, jobs, batching
+                cold, results, stats, cache, progress, observer, pool, jobs, batching
             )
 
     if cache is not None:
@@ -352,6 +374,7 @@ def _land_result(
     stats: SweepStats,
     cache: Optional[ResultCache],
     progress: Optional[Callable[[int, int], None]],
+    observer: Optional[Observer],
     done: int,
     cold_total: int,
 ) -> None:
@@ -365,6 +388,11 @@ def _land_result(
     stats.add_timings(timings)
     for index in indices:
         results[index] = result
+    if observer is not None:
+        # The first index is the spec that executed; the rest were
+        # deduplicated against it during key resolution.
+        for position, index in enumerate(indices):
+            observer(index, result, timings if position == 0 else None, position > 0)
     stats.executed += 1
     if cache is not None:
         cache.put(key, result, include_trace=spec.keep_trace)
@@ -378,6 +406,7 @@ def _run_cold_inprocess(
     stats: SweepStats,
     cache: Optional[ResultCache],
     progress: Optional[Callable[[int, int], None]],
+    observer: Optional[Observer],
 ) -> None:
     """Sequential execution path (``jobs=1``, or a single cold point)."""
     for done, entry in enumerate(cold, start=1):
@@ -387,7 +416,8 @@ def _run_cold_inprocess(
             spec.resolved_scenario(), keep_trace=spec.keep_trace
         )
         _land_result(
-            entry, result, timings, results, stats, cache, progress, done, len(cold)
+            entry, result, timings, results, stats, cache, progress, observer,
+            done, len(cold),
         )
 
 
@@ -397,6 +427,7 @@ def _run_cold_on_pool(
     stats: SweepStats,
     cache: Optional[ResultCache],
     progress: Optional[Callable[[int, int], None]],
+    observer: Optional[Observer],
     pool: Optional[WorkerPool],
     jobs: int,
     batching: bool,
@@ -435,6 +466,7 @@ def _run_cold_on_pool(
                     stats,
                     cache,
                     progress,
+                    observer,
                     done,
                     len(cold),
                 )
@@ -498,17 +530,20 @@ def scenario_grid_specs(
     traffic_scale: Optional[float] = None,
     keep_trace: bool = False,
     plugin_modules: Sequence[str] = (),
+    axis_set: Optional[str] = None,
 ) -> List[RunSpec]:
     """Expand a scenario's declared sweep axes into one spec per grid point.
 
     The axes live in the scenario file (``sweep: {"policy": [...], ...}``),
     so a whole experiment grid — over policies, frequencies, workload
-    parameters, anything addressable by dotted path — ships as data.
+    parameters, anything addressable by dotted path — ships as data.  For a
+    scenario whose sweep declares *named* axis sets, ``axis_set`` picks the
+    sub-grid to expand.
     """
     spec = get_scenario(scenario)
     grid: List[RunSpec] = []
-    for point in spec.sweep_points():
-        label = ", ".join(f"{axis.split('.')[-1]}={value}" for axis, value in sorted(point.items()))
+    for point in spec.sweep_points(axis_set):
+        label = settings_label(point)
         grid.append(
             RunSpec(
                 scenario=spec,
@@ -591,6 +626,7 @@ def sweep_scenario(
     cache_dir: Optional[str] = None,
     pool: Optional[WorkerPool] = None,
     plugin_modules: Sequence[str] = (),
+    axis_set: Optional[str] = None,
 ) -> Tuple[Dict[str, ExperimentResult], SweepStats]:
     """Run a scenario's declared sweep grid; results keyed by point label."""
     specs = scenario_grid_specs(
@@ -598,6 +634,7 @@ def sweep_scenario(
         duration_ps=duration_ps,
         traffic_scale=traffic_scale,
         plugin_modules=plugin_modules,
+        axis_set=axis_set,
     )
     results, stats = run_sweep(
         specs, jobs=jobs, cache=cache, cache_dir=cache_dir, pool=pool

@@ -18,6 +18,7 @@ from repro.scenario.catalog import (
     critical_cores_for,
     describe_scenario,
     get_scenario,
+    is_path_ref,
     register_scenario,
     scenario_config,
     unregister_scenario,
@@ -26,12 +27,15 @@ from repro.scenario.errors import RegistryError, ScenarioError
 from repro.scenario.plugins import load_plugins
 from repro.scenario.registry import ADDRESS_STREAMS, TRAFFIC_MODELS, WORKLOADS, Registry
 from repro.scenario.spec import (
+    DEFAULT_AXIS_SET,
     SCENARIO_SCHEMA_VERSION,
     PlatformSpec,
     Scenario,
     WorkloadSpec,
+    expand_axis_points,
     resolve_scenario,
     scenario_from_file,
+    settings_label,
 )
 from repro.scenario.workloads import (
     build_workload,
@@ -44,6 +48,7 @@ __all__ = [
     "ADDRESS_STREAMS",
     "BUILTIN_SCENARIO_DIR",
     "CONSTANT_RATE_PREFETCH",
+    "DEFAULT_AXIS_SET",
     "PlatformSpec",
     "Registry",
     "RegistryError",
@@ -60,12 +65,15 @@ __all__ = [
     "describe_scenario",
     "dma_spec_from_dict",
     "dma_spec_to_dict",
+    "expand_axis_points",
     "get_scenario",
+    "is_path_ref",
     "load_plugins",
     "place_regions",
     "register_scenario",
     "resolve_scenario",
     "scenario_config",
     "scenario_from_file",
+    "settings_label",
     "unregister_scenario",
 ]

@@ -23,6 +23,16 @@ _runtime: Dict[str, Scenario] = {}
 _builtin_cache: Dict[str, Scenario] = {}
 
 
+def is_path_ref(ref: str) -> bool:
+    """Whether a string reference names a *file* rather than a catalog entry.
+
+    The one classifier shared by the scenario and campaign catalogs (and by
+    campaign-relative path anchoring), so the same string can never be read
+    as a path by one layer and a name by another.
+    """
+    return ref.endswith((".json", ".toml")) or "/" in ref
+
+
 def builtin_scenario_paths() -> Dict[str, Path]:
     """Name -> path for every bundled scenario file."""
     return {
@@ -91,7 +101,7 @@ def get_scenario(ref: Union[str, Path, Scenario]) -> Scenario:
     builtins = builtin_scenario_paths()
     if ref in builtins:
         return _load_builtin(ref)
-    if ref.endswith((".json", ".toml")) or "/" in ref:
+    if is_path_ref(ref):
         return scenario_from_file(ref)
     known = sorted(set(builtins) | set(_runtime))
     raise ScenarioError(

@@ -34,6 +34,11 @@ SCENARIO_SCHEMA_VERSION = 1
 #: DRAM backends the system builder can construct.
 KNOWN_DRAM_MODELS = ("transaction", "command")
 
+#: Name under which a flat ``sweep`` mapping is exposed by
+#: :meth:`Scenario.sweep_axis_sets`, so code that iterates axis sets does not
+#: need to special-case the flat form.
+DEFAULT_AXIS_SET = "grid"
+
 
 def _plain(value: Any, path: str) -> Any:
     """Canonicalise a parameter value to JSON-compatible plain data.
@@ -199,14 +204,51 @@ class Scenario:
         object.__setattr__(
             self, "critical_cores", tuple(str(core) for core in self.critical_cores)
         )
-        sweep: Dict[str, List[Any]] = {}
+        # The sweep comes in two shapes: the flat form maps axis -> values,
+        # the named form maps set name -> {axis -> values} so one scenario
+        # can declare several sub-grids (per-figure axis sets).  The two
+        # cannot be mixed — a value that is a mapping means the whole sweep
+        # is named.
+        sweep: Dict[str, Any] = {}
+        named: Optional[bool] = None
         for axis, values in dict(self.sweep).items():
-            if not isinstance(values, (list, tuple)):
+            if isinstance(values, Mapping):
+                if named is False:
+                    raise ScenarioError(
+                        f"scenario.sweep.{axis}: cannot mix named axis sets "
+                        "with flat axes in one sweep"
+                    )
+                named = True
+                axes: Dict[str, List[Any]] = {}
+                for set_axis, set_values in values.items():
+                    if not isinstance(set_values, (list, tuple)):
+                        raise ScenarioError(
+                            f"scenario.sweep.{axis}.{set_axis}: axis values must "
+                            f"be a list, got {type(set_values).__name__}"
+                        )
+                    axes[set_axis] = _plain(
+                        list(set_values), f"scenario.sweep.{axis}.{set_axis}"
+                    )
+                if not axes:
+                    raise ScenarioError(
+                        f"scenario.sweep.{axis}: named axis set must declare at "
+                        "least one axis"
+                    )
+                sweep[axis] = axes
+            elif isinstance(values, (list, tuple)):
+                if named is True:
+                    raise ScenarioError(
+                        f"scenario.sweep.{axis}: cannot mix flat axes with "
+                        "named axis sets in one sweep"
+                    )
+                named = False
+                sweep[axis] = _plain(list(values), f"scenario.sweep.{axis}")
+            else:
                 raise ScenarioError(
-                    f"scenario.sweep.{axis}: axis values must be a list, "
-                    f"got {type(values).__name__}"
+                    f"scenario.sweep.{axis}: axis values must be a list (flat "
+                    f"form) or a mapping of axes (named form), got "
+                    f"{type(values).__name__}"
                 )
-            sweep[axis] = _plain(list(values), f"scenario.sweep.{axis}")
         object.__setattr__(self, "sweep", sweep)
 
     # ------------------------------------------------------------------ #
@@ -241,7 +283,14 @@ class Scenario:
             "policy": self.policy,
             "adaptation_enabled": self.adaptation_enabled,
             "critical_cores": list(self.critical_cores),
-            "sweep": {axis: list(values) for axis, values in self.sweep.items()},
+            "sweep": {
+                key: (
+                    {axis: list(values) for axis, values in entry.items()}
+                    if isinstance(entry, Mapping)
+                    else list(entry)
+                )
+                for key, entry in self.sweep.items()
+            },
         }
 
     @classmethod
@@ -307,19 +356,100 @@ class Scenario:
             _set_path(data, dotted, _coerce(value))
         return Scenario.from_dict(data)
 
-    def sweep_points(self) -> List[Dict[str, Any]]:
-        """Expand the sweep axes into the cartesian product of settings.
+    @property
+    def sweep_is_named(self) -> bool:
+        """Whether the sweep declares named axis sets rather than flat axes."""
+        return any(isinstance(entry, Mapping) for entry in self.sweep.values())
+
+    def sweep_axis_sets(self) -> Dict[str, Dict[str, List[Any]]]:
+        """The sweep as named axis sets, whichever form was declared.
+
+        The named form is returned as declared (in declaration order); the
+        flat form is exposed as a single set called
+        :data:`DEFAULT_AXIS_SET`.  An empty sweep yields no sets.
+        """
+        if not self.sweep:
+            return {}
+        if self.sweep_is_named:
+            # Copy the inner lists too: handing out the frozen scenario's own
+            # lists would let a caller mutate a catalog-cached sweep.
+            return {
+                name: {axis: list(v) for axis, v in axes.items()}
+                for name, axes in self.sweep.items()
+            }
+        return {DEFAULT_AXIS_SET: {axis: list(v) for axis, v in self.sweep.items()}}
+
+    def sweep_axes(self, axis_set: Optional[str] = None) -> Dict[str, List[Any]]:
+        """The axes of one axis set (or of the flat sweep).
+
+        With ``axis_set=None`` the flat form returns its axes directly; a
+        named sweep requires picking one of its sets and says which exist.
+        """
+        sets = self.sweep_axis_sets()
+        if axis_set is None:
+            if not sets:
+                return {}
+            if not self.sweep_is_named:
+                return sets[DEFAULT_AXIS_SET]
+            raise ScenarioError(
+                f"scenario.sweep: scenario '{self.name}' declares named axis "
+                f"sets ({', '.join(sets)}); pick one with axis_set="
+            )
+        if axis_set not in sets:
+            raise ScenarioError(
+                f"scenario.sweep.{axis_set}: no such axis set in scenario "
+                f"'{self.name}' (declared: {', '.join(sets) or 'none'})"
+            )
+        return sets[axis_set]
+
+    def sweep_axis(self, axis: str) -> Optional[List[Any]]:
+        """Look one axis up across the flat sweep or every named set.
+
+        Used for defaulting (e.g. the CLI's policy list): returns the first
+        declaration of ``axis`` in declaration order, or ``None``.
+        """
+        for axes in self.sweep_axis_sets().values():
+            if axis in axes:
+                return list(axes[axis])
+        return None
+
+    def sweep_points(self, axis_set: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Expand sweep axes into the cartesian product of settings.
 
         Each point is a ``{"dotted.path": value}`` mapping suitable for
         :meth:`apply_settings`; an empty sweep yields the single empty point.
+        For a sweep with named axis sets, ``axis_set`` selects which set to
+        expand.
         """
-        if not self.sweep:
-            return [{}]
-        axes = sorted(self.sweep)
-        points = []
-        for values in itertools.product(*(self.sweep[axis] for axis in axes)):
-            points.append(dict(zip(axes, values)))
-        return points
+        return expand_axis_points(self.sweep_axes(axis_set))
+
+
+def expand_axis_points(axes_by_name: Mapping[str, List[Any]]) -> List[Dict[str, Any]]:
+    """Cartesian product of axes, expanded in sorted-axis order.
+
+    The single expansion used by scenario sweeps and campaign sub-grids, so
+    point order (and therefore result order and labels) cannot drift between
+    the two.  Empty axes yield the single empty point.
+    """
+    if not axes_by_name:
+        return [{}]
+    axes = sorted(axes_by_name)
+    points = []
+    for values in itertools.product(*(axes_by_name[axis] for axis in axes)):
+        points.append(dict(zip(axes, values)))
+    return points
+
+
+def settings_label(point: Mapping[str, Any]) -> str:
+    """Display label for a grid point: its settings' last path segments.
+
+    Shared by ``repro grid`` and campaign sub-grids — cache-key parity
+    between the two depends on labels (and the points behind them) staying
+    byte-identical.
+    """
+    return ", ".join(
+        f"{path.split('.')[-1]}={value}" for path, value in sorted(point.items())
+    )
 
 
 def _coerce(value: Any) -> Any:
@@ -361,31 +491,39 @@ def _unknown_path(node: Any, dotted: str) -> None:
 # --------------------------------------------------------------------------- #
 # File loading: JSON and TOML
 # --------------------------------------------------------------------------- #
-def scenario_from_file(path: PathLike) -> Scenario:
-    """Load a scenario from a ``.json`` or ``.toml`` file."""
+def load_spec_file(path: PathLike, kind: str, error: type) -> Any:
+    """Read a ``.json``/``.toml`` spec file to plain data, or raise ``error``.
+
+    The one loader shared by scenario and campaign files, parameterized by
+    the document kind (for messages) and the error class to raise.
+    """
     source = Path(path)
     try:
         text = source.read_text()
     except OSError as exc:
-        raise ScenarioError(f"cannot read scenario file {source}: {exc}") from None
-    suffix = source.suffix.lower()
-    if suffix == ".toml":
+        raise error(f"cannot read {kind} file {source}: {exc}") from None
+    if source.suffix.lower() == ".toml":
         try:
             import tomllib
         except ImportError:  # pragma: no cover - python < 3.11
-            raise ScenarioError(
-                f"{source}: TOML scenario files need Python 3.11+ (tomllib); "
+            raise error(
+                f"{source}: TOML {kind} files need Python 3.11+ (tomllib); "
                 "convert the file to JSON to use it here"
             ) from None
         try:
-            data = tomllib.loads(text)
+            return tomllib.loads(text)
         except tomllib.TOMLDecodeError as exc:
-            raise ScenarioError(f"{source}: invalid TOML: {exc}") from None
-    else:
-        try:
-            data = json.loads(text)
-        except ValueError as exc:
-            raise ScenarioError(f"{source}: invalid JSON: {exc}") from None
+            raise error(f"{source}: invalid TOML: {exc}") from None
+    try:
+        return json.loads(text)
+    except ValueError as exc:
+        raise error(f"{source}: invalid JSON: {exc}") from None
+
+
+def scenario_from_file(path: PathLike) -> Scenario:
+    """Load a scenario from a ``.json`` or ``.toml`` file."""
+    source = Path(path)
+    data = load_spec_file(source, "scenario", ScenarioError)
     try:
         return Scenario.from_dict(data)
     except ScenarioError as exc:

@@ -1,0 +1,185 @@
+"""Tests for the unified reporting layer (columns, checks, md/json rendering)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    DEFAULT_COLUMNS,
+    KNOWN_CHECKS,
+    KNOWN_COLUMNS,
+    Campaign,
+    CampaignScheduler,
+    CheckSpec,
+    SubGrid,
+    campaign_report_md,
+    campaign_report_payload,
+    format_points_table,
+    points_payload,
+)
+from repro.scenario import get_scenario
+from repro.sim.clock import MS
+from repro.system.experiment import run_experiment
+
+SHORT_PS = int(0.4 * MS)
+TRAFFIC = 0.2
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        policy: run_experiment(
+            scenario="case_b",
+            policy=policy,
+            duration_ps=SHORT_PS,
+            traffic_scale=TRAFFIC,
+            keep_trace=False,
+        )
+        for policy in ("fcfs", "priority_qos")
+    }
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    campaign = Campaign(
+        name="report_mini",
+        duration_ms=0.4,
+        traffic_scale=TRAFFIC,
+        subgrids=(
+            SubGrid(
+                name="policies",
+                scenario="case_b",
+                title="tiny policy grid",
+                axes={"policy": ["fcfs", "priority_qos"]},
+                columns=("bandwidth", "latency", "min_npi", "deadline"),
+                claims=("a declared claim",),
+                checks=(
+                    CheckSpec(kind="policy_failures"),
+                    CheckSpec(
+                        kind="some_point_fails",
+                        params={"where": {"policy": "fcfs"}},
+                    ),
+                ),
+            ),
+        ),
+    )
+    return CampaignScheduler(campaign).run()
+
+
+class TestColumns:
+    def test_default_columns_are_registered(self):
+        assert set(DEFAULT_COLUMNS) <= set(KNOWN_COLUMNS)
+
+    def test_table_expands_per_core_columns(self, results):
+        cores = ("display", "dsp")
+        table = format_points_table(results, ("min_npi", "failing"), cores)
+        header = table.splitlines()[0]
+        assert "min NPI display" in header
+        assert "min NPI dsp" in header
+        assert "failing cores" in header
+        # At this tiny duration fcfs fails the dsp: the cell is flagged.
+        fcfs_row = [line for line in table.splitlines() if line.startswith("| fcfs")][0]
+        assert "*" in fcfs_row
+
+    def test_latency_and_deadline_columns(self, results):
+        cores = ("display",)
+        table = format_points_table(results, ("latency", "deadline"), cores)
+        assert "avg latency (ns)" in table.splitlines()[0]
+        assert "met" in table or "MISSED" in table
+
+    def test_payload_keeps_numbers_numeric(self, results):
+        rows = points_payload(results, ("bandwidth", "min_npi", "deadline"), ("dsp",))
+        assert rows[0]["point"] == "fcfs"
+        assert isinstance(rows[0]["bandwidth_gb_per_s"], float)
+        assert isinstance(rows[0]["min_npi"]["dsp"], float)
+        assert isinstance(rows[0]["deadline_met"], bool)
+        json.dumps(rows)  # JSON-serializable end to end
+
+
+class TestChecks:
+    def test_registry_names_are_stable(self):
+        assert {
+            "policy_failures",
+            "bandwidth_ordering",
+            "qos_preserved",
+            "priority_escalation",
+            "meets_targets",
+            "some_point_fails",
+        } <= set(KNOWN_CHECKS)
+
+    def test_generic_checks_select_points(self, results):
+        points = [
+            ({"policy": policy}, policy, result) for policy, result in results.items()
+        ]
+        scenario = get_scenario("case_b")
+        fails = KNOWN_CHECKS["some_point_fails"](
+            points, scenario, {"where": {"policy": "fcfs"}}
+        )
+        assert len(fails) == 1 and fails[0].passed
+        nothing_selected = KNOWN_CHECKS["meets_targets"](
+            points, scenario, {"where": {"policy": "no_such"}}
+        )
+        assert not nothing_selected[0].passed  # empty selection cannot pass
+
+
+class TestCampaignReport:
+    def test_markdown_report_has_sections_claims_and_summary(self, outcome):
+        report = campaign_report_md(outcome)
+        assert "## Campaign report_mini" in report
+        assert "### policies — tiny policy grid" in report
+        assert "- a declared claim" in report
+        assert "### Campaign summary" in report
+        assert "| policies | 2 | 0 | 2 |" in report
+
+    def test_json_payload_structure(self, outcome):
+        payload = campaign_report_payload(outcome)
+        assert payload["campaign"] == "report_mini"
+        (subgrid,) = payload["subgrids"]
+        assert subgrid["name"] == "policies"
+        assert len(subgrid["rows"]) == 2
+        assert subgrid["claims"] == ["a declared claim"]
+        assert {check["passed"] for check in subgrid["checks"]} <= {True, False}
+        assert payload["stats"]["total"] == 2
+        assert "sim" in payload["subgrid_stats"]["policies"]["phases"]
+        json.dumps(payload)
+
+
+class TestCheckRobustness:
+    def test_priority_escalation_with_bad_axis_fails_instead_of_crashing(self, results):
+        points = [
+            ({"policy": policy}, policy, result) for policy, result in results.items()
+        ]
+        checks = KNOWN_CHECKS["priority_escalation"](
+            points, get_scenario("case_b"), {"dma": "x", "axis": "platform.sim.dram.freq_mhz"}
+        )
+        assert len(checks) == 1
+        assert not checks[0].passed
+        assert "matched 0 numeric point(s)" in checks[0].detail
+
+    def test_json_checks_carry_their_declared_kind(self, outcome):
+        payload = campaign_report_payload(outcome)
+        kinds = [check["kind"] for check in payload["subgrids"][0]["checks"]]
+        assert "policy_failures" in kinds
+        assert "some_point_fails" in kinds
+        assert all("description" in check for check in payload["subgrids"][0]["checks"])
+
+    def test_qos_preserved_uses_the_subgrids_own_critical_cores(self):
+        # case_b's critical cores differ from case_a's; the check must judge
+        # against the scenario actually simulated.
+        scenario = get_scenario("case_b")
+        results = {
+            policy: run_experiment(
+                scenario="case_b",
+                policy=policy,
+                duration_ps=SHORT_PS,
+                traffic_scale=TRAFFIC,
+                keep_trace=False,
+            )
+            for policy in ("priority_rowbuffer", "fr_fcfs")
+        }
+        points = [({"policy": p}, p, r) for p, r in results.items()]
+        checks = KNOWN_CHECKS["qos_preserved"](points, scenario, {})
+        assert len(checks) == 2
+        assert all(check.experiment == "case_b" for check in checks)

@@ -1,0 +1,299 @@
+"""Tests for the declarative campaign specification (round trips, schema errors)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CampaignError,
+    CheckSpec,
+    SubGrid,
+    available_campaigns,
+    campaign_from_file,
+    get_campaign,
+)
+from repro.sim.clock import MS
+
+
+def make_campaign() -> Campaign:
+    return Campaign(
+        name="mini",
+        description="two tiny sub-grids",
+        duration_ms=1.0,
+        traffic_scale=0.2,
+        subgrids=(
+            SubGrid(
+                name="policies",
+                scenario="case_b",
+                title="policy comparison",
+                axes={"policy": ["fcfs", "priority_qos"]},
+                columns=("bandwidth", "min_npi"),
+                claims=("one claim",),
+                checks=(CheckSpec(kind="policy_failures"),),
+            ),
+            SubGrid(
+                name="freqs",
+                scenario="case_b",
+                axes={"platform.sim.dram.io_freq_mhz": [1500.0, 1700.0]},
+                settings={"policy": "fcfs"},
+                duration_ms=0.5,
+            ),
+        ),
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_lossless(self):
+        campaign = make_campaign()
+        assert Campaign.from_dict(campaign.to_dict()) == campaign
+
+    def test_json_round_trip_is_lossless(self):
+        campaign = make_campaign()
+        assert Campaign.from_dict(json.loads(campaign.to_json())) == campaign
+
+    def test_file_round_trip(self, tmp_path):
+        campaign = make_campaign()
+        path = campaign.save(tmp_path / "mini.json")
+        assert campaign_from_file(path) == campaign
+        assert get_campaign(str(path)) == campaign
+
+    def test_toml_file_loads_like_json(self, tmp_path):
+        toml_text = "\n".join(
+            [
+                'schema_version = 1',
+                'name = "toml_campaign"',
+                'duration_ms = 1.0',
+                "",
+                "[subgrids.minigrid]",
+                'scenario = "case_b"',
+                'axes.policy = ["fcfs", "priority_qos"]',
+                'columns = ["bandwidth"]',
+            ]
+        )
+        path = tmp_path / "c.toml"
+        path.write_text(toml_text)
+        campaign = campaign_from_file(path)
+        assert campaign.name == "toml_campaign"
+        assert campaign.subgrid("minigrid").axes == {"policy": ["fcfs", "priority_qos"]}
+        # And the TOML-loaded campaign round-trips through JSON losslessly.
+        assert Campaign.from_dict(json.loads(campaign.to_json())) == campaign
+
+    def test_bundled_campaigns_round_trip_and_validate(self):
+        campaigns = available_campaigns()
+        assert {"paper_figures", "extended"} <= set(campaigns)
+        for campaign in campaigns.values():
+            assert Campaign.from_dict(campaign.to_dict()) == campaign
+            assert campaign.validate(deep=True) > 0
+
+    def test_paper_figures_declares_every_figure(self):
+        campaign = get_campaign("paper_figures")
+        assert campaign.subgrid_names() == ["fig5", "fig6", "fig7", "fig8", "fig9"]
+        assert campaign.subgrid("fig7").settings == {"policy": "priority_qos"}
+
+
+class TestSchemaErrors:
+    def test_unknown_top_level_key(self):
+        with pytest.raises(CampaignError, match=r"campaign: unknown key\(s\)"):
+            Campaign.from_dict({"name": "x", "subgrids": {}, "warp": 9})
+
+    def test_missing_name(self):
+        with pytest.raises(CampaignError, match="campaign.name: required"):
+            Campaign.from_dict({"subgrids": {}})
+
+    def test_future_schema_version_rejected(self):
+        data = make_campaign().to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(CampaignError, match="campaign.schema_version"):
+            Campaign.from_dict(data)
+
+    def test_no_subgrids_rejected(self):
+        with pytest.raises(CampaignError, match="campaign.subgrids"):
+            Campaign.from_dict({"name": "x", "subgrids": {}})
+
+    def test_unknown_subgrid_key_carries_dotted_path(self):
+        data = make_campaign().to_dict()
+        data["subgrids"]["policies"]["warp"] = 9
+        with pytest.raises(CampaignError, match=r"campaign.subgrids.policies: unknown key\(s\)"):
+            Campaign.from_dict(data)
+
+    def test_unknown_column_carries_dotted_path(self):
+        data = make_campaign().to_dict()
+        data["subgrids"]["policies"]["columns"] = ["bandwidth", "nonsense"]
+        with pytest.raises(
+            CampaignError, match="campaign.subgrids.policies.columns: unknown column 'nonsense'"
+        ):
+            Campaign.from_dict(data)
+
+    def test_unknown_check_kind_carries_dotted_path(self):
+        data = make_campaign().to_dict()
+        data["subgrids"]["policies"]["checks"] = [{"kind": "nonsense"}]
+        with pytest.raises(
+            CampaignError,
+            match=r"campaign.subgrids.policies.checks\[0\].kind: unknown check",
+        ):
+            Campaign.from_dict(data)
+
+    def test_empty_axis_rejected(self):
+        data = make_campaign().to_dict()
+        data["subgrids"]["policies"]["axes"] = {"policy": []}
+        with pytest.raises(
+            CampaignError, match="campaign.subgrids.policies.axes.policy"
+        ):
+            Campaign.from_dict(data)
+
+    def test_duplicate_axis_values_rejected(self):
+        data = make_campaign().to_dict()
+        data["subgrids"]["policies"]["axes"] = {"policy": ["fcfs", "fcfs"]}
+        with pytest.raises(CampaignError, match="must be unique"):
+            Campaign.from_dict(data)
+
+    def test_duplicate_subgrid_names_rejected(self):
+        grid = SubGrid(name="twice", scenario="case_b", axes={"policy": ["fcfs"]})
+        with pytest.raises(CampaignError, match="duplicate sub-grid name"):
+            Campaign(name="x", subgrids=(grid, grid))
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(CampaignError, match="campaign.duration_ms"):
+            Campaign(
+                name="x",
+                duration_ms=0,
+                subgrids=(SubGrid(name="g", axes={"policy": ["fcfs"]}),),
+            )
+
+    def test_broken_file_reports_path(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(CampaignError, match="invalid JSON"):
+            campaign_from_file(path)
+
+    def test_unknown_campaign_name(self):
+        with pytest.raises(CampaignError, match="unknown campaign"):
+            get_campaign("no_such_campaign")
+
+
+class TestExpansion:
+    def test_points_merge_settings_and_sort_axes(self):
+        grid = SubGrid(
+            name="g",
+            scenario="case_b",
+            axes={"policy": ["fcfs", "priority_qos"], "platform.sim.seed": [1, 2]},
+            settings={"workload.params.traffic_scale": 0.5},
+        )
+        points = grid.points()
+        assert len(points) == 4
+        # Axes expand in sorted-axis order, like Scenario.sweep_points.
+        assert points[0] == {
+            "workload.params.traffic_scale": 0.5,
+            "platform.sim.seed": 1,
+            "policy": "fcfs",
+        }
+        labels = [grid.point_label(point) for point in points]
+        assert len(set(labels)) == 4
+        assert labels[0] == "seed=1, policy=fcfs"
+
+    def test_axisless_subgrid_is_one_point(self):
+        grid = SubGrid(name="single", scenario="case_b", settings={"policy": "fcfs"})
+        assert grid.points() == [{"policy": "fcfs"}]
+        assert grid.point_label(grid.points()[0]) == "single"
+
+    def test_run_spec_duration_precedence(self):
+        campaign = make_campaign()
+        policies, freqs = campaign.subgrids
+        # Sub-grid declaration beats the campaign default...
+        assert freqs.run_specs(campaign.duration_ms)[0].duration_ps == int(0.5 * MS)
+        assert policies.run_specs(campaign.duration_ms)[0].duration_ps == int(1.0 * MS)
+        # ...and the explicit override beats both.
+        assert (
+            freqs.run_specs(campaign.duration_ms, duration_ms=0.25)[0].duration_ps
+            == int(0.25 * MS)
+        )
+
+    def test_run_specs_resolve_bit_identically_to_grid_path(self):
+        # A campaign point and the equivalent grid path must resolve to the
+        # same scenario (same cache key modulo keep_trace).
+        grid = SubGrid(
+            name="g", scenario="case_b", axes={"policy": ["fcfs"]}
+        )
+        spec = grid.run_specs(default_duration_ms=1.0, default_traffic_scale=0.2)[0]
+        resolved = spec.resolved_scenario()
+        assert resolved.policy == "fcfs"
+        assert resolved.platform.sim.duration_ps == int(1.0 * MS)
+
+    def test_validate_rejects_unknown_scenario(self):
+        campaign = Campaign(
+            name="x",
+            subgrids=(SubGrid(name="g", scenario="no_such", axes={"policy": ["fcfs"]}),),
+        )
+        with pytest.raises(CampaignError, match="campaign.subgrids.g: unknown scenario"):
+            campaign.validate()
+
+    def test_validate_rejects_bad_axis_path(self):
+        campaign = Campaign(
+            name="x",
+            subgrids=(
+                SubGrid(name="g", scenario="case_b", axes={"platform.sim.warp": [1]}),
+            ),
+        )
+        with pytest.raises(CampaignError, match="campaign.subgrids.g: .*no such setting"):
+            campaign.validate()
+
+    def test_subgrid_lookup_error_lists_names(self):
+        with pytest.raises(CampaignError, match="fig5, fig6"):
+            get_campaign("paper_figures").subgrid("fig99")
+
+
+class TestReviewRegressions:
+    def test_check_missing_required_param_is_a_schema_error(self):
+        with pytest.raises(CampaignError, match="requires param"):
+            CheckSpec(kind="priority_escalation")
+        data = make_campaign().to_dict()
+        data["subgrids"]["policies"]["checks"] = [{"kind": "priority_escalation"}]
+        with pytest.raises(
+            CampaignError, match=r"campaign.subgrids.policies.checks\[0\].params"
+        ):
+            Campaign.from_dict(data)
+
+    def test_axis_values_colliding_under_str_rejected(self):
+        # 1 and "1" are distinct values but render identically in labels.
+        with pytest.raises(CampaignError, match="unique"):
+            SubGrid(name="g", scenario="case_b", axes={"x": [1, "1"]})
+
+    def test_future_version_beats_structural_errors(self):
+        data = {"schema_version": 2, "name": "x", "subgrids": {"g": {"grid_axes": {}}}}
+        with pytest.raises(CampaignError, match="declares version 2"):
+            Campaign.from_dict(data)
+
+    def test_settings_axis_overlap_rejected(self):
+        with pytest.raises(CampaignError, match="both as fixed setting"):
+            SubGrid(
+                name="g",
+                scenario="case_b",
+                axes={"policy": ["fcfs", "fr_fcfs"]},
+                settings={"policy": "priority_qos"},
+            )
+
+    def test_relative_scenario_paths_anchor_to_campaign_file(self, tmp_path):
+        from repro.scenario import get_scenario
+
+        scenario_dir = tmp_path / "scenarios"
+        get_scenario("case_b").with_overrides(name="anchored").save(
+            scenario_dir / "anchored.json"
+        )
+        campaign = Campaign(
+            name="anchored_campaign",
+            subgrids=(
+                SubGrid(
+                    name="g",
+                    scenario="scenarios/anchored.json",
+                    axes={"policy": ["fcfs"]},
+                ),
+            ),
+        )
+        path = campaign.save(tmp_path / "camp.json")
+        loaded = campaign_from_file(path)
+        # The relative reference now resolves from any working directory.
+        assert loaded.subgrid("g").scenario == str(scenario_dir / "anchored.json")
+        assert loaded.subgrid("g").resolved_scenario().name == "anchored"

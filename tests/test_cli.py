@@ -204,3 +204,178 @@ class TestRunCommands:
         output = capsys.readouterr().out
         assert "Memory-system energy breakdown" in output
         assert "Average power" in output
+
+
+class TestCampaignCommands:
+    @pytest.fixture()
+    def tiny_campaign(self, tmp_path):
+        from repro.campaign import Campaign, SubGrid
+
+        campaign = Campaign(
+            name="tiny",
+            description="one two-point sub-grid",
+            duration_ms=0.4,
+            traffic_scale=0.2,
+            subgrids=(
+                SubGrid(
+                    name="mini",
+                    scenario="case_b",
+                    axes={"policy": ["fcfs", "priority_qos"]},
+                    columns=("bandwidth", "min_npi", "failing"),
+                    claims=("tiny declared claim",),
+                ),
+            ),
+        )
+        return str(campaign.save(tmp_path / "tiny.json"))
+
+    def test_list_names_bundled_campaigns(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "paper_figures" in output
+        assert "extended" in output
+
+    def test_show_prints_lossless_json(self, capsys):
+        assert main(["campaign", "show", "paper_figures"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "paper_figures"
+        assert list(payload["subgrids"]) == ["fig5", "fig6", "fig7", "fig8", "fig9"]
+
+    def test_validate_bundled_campaigns(self, capsys):
+        assert main(["campaign", "validate"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("[PASS]") == 2
+        assert "0 failure(s)" in output
+
+    def test_validate_rejects_broken_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "bad", "subgrids": {"g": {"columns": ["nope"]}}}))
+        assert main(["campaign", "validate", str(bad)]) == 1
+        output = capsys.readouterr().out
+        assert "[FAIL]" in output
+        assert "unknown column" in output
+
+    def test_run_prints_stats_and_markdown_report(self, tiny_campaign, capsys):
+        assert main(["campaign", "run", tiny_campaign]) == 0
+        output = capsys.readouterr().out
+        assert "campaign tiny:" in output
+        assert "  mini: sweep:" in output
+        assert "### mini" in output
+        assert "tiny declared claim" in output
+        assert "### Campaign summary" in output
+
+    def test_run_json_report_to_file(self, tiny_campaign, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "campaign", "run", tiny_campaign,
+                "--format", "json", "--output", str(report_path),
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["campaign"] == "tiny"
+        assert payload["stats"]["executed"] == 2
+        # A second run resolves everything from the cache.
+        assert main(
+            [
+                "campaign", "run", tiny_campaign,
+                "--format", "json", "--output", str(report_path),
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        ) == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["stats"]["executed"] == 0
+        assert payload["stats"]["cache_hits"] == 2
+
+    def test_report_prints_only_the_report(self, tiny_campaign, capsys):
+        assert main(["campaign", "report", tiny_campaign]) == 0
+        output = capsys.readouterr().out
+        assert "campaign tiny:" not in output
+        assert output.lstrip().startswith("## Campaign tiny")
+
+    def test_run_subgrid_subset_and_unknown_subgrid(self, tiny_campaign, capsys):
+        assert main(["campaign", "run", tiny_campaign, "--subgrid", "mini"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "run", tiny_campaign, "--subgrid", "nope"]) == 2
+        assert "no sub-grid 'nope'" in capsys.readouterr().err
+
+    def test_strict_fails_on_failed_checks(self, tmp_path, capsys):
+        from repro.campaign import Campaign, CheckSpec, SubGrid
+
+        # priority_qos cannot fail a critical core here, so the declared
+        # some_point_fails check fails and --strict turns that into rc 1.
+        campaign = Campaign(
+            name="strict",
+            duration_ms=0.4,
+            traffic_scale=0.2,
+            subgrids=(
+                SubGrid(
+                    name="mini",
+                    scenario="case_b",
+                    axes={"policy": ["priority_qos"]},
+                    checks=(
+                        CheckSpec(
+                            kind="meets_targets",
+                            params={"where": {"policy": "no_such_policy"}},
+                        ),
+                    ),
+                ),
+            ),
+        )
+        path = str(campaign.save(tmp_path / "strict.json"))
+        assert main(["campaign", "run", path]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "run", path, "--strict"]) == 1
+        assert "check(s) failed" in capsys.readouterr().err
+
+
+class TestGridReporting:
+    def test_grid_md_has_latency_and_deadline_columns(self, capsys):
+        code = main(["grid", "case_b", "--duration-ms", "0.4", "--traffic-scale", "0.2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Grid over case_b's declared axes (4 points)" in output
+        header = [line for line in output.splitlines() if line.startswith("| point")][0]
+        assert "avg latency (ns)" in header
+        assert "deadline" in header
+        assert "min NPI dsp" in header
+        assert "policy=fcfs" in output
+
+    def test_grid_json_is_machine_readable(self, capsys):
+        code = main(
+            ["grid", "case_b", "--duration-ms", "0.4", "--traffic-scale", "0.2",
+             "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "case_b"
+        rows = payload["axis_sets"]["declared axes"]["rows"]
+        assert len(rows) == 4
+        assert {"point", "bandwidth_gb_per_s", "min_npi", "failing_cores", "deadline_met"} <= set(rows[0])
+
+    def test_grid_named_axis_sets_run_per_set(self, tmp_path, capsys):
+        from repro.scenario import get_scenario
+
+        scenario = get_scenario("case_b").with_overrides(
+            name="named_case",
+            sweep={
+                "policies": {"policy": ["fcfs", "priority_qos"]},
+                "seeds": {"platform.sim.seed": [2018, 7]},
+            },
+        )
+        path = scenario.save(tmp_path / "named_case.json")
+        code = main(["grid", str(path), "--duration-ms", "0.4", "--traffic-scale", "0.2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Grid over named_case's policies (2 points)" in output
+        assert "Grid over named_case's seeds (2 points)" in output
+        capsys.readouterr()
+        code = main(
+            ["grid", str(path), "--duration-ms", "0.4", "--traffic-scale", "0.2",
+             "--axis-set", "seeds"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "policies" not in output
+        assert "Grid over named_case's seeds (2 points)" in output

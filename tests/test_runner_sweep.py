@@ -239,3 +239,58 @@ class TestColumnarTraceEncoding:
             )
         )
         assert compact < 0.7 * legacy, (compact, legacy)
+
+
+class TestObserver:
+    def test_observer_sees_every_spec_exactly_once(self, tmp_path):
+        specs = [
+            RunSpec(scenario="case_b", policy=p, duration_ps=SHORT_PS, traffic_scale=TRAFFIC)
+            for p in ("fcfs", "priority_qos")
+        ]
+        specs.append(specs[0])  # duplicate: lands as a dedup hit
+        seen = []
+        results, stats = run_sweep(
+            specs,
+            cache_dir=str(tmp_path),
+            observer=lambda index, result, timings, from_cache: seen.append(
+                (index, result, timings, from_cache)
+            ),
+        )
+        assert sorted(index for index, *_ in seen) == [0, 1, 2]
+        by_index = {index: (result, timings, from_cache) for index, result, timings, from_cache in seen}
+        # Executed points carry timings, the duplicate does not.
+        assert by_index[0][1] is not None and not by_index[0][2]
+        assert by_index[2][1] is None and by_index[2][2]
+        assert by_index[2][0] is results[0]
+
+        # A second sweep over the same cache reports every point as cached.
+        warm_seen = []
+        run_sweep(
+            specs[:2],
+            cache_dir=str(tmp_path),
+            observer=lambda index, result, timings, from_cache: warm_seen.append(
+                (timings, from_cache)
+            ),
+        )
+        assert len(warm_seen) == 2
+        assert all(timings is None and from_cache for timings, from_cache in warm_seen)
+
+
+class TestNamedAxisSetGrids:
+    def test_scenario_grid_specs_expand_one_named_set(self):
+        scenario = scenario_config("case_b")  # noqa: F841 - warm the catalog
+        from repro.scenario import Scenario
+
+        named = Scenario(
+            name="named_grid",
+            sweep={
+                "policies": {"policy": ["fcfs", "priority_qos"]},
+                "seeds": {"platform.sim.seed": [1, 2, 3]},
+            },
+        )
+        policies = scenario_grid_specs(named, axis_set="policies")
+        seeds = scenario_grid_specs(named, axis_set="seeds")
+        assert [spec.label for spec in policies] == ["policy=fcfs", "policy=priority_qos"]
+        assert len(seeds) == 3
+        with pytest.raises(Exception, match="named axis sets"):
+            scenario_grid_specs(named)

@@ -171,3 +171,69 @@ class TestSweepPoints:
     def test_no_axes_yields_single_empty_point(self):
         scenario = Scenario(name="flat")
         assert scenario.sweep_points() == [{}]
+
+
+def named_sweep_scenario() -> Scenario:
+    return Scenario(
+        name="named",
+        sweep={
+            "fig_a": {"policy": ["fcfs", "priority_qos"]},
+            "fig_b": {"platform.sim.seed": [1, 2], "policy": ["fcfs"]},
+        },
+    )
+
+
+class TestNamedSweepSets:
+    def test_flat_form_is_unchanged(self):
+        scenario = sample_scenario()
+        assert not scenario.sweep_is_named
+        assert scenario.sweep_axis_sets() == {
+            "grid": {"policy": ["fcfs", "priority_qos"], "platform.sim.seed": [1, 2, 3]}
+        }
+        assert len(scenario.sweep_points()) == 6
+
+    def test_named_form_round_trips_losslessly(self):
+        scenario = named_sweep_scenario()
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+        assert Scenario.from_dict(json.loads(scenario.to_json())) == scenario
+
+    def test_named_form_exposes_sets_in_declaration_order(self):
+        scenario = named_sweep_scenario()
+        assert scenario.sweep_is_named
+        assert list(scenario.sweep_axis_sets()) == ["fig_a", "fig_b"]
+        assert scenario.sweep_axes("fig_a") == {"policy": ["fcfs", "priority_qos"]}
+
+    def test_named_points_expand_one_set(self):
+        scenario = named_sweep_scenario()
+        assert len(scenario.sweep_points("fig_a")) == 2
+        assert len(scenario.sweep_points("fig_b")) == 2
+        assert {"policy": "fcfs", "platform.sim.seed": 1} in scenario.sweep_points("fig_b")
+
+    def test_named_points_require_a_set(self):
+        with pytest.raises(ScenarioError, match="named axis sets"):
+            named_sweep_scenario().sweep_points()
+
+    def test_unknown_set_rejected_with_names(self):
+        with pytest.raises(ScenarioError, match="fig_a, fig_b"):
+            named_sweep_scenario().sweep_points("fig_z")
+
+    def test_sweep_axis_searches_all_sets(self):
+        scenario = named_sweep_scenario()
+        assert scenario.sweep_axis("policy") == ["fcfs", "priority_qos"]
+        assert scenario.sweep_axis("platform.sim.seed") == [1, 2]
+        assert scenario.sweep_axis("nope") is None
+        assert sample_scenario().sweep_axis("policy") == ["fcfs", "priority_qos"]
+
+    def test_mixed_forms_rejected(self):
+        with pytest.raises(ScenarioError, match="cannot mix"):
+            Scenario(name="mixed", sweep={"policy": ["fcfs"], "fig": {"policy": ["fcfs"]}})
+        with pytest.raises(ScenarioError, match="cannot mix"):
+            Scenario(name="mixed", sweep={"fig": {"policy": ["fcfs"]}, "policy": ["fcfs"]})
+
+    def test_empty_named_set_rejected(self):
+        with pytest.raises(ScenarioError, match="at least one axis"):
+            Scenario(name="bad", sweep={"fig": {}})
+
+    def test_bad_axis_values_carry_dotted_path(self):
+        with pytest.raises(ScenarioError, match="scenario.sweep.fig.policy"):
+            Scenario(name="bad", sweep={"fig": {"policy": "fcfs"}})
