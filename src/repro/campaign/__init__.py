@@ -24,6 +24,7 @@ from repro.campaign.report import (
     campaign_report_md,
     campaign_report_payload,
     format_points_table,
+    points_csv,
     points_payload,
     render_markdown_table,
     run_subgrid_checks,
@@ -59,6 +60,7 @@ __all__ = [
     "describe_campaign",
     "format_points_table",
     "get_campaign",
+    "points_csv",
     "points_payload",
     "render_markdown_table",
     "run_subgrid_checks",

@@ -23,6 +23,8 @@ reject a typo'd column or check name without running anything.
 
 from __future__ import annotations
 
+import csv
+import io
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -241,6 +243,42 @@ def points_payload(
             row[key] = value
         payload.append(row)
     return payload
+
+
+def points_csv(
+    results: Mapping[str, ExperimentResult],
+    columns: Sequence[str] = DEFAULT_COLUMNS,
+    cores: Sequence[str] = (),
+) -> str:
+    """The same table as CSV with raw numeric cells (for replotting).
+
+    Rows mirror :func:`points_payload`; mapping-valued columns (the per-core
+    NPI columns) flatten to dotted headers (``min_npi.display``) and
+    list-valued cells (failing cores) join with ``;`` so every cell is a
+    scalar a plotting tool can ingest.
+    """
+    header: List[str] = ["point"]
+    flattened: List[Dict[str, Any]] = []
+    for row in points_payload(results, columns, cores):
+        flat: Dict[str, Any] = {}
+        for key, value in row.items():
+            if isinstance(value, Mapping):
+                for sub, subvalue in value.items():
+                    flat[f"{key}.{sub}"] = subvalue
+            elif isinstance(value, (list, tuple)):
+                flat[key] = ";".join(str(item) for item in value)
+            else:
+                flat[key] = value
+        for key in flat:
+            if key not in header:
+                header.append(key)
+        flattened.append(flat)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    for flat in flattened:
+        writer.writerow([flat.get(key, "") for key in header])
+    return buffer.getvalue()
 
 
 # --------------------------------------------------------------------------- #

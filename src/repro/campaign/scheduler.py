@@ -28,7 +28,7 @@ parity against running every sub-grid through the plain sweep path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.campaign.report import Point
 from repro.campaign.spec import Campaign, CampaignError, SubGrid
@@ -42,6 +42,9 @@ from repro.runner import (
 )
 from repro.scenario import Scenario
 from repro.system.experiment import ExperimentResult, RunTimings
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (store imports report)
+    from repro.store import Provenance, ResultsStore
 
 
 @dataclass(frozen=True)
@@ -68,6 +71,9 @@ class CampaignResult:
     stats: SweepStats = field(default_factory=SweepStats)
     #: Per-sub-grid counters and phase splits, attributed by the observer.
     subgrid_stats: Dict[str, SweepStats] = field(default_factory=dict)
+    #: sub-grid name -> each point's result-cache key, in point order (what
+    #: the results store records so reports can skip resolution entirely).
+    cache_keys: Dict[str, List[str]] = field(default_factory=dict)
 
     #: Memoized check outcomes per sub-grid (checks are pure over the
     #: results, and the report renders them in several places — evaluate
@@ -130,6 +136,54 @@ class CampaignScheduler:
         # count every point once.
         return [self.campaign.subgrid(name) for name in dict.fromkeys(subgrids)]
 
+    def _selection(self, subgrids: Optional[Sequence[str]]) -> Optional[Tuple[str, ...]]:
+        """The deduplicated sub-grid selection as recorded in provenance."""
+        if subgrids is None:
+            return None
+        return tuple(dict.fromkeys(subgrids))
+
+    def fingerprint(self, subgrids: Optional[Sequence[str]] = None) -> str:
+        """The results-store lookup key for this scheduler's effective run.
+
+        Computed entirely from the campaign's dictionary form plus the
+        scheduler's overrides — no scenario is resolved, no ``RunSpec`` is
+        built — which is exactly what lets a warm ``campaign report`` find
+        its manifest as a pure read.  Execution knobs that cannot change
+        results (``jobs``, cache and store directories, output format) do
+        not participate.
+        """
+        from repro.store import run_fingerprint
+
+        return run_fingerprint(
+            "campaign",
+            self.campaign.to_dict(),
+            duration_ms=self.duration_ms,
+            traffic_scale=self.traffic_scale,
+            selection=self._selection(subgrids),
+            plugin_modules=self.plugin_modules,
+        )
+
+    def provenance(
+        self, subgrids: Optional[Sequence[str]] = None, recorded_at: str = ""
+    ) -> "Provenance":
+        """The provenance block a store recording of this run carries.
+
+        ``recorded_at`` is caller-supplied (the CLI stamps wall-clock time)
+        so scheduling stays a pure function of its inputs.
+        """
+        from repro.store import Provenance, spec_hash
+
+        return Provenance(
+            kind="campaign",
+            name=self.campaign.name,
+            spec_hash=spec_hash(self.campaign.to_dict()),
+            created_at=recorded_at,
+            duration_ms=self.duration_ms,
+            traffic_scale=self.traffic_scale,
+            selection=self._selection(subgrids),
+            plugin_modules=self.plugin_modules,
+        )
+
     def plan(self, subgrids: Optional[Sequence[str]] = None) -> List[ScheduledRun]:
         """Flatten the selected sub-grids into one cost-ordered run stream.
 
@@ -168,6 +222,8 @@ class CampaignScheduler:
         cache_dir: Optional[str] = None,
         pool: Optional[WorkerPool] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        store: Optional["ResultsStore"] = None,
+        recorded_at: str = "",
     ) -> CampaignResult:
         """Execute the plan through one ``run_sweep`` call and regroup.
 
@@ -176,6 +232,12 @@ class CampaignScheduler:
         sweep, so a cold pool spawns exactly once and ``pool_startup_s``
         appears once in the campaign totals (and never in the per-sub-grid
         stats, which only carry work attributable to their own points).
+
+        ``store`` is the results-store hook: when given, the run's rendered
+        artifacts, cache keys, check outcomes and provenance (stamped
+        ``recorded_at``, a caller-supplied timestamp) are recorded under
+        :meth:`fingerprint` the moment the results exist — the single write
+        that makes every later report against this run a pure read.
         """
         plan = self.plan(subgrids)
         selected = self._selected(subgrids)
@@ -233,12 +295,25 @@ class CampaignScheduler:
                 raise CampaignError(f"sub-grid '{name}' point '{label}' produced no result")
             by_subgrid[name][_point_key(settings)] = (settings, label, result)
         # Regroup in each sub-grid's declared point order, not plan order.
+        key_by_point = {
+            (run.subgrid, _point_key(run.settings)): run.spec.key() for run in plan
+        }
         for subgrid in selected:
             ordered = [
                 by_subgrid[subgrid.name][_point_key(point)]
                 for point in subgrid.points()
             ]
             outcome.points[subgrid.name] = ordered
+            outcome.cache_keys[subgrid.name] = [
+                key_by_point[(subgrid.name, _point_key(point))]
+                for point in subgrid.points()
+            ]
+        if store is not None:
+            store.record_campaign(
+                outcome,
+                fingerprint=self.fingerprint(subgrids),
+                provenance=self.provenance(subgrids, recorded_at=recorded_at),
+            )
         return outcome
 
 

@@ -26,7 +26,7 @@ import os
 import tempfile
 import time
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.analysis.serialize import (
     experiment_result_from_dict,
@@ -143,6 +143,17 @@ class ResultCache:
             self.write_s += time.perf_counter() - began
         self.stores += 1
         return path
+
+    def keys(self) -> List[str]:
+        """Every cache key currently on disk, sorted.
+
+        The results store's ``verify`` cross-checks a manifest's recorded
+        keys against this set, so a report whose underlying results were
+        evicted is flagged instead of silently trusted.
+        """
+        if not self.directory.is_dir():
+            return []
+        return sorted(entry.stem for entry in self.directory.glob("*/*.json"))
 
     def entries(self) -> int:
         """Number of entries currently on disk."""

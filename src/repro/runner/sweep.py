@@ -127,8 +127,14 @@ class RunSpec:
         }
 
     def key(self) -> str:
-        """Stable cache key for this spec."""
-        return cache_key(self.fingerprint())
+        """Stable cache key for this spec (memoized like the resolution:
+        the sweep computes it for dedup and the campaign scheduler reads it
+        again to record the manifest — same spec, same key, hash once)."""
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            cached = cache_key(self.fingerprint())
+            object.__setattr__(self, "_key", cached)
+        return cached
 
     def display_label(self) -> str:
         if self.label is not None:

@@ -1,0 +1,52 @@
+"""The content-addressed results store: serve results, don't recompute them.
+
+The runner's :class:`~repro.runner.cache.ResultCache` memoizes *simulation*
+— one entry per resolved run — but every report still had to re-resolve the
+grid to know which entries to read.  This package adds the missing layer: a
+:class:`Manifest` records, per campaign (or grid) run, every point's
+resolved cache key, the measured rows, the evaluated check outcomes, the
+rendered artifacts (markdown / CSV / JSON, written once at run time) and
+the run's provenance — so ``repro campaign report`` and ``repro grid`` can
+serve a recorded run as a pure read, and the
+:mod:`~repro.store.narrative` renderer can turn declared claims plus
+measured outcomes into a regenerable ``EXPERIMENTS.md`` section.
+
+``repro store list|show|verify|gc`` operates on a store directory.
+"""
+
+from repro.store.manifest import (
+    MANIFEST_KINDS,
+    STORE_SCHEMA_VERSION,
+    ArtifactRef,
+    CheckRecord,
+    Manifest,
+    PointRecord,
+    Provenance,
+    StoreError,
+    SubGridEntry,
+    content_digest,
+    run_fingerprint,
+    spec_hash,
+)
+from repro.store.narrative import narrative_md, replace_section
+from repro.store.store import GridSection, ResultsStore, describe_manifest
+
+__all__ = [
+    "ArtifactRef",
+    "CheckRecord",
+    "GridSection",
+    "MANIFEST_KINDS",
+    "Manifest",
+    "PointRecord",
+    "Provenance",
+    "ResultsStore",
+    "STORE_SCHEMA_VERSION",
+    "StoreError",
+    "SubGridEntry",
+    "content_digest",
+    "describe_manifest",
+    "narrative_md",
+    "replace_section",
+    "run_fingerprint",
+    "spec_hash",
+]

@@ -1,0 +1,158 @@
+"""Provenance-tracked experiment narratives: claims to measured prose.
+
+A campaign file declares *claims* (prose) and *checks* (executable claims);
+the live report prints both next to the measured tables, but nothing so far
+landed them anywhere a reader of the repository could see measured numbers.
+This module renders a recorded :class:`~repro.store.manifest.Manifest` into
+a markdown narrative — claim by claim, check outcome by check outcome, with
+the measured rows quoted inline and a provenance footer naming the exact
+spec hash and repro version that produced them — and maintains that
+narrative as a marked, regenerable section of ``EXPERIMENTS.md``.
+
+The narrative is deliberately deterministic: it quotes the manifest's
+measured values and provenance hashes but never wall-clock timestamps, so
+CI can regenerate the section and fail on *drift in the numbers*, not on
+the time of day.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Mapping
+
+from repro.store.manifest import Manifest, StoreError, SubGridEntry
+
+#: Section markers (``{name}`` is the campaign name); everything between a
+#: matched pair is owned by the generator and replaced wholesale.
+BEGIN_MARKER = "<!-- BEGIN GENERATED NARRATIVE: {name} -->"
+END_MARKER = "<!-- END GENERATED NARRATIVE: {name} -->"
+
+
+def _format_cell(value: Any) -> str:
+    """One measured value as a narrative table cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, (list, tuple)):
+        return ", ".join(str(item) for item in value) or "none"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def _flatten_row(row: Mapping[str, Any]) -> Dict[str, str]:
+    """Flatten one measured payload row to scalar display cells."""
+    flat: Dict[str, str] = {}
+    for key, value in row.items():
+        if isinstance(value, Mapping):
+            for sub, subvalue in value.items():
+                flat[f"{key} {sub}"] = _format_cell(subvalue)
+        else:
+            flat[key] = _format_cell(value)
+    return flat
+
+
+def _measured_table(entry: SubGridEntry) -> List[str]:
+    """The sub-grid's measured rows as a markdown table (raw values)."""
+    flattened = [_flatten_row(row) for row in entry.rows]
+    header: List[str] = ["point"]
+    for flat in flattened:
+        for key in flat:
+            if key not in header:
+                header.append(key)
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    for flat in flattened:
+        lines.append("| " + " | ".join(flat.get(key, "-") for key in header) + " |")
+    return lines
+
+
+def narrative_md(manifest: Manifest) -> str:
+    """Render one manifest as a self-contained markdown narrative.
+
+    For every recorded sub-grid: its declared claims, each check's verdict
+    with the measured evidence the run produced, and the measured table the
+    verdict was judged on.  The footer pins the numbers to the spec hash,
+    repro version and run parameters that produced them.
+    """
+    provenance = manifest.provenance
+    total_points = sum(len(entry.points) for entry in manifest.subgrids)
+    checks = [check for entry in manifest.subgrids for check in entry.checks]
+    passed = sum(1 for check in checks if check.passed)
+    lines = [f"## Measured claim results — {provenance.kind} `{provenance.name}`", ""]
+    lines.append(
+        f"{len(manifest.subgrids)} experiment(s), {total_points} measured point(s); "
+        f"{passed} of {len(checks)} declared check(s) hold on this recording."
+        if checks
+        else f"{len(manifest.subgrids)} experiment(s), {total_points} measured "
+        "point(s); this recording declares no executable checks."
+    )
+    for entry in manifest.subgrids:
+        lines.append("")
+        lines.append(f"### {entry.title or entry.name} (`{entry.name}`, scenario `{entry.scenario}`)")
+        if entry.claims:
+            lines.append("")
+            lines.append("Claimed:")
+            lines.extend(f"- {claim}" for claim in entry.claims)
+        if entry.checks:
+            lines.append("")
+            lines.append("Measured:")
+            for check in entry.checks:
+                verdict = "**holds**" if check.passed else "**FAILS**"
+                detail = f" — {check.detail}" if check.detail else ""
+                lines.append(f"- {verdict}: {check.description}{detail}")
+        if entry.rows:
+            lines.append("")
+            lines.extend(_measured_table(entry))
+    lines.append("")
+    duration = (
+        f"{provenance.duration_ms:g} ms"
+        if provenance.duration_ms is not None
+        else f"{provenance.kind} defaults"
+    )
+    traffic = (
+        f", traffic ×{provenance.traffic_scale:g}"
+        if provenance.traffic_scale is not None
+        else ""
+    )
+    lines.append(
+        f"_Provenance: {provenance.kind} `{provenance.name}` "
+        f"(spec `sha256:{provenance.spec_hash[:12]}`), repro {provenance.repro_version}, "
+        f"cache schema {provenance.cache_schema_version}, duration {duration}{traffic}. "
+        f"Regenerate with `python -m repro campaign narrative {provenance.name}`._"
+    )
+    return "\n".join(lines)
+
+
+def _markers(name: str) -> tuple:
+    return BEGIN_MARKER.format(name=name), END_MARKER.format(name=name)
+
+
+def replace_section(text: str, name: str, body: str) -> str:
+    """Replace (or append) the generated section named ``name`` in ``text``.
+
+    Everything between the section's BEGIN/END markers is replaced; a file
+    without the markers gets the section appended, so hand-written prose
+    around the generated block always survives regeneration.
+    """
+    begin, end = _markers(name)
+    section = f"{begin}\n{body}\n{end}"
+    has_begin, has_end = begin in text, end in text
+    if has_begin != has_end:
+        missing = end if has_begin else begin
+        raise StoreError(
+            f"generated section '{name}' is missing its marker line {missing!r} "
+            "(restore or delete the stray marker before regenerating)"
+        )
+    if has_begin:
+        pattern = re.compile(
+            re.escape(begin) + r".*?" + re.escape(end), flags=re.DOTALL
+        )
+        return pattern.sub(lambda _: section, text, count=1)
+    if text and not text.endswith("\n"):
+        text += "\n"
+    separator = "\n" if text else ""
+    return f"{text}{separator}{section}\n"

@@ -1,0 +1,482 @@
+"""The content-addressed results store: manifests plus artifact blobs.
+
+A store directory has two halves::
+
+    store/
+      manifests/<fingerprint>.json     one Manifest per recorded run
+      artifacts/<aa>/<digest>.<ext>    content-addressed rendered artifacts
+
+Artifacts are addressed by the SHA-256 of their bytes, so identical
+renderings dedup to one blob, a reference can always be re-verified against
+its content (``repro store verify``), and blobs nothing references anymore
+can be swept (``repro store gc``).  Manifests are keyed by the run
+fingerprint — a hash of the spec's *dictionary form* plus the effective
+overrides — which is what lets ``repro campaign report`` find and serve a
+recorded run without resolving a single :class:`~repro.runner.RunSpec`.
+
+Writes follow the result cache's crash-safety idiom: temporary file plus
+atomic rename, so a concurrent reader (or an interrupted run) never sees a
+half-written manifest or blob.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.campaign.report import (
+    DEFAULT_COLUMNS,
+    Point,
+    campaign_report_md,
+    campaign_report_payload,
+    points_csv,
+    points_payload,
+    subgrid_report_md,
+    subgrid_report_payload,
+)
+from repro.store.manifest import (
+    ArtifactRef,
+    CheckRecord,
+    Manifest,
+    PointRecord,
+    Provenance,
+    StoreError,
+    SubGridEntry,
+    content_digest,
+)
+from repro.store.narrative import narrative_md
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (no runtime cycle)
+    from repro.campaign.scheduler import CampaignResult
+    from repro.runner.cache import ResultCache
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class GridSection:
+    """One axis set of a ``repro grid`` run, ready to record.
+
+    The CLI gathers these while rendering live output; the store turns each
+    into a :class:`SubGridEntry` so grid runs and campaign runs share one
+    manifest shape (a grid is a campaign with one anonymous sub-grid per
+    axis set).
+    """
+
+    label: str
+    scenario_name: str
+    critical_cores: Tuple[str, ...]
+    points: Tuple[Point, ...]
+    cache_keys: Tuple[str, ...]
+    rendered_md: str
+
+
+def _atomic_write(path: Path, content: bytes) -> None:
+    """Write ``content`` to ``path`` via a temp file and atomic rename."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(content)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class ResultsStore:
+    """A directory of manifests and content-addressed rendered artifacts."""
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+
+    @property
+    def manifest_dir(self) -> Path:
+        return self.directory / "manifests"
+
+    @property
+    def artifact_dir(self) -> Path:
+        return self.directory / "artifacts"
+
+    # ------------------------------------------------------------------ #
+    # Artifact blobs
+    # ------------------------------------------------------------------ #
+    def artifact_path(self, ref: ArtifactRef) -> Path:
+        """Location of a reference's blob (whether or not it exists)."""
+        return self.artifact_dir / ref.digest[:2] / f"{ref.digest}.{ref.ext}"
+
+    def put_artifact(self, content: str, ext: str) -> ArtifactRef:
+        """Store one rendered artifact; identical content dedups to one blob."""
+        raw = content.encode("utf-8")
+        ref = ArtifactRef(digest=content_digest(raw), ext=ext, size=len(raw))
+        path = self.artifact_path(ref)
+        if not path.is_file():
+            _atomic_write(path, raw)
+        return ref
+
+    def read_artifact(self, ref: ArtifactRef) -> str:
+        """Load a blob, re-verifying its content address on the way in.
+
+        Raises :class:`StoreError` when the blob is missing or its bytes no
+        longer hash to the reference — serving paths treat that as a miss
+        and fall back to live rendering, so a tampered artifact can never be
+        served as if it were the recorded one.
+        """
+        path = self.artifact_path(ref)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            raise StoreError(f"artifact {ref.digest[:12]}… missing from {path}") from None
+        if content_digest(raw) != ref.digest:
+            raise StoreError(
+                f"artifact {ref.digest[:12]}… content does not match its address "
+                f"(tampered or corrupt: {path})"
+            )
+        return raw.decode("utf-8")
+
+    # ------------------------------------------------------------------ #
+    # Manifests
+    # ------------------------------------------------------------------ #
+    def manifest_path(self, fingerprint: str) -> Path:
+        return self.manifest_dir / f"{fingerprint}.json"
+
+    def put_manifest(self, manifest: Manifest) -> Path:
+        path = self.manifest_path(manifest.fingerprint)
+        _atomic_write(path, (manifest.to_json() + "\n").encode("utf-8"))
+        return path
+
+    def get_manifest(self, fingerprint: str) -> Optional[Manifest]:
+        """Load the manifest recorded under a fingerprint, or ``None``.
+
+        Unreadable or schema-invalid manifests are misses, not errors: the
+        caller's fallback is a live render, which will re-record a good one.
+        """
+        path = self.manifest_path(fingerprint)
+        try:
+            data = json.loads(path.read_text())
+            return Manifest.from_dict(data)
+        except (OSError, ValueError):
+            return None
+
+    def manifests(self) -> List[Manifest]:
+        """Every readable manifest, newest ``created_at`` first."""
+        loaded = []
+        if self.manifest_dir.is_dir():
+            for path in sorted(self.manifest_dir.glob("*.json")):
+                manifest = self.get_manifest(path.stem)
+                if manifest is not None:
+                    loaded.append(manifest)
+        loaded.sort(key=lambda m: (m.provenance.created_at, m.fingerprint), reverse=True)
+        return loaded
+
+    def find_manifest(self, prefix: str) -> Manifest:
+        """Resolve a (possibly abbreviated) fingerprint to its manifest."""
+        matches = []
+        if self.manifest_dir.is_dir():
+            matches = sorted(
+                path.stem
+                for path in self.manifest_dir.glob("*.json")
+                if path.stem.startswith(prefix)
+            )
+        if not matches:
+            raise StoreError(f"no manifest matches '{prefix}' in {self.manifest_dir}")
+        if len(matches) > 1:
+            shown = ", ".join(match[:12] for match in matches)
+            raise StoreError(f"fingerprint prefix '{prefix}' is ambiguous ({shown})")
+        manifest = self.get_manifest(matches[0])
+        if manifest is None:
+            raise StoreError(f"manifest {matches[0][:12]}… exists but is unreadable")
+        return manifest
+
+    def delete_manifest(self, fingerprint: str) -> bool:
+        try:
+            self.manifest_path(fingerprint).unlink()
+            return True
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record_campaign(
+        self,
+        outcome: "CampaignResult",
+        fingerprint: str,
+        provenance: Provenance,
+    ) -> Manifest:
+        """Render and persist everything one campaign run produced.
+
+        Called once, at run time, by the scheduler's store hook: every
+        per-figure table (markdown, CSV, JSON), the full campaign report in
+        both formats, and the generated narrative are rendered *now* —
+        while the results are in memory — and every later ``campaign
+        report`` against the same fingerprint is a pure read.
+        """
+        entries = []
+        for subgrid in outcome.subgrids():
+            name = subgrid.name
+            scenario = outcome.scenarios[name]
+            points = outcome.points[name]
+            checks = outcome.checks(name)
+            columns = list(subgrid.columns) or list(DEFAULT_COLUMNS)
+            cores = list(scenario.critical_cores)
+            results = {label: result for _, label, result in points}
+            payload = subgrid_report_payload(subgrid, scenario, points, checks=checks)
+            artifacts = {
+                "md": self.put_artifact(
+                    subgrid_report_md(
+                        subgrid,
+                        scenario,
+                        points,
+                        stats=outcome.subgrid_stats.get(name),
+                        checks=checks,
+                    ),
+                    "md",
+                ),
+                "csv": self.put_artifact(points_csv(results, columns, cores), "csv"),
+                "json": self.put_artifact(json.dumps(payload, indent=2), "json"),
+            }
+            keys = outcome.cache_keys.get(name, ())
+            if len(keys) != len(points):
+                # zip() would silently truncate and record a manifest whose
+                # verify cross-check has nothing to check — refuse instead.
+                raise StoreError(
+                    f"sub-grid '{name}': {len(points)} point(s) but "
+                    f"{len(keys)} cache key(s); record_campaign needs an "
+                    "outcome produced by CampaignScheduler.run"
+                )
+            entries.append(
+                SubGridEntry(
+                    name=name,
+                    scenario=scenario.name,
+                    title=subgrid.title,
+                    critical_cores=tuple(cores),
+                    points=tuple(
+                        PointRecord(settings=settings, label=label, cache_key=key)
+                        for (settings, label, _), key in zip(points, keys)
+                    ),
+                    rows=tuple(payload["rows"]),
+                    claims=tuple(subgrid.claims),
+                    checks=tuple(
+                        CheckRecord(
+                            kind=kind,
+                            experiment=check.experiment,
+                            description=check.description,
+                            passed=check.passed,
+                            detail=check.detail,
+                        )
+                        for kind, check in checks
+                    ),
+                    artifacts=artifacts,
+                )
+            )
+        artifacts = {
+            "report_md": self.put_artifact(campaign_report_md(outcome), "md"),
+            "report_json": self.put_artifact(
+                json.dumps(campaign_report_payload(outcome), indent=2), "json"
+            ),
+        }
+        manifest = Manifest(
+            fingerprint=fingerprint,
+            provenance=provenance,
+            subgrids=tuple(entries),
+            artifacts=artifacts,
+            stats=_stats_payload(outcome.stats),
+        )
+        # The narrative renders *from* the manifest (it quotes the recorded
+        # rows and check outcomes), so it is attached in a second step.
+        narrative_ref = self.put_artifact(narrative_md(manifest), "md")
+        manifest = replace(
+            manifest, artifacts={**artifacts, "narrative_md": narrative_ref}
+        )
+        self.put_manifest(manifest)
+        return manifest
+
+    def record_grid(
+        self,
+        sections: Sequence[GridSection],
+        fingerprint: str,
+        provenance: Provenance,
+        report_md: str,
+        report_json: str,
+    ) -> Manifest:
+        """Persist one ``repro grid`` run: one entry per axis set.
+
+        ``report_md``/``report_json`` are the command's full rendered output
+        for each format — the bytes a warm ``repro grid --store-dir`` serves
+        back without expanding or resolving the grid again.
+        """
+        entries = []
+        for section in sections:
+            results = {label: result for _, label, result in section.points}
+            cores = list(section.critical_cores)
+            payload_rows = points_payload(results, DEFAULT_COLUMNS, cores)
+            artifacts = {
+                "md": self.put_artifact(section.rendered_md, "md"),
+                "csv": self.put_artifact(
+                    points_csv(results, DEFAULT_COLUMNS, cores), "csv"
+                ),
+                "json": self.put_artifact(json.dumps(payload_rows, indent=2), "json"),
+            }
+            entries.append(
+                SubGridEntry(
+                    name=section.label,
+                    scenario=section.scenario_name,
+                    title=section.label,
+                    critical_cores=tuple(cores),
+                    points=tuple(
+                        PointRecord(settings=settings, label=label, cache_key=key)
+                        for (settings, label, _), key in zip(
+                            section.points, section.cache_keys
+                        )
+                    ),
+                    rows=tuple(payload_rows),
+                    artifacts=artifacts,
+                )
+            )
+        manifest = Manifest(
+            fingerprint=fingerprint,
+            provenance=provenance,
+            subgrids=tuple(entries),
+            artifacts={
+                "report_md": self.put_artifact(report_md, "md"),
+                "report_json": self.put_artifact(report_json, "json"),
+            },
+        )
+        self.put_manifest(manifest)
+        return manifest
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def serve(self, fingerprint: str, artifact: str) -> Optional[str]:
+        """The store-backed fast path: a recorded artifact, or ``None``.
+
+        ``None`` — manifest missing, artifact not recorded, blob missing or
+        tampered — means "render live"; the fast path never degrades the
+        report, it only skips work when a verified recording exists.
+        """
+        manifest = self.get_manifest(fingerprint)
+        if manifest is None:
+            return None
+        ref = manifest.artifacts.get(artifact)
+        if ref is None:
+            return None
+        try:
+            return self.read_artifact(ref)
+        except StoreError:
+            return None
+
+    # ------------------------------------------------------------------ #
+    # Maintenance: verify and gc
+    # ------------------------------------------------------------------ #
+    def verify(self, cache: Optional["ResultCache"] = None) -> List[str]:
+        """Check every manifest's references; returns problem descriptions.
+
+        Each artifact blob is re-hashed against its content address (so
+        tampering and truncation are caught), missing blobs and unreadable
+        manifests are reported, and — when a result cache is handed in —
+        every recorded cache key is checked to still be present, so a
+        manifest whose underlying results were evicted is flagged before
+        someone trusts its numbers.
+        """
+        problems: List[str] = []
+        # One directory listing up front beats one stat per recorded key
+        # when many manifests share a cache.
+        present = set(cache.keys()) if cache is not None else set()
+        if self.manifest_dir.is_dir():
+            for path in sorted(self.manifest_dir.glob("*.json")):
+                try:
+                    manifest = Manifest.from_dict(json.loads(path.read_text()))
+                except (OSError, ValueError) as exc:
+                    problems.append(f"manifest {path.name}: unreadable ({exc})")
+                    continue
+                if manifest.fingerprint != path.stem:
+                    problems.append(
+                        f"manifest {path.name}: declares fingerprint "
+                        f"{manifest.fingerprint[:12]}… (file name disagrees)"
+                    )
+                short = manifest.fingerprint[:12]
+                for name, ref in manifest.artifact_refs().items():
+                    try:
+                        self.read_artifact(ref)
+                    except StoreError as exc:
+                        problems.append(f"manifest {short}… artifact {name}: {exc}")
+                if cache is not None:
+                    missing = [key for key in manifest.cache_keys() if key not in present]
+                    if missing:
+                        problems.append(
+                            f"manifest {short}…: {len(missing)} recorded cache "
+                            f"key(s) missing from {cache.directory} "
+                            f"(first: {missing[0][:12]}…)"
+                        )
+        return problems
+
+    def gc(self) -> Tuple[int, int]:
+        """Delete artifact blobs no manifest references; ``(removed, kept)``.
+
+        Unreadable manifests keep nothing alive — ``verify`` flags them
+        first, and ``gc`` after deleting a manifest is how its blobs are
+        reclaimed.
+        """
+        referenced = set()
+        for manifest in self.manifests():
+            for ref in manifest.artifact_refs().values():
+                referenced.add((ref.digest, ref.ext))
+        removed = kept = 0
+        if self.artifact_dir.is_dir():
+            for blob in sorted(self.artifact_dir.glob("*/*")):
+                digest, _, ext = blob.name.partition(".")
+                if (digest, ext) in referenced:
+                    kept += 1
+                else:
+                    blob.unlink()
+                    removed += 1
+        return removed, kept
+
+    def size_bytes(self) -> int:
+        """Total bytes the store occupies on disk (manifests + blobs)."""
+        total = 0
+        for root in (self.manifest_dir, self.artifact_dir):
+            if root.is_dir():
+                total += sum(
+                    path.stat().st_size for path in root.rglob("*") if path.is_file()
+                )
+        return total
+
+
+def _stats_payload(stats: Any) -> Dict[str, Any]:
+    """A sweep's counters/phases as plain manifest data."""
+    return {
+        "total": stats.total,
+        "cache_hits": stats.cache_hits,
+        "executed": stats.executed,
+        "jobs": stats.jobs,
+        "elapsed_s": stats.elapsed_s,
+        "phases": stats.phases(),
+    }
+
+
+def describe_manifest(manifest: Manifest) -> str:
+    """One-line summary used by ``repro store list``."""
+    provenance = manifest.provenance
+    points = sum(len(entry.points) for entry in manifest.subgrids)
+    checks = [check for entry in manifest.subgrids for check in entry.checks]
+    failed = sum(1 for check in checks if not check.passed)
+    check_note = (
+        f"{len(checks)} check(s){f', {failed} FAILED' if failed else ''}"
+        if checks
+        else "no checks"
+    )
+    return (
+        f"{manifest.fingerprint[:12]}  {provenance.kind:<8} {provenance.name:<18} "
+        f"{len(manifest.subgrids)} sub-grid(s), {points} point(s), {check_note}"
+        f"{f'  {provenance.created_at}' if provenance.created_at else ''}"
+    )

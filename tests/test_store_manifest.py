@@ -1,0 +1,160 @@
+"""Tests for the manifest schema: round trips, dotted paths, fingerprints."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.store import (
+    ArtifactRef,
+    CheckRecord,
+    Manifest,
+    PointRecord,
+    Provenance,
+    StoreError,
+    SubGridEntry,
+    content_digest,
+    run_fingerprint,
+    spec_hash,
+)
+
+KEY = "ab" * 32  # a syntactically valid SHA-256
+
+
+def _manifest() -> Manifest:
+    ref = ArtifactRef(digest="cd" * 32, ext="md", size=120)
+    entry = SubGridEntry(
+        name="fig5",
+        scenario="case_a",
+        title="a tiny figure",
+        critical_cores=("display", "dsp"),
+        points=(
+            PointRecord(settings={"policy": "fcfs"}, label="policy=fcfs", cache_key=KEY),
+        ),
+        rows=({"point": "policy=fcfs", "bandwidth_gb_per_s": 3.25},),
+        claims=("a prose claim",),
+        checks=(
+            CheckRecord(
+                kind="policy_failures",
+                experiment="fig5",
+                description="fcfs fails a core",
+                passed=True,
+                detail="failing: ['display']",
+            ),
+        ),
+        artifacts={"md": ref},
+    )
+    return Manifest(
+        fingerprint=KEY,
+        provenance=Provenance(
+            kind="campaign",
+            name="mini",
+            spec_hash=spec_hash({"name": "mini"}),
+            created_at="2026-07-28T00:00:00+00:00",
+            duration_ms=0.4,
+            selection=("fig5",),
+        ),
+        subgrids=(entry,),
+        artifacts={"report_md": ref},
+        stats={"total": 1, "executed": 1},
+    )
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_is_lossless(self):
+        manifest = _manifest()
+        rebuilt = Manifest.from_dict(manifest.to_dict())
+        assert rebuilt == manifest
+        assert rebuilt.to_dict() == manifest.to_dict()
+
+    def test_json_round_trip(self):
+        manifest = _manifest()
+        assert Manifest.from_dict(json.loads(manifest.to_json())) == manifest
+
+    def test_cache_keys_and_artifact_refs(self):
+        manifest = _manifest()
+        assert manifest.cache_keys() == [KEY]
+        refs = manifest.artifact_refs()
+        assert set(refs) == {"manifest/report_md", "fig5/md"}
+
+    def test_subgrid_lookup(self):
+        manifest = _manifest()
+        assert manifest.subgrid("fig5").scenario == "case_a"
+        with pytest.raises(StoreError, match="no sub-grid 'fig9'"):
+            manifest.subgrid("fig9")
+
+
+class TestValidation:
+    def test_newer_schema_version_is_rejected_with_message(self):
+        data = _manifest().to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(StoreError, match="manifest.schema_version.*99"):
+            Manifest.from_dict(data)
+
+    def test_unknown_key_carries_dotted_path(self):
+        data = _manifest().to_dict()
+        data["subgrids"]["fig5"]["surprise"] = 1
+        with pytest.raises(StoreError, match=r"manifest\.subgrids\.fig5"):
+            Manifest.from_dict(data)
+
+    def test_bad_cache_key_carries_point_path(self):
+        data = _manifest().to_dict()
+        data["subgrids"]["fig5"]["points"][0]["cache_key"] = "nope"
+        with pytest.raises(
+            StoreError, match=r"manifest\.subgrids\.fig5\.points\[0\]\.cache_key"
+        ):
+            Manifest.from_dict(data)
+
+    def test_bad_artifact_digest_carries_path(self):
+        data = _manifest().to_dict()
+        data["artifacts"]["report_md"]["digest"] = "short"
+        with pytest.raises(StoreError, match=r"manifest\.artifacts\.report_md\.digest"):
+            Manifest.from_dict(data)
+
+    def test_missing_provenance_is_required(self):
+        data = _manifest().to_dict()
+        del data["provenance"]
+        with pytest.raises(StoreError, match="manifest.provenance"):
+            Manifest.from_dict(data)
+
+    def test_duplicate_subgrid_names_rejected(self):
+        entry = _manifest().subgrids[0]
+        with pytest.raises(StoreError, match="duplicate sub-grid"):
+            Manifest(
+                fingerprint=KEY,
+                provenance=_manifest().provenance,
+                subgrids=(entry, entry),
+            )
+
+    def test_unknown_provenance_kind_rejected(self):
+        with pytest.raises(StoreError, match="provenance.kind"):
+            Provenance(kind="ritual", name="x", spec_hash=KEY)
+
+
+class TestFingerprint:
+    SPEC = {"name": "mini", "subgrids": {"a": {}}}
+
+    def test_deterministic_and_key_order_independent(self):
+        reordered = {"subgrids": {"a": {}}, "name": "mini"}
+        assert run_fingerprint("campaign", self.SPEC) == run_fingerprint(
+            "campaign", reordered
+        )
+
+    def test_every_knob_changes_the_fingerprint(self):
+        base = run_fingerprint("campaign", self.SPEC)
+        assert run_fingerprint("grid", self.SPEC) != base
+        assert run_fingerprint("campaign", self.SPEC, duration_ms=1.0) != base
+        assert run_fingerprint("campaign", self.SPEC, traffic_scale=0.5) != base
+        assert run_fingerprint("campaign", self.SPEC, selection=("a",)) != base
+        assert run_fingerprint("campaign", self.SPEC, plugin_modules=("m",)) != base
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(StoreError, match="manifest kind"):
+            run_fingerprint("ritual", self.SPEC)
+
+    def test_content_digest_matches_manual_hash(self):
+        import hashlib
+
+        raw = b"measured bytes"
+        assert content_digest(raw) == hashlib.sha256(raw).hexdigest()
