@@ -37,6 +37,7 @@ from __future__ import annotations
 import argparse
 import json
 import multiprocessing
+import os
 import platform
 import sys
 import time
@@ -101,6 +102,9 @@ def _merge_stats(per_call: List[SweepStats]) -> Dict[str, float]:
     for stats in per_call:
         for name, seconds in stats.phases().items():
             merged[name] = merged.get(name, 0.0) + seconds
+        # sim_wall is excluded from phases() (it re-describes sim_cpu's work);
+        # sequential calls chain, so the campaign's wall view is the sum.
+        merged["sim_wall"] = merged.get("sim_wall", 0.0) + stats.sim_wall_s
         merged["elapsed"] = merged.get("elapsed", 0.0) + stats.elapsed_s
     return {name: round(seconds, 4) for name, seconds in sorted(merged.items())}
 
@@ -214,6 +218,40 @@ def run_benchmark(repeats: int = 1) -> Dict[str, object]:
     }
 
 
+def _append_step_summary(payload: Dict[str, object], baseline: Dict[str, object]) -> None:
+    """Append a before/after phase table to $GITHUB_STEP_SUMMARY when CI sets it."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    results = payload["results"]
+    base_results = baseline.get("results", {})
+    current_phases = results["phases"]["warm_pool_batched"]  # type: ignore[index]
+    base_phases = base_results.get("phases", {}).get("warm_pool_batched", {})
+    lines = [
+        "## Runner benchmark (warm pool, batched dispatch)",
+        "",
+        "| phase | baseline | current |",
+        "|---|---|---|",
+    ]
+    for name in sorted(set(base_phases) | set(current_phases)):
+        base_s = base_phases.get(name)
+        base_text = f"{base_s:.2f}s" if isinstance(base_s, (int, float)) else "—"
+        current_s = current_phases.get(name)
+        current_text = (
+            f"{current_s:.2f}s" if isinstance(current_s, (int, float)) else "—"
+        )
+        lines.append(f"| {name} | {base_text} | {current_text} |")
+    base_wall = base_results.get("warm_pool_batched_s")
+    base_wall_text = f"{base_wall:.2f}s" if isinstance(base_wall, (int, float)) else "—"
+    lines.append(
+        f"| **wall clock** | {base_wall_text} "
+        f"| {results['warm_pool_batched_s']:.2f}s |"  # type: ignore[index]
+    )
+    lines.append("")
+    with open(summary_path, "a") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
 def check_against_baseline(
     payload: Dict[str, object], baseline_path: str, tolerance: float
 ) -> int:
@@ -246,6 +284,7 @@ def check_against_baseline(
         f"(from {baseline_path}); current: {current_warm:.2f}s; "
         f"limit at +{tolerance * 100:.0f}%: {limit:.2f}s"
     )
+    _append_step_summary(payload, baseline)
     if current_warm > limit:
         print("FAIL: warm-pool wall-clock regressed beyond tolerance")
         return 1

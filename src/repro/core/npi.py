@@ -98,6 +98,17 @@ class LatencyMeter(PerformanceMeter):
     def _record(self, size_bytes: int, latency_ps: int, now_ps: int) -> None:
         self._latencies.add(now_ps, latency_ps)
 
+    def record_completion(self, size_bytes: int, latency_ps: int, now_ps: int) -> None:
+        # Hot-path override: same checks and bookkeeping as the base class,
+        # without the abstract-method dispatch.
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if latency_ps < 0:
+            raise ValueError("latency_ps must be non-negative")
+        self.completed_bytes += size_bytes
+        self.completed_transactions += 1
+        self._latencies.add(now_ps, latency_ps)
+
     def raw_npi(self, now_ps: int) -> float:
         average = self._latencies.window_mean(now_ps)
         if average <= 0:
@@ -129,6 +140,16 @@ class BandwidthMeter(PerformanceMeter):
         self._bytes = WindowedRate(window_ps)
 
     def _record(self, size_bytes: int, latency_ps: int, now_ps: int) -> None:
+        self._bytes.add(now_ps, size_bytes)
+
+    def record_completion(self, size_bytes: int, latency_ps: int, now_ps: int) -> None:
+        # Hot-path override: see LatencyMeter.record_completion.
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if latency_ps < 0:
+            raise ValueError("latency_ps must be non-negative")
+        self.completed_bytes += size_bytes
+        self.completed_transactions += 1
         self._bytes.add(now_ps, size_bytes)
 
     def achieved_bytes_per_s(self, now_ps: int) -> float:
@@ -173,6 +194,9 @@ class FrameProgressMeter(PerformanceMeter):
         self.epsilon = epsilon
         self._frame_index = 0
         self._frame_bytes = 0
+        # End of the current frame; the hot-path roll check is a single
+        # integer compare against this instead of a floordiv per call.
+        self._frame_end_ps = start_offset_ps + frame_period_ps
         self.frames_completed = 0
         self.frames_missed = 0
 
@@ -180,6 +204,8 @@ class FrameProgressMeter(PerformanceMeter):
         return max(0, (now_ps - self.start_offset_ps) // self.frame_period_ps)
 
     def _roll_frame(self, now_ps: int) -> None:
+        if now_ps < self._frame_end_ps:
+            return
         frame = self._frame_of(now_ps)
         if frame != self._frame_index:
             if self._frame_bytes >= self.bytes_per_frame:
@@ -188,8 +214,20 @@ class FrameProgressMeter(PerformanceMeter):
                 self.frames_missed += 1
             self._frame_index = frame
             self._frame_bytes = 0
+        self._frame_end_ps = self.start_offset_ps + (frame + 1) * self.frame_period_ps
 
     def _record(self, size_bytes: int, latency_ps: int, now_ps: int) -> None:
+        self._roll_frame(now_ps)
+        self._frame_bytes += size_bytes
+
+    def record_completion(self, size_bytes: int, latency_ps: int, now_ps: int) -> None:
+        # Hot-path override: see LatencyMeter.record_completion.
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if latency_ps < 0:
+            raise ValueError("latency_ps must be non-negative")
+        self.completed_bytes += size_bytes
+        self.completed_transactions += 1
         self._roll_frame(now_ps)
         self._frame_bytes += size_bytes
 
@@ -205,8 +243,13 @@ class FrameProgressMeter(PerformanceMeter):
         return min(1.0, max(0.0, elapsed / self.frame_period_ps))
 
     def raw_npi(self, now_ps: int) -> float:
-        progress = self.frame_progress(now_ps)
-        reference = self.reference_progress(now_ps)
+        # One roll, then both terms computed with the exact arithmetic of
+        # frame_progress / reference_progress (results are bit-identical;
+        # this just avoids rolling and dispatching twice per reading).
+        self._roll_frame(now_ps)
+        progress = min(1.0, self._frame_bytes / self.bytes_per_frame)
+        elapsed = (now_ps - self.start_offset_ps) - self._frame_index * self.frame_period_ps
+        reference = min(1.0, max(0.0, elapsed / self.frame_period_ps))
         return (progress + self.epsilon) / (reference + self.epsilon)
 
     def describe_target(self) -> str:
@@ -261,6 +304,18 @@ class BufferOccupancyMeter(PerformanceMeter):
         self._last_update_ps = now_ps
 
     def _record(self, size_bytes: int, latency_ps: int, now_ps: int) -> None:
+        self._drain(now_ps)
+        self._refills.add(now_ps, size_bytes)
+        self._occupancy = min(self.buffer_bytes, self._occupancy + size_bytes)
+
+    def record_completion(self, size_bytes: int, latency_ps: int, now_ps: int) -> None:
+        # Hot-path override: see LatencyMeter.record_completion.
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if latency_ps < 0:
+            raise ValueError("latency_ps must be non-negative")
+        self.completed_bytes += size_bytes
+        self.completed_transactions += 1
         self._drain(now_ps)
         self._refills.add(now_ps, size_bytes)
         self._occupancy = min(self.buffer_bytes, self._occupancy + size_bytes)

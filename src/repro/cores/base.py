@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.core.npi import PerformanceMeter
-from repro.memctrl.transaction import QueueClass, Transaction
+from repro.memctrl.transaction import BatchTransaction, QueueClass, Transaction
 from repro.sim.engine import Engine
 from repro.traffic.addresses import AddressStream
 from repro.traffic.generator import TrafficGenerator
@@ -96,7 +96,10 @@ class Dma:
         self._try_issue()
 
     def _realtime_behind(self, now_ps: int) -> bool:
-        return self.meter.is_frame_based and self.meter.npi(now_ps) < 1.0
+        # raw_npi, not npi: clamping to [NPI_FLOOR, NPI_CAP] cannot change
+        # which side of 1.0 the value falls on, so the decision is identical
+        # and the clamp call is saved on every issue attempt.
+        return self.meter.is_frame_based and self.meter.raw_npi(now_ps) < 1.0
 
     def _try_issue(self) -> None:
         engine = self._engine
@@ -135,6 +138,83 @@ class Dma:
         latency = transaction.latency_ps if transaction.latency_ps is not None else 0
         self.meter.record_completion(
             transaction.size_bytes, latency, self._engine.now_ps
+        )
+        self._try_issue()
+
+
+class BatchedDma(Dma):
+    """The batched kernel's DMA: slotted transactions, hoisted issue loop.
+
+    Issues :class:`~repro.memctrl.transaction.BatchTransaction` objects and
+    hoists the per-iteration lookups of the scalar loop out of it.  Both
+    hoists are exact: nothing inside the loop can change the values —
+
+    * the priority provider is a pure read of the SARA adapter's current
+      priority, which only changes in the framework's sampling tick (a
+      separate engine event);
+    * the realtime-behind flag reads the DMA's own meter at a fixed ``now``.
+      The meter's lazy window maintenance mutates internal state, but it is
+      idempotent at a given timestamp, so calling it once up front leaves the
+      meter exactly as the scalar kernel's call-per-iteration would;
+    * injection is fire-and-forget into the NoC — a completion (the only
+      thing that changes ``_outstanding`` or the backlog) can only arrive via
+      a later engine event, never synchronously from ``inject``.
+    """
+
+    def _try_issue(self) -> None:
+        engine = self._engine
+        inject = self._inject
+        if engine is None or inject is None:
+            return
+        backlog = self._backlog_bytes
+        size = self.transaction_bytes
+        outstanding = self._outstanding
+        if backlog < size or outstanding >= self.max_outstanding:
+            return
+        now = engine._now_ps
+        priority = self._priority_provider()
+        behind = self._realtime_behind(now)
+        core = self.core
+        name = self.name
+        queue_class = self.queue_class
+        is_write = self.is_write
+        next_address = self.addresses.next_address
+        max_outstanding = self.max_outstanding
+        issued = 0
+        while backlog >= size and outstanding < max_outstanding:
+            transaction = BatchTransaction(
+                core,
+                name,
+                queue_class,
+                next_address(size),
+                size,
+                is_write,
+                priority,
+                behind,
+                now,
+            )
+            backlog -= size
+            self._backlog_bytes = backlog
+            outstanding += 1
+            self._outstanding = outstanding
+            issued += 1
+            inject(core, transaction)
+        self.issued_transactions += issued
+        self.issued_bytes += issued * size
+
+    def on_complete(self, transaction: Transaction) -> None:
+        """Completion callback, with the scalar path's checks flattened.
+
+        BatchTransaction stamps ``completed_ps`` before this runs (the
+        controller's completion handler), and completions only arrive through
+        the controller, so the latency property's None-guard is dead here.
+        """
+        self._outstanding = max(0, self._outstanding - 1)
+        self.completed_transactions += 1
+        size = transaction.size_bytes
+        self.completed_bytes += size
+        self.meter.record_completion(
+            size, transaction.completed_ps - transaction.created_ps, self._engine._now_ps
         )
         self._try_issue()
 

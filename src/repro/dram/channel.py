@@ -70,36 +70,62 @@ class Channel:
         """
         if size_bytes <= 0:
             raise ValueError(f"transfer size must be positive, got {size_bytes}")
-        bank = self.banks[decoded.bank_key]
-        rank = self.ranks[decoded.rank]
-        state = bank.classify(decoded.row)
-
-        bank_available_ps = max(now_ps, bank.ready_at_ps)
-        if state is RowBufferState.HIT:
-            prep_ps = self.timing.row_hit_ps
-            data_ready_ps = bank_available_ps + prep_ps
-        else:
-            # A precharge (row miss only) plus an activation is required; the
-            # activation must respect the rank's tRRD/tFAW window.
-            precharge_ps = self.timing.t_rp_ps if state is RowBufferState.MISS else 0
-            activation_ps = rank.earliest_activation_ps(
-                bank_available_ps + precharge_ps, self.timing
-            )
-            rank.record_activation(activation_ps)
-            data_ready_ps = activation_ps + self.timing.t_rcd_ps + self.timing.cl_ps
-
-        burst_ps = self.timing.burst_ps(size_bytes, self.config.bus_bytes_per_cycle)
-        data_start_ps = max(data_ready_ps, self.bus_free_at_ps)
-        completion_ps = data_start_ps + burst_ps
-
-        bank_recovery_ps = self.timing.t_wr_ps if is_write else self.timing.t_rtp_ps
-        bank.record_access(decoded.row, state, completion_ps + bank_recovery_ps)
-        self.bus_free_at_ps = completion_ps
-        self.bytes_served += size_bytes
-        self.busy_time_ps += burst_ps
+        data_start_ps, completion_ps, state = self.service_prepared(
+            decoded.rank, decoded.bank, decoded.row, size_bytes, is_write, now_ps
+        )
         return ChannelServiceResult(
             data_start_ps=data_start_ps, completion_ps=completion_ps, state=state
         )
+
+    def service_prepared(
+        self,
+        rank_index: int,
+        bank_index: int,
+        row: int,
+        size_bytes: int,
+        is_write: bool,
+        now_ps: int,
+    ) -> Tuple[int, int, RowBufferState]:
+        """The service-time computation on pre-decoded coordinates.
+
+        Single source of truth for channel timing: :meth:`service` delegates
+        here, and the batched memory controller calls it directly with the
+        coordinates it decoded once at enqueue, skipping the per-issue address
+        decode and the result-object allocation.  Returns ``(data_start_ps,
+        completion_ps, state)``.
+        """
+        bank = self.banks[(rank_index, bank_index)]
+        rank = self.ranks[rank_index]
+        timing = self.timing
+        state = bank.classify(row)
+
+        bank_available_ps = bank.ready_at_ps
+        if bank_available_ps < now_ps:
+            bank_available_ps = now_ps
+        if state is RowBufferState.HIT:
+            data_ready_ps = bank_available_ps + timing.row_hit_ps
+        else:
+            # A precharge (row miss only) plus an activation is required; the
+            # activation must respect the rank's tRRD/tFAW window.
+            precharge_ps = timing.t_rp_ps if state is RowBufferState.MISS else 0
+            activation_ps = rank.earliest_activation_ps(
+                bank_available_ps + precharge_ps, timing
+            )
+            rank.record_activation(activation_ps)
+            data_ready_ps = activation_ps + timing.t_rcd_ps + timing.cl_ps
+
+        burst_ps = timing.burst_ps(size_bytes, self.config.bus_bytes_per_cycle)
+        data_start_ps = data_ready_ps
+        if data_start_ps < self.bus_free_at_ps:
+            data_start_ps = self.bus_free_at_ps
+        completion_ps = data_start_ps + burst_ps
+
+        bank_recovery_ps = timing.t_wr_ps if is_write else timing.t_rtp_ps
+        bank.record_access(row, state, completion_ps + bank_recovery_ps)
+        self.bus_free_at_ps = completion_ps
+        self.bytes_served += size_bytes
+        self.busy_time_ps += burst_ps
+        return data_start_ps, completion_ps, state
 
     def next_free_ps(self) -> int:
         """Earliest time the data bus becomes available again."""

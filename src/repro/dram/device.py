@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List
+from typing import List, Tuple
 
 from repro.dram.address import AddressMapper, DecodedAddress
 from repro.dram.bank import RowBufferState
@@ -103,6 +103,41 @@ class DramDevice:
             row_hit=result.state is RowBufferState.HIT,
             channel=decoded.channel,
         )
+
+    def service_prepared(
+        self,
+        channel_index: int,
+        rank: int,
+        bank: int,
+        row: int,
+        size_bytes: int,
+        is_write: bool,
+        now_ps: int,
+    ) -> Tuple[int, bool]:
+        """Decoded fast path of :meth:`service` for the batched controller.
+
+        The batched memory controller decodes each address once at enqueue and
+        keeps the coordinates in its columnar store, so per-issue it can skip
+        the mapper and the :class:`ServiceResult` allocation.  Statistics
+        update exactly as in :meth:`service`; returns ``(completion_ps,
+        row_hit)``.
+        """
+        _, completion_ps, state = self.channels[channel_index].service_prepared(
+            rank, bank, row, size_bytes, is_write, now_ps
+        )
+        self.total_bytes += size_bytes
+        if is_write:
+            self.write_bytes += size_bytes
+        else:
+            self.read_bytes += size_bytes
+        if state is RowBufferState.HIT:
+            self.row_hits += 1
+            return completion_ps, True
+        if state is RowBufferState.MISS:
+            self.row_misses += 1
+        else:
+            self.row_closed += 1
+        return completion_ps, False
 
     @property
     def total_accesses(self) -> int:

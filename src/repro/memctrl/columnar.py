@@ -1,0 +1,940 @@
+"""Columnar candidate stores and batched policy selectors (batched kernel).
+
+The scalar kernel hands every scheduling decision a freshly built Python list
+of transaction objects and lets the policy scan it (``min`` over attribute
+tuples, list-comprehension filters, per-candidate aging probes).  The batched
+kernel instead keeps each candidate set — one per DRAM channel in the memory
+controller, one per NoC router — as a :class:`ColumnarStore`: parallel
+columns (age key, priority, queue class, DMA code, realtime-behind flag,
+bank slot, row) plus the owning transaction objects.  A scheduling decision
+reduces the columns directly instead of walking an object graph, and a store
+only maintains the columns its policy's selector actually reads (an FCFS
+router push is three list appends).
+
+Column reductions are adaptive: small windows (the common case — candidate
+sets here are bounded by the controller's 42 entries and the DMAs'
+outstanding windows) use tight Python loops over the list columns, while
+windows above :data:`VECTOR_MIN` switch to numpy reductions (masked min /
+argmin chains, :meth:`~repro.memctrl.aging.AgingTracker.aged_mask`), which is
+where vectorization actually beats loop overhead.  Both paths compute the
+same result: all policies break ties on total per-transaction keys
+(``(age, uid)`` with unique uids), so there are no ties for iteration order
+to resolve.
+
+Selectors replicate the scalar policies *exactly*:
+
+* the same transaction is chosen for every candidate set;
+* the same mutable policy state evolves identically (round-robin rotation
+  index, priority round-robin turn counter and per-DMA last-served turns,
+  aged-service accounting), so a scalar and a batched run can be stopped at
+  any point with equal observable state.
+
+Two store flavours share one class:
+
+* **sorted mode** (memory controller and leaf routers): the NoC delivers
+  transactions to the controller at strictly increasing timestamps (the root
+  router serialises them over one link) and DMAs inject synchronously at
+  creation, so insertion order *is* age order and "oldest" is the store's
+  head pointer — O(1).  The store verifies the invariant on every push and
+  silently degrades to the scan paths if violated — which is exactly what
+  happens at interior routers merging links of different speeds.
+* **unsorted mode**: "oldest" is a minimum over the ``skey`` column.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.memctrl.aging import AgingTracker
+from repro.memctrl.policies import (
+    FcfsPolicy,
+    FrameRateQosPolicy,
+    FrFcfsPolicy,
+    PriorityQosPolicy,
+    PriorityRowBufferPolicy,
+    RoundRobinPolicy,
+)
+from repro.memctrl.scheduler import SchedulingPolicy
+from repro.memctrl.transaction import QueueClass, Transaction
+
+#: Queue classes in enum order; the codes double as round-robin rotation
+#: positions because the scalar policy's rotation order equals enum order.
+_CLASS_CODE: Dict[QueueClass, int] = {qc: i for i, qc in enumerate(QueueClass)}
+_NUM_CLASSES = len(_CLASS_CODE)
+
+#: Precomputed rotation orders: _ROTATIONS[base] is the class-code visit
+#: order starting at ``base``, and _NEXT_CLASS[code] is the rotation position
+#: after serving ``code``.  Replaces per-step modulo in the arbitration loop.
+_ROTATIONS = tuple(
+    tuple((base + step) % _NUM_CLASSES for step in range(_NUM_CLASSES))
+    for base in range(_NUM_CLASSES)
+)
+_NEXT_CLASS = tuple((code + 1) % _NUM_CLASSES for code in range(_NUM_CLASSES))
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+#: The sentinel age key greater than every real ``(time, uid)`` key.
+_SKEY_MAX: Tuple[int, int] = (1 << 62, 1 << 62)
+
+#: Window size above which selectors switch from Python loops to numpy
+#: reductions.  Below this, fixed per-ufunc overhead (plus lifting the list
+#: columns into arrays) exceeds the cost of the whole loop.
+VECTOR_MIN = 64
+
+#: Dead entries tolerated before a store compacts its columns in place.
+_COMPACT_SLACK = 64
+
+
+class ColumnarStore:
+    """A candidate set as parallel columns plus the owning objects.
+
+    Columns are plain Python lists (cheap to append and to scan for the
+    small windows that dominate); selectors lift them into numpy arrays
+    only when the live window is large enough for vector reductions to win.
+
+    The ``track_*`` flags disable columns (and their counters) that the
+    owning selector never reads, shrinking the per-push work: a disabled
+    column stays an empty list.  ``track_rows`` is owner-driven rather than
+    selector-driven — the batched controller always needs the decoded
+    ``bank``/``row`` for issuing, NoC routers never do.
+    """
+
+    __slots__ = (
+        "codebook",
+        "sorted_mode",
+        "skey",
+        "prio",
+        "cls",
+        "dma",
+        "behind",
+        "bank",
+        "row",
+        "alive",
+        "objs",
+        "track_cls",
+        "track_prio",
+        "track_dma",
+        "track_behind",
+        "track_rows",
+        "use_heap",
+        "_heap",
+        "_columns",
+        "head",
+        "live",
+        "class_count",
+        "prio_count",
+        "behind_count",
+        "_last_skey",
+    )
+
+    def __init__(
+        self,
+        codebook: Dict[str, int],
+        sorted_mode: bool,
+        track_cls: bool = True,
+        track_prio: bool = True,
+        track_dma: bool = True,
+        track_behind: bool = True,
+        track_rows: bool = True,
+        use_heap: bool = False,
+    ) -> None:
+        self.codebook = codebook
+        self.sorted_mode = sorted_mode
+        #: Age key column: the transactions' ``sort_key`` tuples, shared with
+        #: the objects themselves (one append, tuple comparisons — exactly
+        #: the scalar policies' ordering).
+        self.skey: List[Tuple[int, int]] = []
+        self.prio: List[int] = []
+        self.cls: List[int] = []
+        self.dma: List[int] = []
+        self.behind: List[bool] = []
+        self.bank: List[int] = []
+        self.row: List[int] = []
+        self.alive: List[bool] = []
+        self.objs: List[Optional[Transaction]] = []
+        self.track_cls = track_cls
+        self.track_prio = track_prio
+        self.track_dma = track_dma
+        self.track_behind = track_behind
+        self.track_rows = track_rows
+        columns = ["skey", "objs"]
+        if track_cls:
+            columns.append("cls")
+        if track_prio:
+            columns.append("prio")
+        if track_dma:
+            columns.append("dma")
+        if track_behind:
+            columns.append("behind")
+        if track_rows:
+            columns.extend(("bank", "row"))
+        self._columns = tuple(columns)
+        #: Lazy min-heap over ``(skey, index)`` maintained only while the
+        #: store is unsorted *and* its selector leans on :meth:`oldest_index`
+        #: (FCFS-style policies): the oldest pop is then O(log n) instead of
+        #: an O(n) scan.  Entries of removed candidates go stale and are
+        #: discarded on pop; unique sort keys make the heap minimum identical
+        #: to the scan minimum.
+        self.use_heap = use_heap
+        self._heap: List[Tuple[Tuple[int, int], int]] = []
+        self.head = 0  # lowest index that may still be alive
+        self.live = 0
+        self.class_count = [0] * _NUM_CLASSES
+        #: Live candidates per priority level, grown on demand (the paper's
+        #: k = 3 priority bits give 8 levels); makes "highest live priority"
+        #: an O(levels) lookup instead of an O(window) scan.
+        self.prio_count = [0] * 8
+        self.behind_count = 0
+        self._last_skey: Tuple[int, int] = (-1, -1)
+
+    @classmethod
+    def for_selector(
+        cls,
+        selector,
+        codebook: Dict[str, int],
+        sorted_mode: bool,
+        track_rows: bool,
+    ) -> "ColumnarStore":
+        """A store maintaining exactly the columns ``selector`` reads.
+
+        ``selector=None`` (fallback to a scalar policy) keeps every column:
+        the store must then rebuild full scalar candidate lists in class
+        order and cannot know what the policy will look at.
+        """
+        needs = getattr(selector, "NEEDS", None)
+        if needs is None:
+            return cls(codebook, sorted_mode, track_rows=track_rows)
+        return cls(
+            codebook,
+            sorted_mode,
+            track_cls="cls" in needs,
+            track_prio="prio" in needs,
+            track_dma="dma" in needs,
+            track_behind="behind" in needs,
+            track_rows=track_rows,
+            use_heap=getattr(selector, "USES_OLDEST", False),
+        )
+
+    @property
+    def size(self) -> int:
+        """The append cursor: columns are valid on ``[0, size)``."""
+        return len(self.skey)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def push(self, transaction: Transaction, bank_slot: int = 0, row: int = -1) -> int:
+        """Append a candidate; returns its store index.
+
+        The age key is the transaction's cached ``sort_key`` (enqueue time in
+        the controller, creation time inside the NoC).
+        """
+        skey = transaction.sort_key
+        index = len(self.skey)
+        self.skey.append(skey)
+        self.objs.append(transaction)
+        self.alive.append(True)
+        self.live += 1
+        if self.track_cls:
+            cls_code = _CLASS_CODE[transaction.queue_class]
+            self.cls.append(cls_code)
+            self.class_count[cls_code] += 1
+        if self.track_prio:
+            prio = transaction.priority
+            self.prio.append(prio)
+            prio_count = self.prio_count
+            if prio >= len(prio_count):
+                prio_count.extend([0] * (prio + 1 - len(prio_count)))
+            prio_count[prio] += 1
+        if self.track_dma:
+            codebook = self.codebook
+            code = codebook.get(transaction.dma)
+            if code is None:
+                code = len(codebook)
+                codebook[transaction.dma] = code
+            self.dma.append(code)
+        if self.track_behind:
+            behind = transaction.realtime_behind
+            self.behind.append(behind)
+            if behind:
+                self.behind_count += 1
+        if self.track_rows:
+            self.bank.append(bank_slot)
+            self.row.append(row)
+        if self.sorted_mode:
+            if skey < self._last_skey:
+                # Out-of-order insertion: age order no longer equals index
+                # order.  Degrade permanently to the scan-based paths (and
+                # seed the oldest-heap with everything currently live).
+                self.sorted_mode = False
+                if self.use_heap:
+                    skeys = self.skey
+                    alive = self.alive
+                    heap = [
+                        (skeys[i], i)
+                        for i in range(self.head, len(skeys))
+                        if alive[i]
+                    ]
+                    heapq.heapify(heap)
+                    self._heap = heap
+            else:
+                self._last_skey = skey
+        elif self.use_heap:
+            heapq.heappush(self._heap, (skey, index))
+        return index
+
+    def remove_index(self, index: int) -> None:
+        """Kill the candidate at a store index (columns keep their values)."""
+        self.alive[index] = False
+        live = self.live - 1
+        self.live = live
+        if self.track_cls:
+            self.class_count[self.cls[index]] -= 1
+        if self.track_prio:
+            self.prio_count[self.prio[index]] -= 1
+        if self.track_behind and self.behind[index]:
+            self.behind_count -= 1
+        self.objs[index] = None
+        if index == self.head:
+            head = index + 1
+            alive = self.alive
+            size = len(alive)
+            while head < size and not alive[head]:
+                head += 1
+            self.head = head
+        if len(self.skey) - live > _COMPACT_SLACK:
+            self._compact()
+
+    def index_of_uid(self, uid: int) -> int:
+        """Store index of a live candidate by transaction uid (fallback path)."""
+        skeys = self.skey
+        alive = self.alive
+        for i in range(self.head, len(skeys)):
+            if alive[i] and skeys[i][1] == uid:
+                return i
+        raise KeyError(f"uid {uid} is not a live candidate")
+
+    def _compact(self) -> None:
+        """Drop dead entries in place; index order (and thus any sortedness
+        and FIFO/insertion order) is preserved."""
+        alive = self.alive
+        keep = [i for i in range(self.head, len(alive)) if alive[i]]
+        for name in self._columns:
+            col = getattr(self, name)
+            col[:] = [col[i] for i in keep]
+        self.alive = [True] * len(keep)
+        self.head = 0
+        if self.use_heap and not self.sorted_mode:
+            # Store indices changed: rebuild the oldest-heap over survivors.
+            heap = list(enumerate(self.skey))
+            heap = [(skey, i) for i, skey in heap]
+            heapq.heapify(heap)
+            self._heap = heap
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def window_array(self, column: str) -> np.ndarray:
+        """The ``[head:size)`` slice of a column as an int64 numpy array."""
+        data = getattr(self, column)[self.head :]
+        return np.array(data, dtype=np.int64)
+
+    def window_key_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``skey`` window split into (enqueue-time, uid) int64 arrays."""
+        window = self.skey[self.head :]
+        keys = np.array([k for k, _ in window], dtype=np.int64)
+        uids = np.array([u for _, u in window], dtype=np.int64)
+        return keys, uids
+
+    def window_alive(self) -> np.ndarray:
+        """The ``[head:size)`` slice of the liveness flags as a bool array."""
+        return np.array(self.alive[self.head :], dtype=bool)
+
+    def top_priority(self) -> int:
+        """Highest priority among live candidates (-1 when empty)."""
+        counts = self.prio_count
+        for level in range(len(counts) - 1, -1, -1):
+            if counts[level]:
+                return level
+        return -1
+
+    def oldest_index(self) -> int:
+        """Store index of the oldest live candidate: minimal ``sort_key``."""
+        if self.sorted_mode or self.live == 1:
+            return self.head
+        skeys = self.skey
+        alive = self.alive
+        if self.use_heap:
+            heap = self._heap
+            while heap:
+                index = heap[0][1]
+                if alive[index]:
+                    return index
+                heapq.heappop(heap)  # stale entry of a removed candidate
+            return -1
+        best = -1
+        best_key = _SKEY_MAX
+        for i in range(self.head, len(skeys)):
+            if alive[i]:
+                k = skeys[i]
+                if k < best_key:
+                    best = i
+                    best_key = k
+        return best
+
+    def fallback_candidates(self) -> List[Transaction]:
+        """Live candidates in insertion order (the scalar router's order)."""
+        return [obj for obj in self.objs[self.head :] if obj is not None]
+
+    def fallback_candidates_by_class(self) -> List[Transaction]:
+        """Live candidates grouped by queue class in enum order, FIFO within a
+        class — exactly the scalar controller's ``_candidates_for_channel``
+        order, so an unvectorized policy sees an identical list."""
+        groups: List[List[Transaction]] = [[] for _ in range(_NUM_CLASSES)]
+        alive = self.alive
+        cls = self.cls
+        objs = self.objs
+        for i in range(self.head, len(alive)):
+            if alive[i]:
+                groups[cls[i]].append(objs[i])
+        out: List[Transaction] = []
+        for group in groups:
+            out.extend(group)
+        return out
+
+
+def _oldest_masked(store: ColumnarStore, mask_ok) -> int:
+    """Oldest live candidate satisfying a per-index predicate.
+
+    In sorted mode the first match is the oldest; otherwise track the
+    minimal ``sort_key``.  The caller guarantees at least one match.
+    """
+    alive = store.alive
+    size = len(alive)
+    if store.sorted_mode:
+        for i in range(store.head, size):
+            if alive[i] and mask_ok(i):
+                return i
+        raise ValueError("no candidate satisfies the selection mask")
+    skeys = store.skey
+    best = -1
+    best_key = _SKEY_MAX
+    for i in range(store.head, size):
+        if alive[i] and mask_ok(i):
+            k = skeys[i]
+            if k < best_key:
+                best = i
+                best_key = k
+    if best < 0:
+        raise ValueError("no candidate satisfies the selection mask")
+    return best
+
+
+def _vector_oldest(store: ColumnarStore, mask: np.ndarray) -> int:
+    """Vectorized oldest within a boolean window mask (argmin picks the first
+    on ties — but keys are unique, so first-occurrence semantics are never
+    load-bearing)."""
+    if store.sorted_mode:
+        return store.head + int(np.argmax(mask))
+    key_arr, uid_arr = store.window_key_arrays()
+    keys = np.where(mask, key_arr, _INT64_MAX)
+    lowest = keys.min()
+    tied = keys == lowest
+    uids = np.where(tied, uid_arr, _INT64_MAX)
+    return store.head + int(np.argmin(uids))
+
+
+# ---------------------------------------------------------------------- #
+# Batched selectors
+# ---------------------------------------------------------------------- #
+class FcfsSelector:
+    """FCFS and (row-state-blind) FR-FCFS: plain oldest."""
+
+    NEEDS = frozenset()
+    USES_OLDEST = True
+
+    def __init__(self, policy: SchedulingPolicy) -> None:
+        self.policy = policy
+
+    def select(self, store: ColumnarStore, now_ps: int, channel: int = 0) -> int:
+        # oldest_index() with its sorted-mode head fast path inlined.
+        if store.sorted_mode or store.live == 1:
+            return store.head
+        return store.oldest_index()
+
+    def serve_direct(
+        self,
+        store: ColumnarStore,
+        transaction,
+        now_ps: int,
+        channel: int = 0,
+        bank_slot: int = 0,
+        row: int = -1,
+    ) -> bool:
+        """Commit a trivial single-candidate arbitration (empty-store bypass).
+
+        FCFS keeps no per-serve state, so there is nothing to commit.
+        """
+        return True
+
+
+class RoundRobinSelector:
+    """Round-robin over queue classes; rotation state shared with the policy."""
+
+    NEEDS = frozenset(("cls",))
+    USES_OLDEST = True
+
+    def __init__(self, policy: RoundRobinPolicy) -> None:
+        self.policy = policy
+
+    def select(self, store: ColumnarStore, now_ps: int, channel: int = 0) -> int:
+        policy = self.policy
+        counts = store.class_count
+        for code in _ROTATIONS[policy._next_class_index]:
+            count = counts[code]
+            if count:
+                policy._next_class_index = _NEXT_CLASS[code]
+                if count == store.live:
+                    if store.sorted_mode:
+                        return store.head
+                    return store.oldest_index()
+                if store.live > VECTOR_MIN:
+                    mask = (store.window_array("cls") == code) & store.window_alive()
+                    return _vector_oldest(store, mask)
+                # Inlined masked-oldest scan (a predicate lambda per candidate
+                # is measurably slower on this per-arbitration path).
+                cls = store.cls
+                alive = store.alive
+                if store.sorted_mode:
+                    for i in range(store.head, len(alive)):
+                        if alive[i] and cls[i] == code:
+                            return i
+                    raise ValueError("class_count is out of sync with the store")
+                skeys = store.skey
+                best = -1
+                best_key = _SKEY_MAX
+                remaining = count
+                for i in range(store.head, len(alive)):
+                    if alive[i] and cls[i] == code:
+                        k = skeys[i]
+                        if k < best_key:
+                            best = i
+                            best_key = k
+                        remaining -= 1
+                        if not remaining:
+                            break
+                return best
+        raise ValueError("round-robin selector asked to select from an empty store")
+
+    def serve_direct(
+        self,
+        store: ColumnarStore,
+        transaction,
+        now_ps: int,
+        channel: int = 0,
+        bank_slot: int = 0,
+        row: int = -1,
+    ) -> bool:
+        """Commit a trivial single-candidate arbitration (empty-store bypass).
+
+        With one candidate the rotation scan always lands on its class (the
+        only non-empty one) and leaves the rotation pointing just past it.
+        """
+        self.policy._next_class_index = _NEXT_CLASS[_CLASS_CODE[transaction.queue_class]]
+        return True
+
+
+class FrameRateSelector:
+    """Frame-rate QoS: oldest realtime-behind candidate, else oldest."""
+
+    NEEDS = frozenset(("behind",))
+    USES_OLDEST = True
+
+    def __init__(self, policy: FrameRateQosPolicy) -> None:
+        self.policy = policy
+
+    def select(self, store: ColumnarStore, now_ps: int, channel: int = 0) -> int:
+        behind_count = store.behind_count
+        if behind_count == 0 or behind_count == store.live:
+            if store.sorted_mode:
+                return store.head
+            return store.oldest_index()
+        if store.live > VECTOR_MIN:
+            mask = np.array(store.behind[store.head :]) & store.window_alive()
+            return _vector_oldest(store, mask)
+        # Inlined masked-oldest scan, bounded by the live behind-count.
+        behind = store.behind
+        alive = store.alive
+        if store.sorted_mode:
+            for i in range(store.head, len(alive)):
+                if alive[i] and behind[i]:
+                    return i
+            raise ValueError("behind_count is out of sync with the store")
+        skeys = store.skey
+        best = -1
+        best_key = _SKEY_MAX
+        remaining = behind_count
+        for i in range(store.head, len(alive)):
+            if alive[i] and behind[i]:
+                k = skeys[i]
+                if k < best_key:
+                    best = i
+                    best_key = k
+                remaining -= 1
+                if not remaining:
+                    break
+        return best
+
+    def serve_direct(
+        self,
+        store: ColumnarStore,
+        transaction,
+        now_ps: int,
+        channel: int = 0,
+        bank_slot: int = 0,
+        row: int = -1,
+    ) -> bool:
+        """Commit a trivial single-candidate arbitration (empty-store bypass).
+
+        Frame-rate QoS keeps no per-serve state, so there is nothing to
+        commit.
+        """
+        return True
+
+
+class PriorityQosSelector:
+    """Policy 1: priority round-robin with an aging backstop, batched.
+
+    Owns the round-robin state of one :class:`PriorityQosPolicy` instance
+    (the scalar ``_turn`` counter plus last-served turns indexed by the
+    shared DMA codebook).  In batched runs the policy's own
+    ``_last_served_turn`` dict stays untouched — this selector *is* the
+    authoritative state, and it evolves turn-for-turn like the scalar dict.
+    """
+
+    NEEDS = frozenset(("prio", "dma"))
+
+    def __init__(self, policy: PriorityQosPolicy, aging: Optional[AgingTracker]) -> None:
+        self.policy = policy
+        self.aging = aging
+        self.turn = 0
+        self.turns: List[int] = []
+
+    def _turns_for(self, store: ColumnarStore) -> List[int]:
+        turns = self.turns
+        missing = len(store.codebook) - len(turns)
+        if missing > 0:
+            turns.extend([-1] * missing)
+        return turns
+
+    def _serve(self, store: ColumnarStore, index: int, now_ps: int) -> int:
+        """Commit a pick: advance the turn, stamp the DMA, account aging."""
+        self.turn += 1
+        code = store.dma[index]
+        turns = self.turns
+        if code >= len(turns):
+            turns = self._turns_for(store)
+        turns[code] = self.turn
+        aging = self.aging
+        if aging is not None and store.skey[index][0] <= now_ps - aging.threshold_ps:
+            aging.record_aged_service()
+        return index
+
+    def pick_urgent(
+        self, store: ColumnarStore, top: int, cutoff: Optional[int], now_ps: int
+    ) -> int:
+        """Round-robin pick within the urgent group (priority == ``top`` or
+        enqueued at/before ``cutoff``): least recently served DMA first,
+        oldest transaction within it — the scalar ``_round_robin_pick``
+        ordering over the scalar ``_urgent_group`` membership."""
+        turns = self.turns
+        if len(turns) < len(store.codebook):
+            turns = self._turns_for(store)
+        alive = store.alive
+        prio = store.prio
+        skeys = store.skey
+        if store.live > VECTOR_MIN:
+            head = store.head
+            alive_arr = store.window_alive()
+            prio_arr = store.window_array("prio")
+            key_arr, uid_arr = store.window_key_arrays()
+            group = alive_arr & (prio_arr == top)
+            if cutoff is not None:
+                group |= alive_arr & (key_arr <= cutoff)
+            turn_arr = np.array(turns, dtype=np.int64)[store.window_array("dma")]
+            turn_arr = np.where(group, turn_arr, _INT64_MAX)
+            least = turn_arr.min()
+            tied = turn_arr == least
+            if store.sorted_mode:
+                index = head + int(np.argmax(tied))
+            else:
+                key_arr = np.where(tied, key_arr, _INT64_MAX)
+                lowest = key_arr.min()
+                tied &= key_arr == lowest
+                uids = np.where(tied, uid_arr, _INT64_MAX)
+                index = head + int(np.argmin(uids))
+            return self._serve(store, index, now_ps)
+        dma = store.dma
+        sorted_mode = store.sorted_mode
+        head = store.head
+        if sorted_mode and (cutoff is None or skeys[head][0] > cutoff):
+            # The head is the oldest live entry of a sorted store, so if it
+            # is not aged nothing is, and the urgent group is exactly the
+            # top-priority class.  prio_count bounds the scan (stop after the
+            # group's last member) and a never-served DMA wins outright:
+            # -1 is the smallest turn value and ties keep the earlier (older)
+            # entry, which is the one we are standing on.
+            remaining = store.prio_count[top]
+            best = -1
+            best_turn = _INT64_MAX
+            for i in range(head, len(alive)):
+                if not alive[i] or prio[i] != top:
+                    continue
+                turn = turns[dma[i]]
+                if turn < best_turn:
+                    best = i
+                    best_turn = turn
+                    if turn == -1:
+                        break
+                remaining -= 1
+                if not remaining:
+                    break
+            return self._serve(store, best, now_ps)
+        best = -1
+        best_turn = _INT64_MAX
+        best_key = _SKEY_MAX
+        for i in range(head, len(alive)):
+            if not alive[i]:
+                continue
+            if prio[i] != top and (cutoff is None or skeys[i][0] > cutoff):
+                continue
+            turn = turns[dma[i]]
+            if turn > best_turn:
+                continue
+            if turn == best_turn:
+                if sorted_mode:
+                    continue  # earlier index == older transaction
+                if skeys[i] > best_key:
+                    continue
+            best = i
+            best_turn = turn
+            best_key = skeys[i]
+        return self._serve(store, best, now_ps)
+
+    def select(self, store: ColumnarStore, now_ps: int, channel: int = 0) -> int:
+        if store.live == 1:
+            return self._serve(store, store.head, now_ps)
+        aging = self.aging
+        cutoff = None if aging is None else now_ps - aging.threshold_ps
+        # top_priority() inlined: highest non-empty prio_count level.
+        counts = store.prio_count
+        top = len(counts) - 1
+        while not counts[top]:
+            top -= 1
+        return self.pick_urgent(store, top, cutoff, now_ps)
+
+    def serve_direct(
+        self,
+        store: ColumnarStore,
+        transaction,
+        now_ps: int,
+        channel: int = 0,
+        bank_slot: int = 0,
+        row: int = -1,
+    ) -> bool:
+        """Commit a trivial single-candidate arbitration (empty-store bypass).
+
+        Mirrors :meth:`_serve` for a transaction that never entered the
+        store: advance the turn, stamp the DMA's code (allocating it in the
+        store's codebook exactly as ``push`` would have), and account aging
+        against the transaction's cached sort key — the same key ``push``
+        would have stored.
+        """
+        self.turn += 1
+        codebook = store.codebook
+        code = codebook.get(transaction.dma)
+        if code is None:
+            code = len(codebook)
+            codebook[transaction.dma] = code
+        turns = self.turns
+        if code >= len(turns):
+            turns.extend([-1] * (len(codebook) - len(turns)))
+        turns[code] = self.turn
+        aging = self.aging
+        if aging is not None and transaction.sort_key[0] <= now_ps - aging.threshold_ps:
+            aging.record_aged_service()
+        return True
+
+
+class FrFcfsSelector:
+    """FR-FCFS with row state: oldest row hit, else oldest (controller only)."""
+
+    NEEDS = frozenset()
+
+    def __init__(self, policy: FrFcfsPolicy, open_rows: List[List[int]]) -> None:
+        self.policy = policy
+        self.open_rows = open_rows
+
+    def select(self, store: ColumnarStore, now_ps: int, channel: int = 0) -> int:
+        if store.live == 1:
+            return store.head
+        open_rows = self.open_rows[channel]
+        alive = store.alive
+        bank = store.bank
+        row = store.row
+        for i in range(store.head, len(alive)):
+            if alive[i] and open_rows[bank[i]] == row[i]:
+                # At least one hit exists; serve the oldest among them.
+                if store.sorted_mode:
+                    return i
+                return _oldest_masked(store, lambda j: open_rows[bank[j]] == row[j])
+        return store.oldest_index()
+
+    def serve_direct(
+        self,
+        store: ColumnarStore,
+        transaction,
+        now_ps: int,
+        channel: int = 0,
+        bank_slot: int = 0,
+        row: int = -1,
+    ) -> bool:
+        """Commit a trivial single-candidate arbitration (empty-store bypass).
+
+        FR-FCFS keeps no per-serve state (row state lives in the open-row
+        mirror, updated by the controller at issue), so nothing to commit.
+        """
+        return True
+
+
+class PriorityRowBufferSelector:
+    """Policy 2 (QoS-RB): Policy 1 plus row-buffer-hit optimisation.
+
+    Requires row state (controller only): the store's ``bank``/``row``
+    columns are compared against the channel's open-row table, which the
+    batched controller mirrors from the DRAM banks.  Both row-hit branches
+    return without touching the inner round-robin state, exactly like the
+    scalar policy's early ``oldest(row_hits)`` returns.
+    """
+
+    NEEDS = frozenset(("prio", "dma"))
+
+    def __init__(
+        self,
+        policy: PriorityRowBufferPolicy,
+        aging: Optional[AgingTracker],
+        row_buffer_delta: int,
+        open_rows: List[List[int]],
+    ) -> None:
+        self.policy = policy
+        self.delta = row_buffer_delta
+        #: Per-channel open-row tables, indexed by the store's channel index.
+        self.open_rows = open_rows
+        self.inner = PriorityQosSelector(policy._priority_rr, aging)
+
+    def select(self, store: ColumnarStore, now_ps: int, channel: int = 0) -> int:
+        open_rows = self.open_rows[channel]
+        inner = self.inner
+        if store.live == 1:
+            index = store.head
+            if open_rows[store.bank[index]] == store.row[index]:
+                return index  # row hit: served for efficiency, no RR state
+            return inner._serve(store, index, now_ps)
+        top = store.top_priority()
+        aging = inner.aging
+        cutoff = None if aging is None else now_ps - aging.threshold_ps
+        alive = store.alive
+        prio = store.prio
+        skeys = store.skey
+        bank = store.bank
+        row = store.row
+        if top < self.delta:
+            # No transaction is urgent: spend the slot on DRAM efficiency.
+            for i in range(store.head, len(alive)):
+                if alive[i] and open_rows[bank[i]] == row[i]:
+                    if store.sorted_mode:
+                        return i
+                    return _oldest_masked(
+                        store, lambda j: open_rows[bank[j]] == row[j]
+                    )
+            return inner.pick_urgent(store, top, cutoff, now_ps)
+        # Urgent traffic exists: a row hit *within* the urgent group wins,
+        # otherwise round-robin over the group.
+        for i in range(store.head, len(alive)):
+            if (
+                alive[i]
+                and (prio[i] == top or (cutoff is not None and skeys[i][0] <= cutoff))
+                and open_rows[bank[i]] == row[i]
+            ):
+                if store.sorted_mode:
+                    return i
+                return _oldest_masked(
+                    store,
+                    lambda j: (
+                        prio[j] == top
+                        or (cutoff is not None and skeys[j][0] <= cutoff)
+                    )
+                    and open_rows[bank[j]] == row[j],
+                )
+        return inner.pick_urgent(store, top, cutoff, now_ps)
+
+    def serve_direct(
+        self,
+        store: ColumnarStore,
+        transaction,
+        now_ps: int,
+        channel: int = 0,
+        bank_slot: int = 0,
+        row: int = -1,
+    ) -> bool:
+        """Commit a trivial single-candidate arbitration (empty-store bypass).
+
+        Mirrors the ``live == 1`` branch of :meth:`select`: a row hit is
+        served for efficiency without touching the inner round-robin state,
+        anything else commits the inner serve.
+        """
+        if self.open_rows[channel][bank_slot] == row:
+            return True
+        return self.inner.serve_direct(store, transaction, now_ps)
+
+
+def make_selector(
+    policy: SchedulingPolicy,
+    aging: Optional[AgingTracker] = None,
+    row_buffer_delta: int = 6,
+    open_rows: Optional[List[List[int]]] = None,
+):
+    """Build the batched selector for a policy instance, or ``None``.
+
+    ``None`` means "no batched path for this policy" — the batched controller
+    and routers then fall back to handing the policy a scalar candidate list
+    in the exact order the scalar kernel would have built, so unknown or
+    user-registered policies keep bit-identical behaviour (just without the
+    speedup).  Matching is on exact policy class: a subclass overriding
+    ``select`` must not be silently routed through its parent's batched path.
+    """
+    cls = type(policy)
+    if cls is FcfsPolicy:
+        return FcfsSelector(policy)
+    if cls is RoundRobinPolicy:
+        return RoundRobinSelector(policy)
+    if cls is FrameRateQosPolicy:
+        return FrameRateSelector(policy)
+    if cls is PriorityQosPolicy:
+        return PriorityQosSelector(policy, aging)
+    if cls is PriorityRowBufferPolicy:
+        if open_rows is None:
+            # No row state (NoC router): every is_row_hit is False, so the
+            # policy degenerates to Policy 1 driven by its inner round-robin
+            # instance — share that instance's state exactly.
+            return PriorityQosSelector(policy._priority_rr, aging)
+        return PriorityRowBufferSelector(policy, aging, row_buffer_delta, open_rows)
+    if cls is FrFcfsPolicy:
+        if open_rows is None:
+            # Row-state-blind FR-FCFS (NoC router) degenerates to FCFS.
+            return FcfsSelector(policy)
+        return FrFcfsSelector(policy, open_rows)
+    return None

@@ -6,6 +6,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.dram.device import DramDevice
 from repro.memctrl.aging import AgingTracker
+from repro.memctrl.columnar import ColumnarStore, make_selector
 from repro.memctrl.queue import TransactionQueue
 from repro.memctrl.scheduler import SchedulingContext, SchedulingPolicy
 from repro.memctrl.transaction import QueueClass, Transaction
@@ -207,3 +208,207 @@ class MemoryController:
 
     def queue_occupancy(self) -> Dict[str, int]:
         return {queue.name: len(queue) for queue in self.queues.values()}
+
+
+class BatchedMemoryController(MemoryController):
+    """The batched kernel's controller: columnar candidate stores per channel.
+
+    Behaviour is bit-identical to :class:`MemoryController` — same queues,
+    counters, completion routing and policy decisions — but the per-channel
+    candidate sets live in :class:`~repro.memctrl.columnar.ColumnarStore`
+    columns so scheduling decisions are vectorized, and each address is
+    decoded exactly once at enqueue (the scalar path decodes at enqueue, per
+    row-hit probe and again at issue).  Row-buffer-aware policies read a
+    per-channel open-row mirror instead of probing the banks per candidate;
+    the mirror is valid because the transaction-level :class:`Bank` latches
+    the accessed row on every access and nothing else closes rows (the
+    builder never pairs this controller with the command-level DRAM backend,
+    whose refresh logic does precharge banks).
+
+    Policies without a vectorized selector (ATLAS, TCM, SMS, EDF,
+    user-registered ones) receive a scalar candidate list rebuilt in exactly
+    the order the scalar controller would produce.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        dram: DramDevice,
+        policy: SchedulingPolicy,
+        config: Optional[MemoryControllerConfig] = None,
+    ) -> None:
+        super().__init__(engine, dram, policy, config)
+        if not self._unbounded_window:
+            raise ValueError(
+                "BatchedMemoryController requires the unbounded scheduler window; "
+                "use the scalar MemoryController for bounded-window configs"
+            )
+        if not hasattr(dram, "service_prepared"):
+            raise ValueError(
+                "BatchedMemoryController requires the transaction-level DRAM device"
+            )
+        channels = dram.config.channels
+        banks_per_rank = dram.config.banks_per_rank
+        bank_count = dram.config.ranks_per_channel * banks_per_rank
+        self._banks_per_rank = banks_per_rank
+        # Per-channel open-row mirror, indexed by flat bank slot
+        # (rank * banks_per_rank + bank); -1 marks a precharged bank.  Plain
+        # lists: the selectors gather a handful of entries per decision, and
+        # Python-int reads keep the small-window loops allocation-free.
+        self._open_rows: List[List[int]] = [
+            [-1] * bank_count for _ in range(channels)
+        ]
+        self._codebook: Dict[str, int] = {}
+        self._selector = make_selector(
+            policy,
+            aging=self.aging,
+            row_buffer_delta=self.config.row_buffer_delta,
+            open_rows=self._open_rows,
+        )
+        self._stores = [
+            ColumnarStore.for_selector(
+                self._selector, self._codebook, sorted_mode=True, track_rows=True
+            )
+            for _ in range(channels)
+        ]
+        self._mapper = dram.mapper
+        # Per-class occupancy counters replace the scalar TransactionQueue
+        # bookkeeping: the columnar stores already hold the pending
+        # transactions, so the queues would only duplicate membership for
+        # the occupancy report.
+        self._class_occupancy: Dict[QueueClass, int] = {
+            queue_class: 0 for queue_class in QueueClass
+        }
+        self._serve_direct = getattr(self._selector, "serve_direct", None)
+
+    def enqueue(self, transaction: Transaction) -> None:
+        """Accept a transaction from the NoC into its class queue."""
+        now = self.engine._now_ps
+        # Inlined TransactionQueue.push stamping (see queue.py): the sort key
+        # is refreshed explicitly because BatchTransaction has no __setattr__
+        # coherency hook.
+        transaction.enqueued_ps = now
+        transaction.sort_key = (now, transaction.uid)
+        decoded = self._mapper.decode(transaction.address)
+        channel = decoded.channel
+        store = self._stores[channel]
+        serve_direct = self._serve_direct
+        if serve_direct is not None and not store.live and not self._channel_busy[channel]:
+            # Empty-idle bypass: an idle channel with an empty store issues
+            # the arriving transaction immediately, so the store round-trip
+            # (and the transient occupancy counts, net zero within this
+            # synchronous call) can be skipped; only the selector's policy
+            # state is committed.  This is _schedule_from's issue tail with
+            # the decoded coordinates used directly.
+            bank_slot = decoded.rank * self._banks_per_rank + decoded.bank
+            if serve_direct(store, transaction, now, channel, bank_slot, decoded.row):
+                transaction.issued_ps = now
+                completion_ps, row_hit = self.dram.service_prepared(
+                    channel,
+                    decoded.rank,
+                    decoded.bank,
+                    decoded.row,
+                    transaction.size_bytes,
+                    transaction.is_write,
+                    now,
+                )
+                transaction.row_hit = row_hit
+                transaction.completed_ps = completion_ps
+                self._open_rows[channel][bank_slot] = decoded.row
+                self._channel_busy[channel] = True
+                self.engine.schedule_call(
+                    completion_ps, self._on_complete, (transaction, channel)
+                )
+                return
+        self._class_occupancy[transaction.queue_class] += 1
+        self._pending_count += 1
+        store.push(
+            transaction,
+            decoded.rank * self._banks_per_rank + decoded.bank,
+            decoded.row,
+        )
+        if not self._channel_busy[channel]:
+            self._schedule_from(channel)
+
+    def _try_schedule(self, channel: int) -> None:
+        if not self._channel_busy[channel]:
+            self._schedule_from(channel)
+
+    def _schedule_from(self, channel: int) -> None:
+        """Pick, dequeue and issue the next transaction for an idle channel."""
+        store = self._stores[channel]
+        if not store.live:
+            return
+        now = self.engine._now_ps
+        selector = self._selector
+        if selector is not None:
+            index = selector.select(store, now, channel)
+            chosen = store.objs[index]
+        else:
+            context = SchedulingContext(
+                now_ps=now,
+                is_row_hit=self._is_row_hit,
+                aging=self.aging,
+                row_buffer_delta=self.config.row_buffer_delta,
+            )
+            chosen = self.policy.select(store.fallback_candidates_by_class(), context)
+            index = store.index_of_uid(chosen.uid)
+        bank_slot = store.bank[index]
+        row = store.row[index]
+        store.remove_index(index)
+        self._class_occupancy[chosen.queue_class] -= 1
+        self._pending_count -= 1
+
+        chosen.issued_ps = now
+        rank_index = bank_slot // self._banks_per_rank
+        completion_ps, row_hit = self.dram.service_prepared(
+            channel,
+            rank_index,
+            bank_slot - rank_index * self._banks_per_rank,
+            row,
+            chosen.size_bytes,
+            chosen.is_write,
+            now,
+        )
+        chosen.row_hit = row_hit
+        chosen.completed_ps = completion_ps
+        self._open_rows[channel][bank_slot] = row
+        self._channel_busy[channel] = True
+        # Completions are never cancelled; skip the Event handle.
+        self.engine.schedule_call(completion_ps, self._on_complete, (chosen, channel))
+
+    def _on_complete(self, transaction: Transaction, channel: int) -> None:
+        self._channel_busy[channel] = False
+        size = transaction.size_bytes
+        source = transaction.source
+        self.served_transactions += 1
+        self.served_bytes += size
+        per_bytes = self.per_source_bytes
+        per_bytes[source] = per_bytes.get(source, 0) + size
+        per_served = self.per_source_served
+        per_served[source] = per_served.get(source, 0) + 1
+        # completed_ps is always stamped at issue on this path; RunningMean.add
+        # is inlined (one call per completion on the hottest chain).
+        latency = transaction.completed_ps - transaction.created_ps
+        stats = self.latency_stats
+        stats.count += 1
+        stats.total += latency
+        if stats.minimum is None or latency < stats.minimum:
+            stats.minimum = latency
+        if stats.maximum is None or latency > stats.maximum:
+            stats.maximum = latency
+
+        handler = self._completion_handlers.get(transaction.dma)
+        if handler is not None:
+            handler(transaction)
+        for listener in self._global_handlers:
+            listener(transaction)
+        self._schedule_from(channel)
+        for space_listener in self._space_listeners:
+            space_listener()
+
+    def queue_occupancy(self) -> Dict[str, int]:
+        return {
+            queue_class.value: count
+            for queue_class, count in self._class_occupancy.items()
+        }

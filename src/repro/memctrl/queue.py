@@ -32,11 +32,17 @@ class TransactionQueue:
         self.total_enqueued = 0
 
     def push(self, transaction: Transaction, now_ps: int) -> None:
-        transaction.enqueued_ps = now_ps  # also refreshes transaction.sort_key
-        self._pending[transaction.uid] = transaction
+        # The sort key is refreshed explicitly so the push works for both
+        # transaction types: the batched kernel's BatchTransaction has no
+        # __setattr__ coherency hook (the scalar Transaction's hook makes the
+        # second assignment a harmless no-op).
+        transaction.enqueued_ps = now_ps
+        transaction.sort_key = (now_ps, transaction.uid)
+        pending = self._pending
+        pending[transaction.uid] = transaction
         self.total_enqueued += 1
-        if len(self._pending) > self.peak_occupancy:
-            self.peak_occupancy = len(self._pending)
+        if len(pending) > self.peak_occupancy:
+            self.peak_occupancy = len(pending)
 
     def visible(self) -> List[Transaction]:
         """The transactions the scheduler may currently reorder among."""

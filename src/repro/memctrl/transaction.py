@@ -17,6 +17,11 @@ class QueueClass(Enum):
     MEDIA = "media"
     SYSTEM = "system"
 
+    # Enum's default __hash__ hashes the member *name* through a Python-level
+    # method; queue classes key several per-transaction dict lookups, and
+    # identity hashing (members are singletons) makes those lookups C-level.
+    __hash__ = object.__hash__
+
 
 _transaction_ids = itertools.count()
 
@@ -98,5 +103,91 @@ class Transaction:
         kind = "W" if self.is_write else "R"
         return (
             f"Transaction(#{self.uid} {self.source}/{self.dma} {kind}"
+            f" {self.size_bytes}B @0x{self.address:x} prio={self.priority})"
+        )
+
+
+class BatchTransaction:
+    """Hot-path transaction used by the batched kernel.
+
+    Attribute-compatible with :class:`Transaction` (same fields, same
+    ``latency_ps`` / ``waiting_time_ps`` accessors, uids drawn from the same
+    global counter so a run may mix both types), but built for speed:
+
+    * plain ``__slots__`` class — no dataclass machinery, no per-field
+      validation on the per-transaction fast path (the batched DMA already
+      guarantees positive sizes and addresses by construction);
+    * no ``__setattr__`` coherency hook.  The scalar ``Transaction`` refreshes
+      its cached ``sort_key`` on every ``enqueued_ps`` assignment; batch
+      transactions have their key refreshed explicitly at the single enqueue
+      point (:meth:`~repro.memctrl.queue.TransactionQueue.push`).  Code that
+      assigns ``enqueued_ps`` directly elsewhere must refresh ``sort_key``
+      itself.
+    """
+
+    __slots__ = (
+        "source",
+        "dma",
+        "queue_class",
+        "address",
+        "size_bytes",
+        "is_write",
+        "priority",
+        "realtime_behind",
+        "created_ps",
+        "enqueued_ps",
+        "issued_ps",
+        "completed_ps",
+        "row_hit",
+        "uid",
+        "sort_key",
+    )
+
+    def __init__(
+        self,
+        source: str,
+        dma: str,
+        queue_class: QueueClass,
+        address: int,
+        size_bytes: int,
+        is_write: bool,
+        priority: int,
+        realtime_behind: bool,
+        created_ps: int,
+    ) -> None:
+        self.source = source
+        self.dma = dma
+        self.queue_class = queue_class
+        self.address = address
+        self.size_bytes = size_bytes
+        self.is_write = is_write
+        self.priority = priority
+        self.realtime_behind = realtime_behind
+        self.created_ps = created_ps
+        self.enqueued_ps: Optional[int] = None
+        self.issued_ps: Optional[int] = None
+        self.completed_ps: Optional[int] = None
+        self.row_hit: Optional[bool] = None
+        uid = next(_transaction_ids)
+        self.uid = uid
+        self.sort_key = (created_ps, uid)
+
+    @property
+    def latency_ps(self) -> Optional[int]:
+        """End-to-end latency from creation to completion, if completed."""
+        if self.completed_ps is None:
+            return None
+        return self.completed_ps - self.created_ps
+
+    def waiting_time_ps(self, now_ps: int) -> int:
+        """Time spent waiting in the memory controller so far."""
+        if self.enqueued_ps is None:
+            return 0
+        return max(0, now_ps - self.enqueued_ps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "W" if self.is_write else "R"
+        return (
+            f"BatchTransaction(#{self.uid} {self.source}/{self.dma} {kind}"
             f" {self.size_bytes}B @0x{self.address:x} prio={self.priority})"
         )

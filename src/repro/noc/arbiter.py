@@ -34,6 +34,12 @@ class NocArbiter:
     def name(self) -> str:
         return self._policy.name
 
+    @property
+    def policy(self) -> SchedulingPolicy:
+        """The wrapped policy instance (the batched router builds its
+        vectorized selector around it so round-robin state stays shared)."""
+        return self._policy
+
     def select(self, candidates: List[Transaction], now_ps: int) -> Transaction:
         """Choose the next transaction to cross the switch."""
         if not candidates:

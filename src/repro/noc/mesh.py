@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Tuple, Type
 
 from repro.noc.arbiter import NocArbiter
 from repro.noc.link import Link
@@ -110,8 +110,12 @@ def build_mesh(
     root_link_bytes_per_ns: float,
     router_latency_ns: float,
     columns: int = 2,
+    router_cls: Type[Router] = Router,
 ) -> MeshTopology:
-    """Build a mesh with one node per cluster plus the egress node at (0, 0)."""
+    """Build a mesh with one node per cluster plus the egress node at (0, 0).
+
+    ``router_cls`` selects the router implementation (see
+    :func:`~repro.noc.topology.build_tree`)."""
     if not cluster_specs:
         raise ValueError("at least one cluster is required")
     columns, rows = _grid_dimensions(len(cluster_specs), columns)
@@ -145,7 +149,7 @@ def build_mesh(
             bandwidth = spec.link_bytes_per_ns if spec else root_link_bytes_per_ns
             next_hop = xy_next_hop(coordinate)
             link = Link(f"mesh-{coordinate}-to-{next_hop}", bandwidth)
-        topology.nodes[coordinate] = Router(
+        topology.nodes[coordinate] = router_cls(
             name=f"mesh{coordinate[0]}_{coordinate[1]}",
             engine=engine,
             arbiter=NocArbiter(arbitration),

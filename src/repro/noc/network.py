@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Type, Union
 
 from repro.memctrl.transaction import Transaction
 from repro.noc.mesh import MeshTopology, build_mesh
 from repro.noc.packet import Packet
+from repro.noc.router import BatchedRouter, Router
 from repro.noc.topology import ClusterSpec, TreeTopology, build_tree
 from repro.sim.config import NocConfig
 from repro.sim.engine import Engine
@@ -23,6 +24,10 @@ class Network:
     default two-level tree of Fig. 1, or a 2D mesh with XY routing), and
     finally hands the transaction to the memory-controller sink.
     """
+
+    #: Router implementation the topology is built from; the batched
+    #: subclass overrides this alongside its packetless inject path.
+    router_cls: Type[Router] = Router
 
     def __init__(
         self,
@@ -43,6 +48,7 @@ class Network:
                 root_link_bytes_per_ns=root_bw,
                 router_latency_ns=self.config.router_latency_ns,
                 columns=self.config.mesh_columns,
+                router_cls=self.router_cls,
             )
         else:
             self.topology = build_tree(
@@ -51,6 +57,7 @@ class Network:
                 arbitration=self.config.arbitration,
                 root_link_bytes_per_ns=root_bw,
                 router_latency_ns=self.config.router_latency_ns,
+                router_cls=self.router_cls,
             )
         self._sink: Optional[TransactionSink] = None
         self.topology.root.set_sink(self._deliver_to_sink)
@@ -85,3 +92,46 @@ class Network:
 
     def average_latency_ps(self) -> float:
         return self.network_latency.mean
+
+
+class BatchedNetwork(Network):
+    """The batched kernel's network: packetless transport over batched routers.
+
+    Transactions flow through the topology bare — no per-injection
+    :class:`~repro.noc.packet.Packet` wrapper — and the injection point caches
+    the core-to-router resolution.  Latency accounting and statistics are
+    identical to :class:`Network`.
+    """
+
+    router_cls = BatchedRouter
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._cluster_cache: Dict[str, Router] = {}
+        self._in_flight = 0
+
+    def inject(self, core_name: str, transaction: Transaction) -> None:
+        """Inject a transaction from a core into its cluster router."""
+        if self._sink is None:
+            raise RuntimeError("network has no sink; call set_sink() first")
+        cluster = self._cluster_cache.get(core_name)
+        if cluster is None:
+            cluster = self.topology.cluster_for(core_name)
+            self._cluster_cache[core_name] = cluster
+        self.injected_packets += 1
+        self._in_flight += 1
+        cluster.receive(core_name, transaction)
+
+    def _deliver_to_sink(self, transaction: Transaction) -> None:
+        # A transaction is created and injected at the same timestamp (the
+        # DMA issue loop injects synchronously), so created_ps IS the
+        # injection time — no per-transaction timestamp map needed.
+        self._in_flight -= 1
+        self.network_latency.add(self.engine._now_ps - transaction.created_ps)
+        sink = self._sink
+        if sink is not None:
+            sink(transaction)
+
+    def in_flight(self) -> int:
+        """Transactions injected but not yet delivered to the controller."""
+        return self._in_flight

@@ -11,7 +11,8 @@ interconnect under FCFS) before DRAM even becomes the bottleneck.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from functools import partial
+from typing import Dict, List, Type
 
 from repro.noc.arbiter import NocArbiter
 from repro.noc.link import Link
@@ -54,11 +55,18 @@ def build_tree(
     arbitration: str,
     root_link_bytes_per_ns: float,
     router_latency_ns: float,
+    router_cls: Type[Router] = Router,
 ) -> TreeTopology:
-    """Build the two-level tree used by the default platform."""
+    """Build the two-level tree used by the default platform.
+
+    ``router_cls`` selects the router implementation — the batched kernel
+    passes :class:`~repro.noc.router.BatchedRouter`; every router in a
+    topology must be of the same class because the inter-router sinks carry
+    whatever payload the class forwards (packets or bare transactions).
+    """
     if not cluster_specs:
         raise ValueError("at least one cluster is required")
-    root = Router(
+    root = router_cls(
         name="root",
         engine=engine,
         arbiter=NocArbiter(arbitration),
@@ -69,14 +77,14 @@ def build_tree(
     for spec in cluster_specs:
         if spec.name in topology.clusters:
             raise ValueError(f"duplicate cluster name '{spec.name}'")
-        cluster = Router(
+        cluster = router_cls(
             name=spec.name,
             engine=engine,
             arbiter=NocArbiter(arbitration),
             output_link=Link(f"{spec.name}-to-root", spec.link_bytes_per_ns),
             latency_ns=router_latency_ns,
         )
-        cluster.set_sink(lambda packet, _name=spec.name: root.receive(_name, packet))
+        cluster.set_sink(partial(root.receive, spec.name))
         root.add_port(spec.name)
         topology.clusters[spec.name] = cluster
         for member in spec.members:

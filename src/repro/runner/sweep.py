@@ -153,13 +153,22 @@ class SweepStats:
 
     * ``resolve_s`` — scenario resolution and cache-key hashing (parent
       process, plus any residual resolution inside workers).
-    * ``build_s`` / ``sim_s`` — system construction and the simulation runs
-      themselves.  Summed *across* workers, so with ``jobs > 1`` these can
-      legitimately exceed ``elapsed_s``.
+    * ``build_s`` / ``sim_cpu_s`` — system construction and the simulation
+      runs themselves.  Summed *across* workers, so with ``jobs > 1`` these
+      can legitimately exceed ``elapsed_s`` — they are CPU time spent, not
+      wall clock.
     * ``serialize_s`` — result-cache reads and writes in the parent.
     * ``pool_startup_s`` — spawn cost paid by *this* sweep.  Zero when a
       warm :class:`~repro.runner.pool.WorkerPool` was handed in, which is
       the whole point of keeping one.
+
+    ``sim_wall_s`` is *not* a phase: it estimates the simulation's wall-clock
+    critical path — the largest per-worker chain of batch simulation times
+    (for ``jobs=1`` simply the total) — and is never larger than
+    ``sim_cpu_s``.  It answers "how long did simulating actually gate the
+    sweep", where ``sim_cpu_s`` answers "how much simulating was done";
+    earlier versions reported only the sum under the name ``sim_s``, which
+    read like (and was routinely mistaken for) a wall-clock figure.
     """
 
     total: int = 0
@@ -170,7 +179,8 @@ class SweepStats:
     elapsed_s: float = 0.0
     resolve_s: float = 0.0
     build_s: float = 0.0
-    sim_s: float = 0.0
+    sim_cpu_s: float = 0.0
+    sim_wall_s: float = 0.0
     serialize_s: float = 0.0
     pool_startup_s: float = 0.0
     cache_dir: Optional[str] = None
@@ -183,14 +193,19 @@ class SweepStats:
         """Fold one run's phase breakdown into the sweep totals."""
         self.resolve_s += timings.resolve_s
         self.build_s += timings.build_s
-        self.sim_s += timings.sim_s
+        self.sim_cpu_s += timings.sim_s
 
     def phases(self) -> Dict[str, float]:
-        """The measured phases as a name -> seconds mapping (for reports)."""
+        """The measured phases as a name -> seconds mapping (for reports).
+
+        Phases are disjoint attributions of work time, safe to add up;
+        ``sim_wall_s`` (a derived critical-path estimate that overlaps
+        ``sim_cpu_s``) and ``elapsed_s`` are deliberately excluded.
+        """
         return {
             f.name[: -len("_s")]: getattr(self, f.name)
             for f in fields(self)
-            if f.name.endswith("_s") and f.name != "elapsed_s"
+            if f.name.endswith("_s") and f.name not in ("elapsed_s", "sim_wall_s")
         }
 
     def summary(self) -> str:
@@ -207,6 +222,8 @@ class SweepStats:
             for name, seconds in self.phases().items()
             if seconds >= 0.005
         ]
+        if self.sim_wall_s >= 0.005 and self.sim_wall_s != self.sim_cpu_s:
+            phase_parts.append(f"sim_wall {self.sim_wall_s:.2f}s")
         if phase_parts:
             parts.append("[" + ", ".join(phase_parts) + "]")
         if self.cache_dir:
@@ -425,6 +442,8 @@ def _run_cold_inprocess(
             entry, result, timings, results, stats, cache, progress, observer,
             done, len(cold),
         )
+    # One process, one chain: the simulation wall time is the full sum.
+    stats.sim_wall_s = stats.sim_cpu_s
 
 
 def _run_cold_on_pool(
@@ -461,9 +480,17 @@ def _run_cold_on_pool(
             batches = [[(position, spec)] for position, (_, spec, _) in enumerate(cold)]
         stats.batches = len(batches)
         done = 0
+        # Per-worker chains of batch simulation time, for sim_wall_s: each
+        # landing batch joins the least-loaded chain (batches stream back in
+        # completion order, so this mirrors how an idle worker picks up the
+        # next batch).  The largest chain estimates the simulation's
+        # wall-clock critical path.
+        chains = [0.0] * max(1, pool.jobs)
         for landed in pool.imap_unordered(_execute_batch, batches):
+            batch_sim_s = 0.0
             for position, result, timings in landed:
                 done += 1
+                batch_sim_s += timings.sim_s
                 _land_result(
                     cold[position],
                     result,
@@ -476,6 +503,8 @@ def _run_cold_on_pool(
                     done,
                     len(cold),
                 )
+            chains[chains.index(min(chains))] += batch_sim_s
+        stats.sim_wall_s = max(chains)
     finally:
         if own_pool:
             pool.close()

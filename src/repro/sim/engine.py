@@ -1,21 +1,31 @@
 """Discrete-event simulation engine.
 
-The engine keeps a binary heap of :class:`Event` objects ordered by
-``(time_ps, sequence)``.  Components schedule callbacks; the engine fires them
-in timestamp order until a time horizon is reached or the queue drains.
+The engine keeps a binary heap of ``(time_ps, sequence, callback, args,
+event)`` entries ordered by ``(time_ps, sequence)``.  Components schedule
+callbacks; the engine fires them in timestamp order until a time horizon is
+reached or the queue drains.
 
-Two hot-path shortcuts keep per-event overhead low under heavy sweeps:
+Three hot-path shortcuts keep per-event overhead low under heavy sweeps:
 
 * Events scheduled for the *current* timestamp (``delay_ps == 0`` bursts,
   completion cascades) bypass the heap entirely and go into a FIFO bucket.
   Sequence numbers guarantee that anything already on the heap for the same
   timestamp still fires first, so execution order is identical to the pure
   heap — just without an O(log n) push/pop per event.
+* :meth:`Engine.schedule_call` queues a bare callback without allocating an
+  :class:`Event` handle at all (the ``event`` slot of its entry is ``None``).
+  The batched kernel's fire-and-forget hot paths — link deliveries, DRAM
+  completions — use it; anything that might be cancelled must go through
+  :meth:`Engine.schedule_at`.
 * Cancelled events leave a tombstone on the heap that is skipped when popped
   — cheaper and simpler than heap surgery.  The engine counts live
   tombstones and compacts the heap in place once they exceed both a fixed
   floor and half of the queue, so a workload that cancels heavily cannot
   bloat the heap indefinitely.
+
+Entries never tie on ``(time_ps, sequence)`` (sequences are unique), so heap
+sifting compares plain integers only and the trailing tuple elements never
+participate in comparisons.
 """
 
 from __future__ import annotations
@@ -30,11 +40,10 @@ COMPACT_MIN_TOMBSTONES = 64
 
 
 class Event:
-    """A scheduled callback.
+    """A cancellable handle to a scheduled callback.
 
-    Events compare by ``(time_ps, sequence)`` so that two events scheduled for
-    the same timestamp fire in scheduling order, which keeps simulations
-    deterministic regardless of heap internals.
+    Only :meth:`Engine.schedule_at` / :meth:`Engine.schedule` allocate these;
+    the handle exists so callers can :meth:`cancel` before the fire time.
     """
 
     __slots__ = ("time_ps", "sequence", "callback", "args", "cancelled", "engine")
@@ -74,15 +83,14 @@ class Engine:
     """Event-driven simulation kernel with integer-picosecond time."""
 
     def __init__(self) -> None:
-        # The heap stores ``(time_ps, sequence, event)`` tuples so that heap
-        # sifting compares plain integers at C speed instead of calling
-        # Event.__lt__ per comparison.
+        # Both containers hold (time_ps, sequence, callback, args, event)
+        # tuples; ``event`` is None for schedule_call entries.
         self._queue: List[tuple] = []
-        # Events scheduled for exactly the current timestamp.  Invariant:
-        # every event in the bucket has ``time_ps == self._now_ps`` — time
-        # only advances once the bucket is empty, because a bucket event
-        # always sorts before any heap event at a later time.
-        self._bucket: Deque[Event] = deque()
+        # Entries scheduled for exactly the current timestamp.  Invariant:
+        # every entry in the bucket has ``time_ps == self._now_ps`` — time
+        # only advances once the bucket is empty, because a bucket entry
+        # always sorts before any heap entry at a later time.
+        self._bucket: Deque[tuple] = deque()
         self._now_ps: int = 0
         self._sequence: int = 0
         self._fired: int = 0
@@ -117,16 +125,40 @@ class Engine:
             raise ValueError(
                 f"cannot schedule event in the past: {time_ps} < now {self._now_ps}"
             )
-        event = Event(time_ps, self._sequence, callback, args, self)
-        self._sequence += 1
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(time_ps, sequence, callback, args, self)
+        entry = (time_ps, sequence, callback, args, event)
         if time_ps == self._now_ps:
             # Same-timestamp fast path: FIFO order equals sequence order, and
-            # heap events at this timestamp all carry smaller sequences, so
+            # heap entries at this timestamp all carry smaller sequences, so
             # the run loop can merge the two sources exactly.
-            self._bucket.append(event)
+            self._bucket.append(entry)
         else:
-            heapq.heappush(self._queue, (time_ps, event.sequence, event))
+            heapq.heappush(self._queue, entry)
         return event
+
+    def schedule_call(
+        self, time_ps: int, callback: Callable[..., None], args: tuple = ()
+    ) -> None:
+        """Schedule a fire-and-forget ``callback(*args)`` with no Event handle.
+
+        Identical ordering semantics to :meth:`schedule_at` (one shared
+        sequence counter), but nothing is allocated besides the queue entry —
+        and consequently the call cannot be cancelled.  Hot paths that never
+        cancel (link deliveries, DRAM completion callbacks) use this.
+        """
+        if time_ps < self._now_ps:
+            raise ValueError(
+                f"cannot schedule event in the past: {time_ps} < now {self._now_ps}"
+            )
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        entry = (time_ps, sequence, callback, args, None)
+        if time_ps == self._now_ps:
+            self._bucket.append(entry)
+        else:
+            heapq.heappush(self._queue, entry)
 
     def schedule(
         self, delay_ps: int, callback: Callable[..., None], *args: Any
@@ -145,8 +177,8 @@ class Engine:
         ):
             self.drain_cancelled()
 
-    def _next_event(self) -> Optional[Event]:
-        """Pop the next live event in ``(time_ps, sequence)`` order."""
+    def _next_entry(self) -> Optional[tuple]:
+        """Pop the next live entry in ``(time_ps, sequence)`` order."""
         queue = self._queue
         bucket = self._bucket
         pop = heapq.heappop
@@ -154,19 +186,21 @@ class Engine:
             if bucket and (
                 not queue
                 or queue[0][0] > self._now_ps
-                or queue[0][1] > bucket[0].sequence
+                or queue[0][1] > bucket[0][1]
             ):
-                event = bucket.popleft()
+                entry = bucket.popleft()
             else:
-                event = pop(queue)[2]
-            if event.cancelled:
-                self._cancelled -= 1
-                continue
-            # Detach the engine reference: a cancel() after the event fired
-            # must not count a tombstone that is no longer queued (and the
-            # compaction trigger must not chase it).
-            event.engine = None
-            return event
+                entry = pop(queue)
+            event = entry[4]
+            if event is not None:
+                if event.cancelled:
+                    self._cancelled -= 1
+                    continue
+                # Detach the engine reference: a cancel() after the event
+                # fired must not count a tombstone that is no longer queued
+                # (and the compaction trigger must not chase it).
+                event.engine = None
+            return entry
         return None
 
     def run(self, until_ps: Optional[int] = None, max_events: Optional[int] = None) -> int:
@@ -195,21 +229,22 @@ class Engine:
             while self._queue or self._bucket:
                 if max_events is not None and executed >= max_events:
                     break
-                event = self._next_event()
-                if event is None:
+                entry = self._next_entry()
+                if entry is None:
                     break
-                if until_ps is not None and event.time_ps > until_ps:
-                    # Put the event back; it belongs to a later run() call.
-                    event.engine = self
-                    if event.time_ps == self._now_ps:
-                        self._bucket.appendleft(event)
+                time_ps = entry[0]
+                if until_ps is not None and time_ps > until_ps:
+                    # Put the entry back; it belongs to a later run() call.
+                    event = entry[4]
+                    if event is not None:
+                        event.engine = self
+                    if time_ps == self._now_ps:
+                        self._bucket.appendleft(entry)
                     else:
-                        heapq.heappush(
-                            self._queue, (event.time_ps, event.sequence, event)
-                        )
+                        heapq.heappush(self._queue, entry)
                     break
-                self._now_ps = event.time_ps
-                event.callback(*event.args)
+                self._now_ps = time_ps
+                entry[2](*entry[3])
                 executed += 1
                 self._fired += 1
             if until_ps is not None and self._now_ps < until_ps:
@@ -225,11 +260,11 @@ class Engine:
 
         Returns ``True`` if an event fired, ``False`` if the queue is empty.
         """
-        event = self._next_event()
-        if event is None:
+        entry = self._next_entry()
+        if entry is None:
             return False
-        self._now_ps = event.time_ps
-        event.callback(*event.args)
+        self._now_ps = entry[0]
+        entry[2](*entry[3])
         self._fired += 1
         return True
 
@@ -242,11 +277,90 @@ class Engine:
         stay valid.
         """
         before = len(self._queue) + len(self._bucket)
-        live = [entry for entry in self._queue if not entry[2].cancelled]
+        live = [
+            entry
+            for entry in self._queue
+            if entry[4] is None or not entry[4].cancelled
+        ]
         heapq.heapify(live)
         self._queue[:] = live
-        live_bucket = [event for event in self._bucket if not event.cancelled]
+        live_bucket = [
+            entry
+            for entry in self._bucket
+            if entry[4] is None or not entry[4].cancelled
+        ]
         self._bucket.clear()
         self._bucket.extend(live_bucket)
         self._cancelled = 0
         return before - len(self._queue) - len(self._bucket)
+
+
+class BatchedEngine(Engine):
+    """The batched kernel's engine: identical semantics, inlined run loop.
+
+    Scheduling, cancellation, tombstone compaction and the same-timestamp
+    bucket behave exactly as in :class:`Engine` (all of that is inherited).
+    Only :meth:`run` is replaced: the heap/bucket merge of ``_next_entry`` is
+    inlined into the loop with every per-event attribute lookup hoisted into
+    locals, which removes one Python function call plus several attribute
+    loads per event — measurable at millions of events per sweep, invisible
+    in behaviour.  Event order, clock updates and counters are bit-identical
+    to the scalar engine; ``tests/test_batched_kernel.py`` asserts it on the
+    edge cases (empty queue, horizon put-back, tombstones interleaved with
+    bucket batches).
+    """
+
+    def run(self, until_ps: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        if self._running:
+            raise RuntimeError("engine is already running (re-entrant run() call)")
+        self._running = True
+        executed = 0
+        queue = self._queue
+        bucket = self._bucket
+        pop = heapq.heappop
+        try:
+            while queue or bucket:
+                if max_events is not None and executed >= max_events:
+                    break
+                # Inlined _next_entry(): pop the next live entry in
+                # (time_ps, sequence) order, skipping tombstones.
+                entry = None
+                while queue or bucket:
+                    if bucket and (
+                        not queue
+                        or queue[0][0] > self._now_ps
+                        or queue[0][1] > bucket[0][1]
+                    ):
+                        candidate = bucket.popleft()
+                    else:
+                        candidate = pop(queue)
+                    event = candidate[4]
+                    if event is not None:
+                        if event.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        event.engine = None
+                    entry = candidate
+                    break
+                if entry is None:
+                    break
+                time_ps = entry[0]
+                if until_ps is not None and time_ps > until_ps:
+                    # Put the entry back; it belongs to a later run() call.
+                    event = entry[4]
+                    if event is not None:
+                        event.engine = self
+                    if time_ps == self._now_ps:
+                        bucket.appendleft(entry)
+                    else:
+                        heapq.heappush(queue, entry)
+                    break
+                self._now_ps = time_ps
+                entry[2](*entry[3])
+                executed += 1
+                self._fired += 1
+            if until_ps is not None and self._now_ps < until_ps:
+                self._now_ps = until_ps
+        finally:
+            self._running = False
+        return executed

@@ -114,10 +114,15 @@ class WindowedRate:
         self._lifetime_total = 0.0
 
     def add(self, time_ps: int, amount: float) -> None:
-        self._samples.append((time_ps, amount))
+        # _evict inlined: add() runs once per completed transaction.
+        samples = self._samples
+        samples.append((time_ps, amount))
         self._window_total += amount
         self._lifetime_total += amount
-        self._evict(time_ps)
+        horizon = time_ps - self.window_ps
+        while samples[0][0] < horizon:
+            __, old = samples.popleft()
+            self._window_total -= old
 
     def _evict(self, now_ps: int) -> None:
         horizon = now_ps - self.window_ps

@@ -70,12 +70,15 @@ def run_experiment(
     keep_trace: bool = True,
     system: Optional[System] = None,
     dram_model: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one simulation and collect the paper's metrics.
 
     A pre-built ``system`` may be supplied (the ablation benchmarks do this to
     tweak internal parameters); otherwise one is built from the scenario plus
-    the keyword overrides.
+    the keyword overrides.  ``kernel`` selects the simulation kernel
+    ("scalar" or "batched" — bit-identical results, see ``docs/engine.md``)
+    and is ignored when a pre-built system is supplied.
     """
     if system is None:
         resolved = resolve_scenario(
@@ -88,7 +91,7 @@ def run_experiment(
             dram_freq_mhz=dram_freq_mhz,
             dram_model=dram_model,
         )
-        system = build_system(resolved)
+        system = build_system(resolved, kernel=kernel)
     horizon = duration_ps or system.config.duration_ps
     system.run(duration_ps=horizon)
 
@@ -157,6 +160,7 @@ class RunTimings:
 def run_experiment_timed(
     scenario: Union[str, Scenario],
     keep_trace: bool = True,
+    kernel: Optional[str] = None,
 ) -> Tuple[ExperimentResult, RunTimings]:
     """Run one scenario-described experiment, reporting per-phase timings.
 
@@ -171,7 +175,7 @@ def run_experiment_timed(
     resolved = resolve_scenario(scenario)
     built = time.perf_counter()
     timings.resolve_s = built - started
-    system = build_system(resolved)
+    system = build_system(resolved, kernel=kernel)
     ran = time.perf_counter()
     timings.build_s = ran - built
     result = run_experiment(scenario=resolved, keep_trace=keep_trace, system=system)

@@ -36,7 +36,8 @@ class FrameBurstGenerator(TrafficGenerator):
         return self.bytes_per_frame / (self.frame_period_ps / 1e12)
 
     def _schedule_first(self) -> None:
-        self.engine.schedule_at(
+        # Fire-and-forget ticks: no Event handle needed (see ConstantRate).
+        self.engine.schedule_call(
             self.engine.now_ps + self.start_offset_ps, self._on_frame_start
         )
 
@@ -44,4 +45,4 @@ class FrameBurstGenerator(TrafficGenerator):
         self._release(self.bytes_per_frame)
         next_frame_ps = self.engine.now_ps + self.frame_period_ps
         if self._within_horizon(next_frame_ps):
-            self.engine.schedule_at(next_frame_ps, self._on_frame_start)
+            self.engine.schedule_call(next_frame_ps, self._on_frame_start)

@@ -30,7 +30,9 @@ class ConstantRateGenerator(TrafficGenerator):
         return self.bytes_per_s
 
     def _schedule_first(self) -> None:
-        self.engine.schedule_at(
+        # Generator ticks are fire-and-forget; schedule_call skips the Event
+        # handle allocation on what is one event per released chunk.
+        self.engine.schedule_call(
             self.engine.now_ps + self.start_offset_ps, self._on_tick
         )
 
@@ -38,4 +40,4 @@ class ConstantRateGenerator(TrafficGenerator):
         self._release(self.chunk_bytes)
         next_tick_ps = self.engine.now_ps + self.interval_ps
         if self._within_horizon(next_tick_ps):
-            self.engine.schedule_at(next_tick_ps, self._on_tick)
+            self.engine.schedule_call(next_tick_ps, self._on_tick)

@@ -42,7 +42,8 @@ class PoissonGenerator(TrafficGenerator):
         return max(1, int(self.rng.exponential(self.mean_interval_ps)))
 
     def _schedule_first(self) -> None:
-        self.engine.schedule_at(
+        # Fire-and-forget ticks: no Event handle needed (see ConstantRate).
+        self.engine.schedule_call(
             self.engine.now_ps + self.start_offset_ps + self._next_gap_ps(),
             self._on_arrival,
         )
@@ -51,4 +52,4 @@ class PoissonGenerator(TrafficGenerator):
         self._release(self.chunk_bytes)
         next_arrival_ps = self.engine.now_ps + self._next_gap_ps()
         if self._within_horizon(next_arrival_ps):
-            self.engine.schedule_at(next_arrival_ps, self._on_arrival)
+            self.engine.schedule_call(next_arrival_ps, self._on_arrival)

@@ -142,7 +142,7 @@ class TestCampaignReport:
         assert subgrid["claims"] == ["a declared claim"]
         assert {check["passed"] for check in subgrid["checks"]} <= {True, False}
         assert payload["stats"]["total"] == 2
-        assert "sim" in payload["subgrid_stats"]["policies"]["phases"]
+        assert "sim_cpu" in payload["subgrid_stats"]["policies"]["phases"]
         json.dumps(payload)
 
 

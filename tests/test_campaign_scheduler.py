@@ -111,7 +111,7 @@ class TestRun:
         assert sum(stats.cache_hits for stats in per_grid) == outcome.stats.cache_hits
         # Executed sub-grids carry their own sim time; the campaign-level
         # pool_startup phase is not attributed to any sub-grid.
-        assert outcome.subgrid_stats["policies"].sim_s > 0.0
+        assert outcome.subgrid_stats["policies"].sim_cpu_s > 0.0
         assert all(stats.pool_startup_s == 0.0 for stats in per_grid)
 
     def test_scheduler_matches_existing_sweep_paths_bit_identically(

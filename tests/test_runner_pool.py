@@ -146,7 +146,9 @@ class TestSweepPhases:
     def test_sequential_phases_are_measured(self, tmp_path):
         results, stats = run_sweep(_specs(POLICIES[:2]), jobs=1, cache_dir=tmp_path)
         assert stats.executed == 2
-        assert stats.sim_s > 0.0
+        assert stats.sim_cpu_s > 0.0
+        # One chain when jobs=1: wall == cpu.
+        assert stats.sim_wall_s == stats.sim_cpu_s
         assert stats.build_s > 0.0
         assert stats.resolve_s >= 0.0
         assert stats.serialize_s > 0.0  # two cache writes
@@ -154,16 +156,16 @@ class TestSweepPhases:
         assert set(stats.phases()) == {
             "resolve",
             "build",
-            "sim",
+            "sim_cpu",
             "serialize",
             "pool_startup",
         }
-        assert "sim " in stats.summary()
+        assert "sim_cpu " in stats.summary()
 
         # A warm-cache rerun is all serialize, no simulate.
         rerun, rerun_stats = run_sweep(_specs(POLICIES[:2]), jobs=1, cache_dir=tmp_path)
         assert rerun_stats.cache_hits == 2
-        assert rerun_stats.sim_s == 0.0
+        assert rerun_stats.sim_cpu_s == 0.0
         assert rerun_stats.serialize_s > 0.0
         assert _fingerprints(results) == _fingerprints(rerun)
 
