@@ -1,0 +1,354 @@
+"""Load benchmark for the results service: emits BENCH_serve.json.
+
+This is the repo's tracked *service* benchmark — the HTTP analogue of
+``bench_runner.py`` (sweep orchestration) and ``bench_engine.py`` (kernel
+CPU time).  It records one small campaign sub-grid (``paper_figures`` /
+``fig5``, 0.25 simulated ms, light traffic) into a throwaway store, then
+**booby-traps every scenario-resolution path** and drives a
+:class:`~repro.serve.client.BackgroundResultsServer` with a fixed request
+mix over one keep-alive connection:
+
+* ``GET /reports/<fp>/report_md`` — the recorded figure, unconditional;
+* the same GET with ``If-None-Match`` — must come back ``304`` bodiless;
+* ``GET /artifacts/<sha256>`` — content-addressed blob fetch;
+* ``GET /manifests`` and ``GET /manifests/<fp>`` — the JSON index;
+* ``GET /healthz`` — the liveness probe.
+
+Before any timing, the served report is asserted **byte-identical** to the
+recorded artifact, and the booby trap guarantees the whole run performs
+zero ``RunSpec``/``SubGrid`` resolutions — a throughput figure for a server
+that quietly re-simulates would be meaningless.  Timing is wall clock per
+request (``time.perf_counter``); the best requests/s over ``--repeats``
+passes wins, and p50/p99 latencies come from that best pass.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_serve.py --output BENCH_serve.json
+    PYTHONPATH=src python benchmarks/perf/bench_serve.py \
+        --check benchmarks/perf/BENCH_serve.json --tolerance 0.20
+
+``--check`` exits non-zero when requests/s drops more than ``--tolerance``
+(fractional) below the committed baseline — throughput regresses *downward*,
+so the gate is ``current < baseline * (1 - tolerance)`` — and appends a
+before/after table to ``$GITHUB_STEP_SUMMARY`` when CI sets it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import multiprocessing
+import os
+import platform
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+import repro.campaign.spec as campaign_spec
+import repro.runner.sweep as sweep_mod
+from repro.cli import main as cli_main
+from repro.serve import BackgroundResultsServer, ResultsClient
+from repro.store import ResultsStore
+
+BENCH_SCHEMA_VERSION = 1
+
+CAMPAIGN = "paper_figures"
+SUBGRID = "fig5"
+DURATION_MS = 0.25
+TRAFFIC_SCALE = 0.1
+DEFAULT_REQUESTS = 600
+
+#: One pass cycles through this mix; ~1/6 of requests are conditional GETs.
+MIX = ("report", "report_304", "artifact", "manifests", "manifest", "healthz")
+
+
+def _record_store(store_dir: str, cache_dir: str) -> str:
+    """Record the workload campaign; returns the manifest fingerprint."""
+    argv = [
+        "campaign", "report", CAMPAIGN, "--subgrid", SUBGRID,
+        "--duration-ms", str(DURATION_MS), "--traffic-scale", str(TRAFFIC_SCALE),
+        "--store-dir", store_dir, "--cache-dir", cache_dir,
+    ]
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = cli_main(argv)
+    if code != 0:
+        raise SystemExit(f"recording the benchmark store failed (exit {code})")
+    (manifest,) = ResultsStore(store_dir).manifests()
+    return manifest.fingerprint
+
+
+@contextlib.contextmanager
+def _no_resolution_allowed():
+    """Booby-trap every path that could resolve a scenario or run a sweep.
+
+    The patch is process-wide, so it covers the server's daemon thread: any
+    resolution during the timed run raises in the handler, the service
+    answers 500, and the client aborts the benchmark.
+    """
+    def banned(*_args, **_kwargs):
+        raise AssertionError("results service resolved a scenario / ran a sweep")
+
+    saved = (
+        sweep_mod.RunSpec.resolved_scenario,
+        sweep_mod.run_sweep,
+        campaign_spec.SubGrid.resolved_scenario,
+    )
+    sweep_mod.RunSpec.resolved_scenario = banned
+    sweep_mod.run_sweep = banned
+    campaign_spec.SubGrid.resolved_scenario = banned
+    try:
+        yield
+    finally:
+        (
+            sweep_mod.RunSpec.resolved_scenario,
+            sweep_mod.run_sweep,
+            campaign_spec.SubGrid.resolved_scenario,
+        ) = saved
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _one_pass(
+    client: ResultsClient, fingerprint: str, digest: str, etag: str, requests: int
+) -> Tuple[float, List[float], int]:
+    """Drive ``requests`` requests; returns (wall_s, latencies, 304 count)."""
+    latencies: List[float] = []
+    not_modified = 0
+    began = time.perf_counter()
+    for index in range(requests):
+        kind = MIX[index % len(MIX)]
+        request_began = time.perf_counter()
+        if kind == "report":
+            reply = client.report(fingerprint, "report_md")
+        elif kind == "report_304":
+            reply = client.report(fingerprint, "report_md", etag=etag)
+        elif kind == "artifact":
+            reply = client.artifact(digest)
+        elif kind == "manifests":
+            reply = client.get("/manifests")
+        elif kind == "manifest":
+            reply = client.get(f"/manifests/{fingerprint}")
+        else:
+            reply = client.get("/healthz")
+        latencies.append(time.perf_counter() - request_began)
+        if reply.status not in (200, 304):
+            raise SystemExit(f"{kind} request failed with {reply.status}")
+        if reply.not_modified:
+            not_modified += 1
+    return time.perf_counter() - began, latencies, not_modified
+
+
+def run_benchmark(requests: int = DEFAULT_REQUESTS, repeats: int = 3) -> Dict[str, object]:
+    """Record, serve, verify byte-identity, then measure the request mix."""
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as root:
+        store_dir = os.path.join(root, "store")
+        cache_dir = os.path.join(root, "cache")
+        print(
+            f"recording workload: campaign '{CAMPAIGN}' sub-grid '{SUBGRID}', "
+            f"{DURATION_MS:g} ms/run, traffic x{TRAFFIC_SCALE:g} ...",
+            flush=True,
+        )
+        fingerprint = _record_store(store_dir, cache_dir)
+        store = ResultsStore(store_dir)
+        manifest = store.find_manifest(fingerprint)
+        report_ref = manifest.artifacts["report_md"]
+        recorded = store.read_artifact_bytes(report_ref)
+
+        with _no_resolution_allowed():
+            with BackgroundResultsServer(store_dir) as server:
+                with ResultsClient(server.host, server.port) as client:
+                    first = client.report(fingerprint, "report_md")
+                    assert first.body == recorded, (
+                        "served report is not byte-identical to the recorded artifact"
+                    )
+                    assert first.etag == report_ref.digest
+                    print(
+                        f"byte-identity: GET /reports/{fingerprint[:12]}.../report_md "
+                        f"== recorded artifact ({len(recorded)} bytes); "
+                        f"zero scenario resolutions enforced for the whole run"
+                    )
+                    best: Optional[Tuple[float, List[float], int]] = None
+                    for repeat in range(repeats):
+                        wall_s, latencies, not_modified = _one_pass(
+                            client, fingerprint, report_ref.digest,
+                            first.etag, requests,
+                        )
+                        print(
+                            f"pass {repeat + 1}/{repeats}: "
+                            f"{requests / wall_s:,.0f} req/s "
+                            f"({requests} requests in {wall_s:.2f}s, "
+                            f"{not_modified} x 304)",
+                            flush=True,
+                        )
+                        if best is None or wall_s < best[0]:
+                            best = (wall_s, latencies, not_modified)
+                    assert best is not None
+                    cache_stats = server.app.blob_cache.stats()
+
+    wall_s, latencies, not_modified = best
+    expected_304 = sum(1 for i in range(requests) if MIX[i % len(MIX)] == "report_304")
+    assert not_modified == expected_304, (
+        f"expected {expected_304} conditional 304s, saw {not_modified}"
+    )
+    ordered = sorted(latencies)
+    requests_per_s = requests / wall_s
+    p50_ms = _percentile(ordered, 0.50) * 1e3
+    p99_ms = _percentile(ordered, 0.99) * 1e3
+    print(
+        f"best pass: {requests_per_s:,.0f} req/s, "
+        f"p50 {p50_ms:.2f} ms, p99 {p99_ms:.2f} ms; "
+        f"blob cache: {cache_stats['hits']} hits / {cache_stats['misses']} misses"
+    )
+
+    return {
+        "bench_schema_version": BENCH_SCHEMA_VERSION,
+        "workload": {
+            "campaign": CAMPAIGN,
+            "subgrid": SUBGRID,
+            "duration_ms": DURATION_MS,
+            "traffic_scale": TRAFFIC_SCALE,
+            "requests": requests,
+            "mix": list(MIX),
+            "conditional_304s": expected_304,
+            "repeats": repeats,
+            "transport": "one keep-alive HTTP/1.1 connection, serial requests",
+            "timer": "perf_counter",
+        },
+        "env": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpu_count": multiprocessing.cpu_count(),
+        },
+        "results": {
+            "requests_per_s": round(requests_per_s, 1),
+            "p50_ms": round(p50_ms, 3),
+            "p99_ms": round(p99_ms, 3),
+            "wall_s": round(wall_s, 3),
+            "blob_cache_hits": cache_stats["hits"],
+            "blob_cache_misses": cache_stats["misses"],
+            "scenario_resolutions": 0,
+            "byte_identity": "served report == recorded artifact (asserted)",
+        },
+    }
+
+
+def _append_step_summary(payload: Dict[str, object], baseline: Dict[str, object]) -> None:
+    """Append a before/after table to $GITHUB_STEP_SUMMARY when CI sets it."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    results = payload["results"]
+    base = baseline.get("results", {})
+
+    def cell(value: object, suffix: str = "") -> str:
+        return f"{value}{suffix}" if isinstance(value, (int, float)) else "—"
+
+    lines = [
+        "## Results service benchmark (requests/s over one keep-alive connection)",
+        "",
+        "| metric | baseline | current |",
+        "|---|---|---|",
+        f"| requests/s | {cell(base.get('requests_per_s'))} "
+        f"| {results['requests_per_s']} |",  # type: ignore[index]
+        f"| p50 latency | {cell(base.get('p50_ms'), ' ms')} "
+        f"| {results['p50_ms']} ms |",  # type: ignore[index]
+        f"| p99 latency | {cell(base.get('p99_ms'), ' ms')} "
+        f"| {results['p99_ms']} ms |",  # type: ignore[index]
+        "",
+    ]
+    with open(summary_path, "a") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def check_against_baseline(
+    payload: Dict[str, object], baseline_path: str, tolerance: float
+) -> int:
+    """Fail when fresh requests/s drops below baseline * (1 - tolerance).
+
+    Wall-clock throughput only compares like for like: when the baseline
+    came from a different machine class the gate still applies but a loud
+    warning asks for the baseline to be regenerated on this class.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    baseline_env = baseline.get("env", {})
+    current_env = payload["env"]  # type: ignore[index]
+    for field in ("cpu_count", "platform"):
+        if baseline_env.get(field) != current_env[field]:  # type: ignore[index]
+            print(
+                f"WARNING: baseline was recorded on a different machine class "
+                f"({field}: {baseline_env.get(field)!r} vs {current_env[field]!r}); "  # type: ignore[index]
+                f"the throughput gate is not calibrated for this machine — "
+                f"regenerate {baseline_path} from this machine's output"
+            )
+            break
+    baseline_rps = baseline["results"]["requests_per_s"]
+    current_rps = payload["results"]["requests_per_s"]  # type: ignore[index]
+    floor = baseline_rps * (1.0 - tolerance)
+    print(
+        f"baseline throughput: {baseline_rps:,.0f} req/s (from {baseline_path}); "
+        f"current: {current_rps:,.0f} req/s; "
+        f"floor at -{tolerance * 100:.0f}%: {floor:,.0f} req/s"
+    )
+    _append_step_summary(payload, baseline)
+    if current_rps < floor:
+        print("FAIL: results-service throughput regressed beyond tolerance")
+        return 1
+    print("OK: within tolerance")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=None, help="write the benchmark payload to this JSON file"
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE_JSON",
+        help="compare against a committed BENCH_serve.json and fail on regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="fractional requests/s drop allowed by --check (default 0.20)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=DEFAULT_REQUESTS,
+        help=f"requests per pass (default {DEFAULT_REQUESTS})",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="measurement passes; the best requests/s is reported (default 3)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(
+        requests=max(len(MIX), args.requests), repeats=max(1, args.repeats)
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+
+    if args.check:
+        return check_against_baseline(payload, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,14 @@ scenarios (bundled ones, plus any ``.json``/``.toml`` scenario file):
   generated ``EXPERIMENTS.md`` claims section with measured numbers.
 * ``store list|show|verify|gc`` — inspect and maintain a results store
   (content-addressed artifacts: ``verify`` re-hashes every blob and
-  cross-checks recorded cache keys, ``gc`` sweeps unreferenced blobs).
+  cross-checks recorded cache keys, ``gc`` sweeps unreferenced blobs —
+  ``--dry-run`` reports without deleting; ``list --format json`` emits
+  machine-readable summaries for scripting).
+* ``serve`` — the results service: a dependency-free asyncio HTTP server
+  over a store (``/manifests``, ``/artifacts/<sha256>``,
+  ``/reports/<fingerprint>/<name>``, ``/healthz``) with ETag = content
+  hash, so recorded reports are cacheable URLs served with zero scenario
+  resolutions.  See ``docs/results_service.md``.
 * ``run <scenario>`` — one experiment, printing the per-core summary and
   optionally saving the result as JSON.
 * ``compare <scenario>`` — several policies on one scenario (Figs. 5/6/8/9).
@@ -93,11 +100,13 @@ from repro.scenario import (
 )
 from repro.sim.clock import MS
 from repro.store import (
+    AmbiguousFingerprintError,
     GridSection,
     Provenance,
     ResultsStore,
     StoreError,
     describe_manifest,
+    manifest_summary,
     narrative_md,
     replace_section,
     run_fingerprint,
@@ -367,6 +376,12 @@ def build_parser() -> argparse.ArgumentParser:
             default=".repro-store",
             help="results-store directory (default: .repro-store)",
         )
+    store_parsers["list"].add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json: machine-readable manifest summaries)",
+    )
     store_parsers["show"].add_argument(
         "fingerprint", help="manifest fingerprint (a unique prefix is enough)"
     )
@@ -375,6 +390,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also check every recorded cache key is still present in this "
         "result cache",
+    )
+    store_parsers["gc"].add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report the blobs gc would delete without touching disk",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a results store over HTTP (manifests, artifacts, reports; "
+        "ETag = content hash)",
+    )
+    serve.add_argument(
+        "--store-dir",
+        default=".repro-store",
+        help="results-store directory to serve (default: .repro-store)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8787, help="bind port (0 = OS-assigned)"
     )
 
     subparsers.add_parser("policies", help="list registered scheduling policies")
@@ -734,6 +769,14 @@ def _cmd_campaign_narrative(args: argparse.Namespace) -> int:
 def _cmd_store_list(args: argparse.Namespace) -> int:
     store = ResultsStore(args.store_dir)
     manifests = store.manifests()
+    if args.format == "json":
+        payload = {
+            "store_dir": str(store.directory),
+            "size_bytes": store.size_bytes(),
+            "manifests": [manifest_summary(manifest) for manifest in manifests],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     if not manifests:
         print(f"no manifests in {store.directory}")
         return 0
@@ -748,7 +791,29 @@ def _cmd_store_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_store_show(args: argparse.Namespace) -> int:
-    print(ResultsStore(args.store_dir).find_manifest(args.fingerprint).to_json())
+    store = ResultsStore(args.store_dir)
+    try:
+        print(store.find_manifest(args.fingerprint).to_json())
+    except AmbiguousFingerprintError as exc:
+        # Surface the actual candidates, one describe-line each, so the user
+        # can pick a longer prefix without a second `store list` round trip.
+        print(
+            f"fingerprint prefix '{args.fingerprint}' matches "
+            f"{len(exc.matches)} manifests:",
+            file=sys.stderr,
+        )
+        for fingerprint in exc.matches:
+            manifest = store.get_manifest(fingerprint)
+            # describe_manifest leads with the 12-char short fingerprint —
+            # exactly the ambiguous prefix — so swap in the full one here.
+            detail = (
+                describe_manifest(manifest).split("  ", 1)[1]
+                if manifest is not None
+                else "(unreadable manifest)"
+            )
+            print(f"  {fingerprint}  {detail}", file=sys.stderr)
+        print("disambiguate with more characters", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -773,9 +838,26 @@ def _cmd_store_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_store_gc(args: argparse.Namespace) -> int:
-    removed, kept = ResultsStore(args.store_dir).gc()
+    store = ResultsStore(args.store_dir)
+    if args.dry_run:
+        orphans, kept = store.unreferenced_blobs()
+        for blob in orphans:
+            print(f"  would remove {blob.relative_to(store.directory)}")
+        print(
+            f"store gc --dry-run: would remove {len(orphans)} unreferenced "
+            f"blob(s), keep {kept} (nothing deleted)"
+        )
+        return 0
+    removed, kept = store.gc()
     print(f"store gc: removed {removed} unreferenced blob(s), kept {kept}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: every other command stays free of the service stack.
+    from repro.serve import run_server
+
+    return run_server(args.store_dir, host=args.host, port=args.port)
 
 
 def _cmd_policies() -> int:
@@ -1093,6 +1175,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 return _cmd_store_verify(args)
             if args.store_command == "gc":
                 return _cmd_store_gc(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "policies":
             return _cmd_policies()
         if args.command == "governors":

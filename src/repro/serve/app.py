@@ -1,0 +1,260 @@
+"""The results service's handler layer: routes over a ``ResultsStore``.
+
+Every recorded figure, table and narrative becomes a cacheable URL:
+
+* ``GET /healthz`` — liveness plus store and hot-cache counters.
+* ``GET /manifests`` — index of recorded runs (newest first), the JSON
+  shape of ``repro store list --format json``.
+* ``GET /manifests/<fingerprint>`` — one manifest's full JSON; a unique
+  prefix is enough, an ambiguous one answers ``300 Multiple Choices`` with
+  the matching fingerprints.
+* ``GET /artifacts/<sha256>`` — one rendered blob by content address, with
+  the ``Content-Type`` derived from its on-disk extension.  The address
+  *is* the content, so the response carries ``Cache-Control: immutable``.
+* ``GET /reports/<fingerprint>/<name>`` — a recorded rendering by role:
+  ``report_md`` / ``report_json`` / ``narrative_md`` at manifest level, or
+  ``<subgrid>/<md|csv|json>`` for one sub-grid's table.
+
+Caching semantics, uniform across routes: the ``ETag`` is always a strong
+content hash (for blobs, the blob's own SHA-256 — the same string as its
+URL under ``/artifacts/``), ``If-None-Match`` answers ``304 Not Modified``
+without touching the blob, and ``HEAD`` is ``GET`` minus the body.  Blob
+reads re-verify their content address and go through a bounded LRU hot
+cache; a tampered or missing blob is a ``404`` with a ``repro store
+verify`` hint, never forged bytes.
+
+Handlers are ``async`` only because the protocol core is; every operation
+here is an in-memory or small-file read — the point of the service is that
+serving recorded results never resolves a scenario or runs the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Tuple
+
+from repro.serve.cache import DEFAULT_CACHE_BYTES, BlobCache
+from repro.serve.http import Request, Response
+from repro.store import (
+    AmbiguousFingerprintError,
+    ArtifactRef,
+    Manifest,
+    ResultsStore,
+    StoreError,
+    content_digest,
+    content_type_for,
+    manifest_summary,
+)
+
+JSON_TYPE = "application/json; charset=utf-8"
+
+#: Artifacts are content-addressed: the URL names the bytes, so any cache
+#: may keep them forever.
+IMMUTABLE_CACHE = "public, max-age=31536000, immutable"
+#: Reports are looked up by role under a fingerprint; a re-recorded run can
+#: re-bind the role, so caches must revalidate — which the strong ETag makes
+#: a cheap 304.
+REVALIDATE_CACHE = "no-cache"
+
+VERIFY_HINT = "run `repro store verify --store-dir <dir>` to diagnose the store"
+
+
+def _etag_matches(header: Optional[str], etag: str) -> bool:
+    """``If-None-Match`` comparison (strong ETags; ``W/`` prefixes ignored)."""
+    if header is None:
+        return False
+    if header.strip() == "*":
+        return True
+    for candidate in header.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:].strip()
+        if candidate.strip('"') == etag:
+            return True
+    return False
+
+
+def _json_body(payload: object) -> bytes:
+    return (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+
+
+class ResultsApp:
+    """The handler behind :class:`~repro.serve.http.HttpServer`."""
+
+    def __init__(
+        self, store: ResultsStore, cache_bytes: int = DEFAULT_CACHE_BYTES
+    ) -> None:
+        self.store = store
+        self.blob_cache = BlobCache(cache_bytes)
+
+    async def __call__(self, request: Request) -> Response:
+        if request.method not in ("GET", "HEAD"):
+            return self._error(
+                405, f"method {request.method} not allowed (GET and HEAD only)",
+                headers=(("Allow", "GET, HEAD"),),
+            )
+        parts = [part for part in request.path.split("/") if part]
+        if parts == ["healthz"]:
+            return self._healthz()
+        if parts == ["manifests"]:
+            return self._manifest_index(request)
+        if len(parts) == 2 and parts[0] == "manifests":
+            return self._manifest(request, parts[1])
+        if len(parts) == 2 and parts[0] == "artifacts":
+            return self._artifact(request, parts[1])
+        if len(parts) in (3, 4) and parts[0] == "reports":
+            return self._report(request, parts[1], "/".join(parts[2:]))
+        return self._error(404, f"no route for {request.path}")
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+    def _healthz(self) -> Response:
+        payload = {
+            "status": "ok",
+            "store_dir": str(self.store.directory),
+            "manifests": len(self.store.manifests()),
+            "blob_cache": self.blob_cache.stats(),
+        }
+        return Response(
+            body=_json_body(payload),
+            content_type=JSON_TYPE,
+            headers=(("Cache-Control", "no-store"),),
+        )
+
+    def _manifest_index(self, request: Request) -> Response:
+        manifests = self.store.manifests()
+        payload = {
+            "store_dir": str(self.store.directory),
+            "count": len(manifests),
+            "manifests": [manifest_summary(manifest) for manifest in manifests],
+        }
+        return self._json_with_etag(request, payload)
+
+    def _manifest(self, request: Request, prefix: str) -> Response:
+        try:
+            manifest = self.store.find_manifest(prefix)
+        except AmbiguousFingerprintError as exc:
+            return Response(
+                status=300,
+                body=_json_body(
+                    {
+                        "error": f"fingerprint prefix '{prefix}' is ambiguous",
+                        "matches": list(exc.matches),
+                    }
+                ),
+                content_type=JSON_TYPE,
+            )
+        except StoreError as exc:
+            return self._error(404, str(exc))
+        return self._json_with_etag(request, manifest.to_dict())
+
+    def _artifact(self, request: Request, digest: str) -> Response:
+        ref = self.store.find_artifact(digest)
+        if ref is None:
+            return self._error(
+                404, f"no artifact with digest '{digest}'", hint=VERIFY_HINT
+            )
+        return self._blob(request, ref, cache_control=IMMUTABLE_CACHE)
+
+    def _report(self, request: Request, prefix: str, name: str) -> Response:
+        try:
+            manifest = self.store.find_manifest(prefix)
+        except AmbiguousFingerprintError as exc:
+            return Response(
+                status=300,
+                body=_json_body(
+                    {
+                        "error": f"fingerprint prefix '{prefix}' is ambiguous",
+                        "matches": list(exc.matches),
+                    }
+                ),
+                content_type=JSON_TYPE,
+            )
+        except StoreError as exc:
+            return self._error(404, str(exc))
+        ref = self._resolve_report(manifest, name)
+        if ref is None:
+            recorded = sorted(manifest.artifact_refs())
+            return self._error(
+                404,
+                f"manifest {manifest.fingerprint[:12]}… records no artifact "
+                f"'{name}'",
+                hint=f"recorded artifacts: {', '.join(recorded)}",
+            )
+        return self._blob(request, ref, cache_control=REVALIDATE_CACHE)
+
+    # ------------------------------------------------------------------ #
+    # Shared pieces
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _resolve_report(manifest: Manifest, name: str) -> Optional[ArtifactRef]:
+        """``report_md``-style manifest artifacts or ``<subgrid>/<name>``."""
+        ref = manifest.artifacts.get(name)
+        if ref is not None:
+            return ref
+        subgrid_name, sep, artifact_name = name.partition("/")
+        if not sep:
+            return None
+        for entry in manifest.subgrids:
+            if entry.name == subgrid_name:
+                return entry.artifacts.get(artifact_name)
+        return None
+
+    def _blob(
+        self, request: Request, ref: ArtifactRef, cache_control: str
+    ) -> Response:
+        """Serve one content-addressed blob with conditional-GET support.
+
+        The ETag is known from the reference alone, so a ``304`` never
+        touches the blob cache or the disk — exactly what makes polling
+        readers (and CDNs revalidating) nearly free.
+        """
+        headers = (
+            ("ETag", f'"{ref.digest}"'),
+            ("Cache-Control", cache_control),
+        )
+        if _etag_matches(request.if_none_match(), ref.digest):
+            return Response(status=304, headers=headers)
+        cached = self.blob_cache.get(ref.digest)
+        if cached is not None:
+            content, ext = cached
+        else:
+            try:
+                content = self.store.read_artifact_bytes(ref)
+            except StoreError as exc:
+                return self._error(404, str(exc), hint=VERIFY_HINT)
+            ext = ref.ext
+            self.blob_cache.put(ref.digest, content, ext)
+        return Response(
+            body=content, content_type=content_type_for(ext), headers=headers
+        )
+
+    def _json_with_etag(self, request: Request, payload: object) -> Response:
+        """A JSON document whose ETag is the hash of its own bytes."""
+        body = _json_body(payload)
+        etag = content_digest(body)
+        headers = (
+            ("ETag", f'"{etag}"'),
+            ("Cache-Control", REVALIDATE_CACHE),
+        )
+        if _etag_matches(request.if_none_match(), etag):
+            return Response(status=304, headers=headers)
+        return Response(body=body, content_type=JSON_TYPE, headers=headers)
+
+    @staticmethod
+    def _error(
+        status: int,
+        message: str,
+        hint: Optional[str] = None,
+        headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> Response:
+        payload = {"error": message}
+        if hint is not None:
+            payload["hint"] = hint
+        return Response(
+            status=status,
+            body=_json_body(payload),
+            content_type=JSON_TYPE,
+            headers=headers,
+        )

@@ -1,0 +1,379 @@
+"""The protocol core of the results service: a tiny asyncio HTTP/1.1 server.
+
+This module knows nothing about stores or manifests — it parses requests,
+writes responses and manages connections, and hands every parsed
+:class:`Request` to one async handler that returns a :class:`Response`.
+The split mirrors the store layering (manifest = data, store = I/O): the
+routing and caching semantics live in :mod:`repro.serve.app`, so the
+protocol layer can be tested with throwaway handlers and the handler layer
+with a real store.
+
+Scope is deliberately the subset the results service needs, done carefully:
+
+* request parsing with hard limits (request line, header count/size, body),
+  returning ``400``/``413``/``431``/``505`` instead of dying on bad input;
+* keep-alive by HTTP/1.1 default (``Connection: close`` and HTTP/1.0
+  semantics honoured), one request at a time per connection;
+* ``Content-Length`` responses for byte bodies and ``Transfer-Encoding:
+  chunked`` for iterable bodies, with ``HEAD`` sending headers only;
+* graceful shutdown: :meth:`HttpServer.close` stops accepting, lets every
+  in-flight request finish writing its response, unblocks idle keep-alive
+  connections, and only then force-cancels stragglers.
+
+No dependency beyond the standard library, matching the repo's rule that
+the "millions of readers" path must not drag in a web framework.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from http import HTTPStatus
+from typing import (
+    Awaitable,
+    Callable,
+    Dict,
+    Iterable,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
+from urllib.parse import parse_qsl, unquote
+
+from repro.version import __version__
+
+#: Parsing limits — small enough to bound memory per connection, large
+#: enough for any URL the service legitimately serves (fingerprints are 64
+#: hex characters).
+MAX_REQUEST_LINE_BYTES = 8192
+MAX_HEADER_COUNT = 100
+MAX_BODY_BYTES = 1 << 20
+
+SUPPORTED_VERSIONS = ("HTTP/1.0", "HTTP/1.1")
+
+#: Statuses that must not carry a message body (RFC 7230 §3.3.3).
+BODYLESS_STATUSES = frozenset({204, 304})
+
+SERVER_NAME = f"repro-serve/{__version__}"
+
+AccessLog = Callable[[str], None]
+
+
+class ProtocolError(Exception):
+    """A malformed or over-limit request; carries the status to answer with."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed HTTP request (headers lower-cased, path percent-decoded)."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    version: str = "HTTP/1.1"
+    body: bytes = b""
+
+    @property
+    def wants_keep_alive(self) -> bool:
+        """Connection persistence per the request's own version and headers."""
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def if_none_match(self) -> Optional[str]:
+        return self.headers.get("if-none-match")
+
+
+@dataclass
+class Response:
+    """One response: a byte body (``Content-Length``) or chunk iterable.
+
+    ``headers`` are extra headers beyond the ones the writer owns
+    (``Content-Length`` / ``Transfer-Encoding``, ``Connection``,
+    ``Server``).  A ``bytes`` body is sent with ``Content-Length``; any
+    other iterable of byte chunks streams as ``Transfer-Encoding: chunked``
+    on HTTP/1.1 (and is materialized for HTTP/1.0, which predates chunking).
+    """
+
+    status: int = 200
+    body: Union[bytes, Iterable[bytes]] = b""
+    content_type: Optional[str] = None
+    headers: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def reason(self) -> str:
+        try:
+            return HTTPStatus(self.status).phrase
+        except ValueError:
+            return "Unknown"
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request from the stream; ``None`` on clean EOF before one.
+
+    Raises :class:`ProtocolError` on malformed input — the connection loop
+    turns that into the matching 4xx/5xx response and closes.
+    """
+    line = await _read_line(reader)
+    while line in (b"\r\n", b"\n"):  # tolerate leading blank lines (RFC 7230 §3.5)
+        line = await _read_line(reader)
+    if not line:
+        return None
+    try:
+        method, target, version = line.decode("latin-1").split()
+    except ValueError:
+        raise ProtocolError(f"malformed request line: {line[:80]!r}") from None
+    if version not in SUPPORTED_VERSIONS:
+        raise ProtocolError(f"unsupported protocol version {version!r}", status=505)
+
+    headers: Dict[str, str] = {}
+    while True:
+        line = await _read_line(reader)
+        if not line:
+            raise ProtocolError("connection closed mid-headers")
+        if line in (b"\r\n", b"\n"):
+            break
+        if len(headers) >= MAX_HEADER_COUNT:
+            raise ProtocolError("too many headers", status=431)
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep or not name.strip():
+            raise ProtocolError(f"malformed header line: {line[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise ProtocolError("malformed Content-Length") from None
+        if length < 0:
+            raise ProtocolError("malformed Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError("request body too large", status=413)
+        body = await reader.readexactly(length)
+
+    raw_path, _, raw_query = target.partition("?")
+    return Request(
+        method=method,
+        path=unquote(raw_path),
+        query=dict(parse_qsl(raw_query)),
+        headers=headers,
+        version=version,
+        body=body,
+    )
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readline()
+    except asyncio.IncompleteReadError as exc:  # pragma: no cover - rare path
+        return exc.partial
+    except (asyncio.LimitOverrunError, ValueError):
+        raise ProtocolError("request line too long", status=431) from None
+    if len(line) > MAX_REQUEST_LINE_BYTES:
+        raise ProtocolError("request line too long", status=431)
+    return line
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    response: Response,
+    *,
+    head_only: bool = False,
+    keep_alive: bool = True,
+    version: str = "HTTP/1.1",
+) -> int:
+    """Serialize one response; returns the number of body bytes written."""
+    body = response.body
+    chunked = not isinstance(body, (bytes, bytearray, memoryview))
+    if chunked and version == "HTTP/1.0":
+        body = b"".join(body)  # HTTP/1.0 peers cannot decode chunking
+        chunked = False
+
+    headers = [("Server", SERVER_NAME)]
+    if response.content_type is not None:
+        headers.append(("Content-Type", response.content_type))
+    headers.extend(response.headers)
+    if response.status in BODYLESS_STATUSES:
+        body = b""
+        chunked = False
+    elif chunked:
+        headers.append(("Transfer-Encoding", "chunked"))
+    else:
+        headers.append(("Content-Length", str(len(body))))
+    headers.append(("Connection", "keep-alive" if keep_alive else "close"))
+
+    head = [f"{version} {response.status} {response.reason}"]
+    head.extend(f"{name}: {value}" for name, value in headers)
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+
+    written = 0
+    if not head_only:
+        if chunked:
+            for chunk in body:
+                if not chunk:
+                    continue
+                writer.write(f"{len(chunk):x}\r\n".encode("latin-1"))
+                writer.write(bytes(chunk) + b"\r\n")
+                written += len(chunk)
+            writer.write(b"0\r\n\r\n")
+        elif body:
+            writer.write(bytes(body))
+            written = len(body)
+    await writer.drain()
+    return written
+
+
+class _Connection:
+    """Book-keeping for one live connection (graceful-shutdown state)."""
+
+    __slots__ = ("writer", "busy")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.busy = False  # True while a request is being handled/written
+
+
+class HttpServer:
+    """One handler behind ``asyncio.start_server``, with graceful shutdown.
+
+    Usage::
+
+        server = HttpServer(app, host="127.0.0.1", port=0, access_log=print)
+        await server.start()          # binds; server.port is the real port
+        await server.serve_forever()  # or: await server.close() from elsewhere
+    """
+
+    def __init__(
+        self,
+        handler: Handler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        access_log: Optional[AccessLog] = None,
+    ) -> None:
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self.access_log = access_log
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Dict[asyncio.Task, _Connection] = {}
+        self._closing = False
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_connection, host=self.host, port=self.port
+        )
+        # port=0 asks the OS for a free port; reflect the real one back.
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("serve_forever() before start()")
+        await self._server.serve_forever()
+
+    async def close(self, timeout: float = 5.0) -> None:
+        """Stop accepting, drain in-flight requests, close every connection.
+
+        Connections idle between keep-alive requests are closed immediately
+        (their pending read sees EOF); connections mid-request get up to
+        ``timeout`` seconds to finish writing their response before being
+        cancelled.
+        """
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for connection in self._connections.values():
+            if not connection.busy:
+                connection.writer.close()
+        pending: Set[asyncio.Task] = set(self._connections)
+        if pending:
+            _, stragglers = await asyncio.wait(pending, timeout=timeout)
+            for task in stragglers:
+                task.cancel()
+            if stragglers:
+                await asyncio.gather(*stragglers, return_exceptions=True)
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        connection = _Connection(writer)
+        self._connections[task] = connection
+        try:
+            await self._serve_connection(reader, writer, connection)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away; nothing to answer
+        finally:
+            self._connections.pop(task, None)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        connection: _Connection,
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        peer_text = peer[0] if isinstance(peer, tuple) else str(peer)
+        while not self._closing:
+            try:
+                request = await read_request(reader)
+            except ProtocolError as exc:
+                await write_response(
+                    writer,
+                    Response(
+                        status=exc.status,
+                        body=f"{exc}\n".encode(),
+                        content_type="text/plain; charset=utf-8",
+                    ),
+                    keep_alive=False,
+                )
+                break
+            if request is None:
+                break
+            connection.busy = True
+            began = time.perf_counter()
+            try:
+                try:
+                    response = await self.handler(request)
+                except Exception as exc:  # noqa: BLE001 - one request, not the server
+                    response = Response(
+                        status=500,
+                        body=f"internal error: {type(exc).__name__}: {exc}\n".encode(),
+                        content_type="text/plain; charset=utf-8",
+                    )
+                keep_alive = request.wants_keep_alive and not self._closing
+                written = await write_response(
+                    writer,
+                    response,
+                    head_only=request.method == "HEAD",
+                    keep_alive=keep_alive,
+                    version=request.version,
+                )
+            finally:
+                connection.busy = False
+            if self.access_log is not None:
+                elapsed_ms = (time.perf_counter() - began) * 1e3
+                self.access_log(
+                    f'{peer_text} "{request.method} {request.path}" '
+                    f"{response.status} {written}B {elapsed_ms:.1f}ms"
+                )
+            if not keep_alive:
+                break

@@ -17,6 +17,7 @@ measured outcomes into a regenerable ``EXPERIMENTS.md`` section.
 from repro.store.manifest import (
     MANIFEST_KINDS,
     STORE_SCHEMA_VERSION,
+    AmbiguousFingerprintError,
     ArtifactRef,
     CheckRecord,
     Manifest,
@@ -29,9 +30,17 @@ from repro.store.manifest import (
     spec_hash,
 )
 from repro.store.narrative import narrative_md, replace_section
-from repro.store.store import GridSection, ResultsStore, describe_manifest
+from repro.store.store import (
+    GridSection,
+    ResultsStore,
+    content_type_for,
+    describe_manifest,
+    is_content_digest,
+    manifest_summary,
+)
 
 __all__ = [
+    "AmbiguousFingerprintError",
     "ArtifactRef",
     "CheckRecord",
     "GridSection",
@@ -44,7 +53,10 @@ __all__ = [
     "StoreError",
     "SubGridEntry",
     "content_digest",
+    "content_type_for",
     "describe_manifest",
+    "is_content_digest",
+    "manifest_summary",
     "narrative_md",
     "replace_section",
     "run_fingerprint",

@@ -54,6 +54,25 @@ class StoreError(ScenarioError):
     """
 
 
+class AmbiguousFingerprintError(StoreError):
+    """A fingerprint prefix matched more than one recorded manifest.
+
+    Carries the full matching fingerprints so callers can show the user the
+    actual candidates: the CLI's ``store show`` prints one describe-line per
+    match, and the HTTP service answers ``300 Multiple Choices`` with the
+    list — nobody has to re-derive it from a truncated message.
+    """
+
+    def __init__(self, prefix: str, matches: Sequence[str]) -> None:
+        self.prefix = prefix
+        self.matches = tuple(matches)
+        listing = "\n".join(f"  {match}" for match in self.matches)
+        super().__init__(
+            f"fingerprint prefix '{prefix}' matches {len(self.matches)} "
+            f"manifests:\n{listing}\n(disambiguate with more characters)"
+        )
+
+
 # The scenario layer's schema helpers, re-raised as StoreError so the
 # exception type matches the document being validated.
 def _plain(value: Any, path: str) -> Any:

@@ -39,6 +39,7 @@ from repro.campaign.report import (
     subgrid_report_payload,
 )
 from repro.store.manifest import (
+    AmbiguousFingerprintError,
     ArtifactRef,
     CheckRecord,
     Manifest,
@@ -55,6 +56,33 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import (no runtime cycle)
     from repro.runner.cache import ResultCache
 
 PathLike = Union[str, Path]
+
+#: Media types for the artifact extensions the store records.  Shared by the
+#: HTTP results service (``repro serve``) and anything else that hands a
+#: rendered blob to a browser or CDN.
+CONTENT_TYPES = {
+    "md": "text/markdown; charset=utf-8",
+    "json": "application/json; charset=utf-8",
+    "csv": "text/csv; charset=utf-8",
+    "txt": "text/plain; charset=utf-8",
+    "html": "text/html; charset=utf-8",
+}
+
+
+def content_type_for(ext: str) -> str:
+    """The ``Content-Type`` to serve an artifact extension under."""
+    return CONTENT_TYPES.get(ext.lower(), "application/octet-stream")
+
+
+def is_content_digest(value: str) -> bool:
+    """True when ``value`` is a full 64-hex-digit SHA-256 content address."""
+    if len(value) != 64:
+        return False
+    try:
+        int(value, 16)
+        return True
+    except ValueError:
+        return False
 
 
 @dataclass(frozen=True)
@@ -121,12 +149,13 @@ class ResultsStore:
             _atomic_write(path, raw)
         return ref
 
-    def read_artifact(self, ref: ArtifactRef) -> str:
-        """Load a blob, re-verifying its content address on the way in.
+    def read_artifact_bytes(self, ref: ArtifactRef) -> bytes:
+        """Load a blob's raw bytes, re-verifying its content address.
 
         Raises :class:`StoreError` when the blob is missing or its bytes no
         longer hash to the reference — serving paths treat that as a miss
-        and fall back to live rendering, so a tampered artifact can never be
+        (the CLI falls back to live rendering, the HTTP service answers 404
+        with a ``store verify`` hint), so a tampered artifact can never be
         served as if it were the recorded one.
         """
         path = self.artifact_path(ref)
@@ -139,7 +168,27 @@ class ResultsStore:
                 f"artifact {ref.digest[:12]}… content does not match its address "
                 f"(tampered or corrupt: {path})"
             )
-        return raw.decode("utf-8")
+        return raw
+
+    def read_artifact(self, ref: ArtifactRef) -> str:
+        """:meth:`read_artifact_bytes` decoded as UTF-8 (rendered text)."""
+        return self.read_artifact_bytes(ref).decode("utf-8")
+
+    def find_artifact(self, digest: str) -> Optional[ArtifactRef]:
+        """Resolve a bare content digest to a reference, or ``None``.
+
+        The HTTP service's ``/artifacts/<sha256>`` route knows only the
+        digest; the extension (and therefore the content type) comes from
+        the blob's on-disk name.  Returns ``None`` for malformed digests
+        and unknown blobs alike — both are a 404, not an error.
+        """
+        if not is_content_digest(digest):
+            return None
+        for path in sorted((self.artifact_dir / digest[:2]).glob(f"{digest}.*")):
+            ext = path.name.partition(".")[2]
+            if ext and "." not in ext:
+                return ArtifactRef(digest=digest, ext=ext, size=path.stat().st_size)
+        return None
 
     # ------------------------------------------------------------------ #
     # Manifests
@@ -188,8 +237,7 @@ class ResultsStore:
         if not matches:
             raise StoreError(f"no manifest matches '{prefix}' in {self.manifest_dir}")
         if len(matches) > 1:
-            shown = ", ".join(match[:12] for match in matches)
-            raise StoreError(f"fingerprint prefix '{prefix}' is ambiguous ({shown})")
+            raise AmbiguousFingerprintError(prefix, matches)
         manifest = self.get_manifest(matches[0])
         if manifest is None:
             raise StoreError(f"manifest {matches[0][:12]}… exists but is unreadable")
@@ -419,6 +467,28 @@ class ResultsStore:
                         )
         return problems
 
+    def unreferenced_blobs(self) -> Tuple[List[Path], int]:
+        """Blobs no manifest references: ``(orphans, kept_count)``.
+
+        This is ``gc``'s planning half, exposed so ``repro store gc
+        --dry-run`` can report exactly what would be deleted without
+        touching disk.
+        """
+        referenced = set()
+        for manifest in self.manifests():
+            for ref in manifest.artifact_refs().values():
+                referenced.add((ref.digest, ref.ext))
+        orphans: List[Path] = []
+        kept = 0
+        if self.artifact_dir.is_dir():
+            for blob in sorted(self.artifact_dir.glob("*/*")):
+                digest, _, ext = blob.name.partition(".")
+                if (digest, ext) in referenced:
+                    kept += 1
+                else:
+                    orphans.append(blob)
+        return orphans, kept
+
     def gc(self) -> Tuple[int, int]:
         """Delete artifact blobs no manifest references; ``(removed, kept)``.
 
@@ -426,20 +496,10 @@ class ResultsStore:
         first, and ``gc`` after deleting a manifest is how its blobs are
         reclaimed.
         """
-        referenced = set()
-        for manifest in self.manifests():
-            for ref in manifest.artifact_refs().values():
-                referenced.add((ref.digest, ref.ext))
-        removed = kept = 0
-        if self.artifact_dir.is_dir():
-            for blob in sorted(self.artifact_dir.glob("*/*")):
-                digest, _, ext = blob.name.partition(".")
-                if (digest, ext) in referenced:
-                    kept += 1
-                else:
-                    blob.unlink()
-                    removed += 1
-        return removed, kept
+        orphans, kept = self.unreferenced_blobs()
+        for blob in orphans:
+            blob.unlink()
+        return len(orphans), kept
 
     def size_bytes(self) -> int:
         """Total bytes the store occupies on disk (manifests + blobs)."""
@@ -461,6 +521,36 @@ def _stats_payload(stats: Any) -> Dict[str, Any]:
         "jobs": stats.jobs,
         "elapsed_s": stats.elapsed_s,
         "phases": stats.phases(),
+    }
+
+
+def manifest_summary(manifest: Manifest) -> Dict[str, Any]:
+    """One manifest as a machine-readable summary (no artifact contents).
+
+    The scripting shape behind ``repro store list --format json`` and the
+    HTTP service's ``GET /manifests`` index: enough to pick a run (what,
+    when, how many points, did its checks pass) and to address every
+    rendered artifact by content hash without loading any of them.
+    """
+    checks = [check for entry in manifest.subgrids for check in entry.checks]
+    return {
+        "fingerprint": manifest.fingerprint,
+        "kind": manifest.provenance.kind,
+        "name": manifest.provenance.name,
+        "created_at": manifest.provenance.created_at,
+        "repro_version": manifest.provenance.repro_version,
+        "subgrids": manifest.subgrid_names(),
+        "points": sum(len(entry.points) for entry in manifest.subgrids),
+        "checks": {
+            "total": len(checks),
+            "failed": sum(1 for check in checks if not check.passed),
+        },
+        "artifacts": {
+            name: ref.to_dict() for name, ref in manifest.artifact_refs().items()
+        },
+        "artifact_bytes": sum(
+            ref.size for ref in manifest.artifact_refs().values()
+        ),
     }
 
 

@@ -1,0 +1,293 @@
+"""Results-service tests: routes, caching semantics, and the no-sim guarantee.
+
+One short ``paper_figures`` sub-grid is recorded once at module scope (plus
+a ``grid`` run, so the store holds two manifests); every test then drives a
+live :class:`~repro.serve.client.BackgroundResultsServer` through the typed
+client.  The acceptance test asserts the core promise end to end: a ``GET``
+of a recorded report returns bytes identical to ``campaign report
+--store-dir`` while every scenario-resolution path is booby-trapped.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import redirect_stdout
+
+import pytest
+
+import repro.campaign.spec as campaign_spec
+import repro.runner.sweep as sweep_mod
+from repro.cli import main
+from repro.serve import BackgroundResultsServer, ResultsClient, ServiceError
+from repro.store import ResultsStore
+
+RUN_ARGS = ["--duration-ms", "0.25", "--traffic-scale", "0.1"]
+CAMPAIGN_ARGS = ["campaign", "report", "paper_figures", "--subgrid", "fig5", *RUN_ARGS]
+
+
+def _invoke(argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(argv)
+    return code, buffer.getvalue()
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory):
+    """A store holding one recorded campaign run and one grid run."""
+    root = tmp_path_factory.mktemp("serve")
+    store_dir, cache_dir = str(root / "store"), str(root / "cache")
+    code, live = _invoke(
+        [*CAMPAIGN_ARGS, "--store-dir", store_dir, "--cache-dir", cache_dir]
+    )
+    assert code == 0
+    code, _ = _invoke(
+        ["grid", "case_b", *RUN_ARGS, "--store-dir", store_dir,
+         "--cache-dir", cache_dir]
+    )
+    assert code == 0
+    campaign_fp = next(
+        m.fingerprint
+        for m in ResultsStore(store_dir).manifests()
+        if m.provenance.kind == "campaign"
+    )
+    return store_dir, cache_dir, live, campaign_fp
+
+
+@pytest.fixture(scope="module")
+def server(recorded):
+    store_dir = recorded[0]
+    with BackgroundResultsServer(store_dir) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(server):
+    with ResultsClient(server.host, server.port) as connected:
+        yield connected
+
+
+@pytest.fixture()
+def no_resolution(monkeypatch):
+    """Booby-trap every path that could resolve a scenario or run a spec."""
+    def banned(*_args, **_kwargs):  # pragma: no cover - failure path
+        raise AssertionError("results service resolved a scenario / ran a sweep")
+
+    monkeypatch.setattr(sweep_mod.RunSpec, "resolved_scenario", banned)
+    monkeypatch.setattr(sweep_mod, "run_sweep", banned)
+    monkeypatch.setattr(campaign_spec.SubGrid, "resolved_scenario", banned)
+
+
+class TestAcceptance:
+    def test_served_report_is_byte_identical_to_cli_with_zero_resolutions(
+        self, recorded, client, no_resolution
+    ):
+        store_dir, cache_dir, _, fingerprint = recorded
+        # The CLI's own warm path, re-invoked under the booby trap...
+        code, warm = _invoke(
+            [*CAMPAIGN_ARGS, "--store-dir", store_dir, "--cache-dir", cache_dir]
+        )
+        assert code == 0
+        # ...and the HTTP path, same recorded bytes (stdout adds one newline).
+        reply = client.report(fingerprint, "report_md")
+        assert reply.status == 200
+        assert reply.body.decode("utf-8") + "\n" == warm
+        assert reply.content_type == "text/markdown; charset=utf-8"
+
+    def test_every_route_serves_without_resolving(self, client, no_resolution):
+        manifests = client.manifests()
+        assert len(manifests) == 2
+        for summary in manifests:
+            full = client.manifest(summary["fingerprint"])
+            for ref in summary["artifacts"].values():
+                assert client.artifact(ref["digest"]).status == 200
+            assert full["fingerprint"] == summary["fingerprint"]
+
+
+class TestConditionalGet:
+    def test_if_none_match_turns_repeat_gets_into_304(self, recorded, client):
+        fingerprint = recorded[3]
+        first = client.report(fingerprint, "report_md")
+        assert first.status == 200 and first.etag
+        again = client.report(fingerprint, "report_md", etag=first.etag)
+        assert again.not_modified
+        assert again.body == b""
+        assert again.etag == first.etag  # 304 still names the entity
+
+    def test_artifact_etag_is_its_own_digest(self, recorded, client):
+        _, _, _, fingerprint = recorded
+        summary = client.manifest(fingerprint)
+        digest = summary["artifacts"]["report_md"]["digest"]
+        reply = client.artifact(digest)
+        assert reply.etag == digest
+        assert reply.headers["cache-control"] == "public, max-age=31536000, immutable"
+        assert client.artifact(digest, etag=digest).not_modified
+
+    def test_manifest_json_supports_conditional_get_too(self, recorded, client):
+        fingerprint = recorded[3]
+        reply = client.get(f"/manifests/{fingerprint}")
+        assert reply.status == 200
+        assert client.get(f"/manifests/{fingerprint}", etag=reply.etag).not_modified
+
+    def test_head_matches_get_minus_the_body(self, recorded, client):
+        fingerprint = recorded[3]
+        got = client.report(fingerprint, "report_md")
+        head = client.head(f"/reports/{fingerprint}/report_md")
+        assert head.status == 200
+        assert head.body == b""
+        assert head.headers["content-length"] == str(len(got.body))
+        assert head.etag == got.etag
+
+
+class TestLookup:
+    def test_fingerprint_prefix_resolves_like_the_cli(self, recorded, client):
+        fingerprint = recorded[3]
+        assert client.manifest(fingerprint[:10])["fingerprint"] == fingerprint
+
+    def test_unknown_fingerprint_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.manifest("feedbeef")
+        assert excinfo.value.reply.status == 404
+
+    def test_unknown_artifact_and_malformed_digest_are_404(self, client):
+        assert client.get("/artifacts/" + "0" * 64).status == 404
+        assert client.get("/artifacts/not-a-digest").status == 404
+
+    def test_unknown_report_name_404_lists_recorded_artifacts(
+        self, recorded, client
+    ):
+        fingerprint = recorded[3]
+        reply = client.get(f"/reports/{fingerprint}/nope")
+        assert reply.status == 404
+        assert "report_md" in reply.json()["hint"]
+
+    def test_subgrid_artifact_route(self, recorded, client):
+        fingerprint = recorded[3]
+        reply = client.report(fingerprint, "fig5/csv")
+        assert reply.status == 200
+        assert reply.content_type == "text/csv; charset=utf-8"
+        assert client.get(f"/reports/{fingerprint}/nosuch/md").status == 404
+
+    def test_ambiguous_prefix_is_300_with_the_matches(self, recorded, server):
+        store_dir = recorded[0]
+        fingerprint = recorded[3]
+        store = ResultsStore(store_dir)
+        twin = fingerprint[:-1] + ("0" if fingerprint[-1] != "0" else "1")
+        twin_path = store.manifest_dir / f"{twin}.json"
+        twin_path.write_text("{}")
+        try:
+            with ResultsClient(server.host, server.port) as fresh:
+                reply = fresh.get(f"/manifests/{fingerprint[:12]}")
+                assert reply.status == 300
+                assert sorted(reply.json()["matches"]) == sorted(
+                    [fingerprint, twin]
+                )
+        finally:
+            twin_path.unlink()
+
+    def test_method_not_allowed_is_405(self, client):
+        reply = client.request("POST", "/manifests")
+        assert reply.status == 405
+        assert reply.headers["allow"] == "GET, HEAD"
+
+    def test_no_route_is_404(self, client):
+        assert client.get("/totally/unknown").status == 404
+
+
+class TestIntegrity:
+    def test_tampered_blob_is_404_with_a_verify_hint_never_forged_bytes(
+        self, recorded
+    ):
+        store_dir = recorded[0]
+        store = ResultsStore(store_dir)
+        manifest = next(
+            m for m in store.manifests() if m.provenance.kind == "grid"
+        )
+        ref = manifest.subgrids[0].artifacts["csv"]
+        path = store.artifact_path(ref)
+        original = path.read_bytes()
+        try:
+            path.write_bytes(b"forged,rows\n")
+            # A fresh server: a cold blob cache, so the read hits disk and
+            # the content-hash verification catches the tampering.
+            with BackgroundResultsServer(store_dir) as isolated:
+                with ResultsClient(isolated.host, isolated.port) as fresh:
+                    reply = fresh.get(f"/artifacts/{ref.digest}")
+                    assert reply.status == 404
+                    assert b"forged" not in reply.body
+                    assert "store verify" in reply.json()["hint"]
+        finally:
+            path.write_bytes(original)
+
+
+class TestHotCache:
+    def test_lru_hit_accounting_across_repeat_reads(self, recorded):
+        store_dir, _, _, fingerprint = recorded
+        with BackgroundResultsServer(store_dir) as isolated:
+            stats = isolated.app.blob_cache.stats()
+            assert stats["hits"] == 0 and stats["misses"] == 0
+            with ResultsClient(isolated.host, isolated.port) as fresh:
+                fresh.report(fingerprint, "report_md")   # disk read, cached
+                fresh.report(fingerprint, "report_md")   # hot
+                fresh.report(fingerprint, "report_md")   # hot
+            stats = isolated.app.blob_cache.stats()
+            assert stats["misses"] == 1
+            assert stats["hits"] == 2
+            assert stats["entries"] == 1
+            assert stats["bytes"] > 0
+
+    def test_304s_never_touch_the_blob_cache(self, recorded):
+        store_dir, _, _, fingerprint = recorded
+        with BackgroundResultsServer(store_dir) as isolated:
+            with ResultsClient(isolated.host, isolated.port) as fresh:
+                etag = fresh.report(fingerprint, "report_md").etag
+                for _ in range(3):
+                    assert fresh.report(
+                        fingerprint, "report_md", etag=etag
+                    ).not_modified
+            stats = isolated.app.blob_cache.stats()
+            # Only the first, unconditional GET ever read the blob.
+            assert stats["hits"] == 0 and stats["misses"] == 1
+
+    def test_healthz_reports_store_and_cache_state(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["manifests"] == 2
+        assert set(health["blob_cache"]) >= {"hits", "misses", "entries"}
+
+
+class TestConcurrency:
+    def test_concurrent_keep_alive_clients_all_get_correct_bytes(
+        self, recorded, server
+    ):
+        fingerprint = recorded[3]
+        store = ResultsStore(recorded[0])
+        manifest = store.find_manifest(fingerprint)
+        expected = store.read_artifact_bytes(manifest.artifacts["report_md"])
+
+        def worker(_index: int) -> int:
+            good = 0
+            with ResultsClient(server.host, server.port) as mine:
+                for _ in range(10):
+                    reply = mine.report(fingerprint, "report_md")
+                    assert reply.status == 200
+                    assert reply.body == expected
+                    good += 1
+                    assert mine.healthz()["status"] == "ok"
+            return good
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            totals = list(pool.map(worker, range(4)))
+        assert totals == [10, 10, 10, 10]
+
+
+class TestStoreListJsonParity:
+    def test_manifests_index_matches_store_list_json(self, recorded, client):
+        store_dir = recorded[0]
+        code, output = _invoke(
+            ["store", "list", "--store-dir", store_dir, "--format", "json"]
+        )
+        assert code == 0
+        assert json.loads(output)["manifests"] == client.manifests()

@@ -1,0 +1,339 @@
+"""Protocol-core tests: parsing, keep-alive, chunking, graceful shutdown.
+
+These drive :class:`~repro.serve.http.HttpServer` with throwaway handlers
+over real sockets (``asyncio.open_connection`` against a ``port=0`` bind),
+so framing, persistence and shutdown semantics are tested exactly as a
+client on the wire would see them — no store involved.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serve.http import HttpServer, Request, Response
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def echo_handler(request: Request) -> Response:
+    payload = {
+        "method": request.method,
+        "path": request.path,
+        "query": request.query,
+        "ua": request.headers.get("user-agent"),
+        "body": request.body.decode("utf-8", "replace"),
+    }
+    return Response(
+        body=json.dumps(payload).encode(),
+        content_type="application/json",
+    )
+
+
+async def _raw_exchange(port, payload: bytes, read_all: bool = True) -> bytes:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(payload)
+    await writer.drain()
+    if read_all:
+        data = await reader.read()
+    else:
+        data = await reader.readuntil(b"\r\n\r\n")
+    writer.close()
+    return data
+
+
+async def _read_one_response(reader: asyncio.StreamReader) -> bytes:
+    """Read exactly one Content-Length-framed response off a live socket."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    return head + await reader.readexactly(length)
+
+
+class TestParsing:
+    def test_request_fields_reach_the_handler(self):
+        async def scenario():
+            server = HttpServer(echo_handler)
+            await server.start()
+            try:
+                raw = await _raw_exchange(
+                    server.port,
+                    b"GET /a%20b/c?x=1&y=two HTTP/1.1\r\n"
+                    b"Host: t\r\nUser-Agent: probe\r\nConnection: close\r\n\r\n",
+                )
+            finally:
+                await server.close()
+            return raw
+
+        raw = run(scenario())
+        assert raw.startswith(b"HTTP/1.1 200 OK\r\n")
+        body = json.loads(raw.split(b"\r\n\r\n", 1)[1])
+        assert body["method"] == "GET"
+        assert body["path"] == "/a b/c"  # percent-decoded
+        assert body["query"] == {"x": "1", "y": "two"}
+        assert body["ua"] == "probe"
+
+    def test_body_is_read_per_content_length(self):
+        async def scenario():
+            server = HttpServer(echo_handler)
+            await server.start()
+            try:
+                raw = await _raw_exchange(
+                    server.port,
+                    b"POST /in HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\n"
+                    b"Connection: close\r\n\r\nhello",
+                )
+            finally:
+                await server.close()
+            return raw
+
+        body = json.loads(run(scenario()).split(b"\r\n\r\n", 1)[1])
+        assert body["body"] == "hello"
+
+    def test_malformed_request_line_gets_400(self):
+        async def scenario():
+            server = HttpServer(echo_handler)
+            await server.start()
+            try:
+                return await _raw_exchange(server.port, b"NONSENSE\r\n\r\n")
+            finally:
+                await server.close()
+
+        assert run(scenario()).startswith(b"HTTP/1.1 400 ")
+
+    def test_unsupported_version_gets_505(self):
+        async def scenario():
+            server = HttpServer(echo_handler)
+            await server.start()
+            try:
+                return await _raw_exchange(
+                    server.port, b"GET / HTTP/2.0\r\nHost: t\r\n\r\n"
+                )
+            finally:
+                await server.close()
+
+        assert run(scenario()).startswith(b"HTTP/1.1 505 ")
+
+    def test_handler_exception_is_a_500_not_a_dead_connection(self):
+        async def broken(_request):
+            raise RuntimeError("boom")
+
+        async def scenario():
+            server = HttpServer(broken)
+            await server.start()
+            try:
+                return await _raw_exchange(
+                    server.port,
+                    b"GET / HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+                )
+            finally:
+                await server.close()
+
+        raw = run(scenario())
+        assert raw.startswith(b"HTTP/1.1 500 ")
+        assert b"boom" in raw
+
+
+class TestPersistence:
+    def test_two_requests_share_one_keep_alive_connection(self):
+        connections = []
+
+        async def counting(request):
+            return await echo_handler(request)
+
+        async def scenario():
+            server = HttpServer(counting)
+            original = server._on_connection
+
+            async def tracked(reader, writer):
+                connections.append(writer.get_extra_info("peername"))
+                await original(reader, writer)
+
+            server._on_connection = tracked
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(b"GET /one HTTP/1.1\r\nHost: t\r\n\r\n")
+                await writer.drain()
+                first = await _read_one_response(reader)
+                writer.write(
+                    b"GET /two HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+                )
+                await writer.drain()
+                second = await reader.read()
+                writer.close()
+            finally:
+                await server.close()
+            return first, second
+
+        first, second = run(scenario())
+        assert b'"/one"' in first and b"Connection: keep-alive" in first
+        assert b'"/two"' in second and b"Connection: close" in second
+        assert len(connections) == 1  # both requests rode one connection
+
+    def test_http10_closes_by_default(self):
+        async def scenario():
+            server = HttpServer(echo_handler)
+            await server.start()
+            try:
+                return await _raw_exchange(
+                    server.port, b"GET / HTTP/1.0\r\nHost: t\r\n\r\n"
+                )
+            finally:
+                await server.close()
+
+        raw = run(scenario())
+        assert raw.startswith(b"HTTP/1.0 200 ")
+        assert b"Connection: close" in raw
+
+
+class TestFraming:
+    def test_head_sends_headers_and_content_length_but_no_body(self):
+        async def scenario():
+            server = HttpServer(echo_handler)
+            await server.start()
+            try:
+                return await _raw_exchange(
+                    server.port,
+                    b"HEAD /h HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+                )
+            finally:
+                await server.close()
+
+        raw = run(scenario())
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"Content-Length:" in head
+        assert body == b""
+
+    def test_iterable_body_streams_as_chunked(self):
+        async def chunky(_request):
+            return Response(
+                body=(chunk for chunk in (b"alpha", b"", b"beta")),
+                content_type="text/plain",
+            )
+
+        async def scenario():
+            server = HttpServer(chunky)
+            await server.start()
+            try:
+                return await _raw_exchange(
+                    server.port,
+                    b"GET /c HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+                )
+            finally:
+                await server.close()
+
+        raw = run(scenario())
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"Transfer-Encoding: chunked" in head
+        assert b"Content-Length:" not in head
+        # 5-byte and 4-byte chunks plus the terminator; empty chunks skipped.
+        assert body == b"5\r\nalpha\r\n4\r\nbeta\r\n0\r\n\r\n"
+
+    def test_iterable_body_materializes_for_http10(self):
+        async def chunky(_request):
+            return Response(body=iter((b"al", b"pha")), content_type="text/plain")
+
+        async def scenario():
+            server = HttpServer(chunky)
+            await server.start()
+            try:
+                return await _raw_exchange(
+                    server.port, b"GET /c HTTP/1.0\r\nHost: t\r\n\r\n"
+                )
+            finally:
+                await server.close()
+
+        raw = run(scenario())
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"Content-Length: 5" in head
+        assert body == b"alpha"
+
+    def test_304_carries_no_body_even_when_one_is_set(self):
+        async def not_modified(_request):
+            return Response(status=304, body=b"should never appear")
+
+        async def scenario():
+            server = HttpServer(not_modified)
+            await server.start()
+            try:
+                return await _raw_exchange(
+                    server.port,
+                    b"GET / HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+                )
+            finally:
+                await server.close()
+
+        raw = run(scenario())
+        assert raw.startswith(b"HTTP/1.1 304 ")
+        assert b"should never appear" not in raw
+
+
+class TestShutdown:
+    def test_in_flight_request_finishes_before_close_returns(self):
+        async def scenario():
+            began = asyncio.Event()
+
+            async def slow(_request):
+                began.set()
+                await asyncio.sleep(0.2)
+                return Response(body=b"made it", content_type="text/plain")
+
+            server = HttpServer(slow)
+            await server.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(b"GET /slow HTTP/1.1\r\nHost: t\r\n\r\n")
+            await writer.drain()
+            await began.wait()  # the handler is mid-request now
+            await server.close()  # must wait for the response to be written
+            raw = await reader.read()  # server closed the connection after
+            writer.close()
+            return raw
+
+        raw = run(scenario())
+        assert raw.startswith(b"HTTP/1.1 200 OK")
+        assert raw.endswith(b"made it")
+        # Even though the request asked for keep-alive, shutdown demoted it.
+        assert b"Connection: close" in raw
+
+    def test_close_unblocks_idle_keep_alive_connections(self):
+        async def scenario():
+            server = HttpServer(echo_handler)
+            await server.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(b"GET /one HTTP/1.1\r\nHost: t\r\n\r\n")
+            await writer.drain()
+            await _read_one_response(reader)
+            # The connection now idles in keep-alive; close() must not hang.
+            await asyncio.wait_for(server.close(), timeout=2.0)
+            trailing = await reader.read()  # EOF: the server closed it
+            writer.close()
+            return trailing
+
+        assert run(scenario()) == b""
+
+    def test_access_log_records_one_line_per_request(self):
+        lines = []
+
+        async def scenario():
+            server = HttpServer(echo_handler, access_log=lines.append)
+            await server.start()
+            try:
+                await _raw_exchange(
+                    server.port,
+                    b"GET /logged?q=1 HTTP/1.1\r\nHost: t\r\n"
+                    b"Connection: close\r\n\r\n",
+                )
+            finally:
+                await server.close()
+
+        run(scenario())
+        assert len(lines) == 1
+        assert '"GET /logged"' in lines[0]
+        assert " 200 " in lines[0]
