@@ -29,7 +29,12 @@ from repro.campaign.report import (
     render_markdown_table,
     run_subgrid_checks,
 )
-from repro.campaign.scheduler import CampaignResult, CampaignScheduler, ScheduledRun
+from repro.campaign.scheduler import (
+    CampaignResult,
+    CampaignScheduler,
+    QuarantinedRun,
+    ScheduledRun,
+)
 from repro.campaign.spec import (
     CAMPAIGN_SCHEMA_VERSION,
     Campaign,
@@ -50,6 +55,7 @@ __all__ = [
     "DEFAULT_COLUMNS",
     "KNOWN_CHECKS",
     "KNOWN_COLUMNS",
+    "QuarantinedRun",
     "ScheduledRun",
     "SubGrid",
     "available_campaigns",

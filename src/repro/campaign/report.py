@@ -466,14 +466,20 @@ def subgrid_report_md(
     subgrid: "SubGrid",
     scenario: Any,
     points: Sequence[Point],
-    stats: Optional[Any] = None,
     checks: Optional[List[TaggedCheck]] = None,
+    quarantined: Sequence[Any] = (),
 ) -> str:
     """One sub-grid's markdown section: table, claims, check outcomes.
 
     ``checks`` accepts pre-evaluated outcomes (the campaign report evaluates
     each sub-grid's checks once and shares them); by default they are
-    evaluated here.
+    evaluated here.  ``quarantined`` lists points the run gave up on after
+    exhausting their retry budget (see :mod:`repro.runner.executor`).
+
+    The rendered section is a pure function of the measurements — no
+    timings, cache counters or other run telemetry appear — so a resumed
+    campaign reproduces a killed campaign's report byte for byte.
+    Telemetry lives on the console summary and in the manifest ``stats``.
     """
     results = {label: result for _, label, result in points}
     columns = list(subgrid.columns) or list(DEFAULT_COLUMNS)
@@ -493,9 +499,13 @@ def subgrid_report_md(
         lines.append(
             f"- checks: {summary['passed']} passed, {summary['failed']} failed"
         )
-    if stats is not None:
+    if quarantined:
         lines.append("")
-        lines.append(f"<!-- {stats.summary()} -->")
+        lines.append("Quarantined points (no result after exhausting retries):")
+        lines.extend(
+            f"- {entry.label}: {entry.error} ({entry.attempts} attempt(s))"
+            for entry in quarantined
+        )
     return "\n".join(lines)
 
 
@@ -504,6 +514,7 @@ def subgrid_report_payload(
     scenario: Any,
     points: Sequence[Point],
     checks: Optional[List[TaggedCheck]] = None,
+    quarantined: Sequence[Any] = (),
 ) -> Dict[str, Any]:
     results = {label: result for _, label, result in points}
     columns = list(subgrid.columns) or list(DEFAULT_COLUMNS)
@@ -526,11 +537,26 @@ def subgrid_report_payload(
             }
             for kind, check in checks
         ],
+        "quarantined": [
+            {
+                "label": entry.label,
+                "error": entry.error,
+                "attempts": entry.attempts,
+            }
+            for entry in quarantined
+        ],
     }
 
 
 def campaign_report_md(outcome: "CampaignResult") -> str:
-    """The full campaign report: per-sub-grid sections plus a summary."""
+    """The full campaign report: per-sub-grid sections plus a summary.
+
+    Deterministic by construction: only measurements, check outcomes and
+    quarantine records appear.  Run telemetry (timings, cache hits, jobs)
+    stays on the console and in the manifest, so the report a resumed
+    campaign renders is byte-identical to the one an uninterrupted run
+    would have produced.
+    """
     campaign = outcome.campaign
     lines = [f"## Campaign {campaign.name}", ""]
     if campaign.description:
@@ -541,33 +567,30 @@ def campaign_report_md(outcome: "CampaignResult") -> str:
                 subgrid,
                 outcome.scenarios[subgrid.name],
                 outcome.points[subgrid.name],
-                stats=outcome.subgrid_stats.get(subgrid.name),
                 checks=outcome.checks(subgrid.name),
+                quarantined=outcome.quarantined.get(subgrid.name, ()),
             )
         )
         lines.append("")
     lines.append("### Campaign summary")
     lines.append("")
-    header = ["sub-grid", "runs", "cache hits", "executed", "checks"]
+    header = ["sub-grid", "points", "quarantined", "checks"]
     rows = []
     total_checks = {"passed": 0, "failed": 0}
     for subgrid in outcome.subgrids():
-        stats = outcome.subgrid_stats[subgrid.name]
         summary = summarize_checks([check for _, check in outcome.checks(subgrid.name)])
         total_checks["passed"] += summary["passed"]
         total_checks["failed"] += summary["failed"]
         rows.append(
             [
                 subgrid.name,
-                str(stats.total),
-                str(stats.cache_hits),
-                str(stats.executed),
+                str(len(outcome.points[subgrid.name])),
+                str(len(outcome.quarantined.get(subgrid.name, ()))),
                 f"{summary['passed']} passed, {summary['failed']} failed",
             ]
         )
     lines.append(render_markdown_table(header, rows))
     lines.append("")
-    lines.append(f"<!-- {outcome.stats.summary()} -->")
     lines.append(
         f"<!-- campaign checks: {total_checks['passed']} passed, "
         f"{total_checks['failed']} failed -->"
@@ -576,7 +599,12 @@ def campaign_report_md(outcome: "CampaignResult") -> str:
 
 
 def campaign_report_payload(outcome: "CampaignResult") -> Dict[str, Any]:
-    """The full campaign report as a plain JSON payload."""
+    """The full campaign report as a plain JSON payload.
+
+    Deterministic like :func:`campaign_report_md`: run telemetry is
+    deliberately absent (``repro campaign run`` prints it to the console,
+    and the store manifest records it under ``stats``).
+    """
     campaign = outcome.campaign
     return {
         "campaign": campaign.name,
@@ -587,24 +615,8 @@ def campaign_report_payload(outcome: "CampaignResult") -> Dict[str, Any]:
                 outcome.scenarios[subgrid.name],
                 outcome.points[subgrid.name],
                 checks=outcome.checks(subgrid.name),
+                quarantined=outcome.quarantined.get(subgrid.name, ()),
             )
             for subgrid in outcome.subgrids()
         ],
-        "stats": {
-            "total": outcome.stats.total,
-            "cache_hits": outcome.stats.cache_hits,
-            "executed": outcome.stats.executed,
-            "jobs": outcome.stats.jobs,
-            "elapsed_s": outcome.stats.elapsed_s,
-            "phases": outcome.stats.phases(),
-        },
-        "subgrid_stats": {
-            name: {
-                "total": stats.total,
-                "cache_hits": stats.cache_hits,
-                "executed": stats.executed,
-                "phases": stats.phases(),
-            }
-            for name, stats in outcome.subgrid_stats.items()
-        },
     }

@@ -33,6 +33,8 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence,
 from repro.campaign.report import Point
 from repro.campaign.spec import Campaign, CampaignError, SubGrid
 from repro.runner import (
+    Executor,
+    FailurePolicy,
     ResultCache,
     RunSpec,
     SweepStats,
@@ -58,6 +60,23 @@ class ScheduledRun:
     cost: float
 
 
+@dataclass(frozen=True)
+class QuarantinedRun:
+    """One point the run gave up on after exhausting its retry budget.
+
+    Carries everything the report and the store manifest need to account
+    for the hole: the point's identity (settings, label, cache key — the
+    key is still valid, so a later resume that succeeds lands in the same
+    cache slot) plus the failure evidence.
+    """
+
+    settings: Dict[str, Any]
+    label: str
+    cache_key: str
+    attempts: int
+    error: str
+
+
 @dataclass
 class CampaignResult:
     """Everything a campaign run produced, grouped back per sub-grid."""
@@ -73,7 +92,13 @@ class CampaignResult:
     subgrid_stats: Dict[str, SweepStats] = field(default_factory=dict)
     #: sub-grid name -> each point's result-cache key, in point order (what
     #: the results store records so reports can skip resolution entirely).
+    #: Aligned with ``points`` — quarantined points appear in neither.
     cache_keys: Dict[str, List[str]] = field(default_factory=dict)
+    #: sub-grid name -> points that exhausted their retry budget, in the
+    #: sub-grid's declared point order.  Only present under a quarantining
+    #: :class:`~repro.runner.FailurePolicy`; the default strict policy
+    #: raises instead of producing an outcome with holes.
+    quarantined: Dict[str, List[QuarantinedRun]] = field(default_factory=dict)
 
     #: Memoized check outcomes per sub-grid (checks are pure over the
     #: results, and the report renders them in several places — evaluate
@@ -224,23 +249,35 @@ class CampaignScheduler:
         progress: Optional[Callable[[int, int], None]] = None,
         store: Optional["ResultsStore"] = None,
         recorded_at: str = "",
+        executor: Optional[Executor] = None,
+        failure_policy: Optional[FailurePolicy] = None,
     ) -> CampaignResult:
         """Execute the plan through one ``run_sweep`` call and regroup.
 
-        ``pool``/``jobs``/``cache``/``cache_dir``/``progress`` have
-        :func:`~repro.runner.run_sweep` semantics; the whole campaign is one
-        sweep, so a cold pool spawns exactly once and ``pool_startup_s``
-        appears once in the campaign totals (and never in the per-sub-grid
-        stats, which only carry work attributable to their own points).
+        ``pool``/``jobs``/``cache``/``cache_dir``/``progress``/``executor``/
+        ``failure_policy`` have :func:`~repro.runner.run_sweep` semantics;
+        the whole campaign is one sweep, so a cold pool spawns exactly once
+        and ``pool_startup_s`` appears once in the campaign totals (and
+        never in the per-sub-grid stats, which only carry work attributable
+        to their own points).
 
         ``store`` is the results-store hook: when given, the run's rendered
         artifacts, cache keys, check outcomes and provenance (stamped
         ``recorded_at``, a caller-supplied timestamp) are recorded under
         :meth:`fingerprint` the moment the results exist — the single write
-        that makes every later report against this run a pure read.
+        that makes every later report against this run a pure read.  While
+        the sweep is in flight the store also carries a *partial journal*
+        for this fingerprint (progress counters, the cache directory), so
+        ``repro campaign run --resume`` can tell a crashed campaign from
+        one that never started; a successful recording deletes it.
+
+        Under a quarantining ``failure_policy`` a point that exhausts its
+        retries lands in ``CampaignResult.quarantined`` instead of aborting
+        the campaign; checks and report tables cover the surviving points.
         """
         plan = self.plan(subgrids)
         selected = self._selected(subgrids)
+        fingerprint = self.fingerprint(subgrids) if store is not None else ""
         outcome = CampaignResult(campaign=self.campaign)
         for subgrid in selected:
             outcome.scenarios[subgrid.name] = subgrid.resolved_scenario()
@@ -251,6 +288,7 @@ class CampaignScheduler:
         owner: List[Tuple[str, str, Dict[str, Any]]] = [
             (run.subgrid, run.label, run.settings) for run in plan
         ]
+        landed_count = [0]
 
         def observer(
             index: int,
@@ -267,6 +305,17 @@ class CampaignScheduler:
                 stats.executed += 1
             if timings is not None:
                 stats.add_timings(timings)
+            landed_count[0] += 1
+            if store is not None:
+                store.record_partial(
+                    fingerprint,
+                    campaign=self.campaign.name,
+                    total=len(plan),
+                    recorded=landed_count[0],
+                    cache_dir=cache_dir
+                    if cache_dir is not None
+                    else (str(cache.directory) if cache is not None else None),
+                )
 
         results, stats = run_sweep(
             [run.spec for run in plan],
@@ -276,6 +325,8 @@ class CampaignScheduler:
             pool=pool,
             progress=progress,
             observer=observer,
+            executor=executor,
+            failure_policy=failure_policy,
         )
         outcome.stats = stats
 
@@ -286,34 +337,68 @@ class CampaignScheduler:
         for stats_entry in outcome.subgrid_stats.values():
             stats_entry.elapsed_s = sum(stats_entry.phases().values())
 
+        # A quarantined point leaves its result slot as None; map those
+        # slots back to their quarantine records so regrouping can tell a
+        # recorded failure from an impossible hole.
+        quarantined_by_index = {
+            index: record
+            for record in stats.quarantined
+            for index in record.indices
+        }
+
         # Regroup keyed by the point's *settings* (always unique within a
         # sub-grid), not its display label — pathological string axis values
         # can render two distinct points to the same label.
         by_subgrid: Dict[str, Dict[str, Point]] = {s.name: {} for s in selected}
-        for (name, label, settings), result in zip(owner, results):
-            if result is None:  # pragma: no cover - run_sweep always fills
-                raise CampaignError(f"sub-grid '{name}' point '{label}' produced no result")
+        quarantine_map: Dict[Tuple[str, str], Any] = {}
+        for index, ((name, label, settings), result) in enumerate(zip(owner, results)):
+            if result is None:
+                record = quarantined_by_index.get(index)
+                if record is None:  # pragma: no cover - run_sweep always fills
+                    raise CampaignError(
+                        f"sub-grid '{name}' point '{label}' produced no result"
+                    )
+                quarantine_map[(name, _point_key(settings))] = record
+                continue
             by_subgrid[name][_point_key(settings)] = (settings, label, result)
         # Regroup in each sub-grid's declared point order, not plan order.
         key_by_point = {
             (run.subgrid, _point_key(run.settings)): run.spec.key() for run in plan
         }
+        label_by_point = {
+            (run.subgrid, _point_key(run.settings)): run.label for run in plan
+        }
         for subgrid in selected:
-            ordered = [
-                by_subgrid[subgrid.name][_point_key(point)]
-                for point in subgrid.points()
-            ]
+            ordered: List[Point] = []
+            keys: List[str] = []
+            holes: List[QuarantinedRun] = []
+            for point in subgrid.points():
+                spot = (subgrid.name, _point_key(point))
+                record = quarantine_map.get(spot)
+                if record is not None:
+                    holes.append(
+                        QuarantinedRun(
+                            settings=dict(point),
+                            label=label_by_point[spot],
+                            cache_key=key_by_point[spot],
+                            attempts=record.attempts,
+                            error=record.error,
+                        )
+                    )
+                    continue
+                ordered.append(by_subgrid[subgrid.name][_point_key(point)])
+                keys.append(key_by_point[spot])
             outcome.points[subgrid.name] = ordered
-            outcome.cache_keys[subgrid.name] = [
-                key_by_point[(subgrid.name, _point_key(point))]
-                for point in subgrid.points()
-            ]
+            outcome.cache_keys[subgrid.name] = keys
+            if holes:
+                outcome.quarantined[subgrid.name] = holes
         if store is not None:
             store.record_campaign(
                 outcome,
-                fingerprint=self.fingerprint(subgrids),
+                fingerprint=fingerprint,
                 provenance=self.provenance(subgrids, recorded_at=recorded_at),
             )
+            store.clear_partial(fingerprint)
         return outcome
 
 

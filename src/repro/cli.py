@@ -46,7 +46,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from datetime import datetime, timezone
 from pathlib import Path
 from tempfile import TemporaryDirectory
@@ -81,6 +81,10 @@ from repro.dvfs.governor import available_governors, make_governor
 from repro.memctrl.policies import available_policies
 from repro.power import estimate_system_energy, format_energy_report
 from repro.runner import (
+    FailurePolicy,
+    InProcessExecutor,
+    PoolExecutor,
+    QueueExecutor,
     ResultCache,
     WorkerPool,
     run_sweep,
@@ -291,6 +295,35 @@ def build_parser() -> argparse.ArgumentParser:
             action="append",
             default=[],
             help="import this module first (and in every sweep worker)",
+        )
+        campaign_run.add_argument(
+            "--executor",
+            choices=("auto", "inprocess", "pool", "queue"),
+            default="auto",
+            help="execution backend: in-process, warm worker pool, or the "
+            "lease-based file queue (auto picks pool when --jobs > 1)",
+        )
+        campaign_run.add_argument(
+            "--timeout-s",
+            type=float,
+            default=None,
+            help="per-point wall-clock timeout (a point over budget counts "
+            "as a failed attempt)",
+        )
+        campaign_run.add_argument(
+            "--max-attempts",
+            type=_positive_int,
+            default=None,
+            help="attempts per point before giving up; with more than one, "
+            "a point that exhausts them is quarantined in the report "
+            "instead of aborting the campaign",
+        )
+        campaign_run.add_argument(
+            "--resume",
+            action="store_true",
+            help="resume a crashed campaign: needs the same --cache-dir; "
+            "already-recorded points are served from the cache and only "
+            "the missing ones simulate",
         )
         _add_sweep_arguments(campaign_run)
         _add_store_argument(campaign_run)
@@ -659,7 +692,53 @@ def _cmd_campaign_run(args: argparse.Namespace, report_only: bool) -> int:
                 )
                 _write_output(served, args.output)
                 return _strict_exit(failed_checks, args.strict)
-    with _sweep_pool(args) as pool:
+    if args.resume:
+        if not args.cache_dir:
+            print(
+                "--resume needs --cache-dir: the result cache is what holds "
+                "the points the crashed run already recorded",
+                file=sys.stderr,
+            )
+            return 2
+        fingerprint = scheduler.fingerprint(args.subgrids)
+        partial = store.partial(fingerprint) if store is not None else None
+        if partial is not None:
+            print(
+                f"resuming: {partial.get('recorded', 0)}/"
+                f"{partial.get('total', '?')} point(s) already recorded"
+            )
+        elif store is not None and store.get_manifest(fingerprint) is not None:
+            print("run already recorded; nothing to resume (cache serves every point)")
+        else:
+            print(
+                "warning: no partial journal for this run; resuming from "
+                "whatever the cache holds",
+                file=sys.stderr,
+            )
+    failure_policy = None
+    if args.timeout_s is not None or args.max_attempts is not None:
+        attempts = args.max_attempts if args.max_attempts is not None else 1
+        failure_policy = FailurePolicy(
+            timeout_s=args.timeout_s,
+            max_attempts=attempts,
+            on_exhausted="quarantine" if attempts > 1 else "raise",
+        )
+    executor = None
+    if args.executor == "inprocess":
+        executor = InProcessExecutor()
+    elif args.executor == "pool":
+        executor = PoolExecutor(jobs=args.jobs)
+    elif args.executor == "queue":
+        queue_dir = (
+            str(Path(args.store_dir) / "queue")
+            if getattr(args, "store_dir", None)
+            else None
+        )
+        executor = QueueExecutor(queue_dir=queue_dir, jobs=args.jobs)
+    # An explicit executor owns its own parallelism — don't also pay for a
+    # warm pool the sweep would ignore.
+    pool_context = _sweep_pool(args) if executor is None else nullcontext(None)
+    with pool_context as pool:
         outcome = scheduler.run(
             subgrids=args.subgrids,
             jobs=args.jobs,
@@ -667,6 +746,8 @@ def _cmd_campaign_run(args: argparse.Namespace, report_only: bool) -> int:
             pool=pool,
             store=store,
             recorded_at=_utc_stamp() if store is not None else "",
+            executor=executor,
+            failure_policy=failure_policy,
         )
     failed_checks = sum(
         1
@@ -679,6 +760,13 @@ def _cmd_campaign_run(args: argparse.Namespace, report_only: bool) -> int:
         for name, stats in outcome.subgrid_stats.items():
             print(f"  {name}: {stats.summary()}")
         print()
+    for name, holes in outcome.quarantined.items():
+        for hole in holes:
+            print(
+                f"quarantined {name}/{hole.label}: {hole.error} "
+                f"({hole.attempts} attempt(s))",
+                file=sys.stderr,
+            )
     report = (
         json.dumps(campaign_report_payload(outcome), indent=2)
         if args.format == "json"

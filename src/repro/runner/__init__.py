@@ -20,7 +20,22 @@ siblings.
 """
 
 from repro.runner.cache import CACHE_SCHEMA_VERSION, ResultCache, cache_key
-from repro.runner.pool import WorkerPool, estimate_cost, plan_batches
+from repro.runner.executor import (
+    RESILIENT_POLICY,
+    STRICT_POLICY,
+    ExecutionFault,
+    Executor,
+    FailurePolicy,
+    InProcessExecutor,
+    LeaseExpiredError,
+    PayloadError,
+    PoolExecutor,
+    QuarantinedPoint,
+    SpecTimeoutError,
+    WorkerDiedError,
+)
+from repro.runner.pool import TaskOutcome, WorkerPool, estimate_cost, plan_batches
+from repro.runner.queue import QueueExecutor, WorkQueue
 from repro.runner.sweep import (
     AblationGrid,
     Observer,
@@ -38,10 +53,25 @@ from repro.runner.sweep import (
 __all__ = [
     "AblationGrid",
     "CACHE_SCHEMA_VERSION",
+    "ExecutionFault",
+    "Executor",
+    "FailurePolicy",
+    "InProcessExecutor",
+    "LeaseExpiredError",
     "Observer",
+    "PayloadError",
+    "PoolExecutor",
+    "QuarantinedPoint",
+    "QueueExecutor",
+    "RESILIENT_POLICY",
     "ResultCache",
     "RunSpec",
+    "STRICT_POLICY",
+    "SpecTimeoutError",
     "SweepStats",
+    "TaskOutcome",
+    "WorkQueue",
+    "WorkerDiedError",
     "WorkerPool",
     "cache_key",
     "compare_policies_specs",

@@ -1,0 +1,702 @@
+"""The file-backed work queue executor: leases, heartbeats, crash-resume.
+
+:class:`QueueExecutor` is the third :class:`~repro.runner.executor.Executor`
+implementation, built for the failure modes a pipe-based pool cannot
+survive: the coordination state lives on the *filesystem*, not in process
+memory, so any participant — worker or driver — can die at any instant and
+the remaining state still describes exactly what was running where.
+
+The protocol (all operations are atomic at the filesystem level):
+
+* The driver writes one ``tasks/<id>.<attempt>.task`` file per cost-balanced
+  batch of specs (pickled, with a ``not_before`` floor for retry backoff).
+* A worker *claims* a task by creating ``leases/<id>.lease`` with
+  ``O_CREAT | O_EXCL`` — the filesystem arbitrates, exactly one claimant
+  wins.  The lease names the worker's pid, a deadline, and which spec the
+  worker is currently on.
+* While running, a heartbeat thread atomically rewrites the lease
+  (temp file + ``os.replace``) extending the deadline every
+  ``heartbeat_s``.  A worker that stops heartbeating — killed, hung
+  kernel-deep, or the ``lost-heartbeat`` fault — lets its deadline lapse,
+  and the driver *steals* the lease: kill the pid, requeue the work as
+  attempt N+1.
+* Results return as ``results/<id>.<attempt>.res`` envelopes — SHA-256 of
+  the pickled payload, then the payload — written via temp + replace, so a
+  result file either exists complete and verifiable or not at all.
+
+Crash-resume is a property of the data path, not extra machinery: each
+worker writes every finished spec *immediately* into the shared
+:class:`~repro.runner.cache.ResultCache` (whose writes are atomic and
+concurrent-safe), so a campaign killed mid-flight has every completed
+simulation on disk.  Re-running with the same cache directory — what
+``repro campaign run --resume`` does — turns all of them into cache hits
+and simulates only the genuinely missing points.
+
+One driver per queue directory is assumed (the driver creates a fresh
+unique subdirectory per execution, so a stale queue from a killed run can
+never confuse a resumed one).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import signal
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.runner.cache import ResultCache
+from repro.runner.executor import (
+    ColdEntry,
+    ExecutionFault,
+    FailurePolicy,
+    Landed,
+    LeaseExpiredError,
+    PayloadError,
+    QuarantinedPoint,
+    SpecTimeoutError,
+    describe_error,
+    run_spec_guarded,
+)
+from repro.runner.faults import CorruptResult, FaultInjector, VanishResult
+from repro.system.experiment import RunTimings
+
+#: Default lease lifetime: how long a worker may go silent before its work
+#: is stolen.  Several heartbeats fit inside, so one missed beat (a paging
+#: stall, a long GC) is forgiven; a dead worker is detected faster than
+#: this through its exit code.
+DEFAULT_LEASE_S = 10.0
+DEFAULT_HEARTBEAT_S = 1.0
+DEFAULT_POLL_S = 0.05
+
+
+# --------------------------------------------------------------------------- #
+# On-disk primitives
+# --------------------------------------------------------------------------- #
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".tmp-")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _write_envelope(path: Path, value: Any, corrupt: bool = False) -> None:
+    """Persist one integrity-checked result payload (digest + pickle)."""
+    payload = pickle.dumps(value)
+    digest = hashlib.sha256(payload).hexdigest()
+    if corrupt:
+        middle = len(payload) // 2
+        payload = payload[:middle] + bytes([payload[middle] ^ 0xFF]) + payload[middle + 1 :]
+    _atomic_write_bytes(path, digest.encode("ascii") + b"\n" + payload)
+
+
+def _read_envelope(path: Path) -> Any:
+    """Load and verify one result envelope; :class:`PayloadError` if bad."""
+    data = path.read_bytes()
+    newline = data.find(b"\n")
+    if newline != 64:
+        raise PayloadError(f"malformed result envelope: {path.name}")
+    digest, payload = data[:newline].decode("ascii"), data[newline + 1 :]
+    if hashlib.sha256(payload).hexdigest() != digest:
+        raise PayloadError(f"result payload failed integrity check: {path.name}")
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise PayloadError(f"result payload undecodable: {path.name} ({exc!r})") from exc
+
+
+class WorkQueue:
+    """The filesystem layout and atomic operations both sides share."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = Path(directory)
+        self.tasks = self.directory / "tasks"
+        self.leases = self.directory / "leases"
+        self.results = self.directory / "results"
+        for sub in (self.tasks, self.leases, self.results):
+            sub.mkdir(parents=True, exist_ok=True)
+
+    # -- tasks ---------------------------------------------------------- #
+    def task_path(self, task_id: int, attempt: int) -> Path:
+        return self.tasks / f"{task_id:06d}.{attempt}.task"
+
+    def put_task(
+        self,
+        task_id: int,
+        attempt: int,
+        items: List[Tuple[int, Any]],
+        cache_dir: Optional[str],
+        not_before: float = 0.0,
+    ) -> None:
+        payload = {
+            "task_id": task_id,
+            "attempt": attempt,
+            "items": items,
+            "cache_dir": cache_dir,
+            "not_before": not_before,
+        }
+        _atomic_write_bytes(self.task_path(task_id, attempt), pickle.dumps(payload))
+
+    def list_tasks(self) -> List[Path]:
+        return sorted(self.tasks.glob("*.task"))
+
+    def remove_task(self, task_id: int, attempt: int) -> None:
+        try:
+            self.task_path(task_id, attempt).unlink()
+        except FileNotFoundError:
+            pass
+
+    # -- leases --------------------------------------------------------- #
+    def lease_path(self, task_id: int) -> Path:
+        return self.leases / f"{task_id:06d}.lease"
+
+    def claim(self, task_id: int, lease: Dict[str, Any]) -> bool:
+        """Atomically claim a task; False when someone else holds it."""
+        try:
+            fd = os.open(
+                self.lease_path(task_id), os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w") as handle:
+            json.dump(lease, handle)
+        return True
+
+    def renew(self, task_id: int, lease: Dict[str, Any]) -> None:
+        """Heartbeat: atomically rewrite the lease with a fresh deadline."""
+        _atomic_write_bytes(
+            self.lease_path(task_id), json.dumps(lease).encode("utf-8")
+        )
+
+    def read_lease(self, task_id: int) -> Optional[Dict[str, Any]]:
+        try:
+            return json.loads(self.lease_path(task_id).read_text())
+        except (OSError, ValueError):
+            return None
+
+    def release(self, task_id: int) -> None:
+        try:
+            self.lease_path(task_id).unlink()
+        except FileNotFoundError:
+            pass
+
+    # -- results -------------------------------------------------------- #
+    def result_path(self, task_id: int, attempt: int) -> Path:
+        return self.results / f"{task_id:06d}.{attempt}.res"
+
+    def put_result(
+        self, task_id: int, attempt: int, value: Any, corrupt: bool = False
+    ) -> None:
+        _write_envelope(self.result_path(task_id, attempt), value, corrupt=corrupt)
+
+    def results_for(self, task_id: int) -> List[Path]:
+        return sorted(self.results.glob(f"{task_id:06d}.*.res"))
+
+    # -- shutdown ------------------------------------------------------- #
+    @property
+    def closed_marker(self) -> Path:
+        return self.directory / "closed"
+
+    def close(self) -> None:
+        self.closed_marker.touch()
+
+    @property
+    def closed(self) -> bool:
+        return self.closed_marker.exists()
+
+
+# --------------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------------- #
+class _Heartbeat(threading.Thread):
+    """Extends the lease every ``heartbeat_s`` until stopped.
+
+    The thread also carries the per-spec progress fields (which spec the
+    worker is on, since when) so the driver can enforce per-spec timeouts
+    from the lease alone.  ``suppress()`` is the ``lost-heartbeat`` fault's
+    hook: the worker keeps running, the lease silently goes stale.
+    """
+
+    def __init__(
+        self,
+        queue: WorkQueue,
+        task_id: int,
+        worker: str,
+        lease_s: float,
+        heartbeat_s: float,
+    ) -> None:
+        super().__init__(daemon=True)
+        self.queue = queue
+        self.task_id = task_id
+        self.worker = worker
+        self.lease_s = lease_s
+        self.heartbeat_s = heartbeat_s
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._spec_position: Optional[int] = None
+        self._spec_started: Optional[float] = None
+
+    def lease(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "worker": self.worker,
+                "pid": os.getpid(),
+                "deadline": time.time() + self.lease_s,
+                "task": self.task_id,
+                "spec_position": self._spec_position,
+                "spec_started": self._spec_started,
+            }
+
+    def on_spec(self, position: int) -> None:
+        with self._lock:
+            self._spec_position = position
+            self._spec_started = time.time()
+        if not self._stop.is_set():
+            self.queue.renew(self.task_id, self.lease())
+
+    def suppress(self) -> None:
+        self._stop.set()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def run(self) -> None:
+        while not self._stop.wait(self.heartbeat_s):
+            try:
+                self.queue.renew(self.task_id, self.lease())
+            except OSError:  # pragma: no cover - queue dir torn down under us
+                return
+
+
+def _run_claimed_task(
+    queue: WorkQueue,
+    task: Dict[str, Any],
+    worker: str,
+    lease_s: float,
+    heartbeat_s: float,
+    injector: Optional[FaultInjector],
+) -> None:
+    """Execute one claimed task: specs, cache writes, result envelope."""
+    task_id, attempt = task["task_id"], task["attempt"]
+    heartbeat = _Heartbeat(queue, task_id, worker, lease_s, heartbeat_s)
+    heartbeat.start()
+    cache = ResultCache(task["cache_dir"]) if task["cache_dir"] else None
+    executed = []
+    corrupt = False
+    vanish_s: Optional[float] = None
+    try:
+        for position, spec in task["items"]:
+            heartbeat.on_spec(position)
+            key = spec.key()
+            if cache is not None:
+                cached = cache.get(key)
+                if cached is not None:
+                    # Already recorded (a retry of work that finished before
+                    # its envelope was lost): no simulation, zero timings.
+                    executed.append((position, cached, RunTimings(0.0, 0.0, 0.0)))
+                    continue
+            value = run_spec_guarded(spec, injector)
+            if isinstance(value, CorruptResult):
+                corrupt = True
+                value = value.value
+            elif isinstance(value, VanishResult):
+                # lost-heartbeat: stop renewing, stall — the driver must
+                # steal the lease out from under us.
+                heartbeat.suppress()
+                vanish_s = value.hang_s
+                value = value.value
+            result, timings = value
+            executed.append((position, result, timings))
+            if cache is not None:
+                # The crash-resume substrate: every finished spec is on disk
+                # before the next one starts, whatever happens to anyone.
+                cache.put(key, result, include_trace=spec.keep_trace)
+        if vanish_s is not None:
+            time.sleep(vanish_s)
+        queue.put_result(task_id, attempt, ("ok", executed), corrupt=corrupt)
+    except Exception as exc:
+        try:
+            pickle.dumps(exc)
+        except Exception:
+            exc = RuntimeError(f"unpicklable worker exception: {exc!r}")
+        queue.put_result(task_id, attempt, ("error", exc))
+    finally:
+        heartbeat.stop()
+        queue.release(task_id)
+        queue.remove_task(task_id, attempt)
+
+
+def queue_worker_main(
+    queue_dir: str,
+    worker: str,
+    plugin_modules: Tuple[str, ...],
+    lease_s: float,
+    heartbeat_s: float,
+    poll_s: float,
+    ready: Any,
+) -> None:
+    """Worker process body: claim, run, write results, repeat until closed.
+
+    Import semantics mirror the pool worker: the simulator stack and the
+    declared plugins load once up front, a failed import is swallowed so it
+    surfaces later as an ordinary task failure, and the readiness semaphore
+    only exists so spawn cost is measured by the driver (``None`` for
+    respawned workers — the original semaphore may be gone by then).
+    """
+    try:
+        import repro.runner.sweep  # noqa: F401  (imports the full simulator stack)
+
+        from repro.scenario import load_plugins
+
+        load_plugins(plugin_modules)
+    except Exception:
+        pass
+    finally:
+        if ready is not None:
+            ready.release()
+    queue = WorkQueue(queue_dir)
+    injector = FaultInjector.from_env()
+    while True:
+        claimed = False
+        for path in queue.list_tasks():
+            try:
+                task = pickle.loads(path.read_bytes())
+            except (OSError, pickle.PickleError, EOFError):
+                continue  # vanished or mid-replace: next scan sees it
+            if task["not_before"] > time.time():
+                continue
+            if queue.lease_path(task["task_id"]).exists():
+                continue
+            probe = _Heartbeat(queue, task["task_id"], worker, lease_s, heartbeat_s)
+            if not queue.claim(task["task_id"], probe.lease()):
+                continue
+            _run_claimed_task(queue, task, worker, lease_s, heartbeat_s, injector)
+            claimed = True
+            break
+        if not claimed:
+            if queue.closed:
+                return
+            time.sleep(poll_s)
+
+
+# --------------------------------------------------------------------------- #
+# Driver side
+# --------------------------------------------------------------------------- #
+@dataclass
+class _QueueTask:
+    """Driver bookkeeping for one outstanding task."""
+
+    positions: List[int]
+    attempt: int = 1
+
+
+class QueueExecutor:
+    """Lease-based execution over a file-backed work queue.
+
+    Spawns ``jobs`` queue workers against a fresh subdirectory of
+    ``queue_dir`` (a temporary directory when ``None``), then supervises:
+    results are accepted from *any* attempt that passes the integrity
+    check, expired leases are stolen (holder killed, work requeued with
+    backoff), dead workers are respawned, and per-spec wall-clock timeouts
+    are enforced from the lease's progress fields.  Failed multi-spec
+    batches are split into single-spec tasks so a poison point quarantines
+    alone.
+    """
+
+    name = "queue"
+
+    def __init__(
+        self,
+        queue_dir: Optional[str] = None,
+        jobs: int = 1,
+        batching: bool = True,
+        lease_s: float = DEFAULT_LEASE_S,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        poll_s: float = DEFAULT_POLL_S,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.queue_dir = queue_dir
+        self.jobs = jobs
+        self.batching = batching
+        self.lease_s = lease_s
+        self.heartbeat_s = heartbeat_s
+        self.poll_s = poll_s
+        #: Workers respawned after dying mid-run (for tests / stats).
+        self.respawns = 0
+        self._next_task_id = 0
+
+    def execute(
+        self,
+        cold: List[ColdEntry],
+        stats: Any,
+        policy: FailurePolicy,
+        cache_dir: Optional[str] = None,
+    ) -> Iterator[Any]:
+        from repro.runner.pool import estimate_cost, plan_batches
+
+        if self.queue_dir is not None:
+            Path(self.queue_dir).mkdir(parents=True, exist_ok=True)
+        # A fresh, uniquely named run directory: a queue left behind by a
+        # killed driver can never feed tasks or results into this run.
+        run_dir = tempfile.mkdtemp(prefix="run-", dir=self.queue_dir)
+        queue = WorkQueue(run_dir)
+        jobs = min(self.jobs, len(cold)) if cold else self.jobs
+        if self.batching:
+            costed = [
+                ((position, spec), estimate_cost(spec))
+                for position, (_, spec, _) in enumerate(cold)
+            ]
+            batches = plan_batches(costed, jobs)
+        else:
+            batches = [[(position, spec)] for position, (_, spec, _) in enumerate(cold)]
+        stats.batches = len(batches)
+        pending: Dict[int, _QueueTask] = {}
+        self._next_task_id = 0
+        for batch in batches:
+            pending[self._next_task_id] = _QueueTask([position for position, _ in batch])
+            queue.put_task(self._next_task_id, 1, batch, cache_dir)
+            self._next_task_id += 1
+
+        plugin_modules = tuple(
+            dict.fromkeys(m for _, spec, _ in cold for m in spec.plugin_modules)
+        )
+        import multiprocessing
+
+        context = multiprocessing.get_context("spawn")
+        ready = context.Semaphore(0)
+        began = time.perf_counter()
+        workers = [
+            self._spawn(context, queue, i, plugin_modules, ready) for i in range(jobs)
+        ]
+        deadline = time.monotonic() + 120.0
+        for _ in range(jobs):
+            if not ready.acquire(timeout=max(0.0, deadline - time.monotonic())):
+                break  # pragma: no cover - degraded start-up
+        stats.pool_startup_s += time.perf_counter() - began
+
+        respawn_budget = jobs + len(cold) * policy.max_attempts
+        chains = [0.0] * max(1, jobs)
+        try:
+            while pending:
+                progressed = False
+                for event in self._collect_results(
+                    queue, pending, cold, policy, stats, cache_dir
+                ):
+                    progressed = True
+                    if isinstance(event, Landed):
+                        chains[chains.index(min(chains))] += event.timings.sim_s
+                    yield event
+                yield from self._police_leases(
+                    queue, pending, workers, cold, policy, stats, cache_dir
+                )
+                workers, died = self._reap_workers(
+                    context, queue, workers, plugin_modules, pending, respawn_budget
+                )
+                respawn_budget -= died
+                if not progressed and pending:
+                    time.sleep(self.poll_s)
+            stats.sim_wall_s = max(chains)
+        finally:
+            queue.close()
+            for process in workers:
+                process.join(5.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(5.0)
+
+    def _spawn(
+        self,
+        context: Any,
+        queue: WorkQueue,
+        index: int,
+        plugin_modules: Tuple[str, ...],
+        ready: Any,
+    ) -> Any:
+        process = context.Process(
+            target=queue_worker_main,
+            args=(
+                str(queue.directory),
+                f"qw-{index}",
+                plugin_modules,
+                self.lease_s,
+                self.heartbeat_s,
+                self.poll_s,
+                ready,
+            ),
+            daemon=True,
+        )
+        process.start()
+        return process
+
+    # -- supervision passes --------------------------------------------- #
+    def _collect_results(
+        self,
+        queue: WorkQueue,
+        pending: Dict[int, _QueueTask],
+        cold: List[ColdEntry],
+        policy: FailurePolicy,
+        stats: Any,
+        cache_dir: Optional[str],
+    ) -> Iterator[Any]:
+        for task_id in list(pending):
+            task = pending[task_id]
+            for path in queue.results_for(task_id):
+                try:
+                    status, value = _read_envelope(path)
+                except PayloadError as exc:
+                    path.unlink()
+                    yield from self._failed(
+                        queue, pending, task_id, cold, exc, policy, stats, cache_dir
+                    )
+                    break
+                path.unlink()
+                if status == "error":
+                    yield from self._failed(
+                        queue, pending, task_id, cold, value, policy, stats, cache_dir
+                    )
+                    break
+                del pending[task_id]
+                queue.release(task_id)
+                queue.remove_task(task_id, task.attempt)
+                for position, result, timings in value:
+                    yield Landed(cold[position], result, timings, task.attempt)
+                break
+
+    def _police_leases(
+        self,
+        queue: WorkQueue,
+        pending: Dict[int, _QueueTask],
+        workers: List[Any],
+        cold: List[ColdEntry],
+        policy: FailurePolicy,
+        stats: Any,
+        cache_dir: Optional[str],
+    ) -> Iterator[Any]:
+        now = time.time()
+        pids = {process.pid: process for process in workers}
+        for task_id in list(pending):
+            lease = queue.read_lease(task_id)
+            if lease is None:
+                continue
+            error: Optional[ExecutionFault] = None
+            labels = ", ".join(
+                cold[p][1].display_label() for p in pending[task_id].positions
+            )
+            if lease.get("deadline", 0.0) <= now:
+                error = LeaseExpiredError(
+                    f"lease expired (worker {lease.get('worker')} stopped "
+                    f"heartbeating): {labels}"
+                )
+            elif (
+                policy.timeout_s is not None
+                and lease.get("spec_started") is not None
+                and now - lease["spec_started"] > policy.timeout_s
+            ):
+                error = SpecTimeoutError(labels, policy.timeout_s)
+            if error is None:
+                continue
+            holder = pids.get(lease.get("pid"))
+            if holder is not None and holder.is_alive():
+                # Kill before releasing: a live holder would otherwise
+                # resurrect the lease with its next heartbeat.
+                try:
+                    os.kill(holder.pid, signal.SIGKILL)
+                except (OSError, TypeError):  # pragma: no cover - already gone
+                    pass
+                holder.join(5.0)
+            queue.release(task_id)
+            yield from self._failed(
+                queue, pending, task_id, cold, error, policy, stats, cache_dir
+            )
+
+    def _reap_workers(
+        self,
+        context: Any,
+        queue: WorkQueue,
+        workers: List[Any],
+        plugin_modules: Tuple[str, ...],
+        pending: Dict[int, _QueueTask],
+        respawn_budget: int,
+    ) -> Tuple[List[Any], int]:
+        """Replace dead workers; a dead holder's lease is released at once.
+
+        Lease expiry would catch the loss eventually, but a worker whose
+        process has exited is *known* dead — waiting out the deadline is
+        pure latency.  The requeue itself still flows through the lease
+        police pass (the released lease reads as an expired claim there is
+        no holder for), keeping one failure path.
+        """
+        alive = [process for process in workers if process.is_alive()]
+        died = len(workers) - len(alive)
+        if died:
+            dead_pids = {p.pid for p in workers} - {p.pid for p in alive}
+            for task_id in list(pending):
+                lease = queue.read_lease(task_id)
+                if lease is not None and lease.get("pid") in dead_pids:
+                    lease["deadline"] = 0.0  # expire immediately
+                    queue.renew(task_id, lease)
+            if respawn_budget <= 0:
+                raise ExecutionFault(
+                    "queue workers keep dying; respawn budget exhausted"
+                )
+            # No readiness semaphore for respawns: nobody waits on it, and
+            # the parent would drop (unlink) it before the child unpickles.
+            for index in range(died):
+                self.respawns += 1
+                alive.append(
+                    self._spawn(
+                        context, queue, len(alive) + index + 1000, plugin_modules, None
+                    )
+                )
+        return alive, died
+
+    def _failed(
+        self,
+        queue: WorkQueue,
+        pending: Dict[int, _QueueTask],
+        task_id: int,
+        cold: List[ColdEntry],
+        error: Exception,
+        policy: FailurePolicy,
+        stats: Any,
+        cache_dir: Optional[str],
+    ) -> Iterator[QuarantinedPoint]:
+        """One task attempt failed: split, requeue with backoff, or give up."""
+        task = pending.pop(task_id)
+        queue.release(task_id)
+        queue.remove_task(task_id, task.attempt)
+        for position in task.positions:
+            indices, spec, key = cold[position]
+            if task.attempt < policy.max_attempts:
+                stats.retries += 1
+                not_before = time.time() + policy.backoff_for(task.attempt, key)
+                next_id = self._next_task_id
+                self._next_task_id += 1
+                pending[next_id] = _QueueTask([position], attempt=task.attempt + 1)
+                queue.put_task(
+                    next_id, task.attempt + 1, [(position, spec)], cache_dir, not_before
+                )
+            elif policy.on_exhausted == "quarantine":
+                yield QuarantinedPoint(
+                    label=spec.display_label(),
+                    key=key,
+                    attempts=task.attempt,
+                    error=describe_error(error),
+                    indices=tuple(indices),
+                )
+            else:
+                raise error

@@ -13,15 +13,18 @@ resolved, serialized scenario.  A grid over *platforms and workloads* (not
 just numeric knobs) therefore flows through :func:`run_sweep` and its cache
 unchanged: one spec per scenario file is all it takes.
 
-Parallel execution goes through a :class:`~repro.runner.pool.WorkerPool`:
-either one the caller owns (warm — started once, shared by many sweeps) or
-an ephemeral one this call spawns and tears down.  Cold specs are grouped
-into contiguous batches of roughly equal estimated cost (simulated duration
-times active agents), each batch is one IPC round trip, and finished batches
-stream back via ``imap_unordered`` so cache writes and progress reporting
-overlap the remaining execution.  :class:`SweepStats` splits the sweep's wall
-time into measured phases (resolve / build / simulate / serialize / pool
-start-up) so a regression is attributable to the phase that caused it.
+Cold points execute behind the :class:`~repro.runner.executor.Executor`
+interface: in-process for ``jobs=1``, batched dispatch on a
+:class:`~repro.runner.pool.WorkerPool` (warm — started once, shared by many
+sweeps — or ephemeral) by default, or a caller-supplied executor such as the
+lease-based :class:`~repro.runner.queue.QueueExecutor`.  Batches of roughly
+equal estimated cost stream back in completion order, so cache writes and
+progress reporting overlap the remaining execution; a
+:class:`~repro.runner.executor.FailurePolicy` adds per-spec timeouts, retry
+with deterministic backoff, and poison-point quarantine on top of any of
+them.  :class:`SweepStats` splits the sweep's wall time into measured phases
+(resolve / build / simulate / serialize / pool start-up) so a regression is
+attributable to the phase that caused it.
 
 Custom policies, workloads and traffic models registered at runtime survive
 parallel sweeps through the plugin hook: ``RunSpec.plugin_modules`` names the
@@ -42,7 +45,16 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.runner.cache import ResultCache, cache_key
-from repro.runner.pool import WorkerPool, estimate_cost, plan_batches
+from repro.runner.executor import (
+    STRICT_POLICY,
+    Executor,
+    FailurePolicy,
+    InProcessExecutor,
+    Landed,
+    PoolExecutor,
+    QuarantinedPoint,
+)
+from repro.runner.pool import WorkerPool
 from repro.scenario import (
     Scenario,
     get_scenario,
@@ -176,6 +188,8 @@ class SweepStats:
     executed: int = 0
     jobs: int = 1
     batches: int = 0
+    retries: int = 0
+    quarantined: List[QuarantinedPoint] = field(default_factory=list)
     elapsed_s: float = 0.0
     resolve_s: float = 0.0
     build_s: float = 0.0
@@ -217,6 +231,10 @@ class SweepStats:
             f"jobs={self.jobs}",
             f"{self.elapsed_s:.2f}s",
         ]
+        if self.retries:
+            parts.insert(3, f"{self.retries} retried")
+        if self.quarantined:
+            parts.insert(3, f"{len(self.quarantined)} quarantined")
         phase_parts = [
             f"{name} {seconds:.2f}s"
             for name, seconds in self.phases().items()
@@ -248,27 +266,6 @@ def _execute_spec(spec: RunSpec) -> ExperimentResult:
     return result
 
 
-def _execute_batch(
-    batch: List[Tuple[int, RunSpec]],
-) -> List[Tuple[int, ExperimentResult, RunTimings]]:
-    """Worker entry point: run one batch of (cold-index, spec) pairs.
-
-    One batch is one IPC round trip.  Per-spec plugin loading stays for
-    correctness — a spec may declare modules the pool initializer did not
-    know about — but is effectively free: the initializer already imported
-    the declared set, and :func:`load_plugins` skips anything in
-    ``sys.modules``.
-    """
-    executed: List[Tuple[int, ExperimentResult, RunTimings]] = []
-    for position, spec in batch:
-        load_plugins(spec.plugin_modules)
-        result, timings = run_experiment_timed(
-            spec.resolved_scenario(), keep_trace=spec.keep_trace
-        )
-        executed.append((position, result, timings))
-    return executed
-
-
 #: Per-spec landing callback: ``observer(index, result, timings, from_cache)``.
 #: ``timings`` is the run's phase breakdown for the spec that actually
 #: executed and ``None`` for cache hits and deduplicated duplicates
@@ -287,6 +284,8 @@ def run_sweep(
     batching: bool = True,
     progress: Optional[Callable[[int, int], None]] = None,
     observer: Optional[Observer] = None,
+    executor: Optional[Executor] = None,
+    failure_policy: Optional[FailurePolicy] = None,
 ) -> Tuple[List[ExperimentResult], SweepStats]:
     """Execute a sweep, reusing cached points and parallelising the rest.
 
@@ -318,6 +317,18 @@ def run_sweep(
         Optional per-spec landing callback (see :data:`Observer`), called
         once per spec index with its result, its phase timings (``None`` for
         cached/deduplicated points) and whether it came from the cache.
+    executor:
+        An explicit :class:`~repro.runner.executor.Executor` to run the cold
+        points on (e.g. a :class:`~repro.runner.queue.QueueExecutor`).  By
+        default the historical selection applies: in-process for ``jobs=1``,
+        otherwise batched dispatch on the (warm or ephemeral) pool.
+    failure_policy:
+        The :class:`~repro.runner.executor.FailurePolicy` shared by every
+        executor: per-spec timeouts, retry with deterministic backoff, and
+        poison-point quarantine.  The default is the historical strict
+        contract — one attempt, any failure raises.  With a quarantining
+        policy the returned list holds ``None`` at quarantined positions
+        and ``stats.quarantined`` names them.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -338,7 +349,11 @@ def run_sweep(
     results: List[Optional[ExperimentResult]] = [None] * len(specs)
     stats = SweepStats(
         total=len(specs),
-        jobs=pool.jobs if pool is not None else jobs,
+        jobs=(
+            pool.jobs
+            if pool is not None
+            else getattr(executor, "jobs", None) or jobs
+        ),
         cache_dir=str(cache.directory) if cache is not None else None,
     )
     cache_io_before = cache.io_s if cache is not None else 0.0
@@ -375,13 +390,34 @@ def run_sweep(
     )
 
     if cold:
-        use_pool = pool is not None or (jobs > 1 and len(cold) > 1)
-        if not use_pool:
-            _run_cold_inprocess(cold, results, stats, cache, progress, observer)
-        else:
-            _run_cold_on_pool(
-                cold, results, stats, cache, progress, observer, pool, jobs, batching
+        policy = failure_policy if failure_policy is not None else STRICT_POLICY
+        chosen = executor
+        if chosen is None:
+            use_pool = pool is not None or (jobs > 1 and len(cold) > 1)
+            chosen = (
+                PoolExecutor(pool=pool, jobs=jobs, batching=batching)
+                if use_pool
+                else InProcessExecutor()
             )
+        done = 0
+        for event in chosen.execute(
+            cold,
+            stats,
+            policy,
+            cache_dir=str(cache.directory) if cache is not None else None,
+        ):
+            done += 1
+            if isinstance(event, Landed):
+                _land_result(
+                    event.entry, event.result, event.timings, results, stats,
+                    cache, progress, observer, done, len(cold),
+                )
+            else:
+                # Quarantined: the position stays None in the results and the
+                # point is recorded on the stats for callers to account.
+                stats.quarantined.append(event)
+                if progress is not None:
+                    progress(done, len(cold))
 
     if cache is not None:
         stats.serialize_s += cache.io_s - cache_io_before
@@ -421,93 +457,6 @@ def _land_result(
         cache.put(key, result, include_trace=spec.keep_trace)
     if progress is not None:
         progress(done, cold_total)
-
-
-def _run_cold_inprocess(
-    cold: List[Tuple[List[int], RunSpec, str]],
-    results: List[Optional[ExperimentResult]],
-    stats: SweepStats,
-    cache: Optional[ResultCache],
-    progress: Optional[Callable[[int, int], None]],
-    observer: Optional[Observer],
-) -> None:
-    """Sequential execution path (``jobs=1``, or a single cold point)."""
-    for done, entry in enumerate(cold, start=1):
-        _, spec, _ = entry
-        load_plugins(spec.plugin_modules)
-        result, timings = run_experiment_timed(
-            spec.resolved_scenario(), keep_trace=spec.keep_trace
-        )
-        _land_result(
-            entry, result, timings, results, stats, cache, progress, observer,
-            done, len(cold),
-        )
-    # One process, one chain: the simulation wall time is the full sum.
-    stats.sim_wall_s = stats.sim_cpu_s
-
-
-def _run_cold_on_pool(
-    cold: List[Tuple[List[int], RunSpec, str]],
-    results: List[Optional[ExperimentResult]],
-    stats: SweepStats,
-    cache: Optional[ResultCache],
-    progress: Optional[Callable[[int, int], None]],
-    observer: Optional[Observer],
-    pool: Optional[WorkerPool],
-    jobs: int,
-    batching: bool,
-) -> None:
-    """Parallel execution path: batched dispatch on a (possibly warm) pool.
-
-    Batches stream back in completion order; each landing batch is placed by
-    its cold index, written to the cache and reported — all while the
-    remaining batches are still executing in the workers.
-    """
-    own_pool = pool is None
-    if own_pool:
-        plugin_modules = [m for _, spec, _ in cold for m in spec.plugin_modules]
-        pool = WorkerPool(min(jobs, len(cold)), plugin_modules=plugin_modules)
-    assert pool is not None
-    try:
-        stats.pool_startup_s += pool.start()
-        if batching:
-            costed = [
-                ((position, spec), estimate_cost(spec))
-                for position, (_, spec, _) in enumerate(cold)
-            ]
-            batches = plan_batches(costed, pool.jobs)
-        else:
-            batches = [[(position, spec)] for position, (_, spec, _) in enumerate(cold)]
-        stats.batches = len(batches)
-        done = 0
-        # Per-worker chains of batch simulation time, for sim_wall_s: each
-        # landing batch joins the least-loaded chain (batches stream back in
-        # completion order, so this mirrors how an idle worker picks up the
-        # next batch).  The largest chain estimates the simulation's
-        # wall-clock critical path.
-        chains = [0.0] * max(1, pool.jobs)
-        for landed in pool.imap_unordered(_execute_batch, batches):
-            batch_sim_s = 0.0
-            for position, result, timings in landed:
-                done += 1
-                batch_sim_s += timings.sim_s
-                _land_result(
-                    cold[position],
-                    result,
-                    timings,
-                    results,
-                    stats,
-                    cache,
-                    progress,
-                    observer,
-                    done,
-                    len(cold),
-                )
-            chains[chains.index(min(chains))] += batch_sim_s
-        stats.sim_wall_s = max(chains)
-    finally:
-        if own_pool:
-            pool.close()
 
 
 # --------------------------------------------------------------------------- #

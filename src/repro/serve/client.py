@@ -201,8 +201,12 @@ class BackgroundResultsServer:
         return self
 
     def stop(self) -> None:
-        if self._loop is not None and self._stop_event is not None:
-            loop, stop_event = self._loop, self._stop_event
+        # Idempotent: a second stop (e.g. from a finally block after the
+        # server was already bounced) must be a no-op, not a call into a
+        # closed event loop.
+        loop, stop_event = self._loop, self._stop_event
+        self._loop = self._stop_event = None
+        if loop is not None and stop_event is not None:
             loop.call_soon_threadsafe(stop_event.set)
         if self._thread is not None:
             self._thread.join(timeout=10.0)

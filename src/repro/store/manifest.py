@@ -201,11 +201,22 @@ class PointRecord:
     The cache key is the same SHA-256 the run itself used, so a manifest
     holder can go straight to the result-cache entry — or assert its
     presence — without re-resolving the scenario that produced it.
+
+    ``status`` is ``"ok"`` for a measured point and ``"quarantined"`` for a
+    point the run gave up on after exhausting its retry budget (``error``
+    then carries the last failure).  A quarantined point's cache key is
+    still the real one — a later resume that succeeds fills exactly that
+    slot — but no result is promised behind it, so ``store verify`` skips
+    quarantined keys in its cache cross-check.  ``to_dict`` omits the
+    healthy defaults, keeping manifests of clean runs byte-stable across
+    this schema addition.
     """
 
     settings: Mapping[str, Any] = field(default_factory=dict)
     label: str = ""
     cache_key: str = ""
+    status: str = "ok"
+    error: str = ""
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "settings", _plain(dict(self.settings), "point.settings"))
@@ -214,23 +225,37 @@ class PointRecord:
             raise StoreError(
                 f"point.cache_key: expected a 64-hex-digit SHA-256, got {self.cache_key!r}"
             )
+        if self.status not in ("ok", "quarantined"):
+            raise StoreError(
+                f"point.status: expected 'ok' or 'quarantined', got {self.status!r}"
+            )
+        _require_str(self.error, "point.error")
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "settings": dict(self.settings),
             "label": self.label,
             "cache_key": self.cache_key,
         }
+        if self.status != "ok":
+            data["status"] = self.status
+        if self.error:
+            data["error"] = self.error
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any], path: str) -> "PointRecord":
         data = _require_mapping(data, path)
-        _reject_unknown_keys(data, ["settings", "label", "cache_key"], path)
+        _reject_unknown_keys(
+            data, ["settings", "label", "cache_key", "status", "error"], path
+        )
         try:
             return cls(
                 settings=dict(_require_mapping(data.get("settings", {}), f"{path}.settings")),
                 label=data.get("label", ""),
                 cache_key=data.get("cache_key", ""),
+                status=data.get("status", "ok"),
+                error=data.get("error", ""),
             )
         except ScenarioError as exc:
             raise StoreError(str(exc).replace("point.", f"{path}.", 1)) from None
@@ -534,8 +559,18 @@ class Manifest:
         )
 
     def cache_keys(self) -> List[str]:
-        """Every result-cache key this manifest references, in record order."""
-        return [point.cache_key for entry in self.subgrids for point in entry.points]
+        """Result-cache keys this manifest *vouches for*, in record order.
+
+        Quarantined points are excluded: their keys are real addresses but
+        no result is promised behind them, so ``store verify`` must not
+        flag their absence as corruption.
+        """
+        return [
+            point.cache_key
+            for entry in self.subgrids
+            for point in entry.points
+            if point.status == "ok"
+        ]
 
     def artifact_refs(self) -> Dict[str, ArtifactRef]:
         """Every artifact reference, qualified ``<scope>/<name>`` for messages."""

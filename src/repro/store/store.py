@@ -251,6 +251,48 @@ class ResultsStore:
             return False
 
     # ------------------------------------------------------------------ #
+    # Partial journal (crash-resumable campaigns)
+    # ------------------------------------------------------------------ #
+    @property
+    def partial_dir(self) -> Path:
+        return self.directory / "partials"
+
+    def partial_path(self, fingerprint: str) -> Path:
+        return self.partial_dir / f"{fingerprint}.json"
+
+    def record_partial(self, fingerprint: str, **payload: Any) -> Path:
+        """Journal an in-flight run's progress under its fingerprint.
+
+        The scheduler writes this from its landing observer — one small
+        atomic JSON per landed point — so a SIGKILLed campaign leaves
+        behind exactly how far it got and which cache directory holds the
+        results.  ``campaign run --resume`` reads it to report progress;
+        the actual resume substrate is the result cache itself.  A
+        successful :meth:`record_campaign` is followed by
+        :meth:`clear_partial`, so a lingering journal *means* "crashed
+        mid-run".
+        """
+        path = self.partial_path(fingerprint)
+        data = {"fingerprint": fingerprint, **payload}
+        _atomic_write(path, (json.dumps(data, indent=2) + "\n").encode("utf-8"))
+        return path
+
+    def partial(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The crashed-run journal for a fingerprint, or ``None``."""
+        try:
+            data = json.loads(self.partial_path(fingerprint).read_text())
+        except (OSError, ValueError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def clear_partial(self, fingerprint: str) -> bool:
+        try:
+            self.partial_path(fingerprint).unlink()
+            return True
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------------ #
     # Recording
     # ------------------------------------------------------------------ #
     def record_campaign(
@@ -273,18 +315,21 @@ class ResultsStore:
             scenario = outcome.scenarios[name]
             points = outcome.points[name]
             checks = outcome.checks(name)
+            quarantined = outcome.quarantined.get(name, ())
             columns = list(subgrid.columns) or list(DEFAULT_COLUMNS)
             cores = list(scenario.critical_cores)
             results = {label: result for _, label, result in points}
-            payload = subgrid_report_payload(subgrid, scenario, points, checks=checks)
+            payload = subgrid_report_payload(
+                subgrid, scenario, points, checks=checks, quarantined=quarantined
+            )
             artifacts = {
                 "md": self.put_artifact(
                     subgrid_report_md(
                         subgrid,
                         scenario,
                         points,
-                        stats=outcome.subgrid_stats.get(name),
                         checks=checks,
+                        quarantined=quarantined,
                     ),
                     "md",
                 ),
@@ -300,16 +345,30 @@ class ResultsStore:
                     f"{len(keys)} cache key(s); record_campaign needs an "
                     "outcome produced by CampaignScheduler.run"
                 )
+            # Measured points first (declared order), then the quarantined
+            # holes (also declared order) — deterministic, and a reader
+            # scanning for results never trips over a hole mid-table.
+            records = [
+                PointRecord(settings=settings, label=label, cache_key=key)
+                for (settings, label, _), key in zip(points, keys)
+            ]
+            records.extend(
+                PointRecord(
+                    settings=entry.settings,
+                    label=entry.label,
+                    cache_key=entry.cache_key,
+                    status="quarantined",
+                    error=f"{entry.error} ({entry.attempts} attempt(s))",
+                )
+                for entry in quarantined
+            )
             entries.append(
                 SubGridEntry(
                     name=name,
                     scenario=scenario.name,
                     title=subgrid.title,
                     critical_cores=tuple(cores),
-                    points=tuple(
-                        PointRecord(settings=settings, label=label, cache_key=key)
-                        for (settings, label, _), key in zip(points, keys)
-                    ),
+                    points=tuple(records),
                     rows=tuple(payload["rows"]),
                     claims=tuple(subgrid.claims),
                     checks=tuple(
@@ -513,13 +572,20 @@ class ResultsStore:
 
 
 def _stats_payload(stats: Any) -> Dict[str, Any]:
-    """A sweep's counters/phases as plain manifest data."""
+    """A sweep's counters/phases as plain manifest data.
+
+    This is the *only* place run telemetry is persisted — the rendered
+    report artifacts are deterministic functions of the measurements — so
+    resume-parity comparisons normalize exactly this manifest field.
+    """
     return {
         "total": stats.total,
         "cache_hits": stats.cache_hits,
         "executed": stats.executed,
         "jobs": stats.jobs,
         "elapsed_s": stats.elapsed_s,
+        "retries": getattr(stats, "retries", 0),
+        "quarantined": len(getattr(stats, "quarantined", ())),
         "phases": stats.phases(),
     }
 

@@ -138,3 +138,39 @@ class TestCacheRoundTrip:
         assert cache.entries() == 2
         assert cache.clear() == 2
         assert cache.entries() == 0
+
+    def test_truncated_entry_is_a_miss(self, tmp_path, result):
+        # A crash mid-write cannot produce this (put is temp + atomic
+        # rename), but disk-level truncation can — it must read as a miss.
+        cache = ResultCache(tmp_path)
+        key = make_spec().key()
+        cache.put(key, result)
+        raw = cache.path_for(key).read_bytes()
+        cache.path_for(key).write_bytes(raw[: len(raw) // 2])
+        assert cache.get(key) is None
+
+    def test_atomic_put_leaves_no_temp_droppings(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        cache.put(make_spec().key(), result)
+        leftovers = [p for p in tmp_path.rglob("*") if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_corrupted_entry_heals_on_rerun(self, tmp_path, result):
+        # Satellite of the fault-tolerance work: a sweep over a cache with
+        # one garbled entry must treat it as a clean miss, re-run the
+        # point, and leave the cache repaired — never serve garbage.
+        from repro.runner import run_sweep
+
+        spec = make_spec()
+        results, stats = run_sweep([spec], cache_dir=str(tmp_path))
+        assert stats.executed == 1
+        cache = ResultCache(tmp_path)
+        cache.path_for(spec.key()).write_text("{not json")
+        healed, healed_stats = run_sweep([spec], cache_dir=str(tmp_path))
+        assert healed_stats.executed == 1  # re-ran: corrupt entry is a miss
+        assert healed_stats.cache_hits == 0
+        assert experiment_result_to_dict(healed[0]) == experiment_result_to_dict(
+            results[0]
+        )
+        # The cache now holds the good entry again.
+        assert cache.get(spec.key()) is not None

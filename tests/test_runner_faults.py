@@ -1,0 +1,107 @@
+"""Unit tests for the deterministic fault-injection harness.
+
+The executor robustness tests all stand on this module: if plan parsing or
+the shared tick counter were flaky, every chaos test built on them would be
+too, so the primitives get exercised exhaustively here, fast and
+in-process.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner.faults import (
+    CRASH_EXIT_CODE,
+    ENV_FAULT,
+    ENV_FAULT_DIR,
+    FAULT_KINDS,
+    CorruptResult,
+    FaultInjector,
+    FaultPlan,
+    InjectedFaultError,
+    VanishResult,
+    apply_process_fault,
+    wrap_result,
+)
+
+
+class TestFaultPlanParsing:
+    def test_bare_kind_defaults(self):
+        plan = FaultPlan.parse("crash")
+        assert plan.kind == "crash"
+        assert plan.spec == 1
+        assert plan.times == 1
+
+    def test_full_option_string(self):
+        plan = FaultPlan.parse("hang:spec=3,times=2,hang_s=0.5")
+        assert (plan.kind, plan.spec, plan.times, plan.hang_s) == ("hang", 3, 2, 0.5)
+
+    def test_underscore_kind_normalized(self):
+        assert FaultPlan.parse("lost_heartbeat").kind == "lost-heartbeat"
+
+    def test_roundtrip_through_env_format(self):
+        plan = FaultPlan.parse("corrupt:spec=4,times=3")
+        assert FaultPlan.parse(plan.to_env()) == plan
+
+    @pytest.mark.parametrize("bad", ["nope", "crash:spec", "crash:spec=0", "hang:times=0", "crash:frequency=2"])
+    def test_bad_plans_rejected(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(bad)
+
+    def test_every_declared_kind_parses(self):
+        for kind in FAULT_KINDS:
+            assert FaultPlan.parse(kind).kind == kind
+
+    def test_fires_on_contiguous_window(self):
+        plan = FaultPlan.parse("error:spec=3,times=2")
+        assert [plan.fires_on(t) for t in (1, 2, 3, 4, 5)] == [
+            False, False, True, True, False,
+        ]
+
+
+class TestFaultInjector:
+    def test_local_ticks_without_state_dir(self):
+        injector = FaultInjector(FaultPlan.parse("error:spec=2"))
+        assert injector.fires() is None
+        assert injector.fires() is not None
+        assert injector.fires() is None
+
+    def test_shared_ticks_are_globally_unique(self, tmp_path):
+        # Two injectors over one directory model two worker processes: each
+        # tick must be claimed exactly once across both.
+        a = FaultInjector(FaultPlan.parse("crash"), state_dir=str(tmp_path))
+        b = FaultInjector(FaultPlan.parse("crash"), state_dir=str(tmp_path))
+        ticks = [a.next_tick(), b.next_tick(), a.next_tick(), b.next_tick()]
+        assert sorted(ticks) == [1, 2, 3, 4]
+
+    def test_from_env_reads_plan_and_dir(self, tmp_path):
+        env = {ENV_FAULT: "corrupt:spec=2", ENV_FAULT_DIR: str(tmp_path)}
+        injector = FaultInjector.from_env(env)
+        assert injector is not None
+        assert injector.plan.kind == "corrupt"
+        assert injector.state_dir == tmp_path
+
+    def test_from_env_without_plan_is_none(self):
+        assert FaultInjector.from_env({}) is None
+
+
+class TestProcessFaults:
+    def test_error_fault_raises(self):
+        with pytest.raises(InjectedFaultError):
+            apply_process_fault(FaultPlan.parse("error"))
+
+    def test_payload_kinds_are_noops_at_process_level(self):
+        apply_process_fault(FaultPlan.parse("corrupt"))
+        apply_process_fault(FaultPlan.parse("lost-heartbeat"))
+
+    def test_crash_exit_code_is_distinctive(self):
+        assert CRASH_EXIT_CODE not in (0, 1, 2)
+
+    def test_wrap_result_markers(self):
+        assert wrap_result(None, 42) == 42
+        assert wrap_result(FaultPlan.parse("crash"), 42) == 42
+        corrupt = wrap_result(FaultPlan.parse("corrupt"), 42)
+        assert isinstance(corrupt, CorruptResult) and corrupt.value == 42
+        vanish = wrap_result(FaultPlan.parse("lost-heartbeat:hang_s=9"), 42)
+        assert isinstance(vanish, VanishResult)
+        assert vanish.value == 42 and vanish.hang_s == 9.0

@@ -1,0 +1,188 @@
+"""Tests for the lease-based file queue: protocol primitives and executor.
+
+The :class:`WorkQueue` half is pure filesystem protocol and is tested
+without any worker processes; the :class:`QueueExecutor` half spawns real
+workers and must deliver bit-identical results to the sequential path,
+through crashes, stolen leases and corrupted envelopes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.serialize import experiment_result_to_dict
+from repro.runner import (
+    FailurePolicy,
+    PayloadError,
+    QueueExecutor,
+    WorkQueue,
+    compare_policies_specs,
+    run_sweep,
+)
+from repro.runner.faults import ENV_FAULT, ENV_FAULT_DIR, FaultPlan
+from repro.runner.queue import _read_envelope, _write_envelope
+from repro.sim.clock import MS
+
+SHORT_PS = 2 * MS // 5
+TRAFFIC = 0.2
+
+
+def _specs(policies=("fcfs", "round_robin")):
+    return compare_policies_specs(
+        list(policies), scenario="case_b", duration_ps=SHORT_PS, traffic_scale=TRAFFIC
+    )
+
+
+def _fingerprints(results):
+    return [experiment_result_to_dict(r, include_trace=True) for r in results]
+
+
+@pytest.fixture
+def fault_env(tmp_path, monkeypatch):
+    def arm(plan: str) -> None:
+        monkeypatch.setenv(ENV_FAULT, FaultPlan.parse(plan).to_env())
+        monkeypatch.setenv(ENV_FAULT_DIR, str(tmp_path / "fault-state"))
+
+    return arm
+
+
+def _executor(tmp_path, jobs=2):
+    # Tight lease/heartbeat so lease-expiry paths run in test time.
+    return QueueExecutor(
+        queue_dir=str(tmp_path / "queue"),
+        jobs=jobs,
+        batching=False,
+        lease_s=3.0,
+        heartbeat_s=0.3,
+    )
+
+
+class TestWorkQueueProtocol:
+    def test_task_roundtrip(self, tmp_path):
+        queue = WorkQueue(str(tmp_path))
+        queue.put_task(0, 1, [(0, "spec")], cache_dir=None)
+        assert [p.name for p in queue.list_tasks()] == ["000000.1.task"]
+        queue.remove_task(0, 1)
+        assert queue.list_tasks() == []
+        queue.remove_task(0, 1)  # idempotent
+
+    def test_claim_is_exclusive_until_released(self, tmp_path):
+        queue = WorkQueue(str(tmp_path))
+        lease = {"worker": "w0", "pid": 1, "deadline": time.time() + 5}
+        assert queue.claim(3, lease)
+        assert not queue.claim(3, {"worker": "w1"})
+        assert queue.read_lease(3)["worker"] == "w0"
+        queue.release(3)
+        assert queue.read_lease(3) is None
+        assert queue.claim(3, {"worker": "w1"})
+
+    def test_renew_replaces_lease_atomically(self, tmp_path):
+        queue = WorkQueue(str(tmp_path))
+        queue.claim(1, {"worker": "w0", "deadline": 10.0})
+        queue.renew(1, {"worker": "w0", "deadline": 99.0})
+        assert queue.read_lease(1)["deadline"] == 99.0
+
+    def test_result_envelope_integrity(self, tmp_path):
+        path = tmp_path / "value.res"
+        _write_envelope(path, {"answer": 42})
+        assert _read_envelope(path) == {"answer": 42}
+
+    def test_corrupted_envelope_is_rejected(self, tmp_path):
+        path = tmp_path / "value.res"
+        _write_envelope(path, {"answer": 42}, corrupt=True)
+        with pytest.raises(PayloadError):
+            _read_envelope(path)
+
+    def test_truncated_envelope_is_rejected(self, tmp_path):
+        path = tmp_path / "value.res"
+        path.write_bytes(b"not-an-envelope")
+        with pytest.raises(PayloadError):
+            _read_envelope(path)
+
+    def test_close_marker(self, tmp_path):
+        queue = WorkQueue(str(tmp_path))
+        assert not queue.closed
+        queue.close()
+        assert queue.closed
+
+
+class TestQueueExecutor:
+    def test_parity_with_sequential(self, tmp_path):
+        baseline, _ = run_sweep(_specs())
+        results, stats = run_sweep(_specs(), executor=_executor(tmp_path))
+        assert _fingerprints(results) == _fingerprints(baseline)
+        assert stats.retries == 0
+        assert not stats.quarantined
+
+    def test_worker_crash_is_retried(self, tmp_path, fault_env):
+        baseline, _ = run_sweep(_specs())
+        fault_env("crash:spec=1,times=1")
+        executor = _executor(tmp_path)
+        results, stats = run_sweep(
+            _specs(),
+            executor=executor,
+            failure_policy=FailurePolicy(max_attempts=3, backoff_base_s=0.01),
+        )
+        assert _fingerprints(results) == _fingerprints(baseline)
+        assert stats.retries >= 1
+        assert executor.respawns >= 1
+
+    def test_lost_heartbeat_lease_is_stolen(self, tmp_path, fault_env):
+        # The worker computes the result, never reports it, and stops
+        # heartbeating; the driver must steal the lease and requeue.
+        baseline, _ = run_sweep(_specs())
+        fault_env("lost-heartbeat:spec=1,times=1,hang_s=120")
+        results, stats = run_sweep(
+            _specs(),
+            executor=_executor(tmp_path),
+            failure_policy=FailurePolicy(max_attempts=3, backoff_base_s=0.01),
+        )
+        assert _fingerprints(results) == _fingerprints(baseline)
+        assert stats.retries >= 1
+
+    def test_corrupt_result_envelope_is_retried(self, tmp_path, fault_env):
+        baseline, _ = run_sweep(_specs())
+        fault_env("corrupt:spec=1,times=1")
+        results, stats = run_sweep(
+            _specs(),
+            executor=_executor(tmp_path),
+            failure_policy=FailurePolicy(max_attempts=2, backoff_base_s=0.01),
+        )
+        assert _fingerprints(results) == _fingerprints(baseline)
+        assert stats.retries >= 1
+
+    def test_poison_point_quarantined_alone(self, tmp_path, fault_env):
+        fault_env("crash:spec=2,times=99")
+        results, stats = run_sweep(
+            _specs(),
+            executor=_executor(tmp_path),
+            failure_policy=FailurePolicy(
+                max_attempts=2, backoff_base_s=0.01, on_exhausted="quarantine"
+            ),
+        )
+        assert len(stats.quarantined) == 1
+        assert stats.quarantined[0].attempts == 2
+        assert sum(1 for r in results if r is not None) == 1
+
+    def test_completed_specs_land_in_cache_immediately(self, tmp_path):
+        # The crash-resume substrate: every finished spec is in the shared
+        # cache even though the batch's result envelope is what the driver
+        # consumes.
+        cache_dir = tmp_path / "cache"
+        results, stats = run_sweep(
+            _specs(), executor=_executor(tmp_path), cache_dir=str(cache_dir)
+        )
+        assert stats.executed == 2
+        rerun, rerun_stats = run_sweep(_specs(), cache_dir=str(cache_dir))
+        assert rerun_stats.cache_hits == 2
+        assert _fingerprints(rerun) == _fingerprints(results)
+
+    def test_stale_queue_directory_does_not_interfere(self, tmp_path):
+        # Two executions over the same base queue_dir get distinct run
+        # directories; a leftover queue cannot feed the second run.
+        executor = _executor(tmp_path)
+        first, _ = run_sweep(_specs(), executor=executor)
+        second, _ = run_sweep(_specs(), executor=executor)
+        assert _fingerprints(first) == _fingerprints(second)

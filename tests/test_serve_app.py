@@ -291,3 +291,28 @@ class TestStoreListJsonParity:
         )
         assert code == 0
         assert json.loads(output)["manifests"] == client.manifests()
+
+
+class TestReconnect:
+    def test_client_survives_a_server_bounce_mid_session(self, recorded):
+        # The keep-alive connection dies with the old server process; the
+        # same client object must reconnect transparently on its next
+        # request rather than surface a ConnectionError to the caller.
+        store_dir, _, _, fingerprint = recorded
+        first = BackgroundResultsServer(store_dir).start()
+        port = first.port
+        bounced = ResultsClient(first.host, port)
+        try:
+            before = bounced.report(fingerprint, "report_md")
+            assert before.status == 200
+            first.stop()
+            # Same port, new server — a restart, not a new deployment.
+            with BackgroundResultsServer(store_dir, port=port) as second:
+                assert second.port == port
+                after = bounced.report(fingerprint, "report_md")
+                assert after.status == 200
+                assert after.body == before.body
+                assert bounced.healthz()["status"] == "ok"
+        finally:
+            bounced.close()
+            first.stop()
