@@ -1,0 +1,332 @@
+"""Perf-trajectory harness for incremental campaigns: emits BENCH_incremental.json.
+
+This is the repo's tracked reuse benchmark.  It times one fixed overlapping
+campaign pair — a 16-point grid (4 policies x 4 seeds on ``case_b``,
+0.25 simulated ms each) of which an earlier 8-point campaign already
+recorded exactly half — under two modes:
+
+* ``cold_full`` — the 16-point campaign against an empty store: every
+  point simulates live.  This is the pre-index behaviour for *any* store
+  contents, because nothing could be reused at schedule time.
+* ``incremental`` — the same campaign against a store already holding the
+  8-point recording (seeding is not timed): the scheduler intersects its
+  plan against the store-wide point index, splices the 8 shared points in
+  from their recorded result blobs, and simulates only the 8-point delta.
+
+Both modes must record byte-identical reports (asserted: rendered report
+artifacts and the manifest minus run telemetry), and the incremental run
+must reuse exactly the shared half with zero executions for it.  The
+emitted ``BENCH_incremental.json`` carries both wall-clocks, the speedup,
+and the reuse telemetry, so the reuse path's performance trajectory is a
+diffable, committed artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_incremental.py --output BENCH_incremental.json
+    PYTHONPATH=src python benchmarks/perf/bench_incremental.py \
+        --check benchmarks/perf/BENCH_incremental.json --tolerance 0.20
+
+``--check`` exits non-zero when the incremental wall-clock regressed more
+than ``--tolerance`` (fractional) against the given baseline file — the CI
+perf job runs exactly that.  ``--require-speedup`` additionally enforces a
+minimum incremental-vs-cold speedup on the fresh measurement (the gate the
+ISSUE sets is 1.8x at 50 % overlap).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.campaign import Campaign, CampaignScheduler, SubGrid
+from repro.runner import ResultCache
+from repro.store import ResultsStore
+from repro.store.manifest import canonical_json
+
+BENCH_SCHEMA_VERSION = 1
+
+#: The fixed workload: the full campaign is 4 policies x 4 seeds = 16
+#: points; the seed campaign recorded the first 2 seeds = 8 points, so the
+#: overlap is exactly 50 %.  Short runs keep the benchmark fast while the
+#: simulation still dwarfs index I/O by orders of magnitude.
+SCENARIO = "case_b"
+POLICIES = ["fcfs", "round_robin", "frame_rate_qos", "priority_qos"]
+SEEDS_SHARED = [1, 2]
+SEEDS_ALL = [1, 2, 3, 4]
+DURATION_MS = 0.6
+TRAFFIC_SCALE = 0.2
+STAMP = "2026-01-01T00:00:00+00:00"
+
+
+def _campaign(name: str, seeds: List[int]) -> Campaign:
+    return Campaign(
+        name=name,
+        duration_ms=DURATION_MS,
+        traffic_scale=TRAFFIC_SCALE,
+        subgrids=(
+            SubGrid(
+                name="grid",
+                scenario=SCENARIO,
+                axes={"policy": POLICIES, "platform.sim.seed": seeds},
+            ),
+        ),
+    )
+
+
+def _normalized(manifest) -> dict:
+    """The manifest's plain form minus the two volatile telemetry fields."""
+    data = manifest.to_dict()
+    data["stats"] = None
+    data["provenance"] = dict(data["provenance"], created_at=None)
+    return data
+
+
+def _run_full(root: Path, seed_store: bool) -> Tuple[float, dict, "ResultsStore"]:
+    """One full-campaign run; returns (wall_s, stats payload, store).
+
+    With ``seed_store`` the shared half is recorded first (not timed) so
+    the timed run goes through the reuse path; without it the store starts
+    empty and every point simulates.
+    """
+    store = ResultsStore(root / "store")
+    if seed_store:
+        CampaignScheduler(_campaign("bench_incr_seed", SEEDS_SHARED)).run(
+            cache=ResultCache(root / "cache-seed"), store=store, recorded_at=STAMP
+        )
+    scheduler = CampaignScheduler(_campaign("bench_incr_full", SEEDS_ALL))
+    cache = ResultCache(root / "cache-full")
+    began = time.perf_counter()
+    outcome = scheduler.run(cache=cache, store=store, recorded_at=STAMP)
+    wall_s = time.perf_counter() - began
+    stats = {
+        "executed": outcome.stats.executed,
+        "reused_points": outcome.stats.reused_points,
+        "cache_hits": outcome.stats.cache_hits,
+        "index_lookup_s": round(outcome.stats.index_lookup_s, 4),
+    }
+    manifest = store.get_manifest(scheduler.fingerprint())
+    return wall_s, {"stats": stats, "manifest": manifest, "store": store}, store
+
+
+def _assert_parity(cold: dict, incremental: dict) -> None:
+    """Reused points must not change a single recorded byte."""
+    cold_manifest, incr_manifest = cold["manifest"], incremental["manifest"]
+    assert cold_manifest.fingerprint == incr_manifest.fingerprint, (
+        "the two full runs disagree on their fingerprint"
+    )
+    assert _normalized(cold_manifest) == _normalized(incr_manifest), (
+        "incremental manifest differs from the cold run beyond telemetry — "
+        "parity broken, timings are meaningless"
+    )
+    for name, ref in cold_manifest.artifacts.items():
+        cold_bytes = cold["store"].read_artifact_bytes(ref)
+        incr_bytes = incremental["store"].read_artifact_bytes(
+            incr_manifest.artifacts[name]
+        )
+        assert cold_bytes == incr_bytes, f"artifact {name} differs between modes"
+    assert canonical_json(list(cold_manifest.subgrid("grid").rows)) == (
+        canonical_json(list(incr_manifest.subgrid("grid").rows))
+    )
+
+
+def run_benchmark(repeats: int = 1) -> Dict[str, object]:
+    """Execute both modes and assemble the BENCH_incremental payload."""
+    total = len(POLICIES) * len(SEEDS_ALL)
+    shared = len(POLICIES) * len(SEEDS_SHARED)
+    print(
+        f"workload: {total}-point grid on '{SCENARIO}', {DURATION_MS:g} ms/run, "
+        f"{shared} points ({100 * shared // total} %) pre-recorded, "
+        f"best of {repeats} repeat(s)"
+    )
+
+    cold_s = incremental_s = float("inf")
+    cold_run: Dict[str, object] = {}
+    incremental_run: Dict[str, object] = {}
+    workdir = Path(tempfile.mkdtemp(prefix="bench-incremental-"))
+    try:
+        for repeat in range(repeats):
+            print(f"repeat {repeat + 1}/{repeats}: cold full run ...", flush=True)
+            wall_s, run, _ = _run_full(workdir / f"cold-{repeat}", seed_store=False)
+            print(f"  {wall_s:.2f}s")
+            if wall_s < cold_s:
+                cold_s, cold_run = wall_s, run
+
+            print(f"repeat {repeat + 1}/{repeats}: incremental run ...", flush=True)
+            wall_s, run, _ = _run_full(workdir / f"incr-{repeat}", seed_store=True)
+            print(f"  {wall_s:.2f}s")
+            stats = run["stats"]
+            assert stats["reused_points"] == shared and stats["executed"] == (
+                total - shared
+            ), f"reuse telemetry off: {stats}"
+            if wall_s < incremental_s:
+                incremental_s, incremental_run = wall_s, run
+
+        _assert_parity(cold_run, incremental_run)
+        speedup = cold_s / incremental_s if incremental_s else float("inf")
+        print(f"incremental speedup vs cold full run: {speedup:.2f}x")
+
+        return {
+            "bench_schema_version": BENCH_SCHEMA_VERSION,
+            "workload": {
+                "scenario": SCENARIO,
+                "policies": list(POLICIES),
+                "seeds": list(SEEDS_ALL),
+                "points": total,
+                "shared_points": shared,
+                "overlap": shared / total,
+                "duration_ms": DURATION_MS,
+                "traffic_scale": TRAFFIC_SCALE,
+                "repeats": repeats,
+            },
+            "env": {
+                "python": sys.version.split()[0],
+                "platform": platform.platform(),
+                "cpu_count": multiprocessing.cpu_count(),
+            },
+            "results": {
+                "cold_full_s": round(cold_s, 3),
+                "incremental_s": round(incremental_s, 3),
+                "speedup_incremental_vs_cold": round(speedup, 3),
+                "reused_points": incremental_run["stats"]["reused_points"],
+                "executed_points": incremental_run["stats"]["executed"],
+                "index_lookup_s": incremental_run["stats"]["index_lookup_s"],
+            },
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _append_step_summary(payload: Dict[str, object], baseline: Dict[str, object]) -> None:
+    """Append a before/after table to $GITHUB_STEP_SUMMARY when CI sets it."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    results = payload["results"]
+    base = baseline.get("results", {})
+    rows = [
+        ("cold full run", "cold_full_s", "s"),
+        ("incremental run", "incremental_s", "s"),
+        ("speedup", "speedup_incremental_vs_cold", "x"),
+        ("index lookup", "index_lookup_s", "s"),
+    ]
+    lines = [
+        "## Incremental-campaign benchmark (50 % overlap)",
+        "",
+        "| metric | baseline | current |",
+        "|---|---|---|",
+    ]
+    for label, key, unit in rows:
+        base_value = base.get(key)
+        base_text = (
+            f"{base_value:.2f}{unit}" if isinstance(base_value, (int, float)) else "—"
+        )
+        value = results[key]  # type: ignore[index]
+        lines.append(f"| {label} | {base_text} | {value:.2f}{unit} |")
+    lines.append("")
+    with open(summary_path, "a") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def check_against_baseline(
+    payload: Dict[str, object], baseline_path: str, tolerance: float
+) -> int:
+    """Compare the fresh incremental wall-clock against a committed baseline.
+
+    Same contract as the other tracked benchmarks: the gate always applies,
+    but when the baseline came from a different machine class a loud
+    warning asks for it to be regenerated rather than trusted.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    baseline_env = baseline.get("env", {})
+    current_env = payload["env"]  # type: ignore[index]
+    for field in ("cpu_count", "platform"):
+        if baseline_env.get(field) != current_env[field]:  # type: ignore[index]
+            print(
+                f"WARNING: baseline was recorded on a different machine class "
+                f"({field}: {baseline_env.get(field)!r} vs {current_env[field]!r}); "  # type: ignore[index]
+                f"the wall-clock gate is not calibrated for this machine — "
+                f"regenerate {baseline_path} from this machine's output"
+            )
+            break
+    baseline_incremental = baseline["results"]["incremental_s"]
+    current_incremental = payload["results"]["incremental_s"]  # type: ignore[index]
+    limit = baseline_incremental * (1.0 + tolerance)
+    print(
+        f"baseline incremental wall-clock: {baseline_incremental:.2f}s "
+        f"(from {baseline_path}); current: {current_incremental:.2f}s; "
+        f"limit at +{tolerance * 100:.0f}%: {limit:.2f}s"
+    )
+    _append_step_summary(payload, baseline)
+    if current_incremental > limit:
+        print("FAIL: incremental wall-clock regressed beyond tolerance")
+        return 1
+    print("OK: within tolerance")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=None, help="write the benchmark payload to this JSON file"
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE_JSON",
+        help="compare against a committed BENCH_incremental.json and fail on regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="fractional incremental wall-clock regression allowed by --check "
+        "(default 0.20)",
+    )
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="fail unless incremental-vs-cold speedup is at least this ratio",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="repeats per mode; the minimum wall-clock is reported (default 2)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(repeats=max(1, args.repeats))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+
+    status = 0
+    if args.require_speedup is not None:
+        speedup = payload["results"]["speedup_incremental_vs_cold"]  # type: ignore[index]
+        if speedup < args.require_speedup:
+            print(
+                f"FAIL: incremental-vs-cold speedup {speedup:.2f}x is below the "
+                f"required {args.require_speedup:.2f}x"
+            )
+            status = 1
+    if args.check:
+        status = max(status, check_against_baseline(payload, args.check, args.tolerance))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

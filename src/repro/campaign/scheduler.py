@@ -46,7 +46,7 @@ from repro.scenario import Scenario
 from repro.system.experiment import ExperimentResult, RunTimings
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import (store imports report)
-    from repro.store import Provenance, ResultsStore
+    from repro.store import Provenance, ResultsStore, StoreMemo
 
 
 @dataclass(frozen=True)
@@ -75,6 +75,10 @@ class QuarantinedRun:
     cache_key: str
     attempts: int
     error: str
+    #: The point's resolution-free spec key — recorded so the manifest stays
+    #: index-rebuildable, but a quarantined entry is never served as a reuse
+    #: hit (the index refuses non-``ok`` statuses).
+    memo_key: str = ""
 
 
 @dataclass
@@ -94,6 +98,11 @@ class CampaignResult:
     #: the results store records so reports can skip resolution entirely).
     #: Aligned with ``points`` — quarantined points appear in neither.
     cache_keys: Dict[str, List[str]] = field(default_factory=dict)
+    #: sub-grid name -> each point's resolution-free memo key, aligned with
+    #: ``points``.  Recorded in the manifest so the store's point index can
+    #: answer "has this spec ever run?" for later overlapping campaigns
+    #: without resolving a scenario.
+    memo_keys: Dict[str, List[str]] = field(default_factory=dict)
     #: sub-grid name -> points that exhausted their retry budget, in the
     #: sub-grid's declared point order.  Only present under a quarantining
     #: :class:`~repro.runner.FailurePolicy`; the default strict policy
@@ -209,13 +218,23 @@ class CampaignScheduler:
             plugin_modules=self.plugin_modules,
         )
 
-    def plan(self, subgrids: Optional[Sequence[str]] = None) -> List[ScheduledRun]:
+    def plan(
+        self,
+        subgrids: Optional[Sequence[str]] = None,
+        memo: Optional["StoreMemo"] = None,
+    ) -> List[ScheduledRun]:
         """Flatten the selected sub-grids into one cost-ordered run stream.
 
         Heaviest points first (stable for equal costs, so the plan is
         deterministic for a given campaign): when the stream hits the pool,
         long runs start immediately and short ones fill the tail instead of
         leaving workers idle behind a late straggler.
+
+        With a ``memo`` (a store's point-index view), points the index will
+        serve are planned at zero cost *without resolving their scenarios*:
+        the probe needs only the spec's resolution-free memo key, reuse is
+        instant next to a simulation, and skipping the estimate here is
+        what keeps the reuse path resolution-free end to end.
         """
         scheduled: List[ScheduledRun] = []
         for subgrid in self._selected(subgrids):
@@ -227,17 +246,60 @@ class CampaignScheduler:
                 plugin_modules=self.plugin_modules,
             )
             for point, spec in zip(subgrid.points(), specs):
+                reusable = memo is not None and memo.probe(spec)
                 scheduled.append(
                     ScheduledRun(
                         subgrid=subgrid.name,
                         label=spec.label or subgrid.name,
                         settings=point,
                         spec=spec,
-                        cost=estimate_cost(spec),
+                        cost=0.0 if reusable else estimate_cost(spec),
                     )
                 )
         scheduled.sort(key=lambda run: -run.cost)
         return scheduled
+
+    def dry_run(
+        self,
+        subgrids: Optional[Sequence[str]] = None,
+        cache: Optional[ResultCache] = None,
+        store: Optional["ResultsStore"] = None,
+    ) -> Dict[str, Dict[str, int]]:
+        """Classify the plan without running anything.
+
+        Per sub-grid (in campaign order): how many points would simulate,
+        how many would come back from the store's point index, and how many
+        the result cache or in-sweep deduplication would serve.  Store
+        probes check that the recorded result blob exists but never load
+        it; cache probes — which need the point's cache key, i.e. one
+        scenario resolution per distinct point — only happen when a cache
+        is handed in and the index missed.
+        """
+        memo = store.memo() if store is not None else None
+        summary: Dict[str, Dict[str, int]] = {
+            subgrid.name: {"points": 0, "to_simulate": 0, "reused": 0, "cache_hits": 0}
+            for subgrid in self._selected(subgrids)
+        }
+        first_bucket: Dict[str, str] = {}
+        for run in self.plan(subgrids, memo=memo):
+            counts = summary[run.subgrid]
+            counts["points"] += 1
+            bucket = first_bucket.get(run.spec.memo_key())
+            if bucket is None:
+                if memo is not None and memo.probe(run.spec):
+                    bucket = "reused"
+                elif cache is not None and run.spec.key() in cache:
+                    bucket = "cache_hits"
+                else:
+                    bucket = "to_simulate"
+                first_bucket[run.spec.memo_key()] = bucket
+            elif bucket == "to_simulate":
+                # A duplicate of a cold point executes once; the duplicates
+                # land as in-sweep dedup hits, which the stats count as
+                # cache hits.
+                bucket = "cache_hits"
+            counts[bucket] += 1
+        return summary
 
     def run(
         self,
@@ -251,6 +313,7 @@ class CampaignScheduler:
         recorded_at: str = "",
         executor: Optional[Executor] = None,
         failure_policy: Optional[FailurePolicy] = None,
+        reuse: bool = True,
     ) -> CampaignResult:
         """Execute the plan through one ``run_sweep`` call and regroup.
 
@@ -274,8 +337,19 @@ class CampaignScheduler:
         Under a quarantining ``failure_policy`` a point that exhausts its
         retries lands in ``CampaignResult.quarantined`` instead of aborting
         the campaign; checks and report tables cover the surviving points.
+
+        With a ``store`` and ``reuse=True`` (the default), the plan is
+        intersected against the store's point index before dispatch: every
+        point some earlier campaign recorded is spliced in from its
+        recorded result blob — zero scenario resolutions, zero simulator
+        work — and only the delta executes.  The bytes are identical to a
+        full run (the blob *is* the serialized result), and the new
+        manifest's reused points reference the existing blobs, so the
+        recording dedups to nothing new.  Quarantined, tampered or
+        garbage-collected recordings read as misses and re-simulate.
         """
-        plan = self.plan(subgrids)
+        memo = store.memo() if (store is not None and reuse) else None
+        plan = self.plan(subgrids, memo=memo)
         selected = self._selected(subgrids)
         fingerprint = self.fingerprint(subgrids) if store is not None else ""
         outcome = CampaignResult(campaign=self.campaign)
@@ -295,11 +369,14 @@ class CampaignScheduler:
             result: ExperimentResult,
             timings: Optional[RunTimings],
             from_cache: bool,
+            source: str,
         ) -> None:
             name = owner[index][0]
             stats = outcome.subgrid_stats[name]
             stats.total += 1
-            if from_cache:
+            if source == "reused":
+                stats.reused_points += 1
+            elif from_cache:
                 stats.cache_hits += 1
             else:
                 stats.executed += 1
@@ -327,6 +404,7 @@ class CampaignScheduler:
             observer=observer,
             executor=executor,
             failure_policy=failure_policy,
+            memo=memo,
         )
         outcome.stats = stats
 
@@ -362,8 +440,15 @@ class CampaignScheduler:
                 continue
             by_subgrid[name][_point_key(settings)] = (settings, label, result)
         # Regroup in each sub-grid's declared point order, not plan order.
+        # Every spec's cache key is memoized by now — computed during the
+        # sweep's dedup pass, or seeded from the index for reused points —
+        # so reading it here never resolves a scenario.
         key_by_point = {
             (run.subgrid, _point_key(run.settings)): run.spec.key() for run in plan
+        }
+        memo_key_by_point = {
+            (run.subgrid, _point_key(run.settings)): run.spec.memo_key()
+            for run in plan
         }
         label_by_point = {
             (run.subgrid, _point_key(run.settings)): run.label for run in plan
@@ -371,6 +456,7 @@ class CampaignScheduler:
         for subgrid in selected:
             ordered: List[Point] = []
             keys: List[str] = []
+            memo_keys: List[str] = []
             holes: List[QuarantinedRun] = []
             for point in subgrid.points():
                 spot = (subgrid.name, _point_key(point))
@@ -383,13 +469,16 @@ class CampaignScheduler:
                             cache_key=key_by_point[spot],
                             attempts=record.attempts,
                             error=record.error,
+                            memo_key=memo_key_by_point[spot],
                         )
                     )
                     continue
                 ordered.append(by_subgrid[subgrid.name][_point_key(point)])
                 keys.append(key_by_point[spot])
+                memo_keys.append(memo_key_by_point[spot])
             outcome.points[subgrid.name] = ordered
             outcome.cache_keys[subgrid.name] = keys
+            outcome.memo_keys[subgrid.name] = memo_keys
             if holes:
                 outcome.quarantined[subgrid.name] = holes
         if store is not None:

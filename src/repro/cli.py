@@ -50,7 +50,7 @@ from contextlib import contextmanager, nullcontext
 from datetime import datetime, timezone
 from pathlib import Path
 from tempfile import TemporaryDirectory
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.figures import export_csv, fig7_rows, min_npi_rows
 from repro.analysis.metrics import priority_distribution_table
@@ -325,6 +325,20 @@ def build_parser() -> argparse.ArgumentParser:
             "already-recorded points are served from the cache and only "
             "the missing ones simulate",
         )
+        campaign_run.add_argument(
+            "--dry-run",
+            action="store_true",
+            help="print the plan — per-sub-grid counts of points to "
+            "simulate, points reused from the store's point index, and "
+            "cache hits — without running anything",
+        )
+        campaign_run.add_argument(
+            "--no-reuse",
+            dest="reuse",
+            action="store_false",
+            help="skip the store's point index and simulate every cold "
+            "point live (reuse is on by default when --store-dir is given)",
+        )
         _add_sweep_arguments(campaign_run)
         _add_store_argument(campaign_run)
     campaign_narrative = campaign_sub.add_parser(
@@ -400,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
         "show": "print one manifest's full JSON",
         "verify": "re-hash every artifact against its content address",
         "gc": "delete artifact blobs no manifest references",
+        "index": "rebuild the store-wide point index from the manifests",
     }
     store_parsers = {}
     for subcommand, description in store_descriptions.items():
@@ -653,6 +668,15 @@ def _strict_exit(failed_checks: int, strict: bool) -> int:
     return 0
 
 
+def _dry_run_line(name: str, counts: Dict[str, int]) -> str:
+    return (
+        f"  {name}: {counts['points']} point(s) — "
+        f"{counts['to_simulate']} to simulate, "
+        f"{counts['reused']} reused from store, "
+        f"{counts['cache_hits']} cache hit(s)"
+    )
+
+
 def _cmd_campaign_run(args: argparse.Namespace, report_only: bool) -> int:
     campaign = get_campaign(args.campaign)
     scheduler = CampaignScheduler(
@@ -662,6 +686,20 @@ def _cmd_campaign_run(args: argparse.Namespace, report_only: bool) -> int:
         plugin_modules=args.plugin_modules,
     )
     store = _store_for(args)
+    if args.dry_run:
+        cache = ResultCache(args.cache_dir) if args.cache_dir else None
+        plan = scheduler.dry_run(
+            args.subgrids, cache=cache, store=store if args.reuse else None
+        )
+        print(f"campaign {campaign.name} plan (dry run):")
+        totals = {"points": 0, "to_simulate": 0, "reused": 0, "cache_hits": 0}
+        for name, counts in plan.items():
+            for key in totals:
+                totals[key] += counts[key]
+            print(_dry_run_line(name, counts))
+        if len(plan) > 1:
+            print(_dry_run_line("total", totals))
+        return 0
     if report_only and store is not None:
         # The store-backed fast path: a matching recorded run serves its
         # rendered report as a pure read — no scenario is resolved, no
@@ -748,6 +786,7 @@ def _cmd_campaign_run(args: argparse.Namespace, report_only: bool) -> int:
             recorded_at=_utc_stamp() if store is not None else "",
             executor=executor,
             failure_policy=failure_policy,
+            reuse=args.reuse,
         )
     failed_checks = sum(
         1
@@ -923,6 +962,21 @@ def _cmd_store_verify(args: argparse.Namespace) -> int:
         f"{len(problems)} problem(s)"
     )
     return 1 if problems else 0
+
+
+def _cmd_store_index(args: argparse.Namespace) -> int:
+    store = ResultsStore(args.store_dir)
+    points, specs = store.rebuild_index()
+    manifests = (
+        len(sorted(store.manifest_dir.glob("*.json")))
+        if store.manifest_dir.is_dir()
+        else 0
+    )
+    print(
+        f"store index: rebuilt from {manifests} manifest(s) — "
+        f"{points} point(s), {specs} spec mapping(s)"
+    )
+    return 0
 
 
 def _cmd_store_gc(args: argparse.Namespace) -> int:
@@ -1263,6 +1317,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 return _cmd_store_verify(args)
             if args.store_command == "gc":
                 return _cmd_store_gc(args)
+            if args.store_command == "index":
+                return _cmd_store_index(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "policies":

@@ -148,6 +148,50 @@ class RunSpec:
             object.__setattr__(self, "_key", cached)
         return cached
 
+    def memo_fingerprint(self) -> Dict[str, object]:
+        """The spec's identity as plain JSON, *without* resolving anything.
+
+        Resolution is a pure function of these fields, so two specs with
+        equal memo fingerprints resolve identically and share a cache key.
+        The store's point index exploits exactly that: it remembers
+        ``memo_key() -> cache key`` at record time, which lets a later
+        campaign intersect its whole plan against recorded results without
+        a single scenario resolution.  ``label`` is deliberately excluded —
+        it names the point but cannot influence the measurement.
+        """
+        scenario = (
+            self.scenario
+            if isinstance(self.scenario, Scenario)
+            else get_scenario(self.scenario)
+        )
+        return {
+            "scenario": scenario.to_dict(),
+            "policy": self.policy,
+            "duration_ps": self.duration_ps,
+            "traffic_scale": self.traffic_scale,
+            "config": self.config.to_dict() if self.config is not None else None,
+            "adaptation_enabled": self.adaptation_enabled,
+            "dram_freq_mhz": self.dram_freq_mhz,
+            "dram_model": self.dram_model,
+            "keep_trace": self.keep_trace,
+            "seed": self.seed,
+            "settings": [[path, value] for path, value in self.settings],
+            "plugin_modules": list(self.plugin_modules),
+        }
+
+    def memo_key(self) -> str:
+        """Stable resolution-free key for this spec (memoized like ``key()``).
+
+        Hashed through the same :func:`~repro.runner.cache.cache_key` mixer,
+        so the cache schema version guards recorded memo mappings the same
+        way it guards cached results.
+        """
+        cached = self.__dict__.get("_memo_key")
+        if cached is None:
+            cached = cache_key(self.memo_fingerprint())
+            object.__setattr__(self, "_memo_key", cached)
+        return cached
+
     def display_label(self) -> str:
         if self.label is not None:
             return self.label
@@ -170,6 +214,9 @@ class SweepStats:
       can legitimately exceed ``elapsed_s`` — they are CPU time spent, not
       wall clock.
     * ``serialize_s`` — result-cache reads and writes in the parent.
+    * ``index_lookup_s`` — store point-index probes (memo-key hashing,
+      shard reads, recorded-result decoding) when a store memo was handed
+      in; ``reused_points`` counts the specs those probes satisfied.
     * ``pool_startup_s`` — spawn cost paid by *this* sweep.  Zero when a
       warm :class:`~repro.runner.pool.WorkerPool` was handed in, which is
       the whole point of keeping one.
@@ -185,6 +232,7 @@ class SweepStats:
 
     total: int = 0
     cache_hits: int = 0
+    reused_points: int = 0
     executed: int = 0
     jobs: int = 1
     batches: int = 0
@@ -196,6 +244,7 @@ class SweepStats:
     sim_cpu_s: float = 0.0
     sim_wall_s: float = 0.0
     serialize_s: float = 0.0
+    index_lookup_s: float = 0.0
     pool_startup_s: float = 0.0
     cache_dir: Optional[str] = None
 
@@ -231,6 +280,8 @@ class SweepStats:
             f"jobs={self.jobs}",
             f"{self.elapsed_s:.2f}s",
         ]
+        if self.reused_points:
+            parts.insert(2, f"{self.reused_points} reused")
         if self.retries:
             parts.insert(3, f"{self.retries} retried")
         if self.quarantined:
@@ -266,13 +317,17 @@ def _execute_spec(spec: RunSpec) -> ExperimentResult:
     return result
 
 
-#: Per-spec landing callback: ``observer(index, result, timings, from_cache)``.
+#: Per-spec landing callback:
+#: ``observer(index, result, timings, from_cache, source)``.
 #: ``timings`` is the run's phase breakdown for the spec that actually
-#: executed and ``None`` for cache hits and deduplicated duplicates
-#: (``from_cache=True``).  Invoked exactly once per spec index, in landing
-#: order.  This is how campaign-level callers attribute one flattened sweep's
-#: work back to the sub-grids it came from.
-Observer = Callable[[int, ExperimentResult, Optional[RunTimings], bool], None]
+#: executed and ``None`` otherwise (``from_cache=True``).  ``source`` names
+#: where the result came from: ``"executed"`` (simulated live), ``"dedup"``
+#: (duplicate of an executed spec in the same sweep), ``"cache"`` (result
+#: cache) or ``"reused"`` (recorded point served by the store's point
+#: index).  Invoked exactly once per spec index, in landing order.  This is
+#: how campaign-level callers attribute one flattened sweep's work back to
+#: the sub-grids it came from.
+Observer = Callable[[int, ExperimentResult, Optional[RunTimings], bool, str], None]
 
 
 def run_sweep(
@@ -286,6 +341,7 @@ def run_sweep(
     observer: Optional[Observer] = None,
     executor: Optional[Executor] = None,
     failure_policy: Optional[FailurePolicy] = None,
+    memo: Optional[Any] = None,
 ) -> Tuple[List[ExperimentResult], SweepStats]:
     """Execute a sweep, reusing cached points and parallelising the rest.
 
@@ -329,6 +385,14 @@ def run_sweep(
         contract — one attempt, any failure raises.  With a quarantining
         policy the returned list holds ``None`` at quarantined positions
         and ``stats.quarantined`` names them.
+    memo:
+        A :class:`~repro.store.StoreMemo` (or anything with its
+        ``get(spec) -> Optional[(result, cache_key)]`` shape).  Each spec is
+        looked up *before* its cache key is computed; a hit splices the
+        recorded result in with zero scenario resolutions and zero
+        simulator work, counts into ``stats.reused_points`` and back-fills
+        the result cache so a later ``--resume`` sees it.  Probe time lands
+        in ``stats.index_lookup_s``.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -366,6 +430,26 @@ def run_sweep(
     cold: List[Tuple[List[int], RunSpec, str]] = []
     cold_by_key: Dict[str, Tuple[List[int], RunSpec, str]] = {}
     for index, spec in enumerate(specs):
+        if memo is not None:
+            # The store lookup comes first because it is the only probe that
+            # needs no scenario resolution: it goes through the spec's memo
+            # key, and a hit carries the recorded cache key with it.
+            lookup_started = time.perf_counter()
+            hit = memo.get(spec)
+            stats.index_lookup_s += time.perf_counter() - lookup_started
+            if hit is not None:
+                result, key = hit
+                # Seed the spec's memoized cache key so later readers (the
+                # campaign scheduler records it in the manifest) get the
+                # recorded key without resolving the scenario either.
+                object.__setattr__(spec, "_key", key)
+                results[index] = result
+                stats.reused_points += 1
+                if cache is not None and key not in cache:
+                    cache.put(key, result, include_trace=spec.keep_trace)
+                if observer is not None:
+                    observer(index, result, None, True, "reused")
+                continue
         key = spec.key()
         duplicate = cold_by_key.get(key)
         if duplicate is not None:
@@ -378,7 +462,7 @@ def run_sweep(
                 results[index] = cached
                 stats.cache_hits += 1
                 if observer is not None:
-                    observer(index, cached, None, True)
+                    observer(index, cached, None, True, "cache")
                 continue
         entry = ([index], spec, key)
         cold.append(entry)
@@ -386,6 +470,7 @@ def run_sweep(
     stats.resolve_s += (
         time.perf_counter()
         - resolve_started
+        - stats.index_lookup_s
         - ((cache.io_s - cache_io_before) if cache is not None else 0.0)
     )
 
@@ -451,7 +536,13 @@ def _land_result(
         # The first index is the spec that executed; the rest were
         # deduplicated against it during key resolution.
         for position, index in enumerate(indices):
-            observer(index, result, timings if position == 0 else None, position > 0)
+            observer(
+                index,
+                result,
+                timings if position == 0 else None,
+                position > 0,
+                "dedup" if position else "executed",
+            )
     stats.executed += 1
     if cache is not None:
         cache.put(key, result, include_trace=spec.keep_trace)

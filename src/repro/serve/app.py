@@ -14,6 +14,11 @@ Every recorded figure, table and narrative becomes a cacheable URL:
 * ``GET /reports/<fingerprint>/<name>`` — a recorded rendering by role:
   ``report_md`` / ``report_json`` / ``narrative_md`` at manifest level, or
   ``<subgrid>/<md|csv|json>`` for one sub-grid's table.
+* ``GET /points/<cache_key>`` — one recorded point straight from the
+  store-wide point index: its owning manifest fingerprint, sub-grid, label,
+  settings, measured row, status and result-artifact reference.  Answered
+  without loading any manifest; an unindexed key is a ``404`` with a
+  ``repro store index`` hint.
 
 Caching semantics, uniform across routes: the ``ETag`` is always a strong
 content hash (for blobs, the blob's own SHA-256 — the same string as its
@@ -104,6 +109,8 @@ class ResultsApp:
             return self._artifact(request, parts[1])
         if len(parts) in (3, 4) and parts[0] == "reports":
             return self._report(request, parts[1], "/".join(parts[2:]))
+        if len(parts) == 2 and parts[0] == "points":
+            return self._point(request, parts[1])
         return self._error(404, f"no route for {request.path}")
 
     # ------------------------------------------------------------------ #
@@ -183,6 +190,17 @@ class ResultsApp:
                 hint=f"recorded artifacts: {', '.join(recorded)}",
             )
         return self._blob(request, ref, cache_control=REVALIDATE_CACHE)
+
+    def _point(self, request: Request, cache_key: str) -> Response:
+        entry = self.store.point_index.get(cache_key)
+        if entry is None:
+            return self._error(
+                404,
+                f"no indexed point for cache key '{cache_key}'",
+                hint="run `repro store index --store-dir <dir>` to rebuild "
+                "the point index from the manifests",
+            )
+        return self._json_with_etag(request, entry.to_dict())
 
     # ------------------------------------------------------------------ #
     # Shared pieces

@@ -152,6 +152,11 @@ class ResultsClient:
         path = f"/reports/{fingerprint}/{name}"
         return self._expect(self.get(path, etag=etag), path, etag is not None)
 
+    def point(self, cache_key: str) -> Dict[str, Any]:
+        """One recorded point from the store-wide index, by cache key."""
+        path = f"/points/{cache_key}"
+        return self._expect(self.get(path), path, False).json()
+
 
 class BackgroundResultsServer:
     """A results service on a daemon thread (its own asyncio loop).

@@ -11,9 +11,23 @@ serve a recorded run as a pure read, and the
 :mod:`~repro.store.narrative` renderer can turn declared claims plus
 measured outcomes into a regenerable ``EXPERIMENTS.md`` section.
 
-``repro store list|show|verify|gc`` operates on a store directory.
+The :mod:`~repro.store.index` module inverts the manifests into a sharded
+store-wide point index (cache key → recorded point, memo key → cache key),
+which is what lets a later overlapping campaign reuse recorded points
+without resolving a scenario or scanning a single manifest.
+
+``repro store list|show|verify|gc|index`` operates on a store directory.
 """
 
+from repro.store.index import (
+    INDEX_SCHEMA_VERSION,
+    PointEntry,
+    PointIndex,
+    StoreMemo,
+    decode_point_result,
+    encode_point_result,
+    manifest_index_entries,
+)
 from repro.store.manifest import (
     MANIFEST_KINDS,
     STORE_SCHEMA_VERSION,
@@ -44,18 +58,25 @@ __all__ = [
     "ArtifactRef",
     "CheckRecord",
     "GridSection",
+    "INDEX_SCHEMA_VERSION",
     "MANIFEST_KINDS",
     "Manifest",
+    "PointEntry",
+    "PointIndex",
     "PointRecord",
     "Provenance",
     "ResultsStore",
     "STORE_SCHEMA_VERSION",
     "StoreError",
+    "StoreMemo",
     "SubGridEntry",
     "content_digest",
     "content_type_for",
+    "decode_point_result",
     "describe_manifest",
+    "encode_point_result",
     "is_content_digest",
+    "manifest_index_entries",
     "manifest_summary",
     "narrative_md",
     "replace_section",

@@ -207,9 +207,16 @@ class PointRecord:
     then carries the last failure).  A quarantined point's cache key is
     still the real one — a later resume that succeeds fills exactly that
     slot — but no result is promised behind it, so ``store verify`` skips
-    quarantined keys in its cache cross-check.  ``to_dict`` omits the
-    healthy defaults, keeping manifests of clean runs byte-stable across
-    this schema addition.
+    quarantined keys in its cache cross-check.
+
+    ``memo_key`` is the point's *resolution-free* spec key
+    (:meth:`repro.runner.RunSpec.memo_key`) and ``result`` references the
+    point's full serialized experiment result; together they are what the
+    store's point index needs to let a later overlapping campaign reuse
+    this point without resolving its scenario or re-simulating — and they
+    make the index rebuildable from manifests alone.  ``to_dict`` omits
+    the healthy defaults and the absent optionals, keeping manifests of
+    earlier schema generations byte-stable across these additions.
     """
 
     settings: Mapping[str, Any] = field(default_factory=dict)
@@ -217,6 +224,8 @@ class PointRecord:
     cache_key: str = ""
     status: str = "ok"
     error: str = ""
+    memo_key: str = ""
+    result: Optional[ArtifactRef] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "settings", _plain(dict(self.settings), "point.settings"))
@@ -230,6 +239,16 @@ class PointRecord:
                 f"point.status: expected 'ok' or 'quarantined', got {self.status!r}"
             )
         _require_str(self.error, "point.error")
+        if self.memo_key and (
+            not isinstance(self.memo_key, str) or len(self.memo_key) != 64
+        ):
+            raise StoreError(
+                f"point.memo_key: expected a 64-hex-digit SHA-256, got {self.memo_key!r}"
+            )
+        if self.result is not None and not isinstance(self.result, ArtifactRef):
+            raise StoreError(
+                f"point.result: expected an artifact reference, got {self.result!r}"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         data = {
@@ -241,13 +260,19 @@ class PointRecord:
             data["status"] = self.status
         if self.error:
             data["error"] = self.error
+        if self.memo_key:
+            data["memo_key"] = self.memo_key
+        if self.result is not None:
+            data["result"] = self.result.to_dict()
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any], path: str) -> "PointRecord":
         data = _require_mapping(data, path)
         _reject_unknown_keys(
-            data, ["settings", "label", "cache_key", "status", "error"], path
+            data,
+            ["settings", "label", "cache_key", "status", "error", "memo_key", "result"],
+            path,
         )
         try:
             return cls(
@@ -256,6 +281,12 @@ class PointRecord:
                 cache_key=data.get("cache_key", ""),
                 status=data.get("status", "ok"),
                 error=data.get("error", ""),
+                memo_key=data.get("memo_key", ""),
+                result=(
+                    ArtifactRef.from_dict(data["result"], f"{path}.result")
+                    if data.get("result") is not None
+                    else None
+                ),
             )
         except ScenarioError as exc:
             raise StoreError(str(exc).replace("point.", f"{path}.", 1)) from None
@@ -573,11 +604,19 @@ class Manifest:
         ]
 
     def artifact_refs(self) -> Dict[str, ArtifactRef]:
-        """Every artifact reference, qualified ``<scope>/<name>`` for messages."""
+        """Every artifact reference, qualified ``<scope>/<name>`` for messages.
+
+        Per-point result blobs are included, so ``store verify`` hashes them
+        and ``store gc`` keeps them alive as long as any manifest references
+        them — which is exactly what makes cross-campaign reuse safe.
+        """
         refs = {f"manifest/{key}": ref for key, ref in self.artifacts.items()}
         for entry in self.subgrids:
             for key, ref in entry.artifacts.items():
                 refs[f"{entry.name}/{key}"] = ref
+            for position, point in enumerate(entry.points):
+                if point.result is not None:
+                    refs[f"{entry.name}/points[{position}]/result"] = point.result
         return refs
 
     # ------------------------------------------------------------------ #

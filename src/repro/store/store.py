@@ -1,10 +1,12 @@
 """The content-addressed results store: manifests plus artifact blobs.
 
-A store directory has two halves::
+A store directory has three parts::
 
     store/
       manifests/<fingerprint>.json     one Manifest per recorded run
       artifacts/<aa>/<digest>.<ext>    content-addressed rendered artifacts
+      index/                           the store-wide point index (derived;
+                                       see :mod:`repro.store.index`)
 
 Artifacts are addressed by the SHA-256 of their bytes, so identical
 renderings dedup to one blob, a reference can always be re-verified against
@@ -13,6 +15,12 @@ can be swept (``repro store gc``).  Manifests are keyed by the run
 fingerprint — a hash of the spec's *dictionary form* plus the effective
 overrides — which is what lets ``repro campaign report`` find and serve a
 recorded run without resolving a single :class:`~repro.runner.RunSpec`.
+The point index inverts the manifests — cache key → recorded point, memo
+key → cache key — and is maintained on every :meth:`~ResultsStore.
+put_manifest` / :meth:`~ResultsStore.delete_manifest`, rebuilt on demand by
+``repro store index``, and cross-checked by ``repro store verify``; it is
+what lets a later overlapping campaign reuse recorded points in O(1)
+instead of scanning every manifest.
 
 Writes follow the result cache's crash-safety idiom: temporary file plus
 atomic rename, so a concurrent reader (or an interrupted run) never sees a
@@ -38,6 +46,7 @@ from repro.campaign.report import (
     subgrid_report_md,
     subgrid_report_payload,
 )
+from repro.store.index import PointIndex, StoreMemo, encode_point_result
 from repro.store.manifest import (
     AmbiguousFingerprintError,
     ArtifactRef,
@@ -124,6 +133,7 @@ class ResultsStore:
 
     def __init__(self, directory: PathLike) -> None:
         self.directory = Path(directory)
+        self._point_index: Optional[PointIndex] = None
 
     @property
     def manifest_dir(self) -> Path:
@@ -132,6 +142,30 @@ class ResultsStore:
     @property
     def artifact_dir(self) -> Path:
         return self.directory / "artifacts"
+
+    @property
+    def index_dir(self) -> Path:
+        return self.directory / "index"
+
+    @property
+    def point_index(self) -> PointIndex:
+        """The store's point index (one instance: shard reads are memoized)."""
+        if self._point_index is None:
+            self._point_index = PointIndex(self.index_dir)
+        return self._point_index
+
+    def memo(self) -> StoreMemo:
+        """The runner-facing reuse view: ``memo.get(spec)`` → recorded result."""
+        return StoreMemo(self)
+
+    def rebuild_index(self) -> Tuple[int, int]:
+        """Reconstruct the point index from the manifests (``store index``).
+
+        Returns ``(points, spec mappings)`` indexed.  Oldest manifest first,
+        so re-recorded cache keys land on their newest recording — the same
+        state incremental maintenance reaches.
+        """
+        return self.point_index.rebuild(list(reversed(self.manifests())))
 
     # ------------------------------------------------------------------ #
     # Artifact blobs
@@ -199,6 +233,9 @@ class ResultsStore:
     def put_manifest(self, manifest: Manifest) -> Path:
         path = self.manifest_path(manifest.fingerprint)
         _atomic_write(path, (manifest.to_json() + "\n").encode("utf-8"))
+        # Keep the point index current on every recording — this is the
+        # single choke point all recording paths go through.
+        self.point_index.record_manifest(manifest)
         return path
 
     def get_manifest(self, fingerprint: str) -> Optional[Manifest]:
@@ -244,11 +281,18 @@ class ResultsStore:
         return manifest
 
     def delete_manifest(self, fingerprint: str) -> bool:
+        # Load before unlinking so the index entries the manifest contributed
+        # can be dropped too; a manifest removed behind the store's back
+        # leaves stale entries, which lookups treat as misses and
+        # ``store index`` / ``store verify`` heal and flag respectively.
+        manifest = self.get_manifest(fingerprint)
         try:
             self.manifest_path(fingerprint).unlink()
-            return True
         except OSError:
             return False
+        if manifest is not None:
+            self.point_index.remove_manifest(manifest)
+        return True
 
     # ------------------------------------------------------------------ #
     # Partial journal (crash-resumable campaigns)
@@ -345,12 +389,40 @@ class ResultsStore:
                     f"{len(keys)} cache key(s); record_campaign needs an "
                     "outcome produced by CampaignScheduler.run"
                 )
+            memo_keys = list(getattr(outcome, "memo_keys", {}).get(name, ()))
+            if not memo_keys:
+                # An outcome without memo keys (hand-built in tests, older
+                # callers) still records a valid manifest — its points are
+                # just not reusable through the spec index.
+                memo_keys = [""] * len(points)
+            elif len(memo_keys) != len(points):
+                raise StoreError(
+                    f"sub-grid '{name}': {len(points)} point(s) but "
+                    f"{len(memo_keys)} memo key(s); record_campaign needs an "
+                    "outcome produced by CampaignScheduler.run"
+                )
             # Measured points first (declared order), then the quarantined
             # holes (also declared order) — deterministic, and a reader
             # scanning for results never trips over a hole mid-table.
+            # Each measured point's full result is serialized to its own
+            # content-addressed blob: canonical bytes, so a reused point
+            # re-records the *same* blob and the dedup is free.  That blob
+            # plus the memo key is what makes this manifest a memo-table
+            # entry for every later overlapping campaign.
             records = [
-                PointRecord(settings=settings, label=label, cache_key=key)
-                for (settings, label, _), key in zip(points, keys)
+                PointRecord(
+                    settings=settings,
+                    label=label,
+                    cache_key=key,
+                    memo_key=memo_key,
+                    result=self.put_artifact(
+                        encode_point_result(result, include_trace=subgrid.keep_trace),
+                        "json",
+                    ),
+                )
+                for (settings, label, result), key, memo_key in zip(
+                    points, keys, memo_keys
+                )
             ]
             records.extend(
                 PointRecord(
@@ -359,6 +431,7 @@ class ResultsStore:
                     cache_key=entry.cache_key,
                     status="quarantined",
                     error=f"{entry.error} ({entry.attempts} attempt(s))",
+                    memo_key=entry.memo_key,
                 )
                 for entry in quarantined
             )
@@ -492,12 +565,16 @@ class ResultsStore:
         manifests are reported, and — when a result cache is handed in —
         every recorded cache key is checked to still be present, so a
         manifest whose underlying results were evicted is flagged before
-        someone trusts its numbers.
+        someone trusts its numbers.  The point index is cross-checked in
+        both directions: every recorded point must be findable through the
+        index, and every index entry (and spec mapping) must still be
+        vouched for by a manifest on disk.
         """
         problems: List[str] = []
         # One directory listing up front beats one stat per recorded key
         # when many manifests share a cache.
         present = set(cache.keys()) if cache is not None else set()
+        manifests: List[Manifest] = []
         if self.manifest_dir.is_dir():
             for path in sorted(self.manifest_dir.glob("*.json")):
                 try:
@@ -505,6 +582,7 @@ class ResultsStore:
                 except (OSError, ValueError) as exc:
                     problems.append(f"manifest {path.name}: unreadable ({exc})")
                     continue
+                manifests.append(manifest)
                 if manifest.fingerprint != path.stem:
                     problems.append(
                         f"manifest {path.name}: declares fingerprint "
@@ -524,6 +602,63 @@ class ResultsStore:
                             f"key(s) missing from {cache.directory} "
                             f"(first: {missing[0][:12]}…)"
                         )
+        problems.extend(self._verify_index(manifests))
+        return problems
+
+    def _verify_index(self, manifests: List[Manifest]) -> List[str]:
+        """The point-index half of :meth:`verify` (both directions)."""
+        problems: List[str] = []
+        index = self.point_index
+        if not index.exists:
+            # An index-less store is only a problem once there is something
+            # to index; a stale index with *zero* manifests still gets the
+            # cross-checks below (every entry is dangling).
+            if manifests:
+                problems.append(
+                    f"store has no point index for {len(manifests)} manifest(s) "
+                    "(rebuild with `repro store index`)"
+                )
+            return problems
+        keys_by_fingerprint = {
+            manifest.fingerprint: {
+                point.cache_key for entry in manifest.subgrids for point in entry.points
+            }
+            for manifest in manifests
+        }
+        for manifest in manifests:
+            unindexed = [
+                point.cache_key
+                for entry in manifest.subgrids
+                for point in entry.points
+                if index.get(point.cache_key) is None
+            ]
+            if unindexed:
+                problems.append(
+                    f"manifest {manifest.fingerprint[:12]}…: {len(unindexed)} "
+                    f"point(s) missing from the index (first: "
+                    f"{unindexed[0][:12]}…; rebuild with `repro store index`)"
+                )
+        for entry in index.entries():
+            recorded = keys_by_fingerprint.get(entry.fingerprint)
+            if recorded is None:
+                problems.append(
+                    f"index: point {entry.cache_key[:12]}… references deleted "
+                    f"manifest {entry.fingerprint[:12]}… (stale; rebuild with "
+                    "`repro store index`)"
+                )
+            elif entry.cache_key not in recorded:
+                problems.append(
+                    f"index: point {entry.cache_key[:12]}… is not recorded by "
+                    f"manifest {entry.fingerprint[:12]}… (stale; rebuild with "
+                    "`repro store index`)"
+                )
+        for memo_key, cache_key in index.spec_mappings():
+            if index.get(cache_key) is None:
+                problems.append(
+                    f"index: spec mapping {memo_key[:12]}… targets unindexed "
+                    f"point {cache_key[:12]}… (stale; rebuild with "
+                    "`repro store index`)"
+                )
         return problems
 
     def unreferenced_blobs(self) -> Tuple[List[Path], int]:
@@ -561,9 +696,9 @@ class ResultsStore:
         return len(orphans), kept
 
     def size_bytes(self) -> int:
-        """Total bytes the store occupies on disk (manifests + blobs)."""
+        """Total bytes the store occupies on disk (manifests, blobs, index)."""
         total = 0
-        for root in (self.manifest_dir, self.artifact_dir):
+        for root in (self.manifest_dir, self.artifact_dir, self.index_dir):
             if root.is_dir():
                 total += sum(
                     path.stat().st_size for path in root.rglob("*") if path.is_file()
@@ -581,6 +716,7 @@ def _stats_payload(stats: Any) -> Dict[str, Any]:
     return {
         "total": stats.total,
         "cache_hits": stats.cache_hits,
+        "reused": getattr(stats, "reused_points", 0),
         "executed": stats.executed,
         "jobs": stats.jobs,
         "elapsed_s": stats.elapsed_s,

@@ -41,7 +41,8 @@ CAMPAIGN = ["campaign", "run", "paper_figures", "--subgrid", "fig5", *RUN_ARGS]
 POINTS = 4
 
 _SUMMARY = re.compile(
-    r"^campaign \S+: .*?(?P<hits>\d+) cache hit\(s\), (?P<executed>\d+) executed"
+    r"^campaign \S+: .*?(?P<hits>\d+) cache hit\(s\), "
+    r"(?:(?P<reused>\d+) reused, )?(?P<executed>\d+) executed"
 )
 
 
@@ -53,11 +54,15 @@ def _invoke(argv):
 
 
 def _telemetry(output: str):
-    """(cache_hits, executed) from the campaign-level summary line."""
+    """(cache_hits, reused, executed) from the campaign summary line."""
     for line in output.splitlines():
         match = _SUMMARY.match(line)
         if match:
-            return int(match.group("hits")), int(match.group("executed"))
+            return (
+                int(match.group("hits")),
+                int(match.group("reused") or 0),
+                int(match.group("executed")),
+            )
     raise AssertionError(f"no campaign summary line in output:\n{output}")
 
 
@@ -153,8 +158,11 @@ class TestKilledAtHalf:
         assert "resuming:" in parity["resume_out"]
 
     def test_only_the_missing_points_are_simulated(self, parity):
-        hits, executed = _telemetry(parity["resume_out"])
+        # The killed run never recorded a manifest, so the point index has
+        # nothing to offer: resume works purely off the surviving cache.
+        hits, reused, executed = _telemetry(parity["resume_out"])
         assert hits == parity["survivors"]
+        assert reused == 0
         assert executed == POINTS - parity["survivors"]
 
     def test_fingerprint_matches_uninterrupted_run(self, parity):
@@ -206,9 +214,11 @@ class TestZeroWorkResume:
         code, output = _invoke([*argv, "--resume"])
         assert code == 0
         assert "nothing to resume" in output
-        hits, executed = _telemetry(output)
-        assert executed == 0  # zero simulations: the cache serves everything
-        assert hits == 2
+        hits, reused, executed = _telemetry(output)
+        # Zero simulations: the recorded manifest's point index serves every
+        # point before the cache is even probed.
+        assert executed == 0
+        assert hits + reused == 2
 
 
 @pytest.mark.chaos
@@ -237,8 +247,9 @@ class TestExtendedCampaignResume:
              "--cache-dir", str(resumed_cache)]
         )
         assert code == 0
-        hits, executed = _telemetry(output)
+        hits, reused, executed = _telemetry(output)
         assert hits == survivors
+        assert reused == 0
         assert executed == self.TOTAL - survivors
         control_side, control = _sole_manifest(control_store)
         resumed_side, resumed = _sole_manifest(resumed_store)

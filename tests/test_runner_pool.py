@@ -158,6 +158,7 @@ class TestSweepPhases:
             "build",
             "sim_cpu",
             "serialize",
+            "index_lookup",
             "pool_startup",
         }
         assert "sim_cpu " in stats.summary()

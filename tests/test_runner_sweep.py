@@ -252,15 +252,20 @@ class TestObserver:
         results, stats = run_sweep(
             specs,
             cache_dir=str(tmp_path),
-            observer=lambda index, result, timings, from_cache: seen.append(
-                (index, result, timings, from_cache)
+            observer=lambda index, result, timings, from_cache, source: seen.append(
+                (index, result, timings, from_cache, source)
             ),
         )
         assert sorted(index for index, *_ in seen) == [0, 1, 2]
-        by_index = {index: (result, timings, from_cache) for index, result, timings, from_cache in seen}
+        by_index = {
+            index: (result, timings, from_cache, source)
+            for index, result, timings, from_cache, source in seen
+        }
         # Executed points carry timings, the duplicate does not.
         assert by_index[0][1] is not None and not by_index[0][2]
+        assert by_index[0][3] == "executed"
         assert by_index[2][1] is None and by_index[2][2]
+        assert by_index[2][3] == "dedup"
         assert by_index[2][0] is results[0]
 
         # A second sweep over the same cache reports every point as cached.
@@ -268,12 +273,15 @@ class TestObserver:
         run_sweep(
             specs[:2],
             cache_dir=str(tmp_path),
-            observer=lambda index, result, timings, from_cache: warm_seen.append(
-                (timings, from_cache)
+            observer=lambda index, result, timings, from_cache, source: warm_seen.append(
+                (timings, from_cache, source)
             ),
         )
         assert len(warm_seen) == 2
-        assert all(timings is None and from_cache for timings, from_cache in warm_seen)
+        assert all(
+            timings is None and from_cache and source == "cache"
+            for timings, from_cache, source in warm_seen
+        )
 
 
 class TestNamedAxisSetGrids:

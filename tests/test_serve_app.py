@@ -196,6 +196,37 @@ class TestLookup:
         assert client.get("/totally/unknown").status == 404
 
 
+class TestPoints:
+    def test_point_lookup_serves_the_indexed_entry(
+        self, recorded, client, no_resolution
+    ):
+        store_dir, _, _, fingerprint = recorded
+        manifest = ResultsStore(store_dir).get_manifest(fingerprint)
+        record = manifest.subgrid("fig5").points[0]
+        entry = client.point(record.cache_key)
+        assert entry["cache_key"] == record.cache_key
+        assert entry["fingerprint"] == fingerprint
+        assert entry["subgrid"] == "fig5"
+        assert entry["memo_key"] == record.memo_key
+        assert entry["row"]  # the measured report row rides along
+        assert entry["result"]["digest"] == record.result.digest
+
+    def test_point_route_supports_conditional_get(self, recorded, client):
+        store_dir, _, _, fingerprint = recorded
+        manifest = ResultsStore(store_dir).get_manifest(fingerprint)
+        cache_key = manifest.subgrid("fig5").points[0].cache_key
+        first = client.get(f"/points/{cache_key}")
+        assert first.status == 200 and first.etag is not None
+        again = client.get(f"/points/{cache_key}", etag=first.etag)
+        assert again.not_modified and again.body == b""
+
+    def test_unknown_point_is_404_with_a_rebuild_hint(self, client):
+        reply = client.get("/points/" + "0" * 64)
+        assert reply.status == 404
+        assert "repro store index" in reply.json()["hint"]
+        assert client.get("/points/not-a-key").status == 404
+
+
 class TestIntegrity:
     def test_tampered_blob_is_404_with_a_verify_hint_never_forged_bytes(
         self, recorded
