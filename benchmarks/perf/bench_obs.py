@@ -1,0 +1,231 @@
+"""Observability overhead guard: disabled tracing must be ~free.
+
+The tracer's instrumentation lives permanently in hot orchestration code
+(engine phases, worker loops, executor landings), which is only acceptable
+if the *disabled* path — the default for every run without ``--trace`` —
+costs effectively nothing.  This benchmark makes that promise a number and
+a gate:
+
+1. **Microbench** the disabled fast path: per-call cost of ``obs.span``
+   enter/exit and ``obs.instant`` with no tracer installed (best of
+   several tight loops, CPU time).
+2. **Measure** a reduced ``bench_engine``-style grid (``case_b``, 2
+   policies x 2 seeds, 0.25 simulated ms, in-process) untraced, and
+   **count** the spans+instants the very same grid emits when traced.
+3. **Gate**: projected overhead = event count x disabled per-call cost
+   must stay under ``--max-overhead`` (default 2%) of the grid's CPU
+   time.  Both sides are measured on the same machine in the same
+   process, so the ratio needs no committed per-machine baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_obs.py
+    PYTHONPATH=src python benchmarks/perf/bench_obs.py \
+        --max-overhead 0.02 --output BENCH_obs.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import multiprocessing
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.runner import RunSpec
+from repro.sim.clock import MS
+
+BENCH_SCHEMA_VERSION = 1
+
+SCENARIO = "case_b"
+POLICIES = ("fcfs", "priority_qos")
+SEEDS = (1, 2)
+DURATION_PS = MS // 4
+TRAFFIC_SCALE = 0.2
+
+#: Iterations for the disabled-path microbenchmark loops.
+CALLS = 200_000
+
+
+def grid_specs() -> List[RunSpec]:
+    return [
+        RunSpec(
+            scenario=SCENARIO,
+            policy=policy,
+            duration_ps=DURATION_PS,
+            traffic_scale=TRAFFIC_SCALE,
+            seed=seed,
+            keep_trace=False,
+            label=f"{policy}/seed{seed}",
+        )
+        for policy in POLICIES
+        for seed in SEEDS
+    ]
+
+
+def _best_of(loops: int, run) -> float:
+    """Minimum CPU time over ``loops`` runs of ``run()`` (noise floor)."""
+    best = float("inf")
+    for _ in range(loops):
+        gc.collect()
+        gc.disable()
+        began = time.process_time()
+        try:
+            run()
+        finally:
+            gc.enable()
+        best = min(best, time.process_time() - began)
+    return best
+
+
+def measure_disabled_path(calls: int = CALLS) -> Dict[str, float]:
+    """Per-call cost (seconds) of the guarded API with tracing off."""
+    assert not obs.tracing(), "tracing must be disabled for the microbench"
+
+    def span_loop() -> None:
+        span = obs.span
+        for _ in range(calls):
+            with span("bench.noop"):
+                pass
+
+    def instant_loop() -> None:
+        instant = obs.instant
+        for _ in range(calls):
+            instant("bench.noop")
+
+    return {
+        "span_per_call_s": _best_of(5, span_loop) / calls,
+        "instant_per_call_s": _best_of(5, instant_loop) / calls,
+    }
+
+
+def _run_grid() -> None:
+    from repro.system.experiment import run_experiment_timed
+
+    for spec in grid_specs():
+        run_experiment_timed(spec.resolved_scenario(), keep_trace=False)
+
+
+def measure_grid_cpu_s(repeats: int) -> float:
+    """Untraced CPU time for the reduced grid (best of ``repeats``)."""
+    for spec in grid_specs():
+        spec.resolved_scenario()  # resolve outside the timed region
+    return _best_of(repeats, _run_grid)
+
+
+def count_traced_events() -> Dict[str, int]:
+    """Events the same grid emits when traced (the instrumentation rate)."""
+    with tempfile.TemporaryDirectory(prefix="bench-obs-") as directory:
+        journal = Path(directory) / "bench.jsonl"
+        obs.install_tracer(journal, proc="bench")
+        try:
+            _run_grid()
+        finally:
+            obs.uninstall_tracer()
+        events = obs.load_journal(journal)
+    spans = sum(1 for e in events if e.get("ev") == "span")
+    instants = sum(1 for e in events if e.get("ev") == "instant")
+    return {"spans": spans, "instants": instants}
+
+
+def run_benchmark(repeats: int = 3) -> Dict[str, object]:
+    specs = grid_specs()
+    print(
+        f"workload: {len(specs)}-point grid on '{SCENARIO}', "
+        f"{DURATION_PS / MS:g} ms/run, in-process; disabled-path microbench "
+        f"over {CALLS} calls, best of 5"
+    )
+    disabled = measure_disabled_path()
+    print(
+        f"disabled span(): {disabled['span_per_call_s'] * 1e9:.0f} ns/call, "
+        f"disabled instant(): {disabled['instant_per_call_s'] * 1e9:.0f} ns/call"
+    )
+    grid_cpu_s = measure_grid_cpu_s(repeats)
+    counts = count_traced_events()
+    events = counts["spans"] + counts["instants"]
+    print(
+        f"grid: {grid_cpu_s:.2f}s CPU untraced; traced instrumentation rate: "
+        f"{counts['spans']} span(s) + {counts['instants']} instant(s)"
+    )
+    per_call = max(disabled["span_per_call_s"], disabled["instant_per_call_s"])
+    projected_s = events * per_call
+    overhead = projected_s / grid_cpu_s if grid_cpu_s else 0.0
+    print(
+        f"projected disabled-tracing overhead: {events} event site(s) x "
+        f"{per_call * 1e9:.0f} ns = {projected_s * 1e6:.1f} us "
+        f"({overhead * 100:.4f}% of {grid_cpu_s:.2f}s)"
+    )
+    return {
+        "bench_schema_version": BENCH_SCHEMA_VERSION,
+        "workload": {
+            "scenario": SCENARIO,
+            "policies": list(POLICIES),
+            "seeds": list(SEEDS),
+            "points": len(specs),
+            "duration_ms": DURATION_PS / MS,
+            "traffic_scale": TRAFFIC_SCALE,
+            "microbench_calls": CALLS,
+            "repeats": repeats,
+            "timer": "process_time",
+        },
+        "env": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpu_count": multiprocessing.cpu_count(),
+        },
+        "results": {
+            "disabled_span_ns": round(disabled["span_per_call_s"] * 1e9, 2),
+            "disabled_instant_ns": round(disabled["instant_per_call_s"] * 1e9, 2),
+            "grid_cpu_s": round(grid_cpu_s, 3),
+            "traced_spans": counts["spans"],
+            "traced_instants": counts["instants"],
+            "projected_overhead_fraction": round(overhead, 6),
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=None, help="write the benchmark payload to this JSON file"
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.02,
+        help="maximum projected disabled-tracing overhead fraction (default 0.02)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="grid passes; the minimum wins"
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(repeats=args.repeats)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+
+    overhead = payload["results"]["projected_overhead_fraction"]  # type: ignore[index]
+    if overhead > args.max_overhead:
+        print(
+            f"FAIL: projected disabled-tracing overhead {overhead * 100:.4f}% "
+            f"exceeds the {args.max_overhead * 100:.1f}% budget"
+        )
+        return 1
+    print(
+        f"OK: projected overhead {overhead * 100:.4f}% "
+        f"<= {args.max_overhead * 100:.1f}% budget"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,9 +27,11 @@ parity against running every sub-grid through the plain sweep path.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.campaign.report import Point
 from repro.campaign.spec import Campaign, CampaignError, SubGrid
 from repro.runner import (
@@ -46,7 +48,10 @@ from repro.scenario import Scenario
 from repro.system.experiment import ExperimentResult, RunTimings
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import (store imports report)
+    from repro.obs import TraceSession
     from repro.store import Provenance, ResultsStore, StoreMemo
+
+logger = logging.getLogger("repro.campaign")
 
 
 @dataclass(frozen=True)
@@ -237,26 +242,40 @@ class CampaignScheduler:
         what keeps the reuse path resolution-free end to end.
         """
         scheduled: List[ScheduledRun] = []
-        for subgrid in self._selected(subgrids):
-            specs = subgrid.run_specs(
-                default_duration_ms=self.campaign.duration_ms,
-                default_traffic_scale=self.campaign.traffic_scale,
-                duration_ms=self.duration_ms,
-                traffic_scale=self.traffic_scale,
-                plugin_modules=self.plugin_modules,
-            )
-            for point, spec in zip(subgrid.points(), specs):
-                reusable = memo is not None and memo.probe(spec)
-                scheduled.append(
-                    ScheduledRun(
-                        subgrid=subgrid.name,
-                        label=spec.label or subgrid.name,
-                        settings=point,
-                        spec=spec,
-                        cost=0.0 if reusable else estimate_cost(spec),
-                    )
+        with obs.span("campaign.plan", campaign=self.campaign.name) as plan_span:
+            reusable_count = 0
+            for subgrid in self._selected(subgrids):
+                specs = subgrid.run_specs(
+                    default_duration_ms=self.campaign.duration_ms,
+                    default_traffic_scale=self.campaign.traffic_scale,
+                    duration_ms=self.duration_ms,
+                    traffic_scale=self.traffic_scale,
+                    plugin_modules=self.plugin_modules,
                 )
-        scheduled.sort(key=lambda run: -run.cost)
+                for point, spec in zip(subgrid.points(), specs):
+                    if memo is not None:
+                        with obs.span("campaign.memo_probe", subgrid=subgrid.name):
+                            reusable = memo.probe(spec)
+                    else:
+                        reusable = False
+                    reusable_count += 1 if reusable else 0
+                    scheduled.append(
+                        ScheduledRun(
+                            subgrid=subgrid.name,
+                            label=spec.label or subgrid.name,
+                            settings=point,
+                            spec=spec,
+                            cost=0.0 if reusable else estimate_cost(spec),
+                        )
+                    )
+            scheduled.sort(key=lambda run: -run.cost)
+            plan_span.set(points=len(scheduled), reusable=reusable_count)
+        logger.debug(
+            "planned campaign '%s': %d point(s), %d reusable from store",
+            self.campaign.name,
+            len(scheduled),
+            reusable_count,
+        )
         return scheduled
 
     def dry_run(
@@ -314,6 +333,7 @@ class CampaignScheduler:
         executor: Optional[Executor] = None,
         failure_policy: Optional[FailurePolicy] = None,
         reuse: bool = True,
+        trace: Optional["TraceSession"] = None,
     ) -> CampaignResult:
         """Execute the plan through one ``run_sweep`` call and regroup.
 
@@ -347,6 +367,13 @@ class CampaignScheduler:
         manifest's reused points reference the existing blobs, so the
         recording dedups to nothing new.  Quarantined, tampered or
         garbage-collected recordings read as misses and re-simulate.
+
+        ``trace`` is an active :class:`~repro.obs.TraceSession` (what
+        ``campaign run --trace`` creates): after the sweep, and *before*
+        the final manifest record, it is finalized against ``store`` so
+        the merged trace artifacts are recorded and referenced from the
+        manifest's ``stats`` — tracing never changes results, reports,
+        cache keys or the fingerprint.
         """
         memo = store.memo() if (store is not None and reuse) else None
         plan = self.plan(subgrids, memo=memo)
@@ -362,6 +389,13 @@ class CampaignScheduler:
         owner: List[Tuple[str, str, Dict[str, Any]]] = [
             (run.subgrid, run.label, run.settings) for run in plan
         ]
+        if obs.tracing():
+            # Point metadata instants: the flat sweep index -> sub-grid map
+            # `repro trace` joins execution spans against.
+            for index, run in enumerate(plan):
+                obs.instant(
+                    "campaign.point", index=index, subgrid=run.subgrid, label=run.label
+                )
         landed_count = [0]
 
         def observer(
@@ -375,6 +409,7 @@ class CampaignScheduler:
             stats = outcome.subgrid_stats[name]
             stats.total += 1
             if source == "reused":
+                obs.instant("campaign.splice", index=index, subgrid=name)
                 stats.reused_points += 1
             elif from_cache:
                 stats.cache_hits += 1
@@ -394,18 +429,27 @@ class CampaignScheduler:
                     else (str(cache.directory) if cache is not None else None),
                 )
 
-        results, stats = run_sweep(
-            [run.spec for run in plan],
-            jobs=jobs,
-            cache=cache,
-            cache_dir=cache_dir,
-            pool=pool,
-            progress=progress,
-            observer=observer,
-            executor=executor,
-            failure_policy=failure_policy,
-            memo=memo,
+        logger.info(
+            "running campaign '%s': %d point(s), jobs=%d",
+            self.campaign.name,
+            len(plan),
+            pool.jobs if pool is not None else jobs,
         )
+        with obs.span(
+            "campaign.sweep", campaign=self.campaign.name, points=len(plan)
+        ):
+            results, stats = run_sweep(
+                [run.spec for run in plan],
+                jobs=jobs,
+                cache=cache,
+                cache_dir=cache_dir,
+                pool=pool,
+                progress=progress,
+                observer=observer,
+                executor=executor,
+                failure_policy=failure_policy,
+                memo=memo,
+            )
         outcome.stats = stats
 
         # Per-sub-grid wall-clock is not separable out of one flattened,
@@ -482,12 +526,28 @@ class CampaignScheduler:
             if holes:
                 outcome.quarantined[subgrid.name] = holes
         if store is not None:
+            # Trace finalization happens after the sweep and before the
+            # manifest record: the merged journals become store artifacts,
+            # and their references ride into the manifest's free-form
+            # ``stats`` (the record itself is therefore not in its own
+            # trace — an accepted, documented blind spot).
+            extra_stats = None
+            if trace is not None:
+                extra_stats = trace.finalize(store)
+                trace_info = extra_stats.get("trace", {})
+                logger.info(
+                    "trace recorded: %d span(s) across %d process(es)",
+                    trace_info.get("spans", 0),
+                    len(trace_info.get("processes", [])),
+                )
             store.record_campaign(
                 outcome,
                 fingerprint=fingerprint,
                 provenance=self.provenance(subgrids, recorded_at=recorded_at),
+                extra_stats=extra_stats,
             )
             store.clear_partial(fingerprint)
+            logger.info("campaign recorded under fingerprint %s", fingerprint)
         return outcome
 
 

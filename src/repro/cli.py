@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from contextlib import contextmanager, nullcontext
 from datetime import datetime, timezone
@@ -103,8 +104,10 @@ from repro.scenario import (
     scenario_from_file,
 )
 from repro.sim.clock import MS
+from repro.obs import TraceSession, summarize_events
 from repro.store import (
     AmbiguousFingerprintError,
+    ArtifactRef,
     GridSection,
     Provenance,
     ResultsStore,
@@ -199,6 +202,37 @@ def _add_store_argument(parser: argparse.ArgumentParser) -> None:
         "manifest, and serve matching reports straight from the store "
         "(omit to disable the store)",
     )
+
+
+def _add_log_level_argument(
+    parser: argparse.ArgumentParser, default: str = "warning"
+) -> None:
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=default,
+        help=f"stderr threshold for the repro.* loggers (default: {default})",
+    )
+
+
+def _configure_logging(level: str) -> None:
+    """Attach one stderr handler to the ``repro`` logger hierarchy.
+
+    The libraries log through ``repro.campaign`` / ``repro.serve`` etc. and
+    install only NullHandlers themselves; the CLI is the place that decides
+    log lines actually reach a stream.  Idempotent so tests can call
+    commands repeatedly in one process.
+    """
+    root = logging.getLogger("repro")
+    root.setLevel(getattr(logging, level.upper()))
+    if not any(
+        isinstance(handler, logging.StreamHandler) for handler in root.handlers
+    ):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        root.addHandler(handler)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -339,6 +373,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="skip the store's point index and simulate every cold "
             "point live (reuse is on by default when --store-dir is given)",
         )
+        campaign_run.add_argument(
+            "--trace",
+            action="store_true",
+            help="record a structured execution trace (scheduler, executor, "
+            "workers, engine phases) as store artifacts referenced from the "
+            "manifest; requires --store-dir, never changes results "
+            "(inspect with `repro trace <fingerprint>`)",
+        )
+        _add_log_level_argument(campaign_run)
         _add_sweep_arguments(campaign_run)
         _add_store_argument(campaign_run)
     campaign_narrative = campaign_sub.add_parser(
@@ -458,6 +501,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
         "--port", type=int, default=8787, help="bind port (0 = OS-assigned)"
+    )
+    _add_log_level_argument(serve, default="info")
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="summarize a recorded run's execution trace (per span name and "
+        "per sub-grid; recorded by `campaign run --trace`)",
+    )
+    trace.add_argument(
+        "fingerprint", help="manifest fingerprint (a unique prefix is enough)"
+    )
+    trace.add_argument(
+        "--store-dir",
+        default=".repro-store",
+        help="results-store directory (default: .repro-store)",
     )
 
     subparsers.add_parser("policies", help="list registered scheduling policies")
@@ -678,6 +736,7 @@ def _dry_run_line(name: str, counts: Dict[str, int]) -> str:
 
 
 def _cmd_campaign_run(args: argparse.Namespace, report_only: bool) -> int:
+    _configure_logging(args.log_level)
     campaign = get_campaign(args.campaign)
     scheduler = CampaignScheduler(
         campaign,
@@ -686,6 +745,13 @@ def _cmd_campaign_run(args: argparse.Namespace, report_only: bool) -> int:
         plugin_modules=args.plugin_modules,
     )
     store = _store_for(args)
+    if args.trace and store is None:
+        print(
+            "--trace needs --store-dir: the trace artifacts are recorded in "
+            "the results store and referenced from the run's manifest",
+            file=sys.stderr,
+        )
+        return 2
     if args.dry_run:
         cache = ResultCache(args.cache_dir) if args.cache_dir else None
         plan = scheduler.dry_run(
@@ -776,18 +842,27 @@ def _cmd_campaign_run(args: argparse.Namespace, report_only: bool) -> int:
     # An explicit executor owns its own parallelism — don't also pay for a
     # warm pool the sweep would ignore.
     pool_context = _sweep_pool(args) if executor is None else nullcontext(None)
-    with pool_context as pool:
-        outcome = scheduler.run(
-            subgrids=args.subgrids,
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            pool=pool,
-            store=store,
-            recorded_at=_utc_stamp() if store is not None else "",
-            executor=executor,
-            failure_policy=failure_policy,
-            reuse=args.reuse,
-        )
+    # The trace session must exist before any worker spawns (workers pick
+    # the journal directory up from the environment) and is closed on every
+    # exit path; on success the scheduler finalized it into the store first.
+    trace_session = TraceSession() if args.trace else None
+    try:
+        with pool_context as pool:
+            outcome = scheduler.run(
+                subgrids=args.subgrids,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                pool=pool,
+                store=store,
+                recorded_at=_utc_stamp() if store is not None else "",
+                executor=executor,
+                failure_policy=failure_policy,
+                reuse=args.reuse,
+                trace=trace_session,
+            )
+    finally:
+        if trace_session is not None:
+            trace_session.close()
     failed_checks = sum(
         1
         for subgrid in outcome.subgrids()
@@ -798,6 +873,12 @@ def _cmd_campaign_run(args: argparse.Namespace, report_only: bool) -> int:
         print(f"campaign {campaign.name}: {outcome.stats.summary()}")
         for name, stats in outcome.subgrid_stats.items():
             print(f"  {name}: {stats.summary()}")
+        if args.trace:
+            fingerprint = scheduler.fingerprint(args.subgrids)
+            print(
+                f"trace recorded: repro trace {fingerprint[:12]} "
+                f"--store-dir {args.store_dir}"
+            )
         print()
     for name, holes in outcome.quarantined.items():
         for hole in holes:
@@ -999,7 +1080,86 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # Imported lazily: every other command stays free of the service stack.
     from repro.serve import run_server
 
+    _configure_logging(args.log_level)
     return run_server(args.store_dir, host=args.host, port=args.port)
+
+
+def _format_us(value: float) -> str:
+    """Microseconds as a right-aligned millisecond figure for the tables."""
+    return f"{value / 1e3:10.3f} ms"
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    store = ResultsStore(args.store_dir)
+    try:
+        manifest = store.find_manifest(args.fingerprint)
+    except StoreError as exc:
+        # Covers both "no match" and the ambiguous-prefix case: the
+        # exception message already lists the candidate fingerprints.
+        print(str(exc), file=sys.stderr)
+        return 2
+    stats = manifest.stats or {}
+    trace_info = stats.get("trace")
+    if not isinstance(trace_info, dict) or "events_jsonl" not in trace_info:
+        print(
+            f"manifest {manifest.fingerprint[:12]} has no recorded trace; "
+            "re-record the run with `repro campaign run ... --trace "
+            f"--store-dir {args.store_dir}`",
+            file=sys.stderr,
+        )
+        return 2
+    ref = ArtifactRef.from_dict(
+        trace_info["events_jsonl"], "stats.trace.events_jsonl"
+    )
+    try:
+        raw = store.read_artifact(ref)
+    except StoreError as exc:
+        print(f"trace events artifact unreadable: {exc}", file=sys.stderr)
+        return 2
+    events = [json.loads(line) for line in raw.splitlines() if line.strip()]
+    summary = summarize_events(events)
+
+    print(f"trace for {manifest.fingerprint[:12]} ({manifest.provenance.name}):")
+    print(f"  processes: {', '.join(summary['processes']) or 'none'}")
+    print(f"  {summary['spans']} span(s), {summary['instants']} instant(s)")
+    phases = summary["phases"]
+    if phases:
+        width = max(len(name) for name in phases)
+        print("  spans by name:")
+        for name in sorted(phases):
+            entry = phases[name]
+            print(
+                f"    {name:<{width}}  {entry['count']:>5}x  "
+                f"total {_format_us(entry['total_us'])}  "
+                f"max {_format_us(entry['max_us'])}"
+            )
+    subgrids = summary["subgrids"]
+    if subgrids:
+        width = max(len(name) for name in subgrids)
+        print("  by sub-grid:")
+        for name in sorted(subgrids):
+            entry = subgrids[name]
+            print(
+                f"    {name:<{width}}  {entry['points']:>4} point(s)  "
+                f"{entry['spans']:>4} span(s)  "
+                f"total {_format_us(entry['total_us'])}"
+            )
+    # The cpu/wall split the manifest records for the whole sweep: summed
+    # per-process simulation CPU time vs the parallel critical path.
+    sim_cpu = (stats.get("phases") or {}).get("sim_cpu", 0.0)
+    print(
+        f"  sweep timing: sim_cpu {sim_cpu:.2f}s (cpu, summed) | "
+        f"sim_wall {stats.get('sim_wall_s', 0.0):.2f}s (wall, critical path) | "
+        f"elapsed {stats.get('elapsed_s', 0.0):.2f}s"
+    )
+    trace_json = trace_info.get("trace_json", {})
+    if isinstance(trace_json, dict) and "digest" in trace_json:
+        print(
+            "  Perfetto: load artifact "
+            f"{trace_json['digest'][:12]}… (store artifact, ext "
+            f"{trace_json.get('ext', 'json')}) at https://ui.perfetto.dev"
+        )
+    return 0
 
 
 def _cmd_policies() -> int:
@@ -1321,6 +1481,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 return _cmd_store_index(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "policies":
             return _cmd_policies()
         if args.command == "governors":

@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterator, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.runner.faults import (
     CorruptResult,
     FaultInjector,
@@ -216,9 +217,10 @@ def run_spec_guarded(spec: "RunSpec", injector: Optional[FaultInjector]) -> Any:
     plan = injector.fires() if injector is not None else None
     if plan is not None:
         apply_process_fault(plan)  # crash / hang / error act before the run
-    result, timings = run_experiment_timed(
-        spec.resolved_scenario(), keep_trace=spec.keep_trace
-    )
+    with obs.span("point.run", label=spec.display_label()):
+        result, timings = run_experiment_timed(
+            spec.resolved_scenario(), keep_trace=spec.keep_trace
+        )
     return wrap_result(plan, (result, timings))
 
 
@@ -300,9 +302,22 @@ class InProcessExecutor(Executor):
         indices, spec, key = entry
         if attempt < policy.max_attempts:
             stats.retries += 1
-            time.sleep(policy.backoff_for(attempt, key))
+            delay = policy.backoff_for(attempt, key)
+            obs.instant(
+                "executor.retry",
+                label=spec.display_label(),
+                attempt=attempt,
+                backoff_s=round(delay, 6),
+            )
+            time.sleep(delay)
             return None
         if policy.on_exhausted == "quarantine":
+            obs.instant(
+                "executor.quarantine",
+                label=spec.display_label(),
+                attempts=attempt,
+                error=type(exc).__name__,
+            )
             return QuarantinedPoint(
                 label=spec.display_label(),
                 key=key,
@@ -423,6 +438,13 @@ class PoolExecutor(Executor):
             if task.attempt < policy.max_attempts:
                 stats.retries += 1
                 delay = policy.backoff_for(task.attempt, key)
+                obs.instant(
+                    "executor.retry",
+                    label=spec.display_label(),
+                    attempt=task.attempt,
+                    backoff_s=round(delay, 6),
+                    error=type(error).__name__,
+                )
                 task_id = session.submit(
                     execute_batch_guarded,
                     [(position, spec)],
@@ -432,6 +454,12 @@ class PoolExecutor(Executor):
                 )
                 pending[task_id] = _PoolTask([position], attempt=task.attempt + 1)
             elif policy.on_exhausted == "quarantine":
+                obs.instant(
+                    "executor.quarantine",
+                    label=spec.display_label(),
+                    attempts=task.attempt,
+                    error=type(error).__name__,
+                )
                 events.append(
                     QuarantinedPoint(
                         label=spec.display_label(),

@@ -65,6 +65,7 @@ from typing import (
     TypeVar,
 )
 
+from repro import obs
 from repro.runner.executor import PayloadError, SpecTimeoutError, WorkerDiedError
 from repro.runner.faults import CorruptResult, VanishResult
 from repro.scenario import load_plugins
@@ -130,16 +131,19 @@ def _worker_main(conn: Any, plugin_modules: Tuple[str, ...], ready: Any) -> None
     workers respawned mid-campaign get ``ready=None`` (the start-up
     semaphore may already be gone by the time the child unpickles it).
     """
+    obs.install_from_env("pool-worker")
     try:
-        import repro.runner.sweep  # noqa: F401  (imports the full simulator stack)
+        with obs.span("worker.start", plugins=len(plugin_modules)):
+            import repro.runner.sweep  # noqa: F401  (imports the full simulator stack)
 
-        load_plugins(plugin_modules)
+            load_plugins(plugin_modules)
     except Exception:
         pass
     finally:
         if ready is not None:
             ready.release()
     while True:
+        obs.flush()
         try:
             message = conn.recv()
         except (EOFError, OSError):
@@ -148,7 +152,8 @@ def _worker_main(conn: Any, plugin_modules: Tuple[str, ...], ready: Any) -> None
             return
         task_id, function, argument = message
         try:
-            value = function(argument)
+            with obs.span("worker.batch"):
+                value = function(argument)
         except Exception as exc:
             try:
                 payload_exc: Exception = exc
@@ -448,6 +453,8 @@ class WorkerPool:
         """
         if self._workers:
             return 0.0
+        pool_span = obs.span("pool.start", jobs=self.jobs)
+        pool_span.__enter__()
         began = time.perf_counter()
         # Readiness handshake: every worker releases once from its body and
         # the parent acquires jobs times, so start() returns only when all
@@ -464,6 +471,8 @@ class WorkerPool:
                 break  # pragma: no cover - degraded: cost lands in batch 1
         self.startup_s = time.perf_counter() - began
         self.starts += 1
+        pool_span.set(startup_s=round(self.startup_s, 6))
+        pool_span.__exit__(None, None, None)
         return self.startup_s
 
     def _kill_worker(self, worker: _Worker) -> None:
@@ -490,6 +499,7 @@ class WorkerPool:
         finishes.
         """
         self.respawns += 1
+        obs.instant("pool.respawn", respawns=self.respawns)
         self._workers.append(self._spawn_one(None))
 
     def session(self) -> TaskSession:

@@ -51,6 +51,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro import obs
 from repro.runner.cache import ResultCache
 from repro.runner.executor import (
     ColdEntry,
@@ -170,13 +171,16 @@ class WorkQueue:
                 self.lease_path(task_id), os.O_CREAT | os.O_EXCL | os.O_WRONLY
             )
         except FileExistsError:
+            obs.instant("queue.claim", task=task_id, won=False)
             return False
         with os.fdopen(fd, "w") as handle:
             json.dump(lease, handle)
+        obs.instant("queue.claim", task=task_id, won=True)
         return True
 
     def renew(self, task_id: int, lease: Dict[str, Any]) -> None:
         """Heartbeat: atomically rewrite the lease with a fresh deadline."""
+        obs.instant("queue.heartbeat", task=task_id)
         _atomic_write_bytes(
             self.lease_path(task_id), json.dumps(lease).encode("utf-8")
         )
@@ -356,12 +360,14 @@ def queue_worker_main(
     only exists so spawn cost is measured by the driver (``None`` for
     respawned workers — the original semaphore may be gone by then).
     """
+    obs.install_from_env("queue-worker")
     try:
-        import repro.runner.sweep  # noqa: F401  (imports the full simulator stack)
+        with obs.span("worker.start", plugins=len(plugin_modules)):
+            import repro.runner.sweep  # noqa: F401  (imports the full simulator stack)
 
-        from repro.scenario import load_plugins
+            from repro.scenario import load_plugins
 
-        load_plugins(plugin_modules)
+            load_plugins(plugin_modules)
     except Exception:
         pass
     finally:
@@ -370,6 +376,7 @@ def queue_worker_main(
     queue = WorkQueue(queue_dir)
     injector = FaultInjector.from_env()
     while True:
+        obs.flush()
         claimed = False
         for path in queue.list_tasks():
             try:
@@ -383,7 +390,10 @@ def queue_worker_main(
             probe = _Heartbeat(queue, task["task_id"], worker, lease_s, heartbeat_s)
             if not queue.claim(task["task_id"], probe.lease()):
                 continue
-            _run_claimed_task(queue, task, worker, lease_s, heartbeat_s, injector)
+            with obs.span(
+                "worker.task", task=task["task_id"], attempt=task["attempt"]
+            ):
+                _run_claimed_task(queue, task, worker, lease_s, heartbeat_s, injector)
             claimed = True
             break
         if not claimed:
@@ -618,6 +628,9 @@ class QueueExecutor:
                 except (OSError, TypeError):  # pragma: no cover - already gone
                     pass
                 holder.join(5.0)
+            obs.instant(
+                "queue.steal", task=task_id, reason=type(error).__name__
+            )
             queue.release(task_id)
             yield from self._failed(
                 queue, pending, task_id, cold, error, policy, stats, cache_dir
@@ -683,7 +696,15 @@ class QueueExecutor:
             indices, spec, key = cold[position]
             if task.attempt < policy.max_attempts:
                 stats.retries += 1
-                not_before = time.time() + policy.backoff_for(task.attempt, key)
+                delay = policy.backoff_for(task.attempt, key)
+                obs.instant(
+                    "executor.retry",
+                    label=spec.display_label(),
+                    attempt=task.attempt,
+                    backoff_s=round(delay, 6),
+                    error=type(error).__name__,
+                )
+                not_before = time.time() + delay
                 next_id = self._next_task_id
                 self._next_task_id += 1
                 pending[next_id] = _QueueTask([position], attempt=task.attempt + 1)
@@ -691,6 +712,12 @@ class QueueExecutor:
                     next_id, task.attempt + 1, [(position, spec)], cache_dir, not_before
                 )
             elif policy.on_exhausted == "quarantine":
+                obs.instant(
+                    "executor.quarantine",
+                    label=spec.display_label(),
+                    attempts=task.attempt,
+                    error=type(error).__name__,
+                )
                 yield QuarantinedPoint(
                     label=spec.display_label(),
                     key=key,

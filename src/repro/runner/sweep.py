@@ -41,9 +41,11 @@ bit-identical to running the same specs sequentially in one process
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
+from repro.obs import MetricsRegistry
 from repro.runner.cache import ResultCache, cache_key
 from repro.runner.executor import (
     STRICT_POLICY,
@@ -199,7 +201,58 @@ class RunSpec:
         return f"{resolved.name}/{resolved.policy}"
 
 
-@dataclass
+#: The disjoint wall-time attributions ``phases()`` reports, in display
+#: order.  ``elapsed_s`` (the whole sweep) and ``sim_wall_s`` (a derived
+#: critical-path estimate overlapping ``sim_cpu_s``) are deliberately not
+#: phases.
+_PHASE_FIELDS = (
+    "resolve_s",
+    "build_s",
+    "sim_cpu_s",
+    "serialize_s",
+    "index_lookup_s",
+    "pool_startup_s",
+)
+
+#: Count-shaped stats fields backed by registry counters.
+_COUNT_FIELDS = ("cache_hits", "reused_points", "executed", "batches", "retries")
+
+
+def _count_property(name: str) -> property:
+    """An int-valued counter view (``stats.executed += 1`` keeps working)."""
+
+    def getter(self) -> int:
+        return int(self._counters[name].value)
+
+    def setter(self, value: int) -> None:
+        self._counters[name].set(float(value))
+
+    return property(getter, setter)
+
+
+def _phase_property(name: str) -> property:
+    """A float-seconds counter view for one accumulated phase."""
+
+    def getter(self) -> float:
+        return self._phase_counters[name].value
+
+    def setter(self, value: float) -> None:
+        self._phase_counters[name].set(float(value))
+
+    return property(getter, setter)
+
+
+def _gauge_property(name: str, as_int: bool = False) -> property:
+    def getter(self):
+        value = self._gauges[name].value
+        return int(value) if as_int else value
+
+    def setter(self, value) -> None:
+        self._gauges[name].set(float(value))
+
+    return property(getter, setter)
+
+
 class SweepStats:
     """What a sweep did, and where its time went.
 
@@ -228,25 +281,89 @@ class SweepStats:
     sweep", where ``sim_cpu_s`` answers "how much simulating was done";
     earlier versions reported only the sum under the name ``sim_s``, which
     read like (and was routinely mistaken for) a wall-clock figure.
+
+    Every field is a compatibility property over a per-instance
+    :class:`~repro.obs.MetricsRegistry` (``stats.metrics``), so callers keep
+    the historical mutable-field surface (``stats.executed += 1``) while
+    export layers read one structured :meth:`~repro.obs.MetricsRegistry.
+    snapshot` instead of scraping ad-hoc attributes.
     """
 
-    total: int = 0
-    cache_hits: int = 0
-    reused_points: int = 0
-    executed: int = 0
-    jobs: int = 1
-    batches: int = 0
-    retries: int = 0
-    quarantined: List[QuarantinedPoint] = field(default_factory=list)
-    elapsed_s: float = 0.0
-    resolve_s: float = 0.0
-    build_s: float = 0.0
-    sim_cpu_s: float = 0.0
-    sim_wall_s: float = 0.0
-    serialize_s: float = 0.0
-    index_lookup_s: float = 0.0
-    pool_startup_s: float = 0.0
-    cache_dir: Optional[str] = None
+    def __init__(
+        self,
+        total: int = 0,
+        cache_hits: int = 0,
+        reused_points: int = 0,
+        executed: int = 0,
+        jobs: int = 1,
+        batches: int = 0,
+        retries: int = 0,
+        quarantined: Optional[List[QuarantinedPoint]] = None,
+        elapsed_s: float = 0.0,
+        resolve_s: float = 0.0,
+        build_s: float = 0.0,
+        sim_cpu_s: float = 0.0,
+        sim_wall_s: float = 0.0,
+        serialize_s: float = 0.0,
+        index_lookup_s: float = 0.0,
+        pool_startup_s: float = 0.0,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        self.metrics = MetricsRegistry()
+        self._counters = {
+            name: self.metrics.counter(f"repro_sweep_{name}_total")
+            for name in _COUNT_FIELDS
+        }
+        self._phase_counters = {
+            name: self.metrics.counter(
+                "repro_sweep_phase_seconds_total", phase=name[: -len("_s")]
+            )
+            for name in _PHASE_FIELDS
+        }
+        self._gauges = {
+            "total": self.metrics.gauge("repro_sweep_points"),
+            "jobs": self.metrics.gauge("repro_sweep_jobs"),
+            "elapsed_s": self.metrics.gauge("repro_sweep_elapsed_seconds"),
+            "sim_wall_s": self.metrics.gauge("repro_sweep_sim_wall_seconds"),
+        }
+        self.quarantined: List[QuarantinedPoint] = (
+            [] if quarantined is None else quarantined
+        )
+        self.cache_dir = cache_dir
+        self.total = total
+        self.cache_hits = cache_hits
+        self.reused_points = reused_points
+        self.executed = executed
+        self.jobs = jobs
+        self.batches = batches
+        self.retries = retries
+        self.elapsed_s = elapsed_s
+        self.resolve_s = resolve_s
+        self.build_s = build_s
+        self.sim_cpu_s = sim_cpu_s
+        self.sim_wall_s = sim_wall_s
+        self.serialize_s = serialize_s
+        self.index_lookup_s = index_lookup_s
+        self.pool_startup_s = pool_startup_s
+
+    cache_hits = _count_property("cache_hits")
+    reused_points = _count_property("reused_points")
+    executed = _count_property("executed")
+    batches = _count_property("batches")
+    retries = _count_property("retries")
+    resolve_s = _phase_property("resolve_s")
+    build_s = _phase_property("build_s")
+    sim_cpu_s = _phase_property("sim_cpu_s")
+    serialize_s = _phase_property("serialize_s")
+    index_lookup_s = _phase_property("index_lookup_s")
+    pool_startup_s = _phase_property("pool_startup_s")
+    total = _gauge_property("total", as_int=True)
+    jobs = _gauge_property("jobs", as_int=True)
+    elapsed_s = _gauge_property("elapsed_s")
+    sim_wall_s = _gauge_property("sim_wall_s")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SweepStats({self.summary()})"
 
     @property
     def hit_rate(self) -> float:
@@ -265,14 +382,17 @@ class SweepStats:
         ``sim_wall_s`` (a derived critical-path estimate that overlaps
         ``sim_cpu_s``) and ``elapsed_s`` are deliberately excluded.
         """
-        return {
-            f.name[: -len("_s")]: getattr(self, f.name)
-            for f in fields(self)
-            if f.name.endswith("_s") and f.name not in ("elapsed_s", "sim_wall_s")
-        }
+        return {name[: -len("_s")]: getattr(self, name) for name in _PHASE_FIELDS}
 
     def summary(self) -> str:
-        """One-line human-readable summary for CLI / script output."""
+        """One-line human-readable summary for CLI / script output.
+
+        Phase times are CPU-time attributions (summed across workers) and
+        say so explicitly; the simulation's wall-clock critical path prints
+        separately as ``sim_wall ... (wall)`` — earlier versions printed it
+        unlabelled next to the summed phases, where it read as just another
+        addend.
+        """
         parts = [
             f"{self.total} run(s)",
             f"{self.cache_hits} cache hit(s)",
@@ -291,10 +411,10 @@ class SweepStats:
             for name, seconds in self.phases().items()
             if seconds >= 0.005
         ]
-        if self.sim_wall_s >= 0.005 and self.sim_wall_s != self.sim_cpu_s:
-            phase_parts.append(f"sim_wall {self.sim_wall_s:.2f}s")
         if phase_parts:
-            parts.append("[" + ", ".join(phase_parts) + "]")
+            parts.append("[cpu: " + ", ".join(phase_parts) + "]")
+        if self.sim_wall_s >= 0.005 and self.sim_wall_s != self.sim_cpu_s:
+            parts.append(f"sim_wall {self.sim_wall_s:.2f}s (wall)")
         if self.cache_dir:
             parts.append(f"cache={self.cache_dir}")
         return "sweep: " + ", ".join(parts)
@@ -529,6 +649,15 @@ def _land_result(
     progress reporting) cannot drift apart.
     """
     indices, spec, key = entry
+    # Driver-side attribution span: carries the point indices (the join key
+    # for per-sub-grid aggregation in `repro trace`) with the worker-measured
+    # execution time, since the worker itself does not know sweep indices.
+    obs.complete(
+        "executor.landed",
+        timings.resolve_s + timings.build_s + timings.sim_s,
+        label=spec.display_label(),
+        indices=list(indices),
+    )
     stats.add_timings(timings)
     for index in indices:
         results[index] = result

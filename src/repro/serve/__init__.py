@@ -20,7 +20,17 @@ Layers (each its own module, testable in isolation):
 
 See ``docs/results_service.md`` for endpoints and caching semantics, and
 ``benchmarks/perf/bench_serve.py`` for the tracked load benchmark.
+
+Logging: the service logs through the stdlib ``repro.serve`` logger
+(access lines at INFO with structured ``extra`` fields).  The library adds
+only a :class:`logging.NullHandler`, so embedding consumers hear nothing
+unless they configure handlers; ``repro serve --log-level`` attaches a
+stderr handler in the CLI.
 """
+
+import logging as _logging
+
+_logging.getLogger("repro.serve").addHandler(_logging.NullHandler())
 
 from repro.serve.app import ResultsApp
 from repro.serve.cache import DEFAULT_CACHE_BYTES, BlobCache

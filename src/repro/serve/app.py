@@ -2,7 +2,12 @@
 
 Every recorded figure, table and narrative becomes a cacheable URL:
 
-* ``GET /healthz`` — liveness plus store and hot-cache counters.
+* ``GET /healthz`` — liveness plus store and hot-cache counters, service
+  version, pid, uptime and requests served.
+* ``GET /metrics`` — the service's instruments in the Prometheus text
+  exposition format: request counts and latency histograms (by method and
+  status), hot-blob-cache hits/misses/evictions and occupancy, store
+  manifest count and size.  See ``docs/observability.md``.
 * ``GET /manifests`` — index of recorded runs (newest first), the JSON
   shape of ``repro store list --format json``.
 * ``GET /manifests/<fingerprint>`` — one manifest's full JSON; a unique
@@ -36,10 +41,14 @@ serving recorded results never resolves a scenario or runs the simulator.
 from __future__ import annotations
 
 import json
+import os
+import time
 from typing import Optional, Tuple
 
+from repro.obs import MetricsRegistry, span
 from repro.serve.cache import DEFAULT_CACHE_BYTES, BlobCache
 from repro.serve.http import Request, Response
+from repro.version import __version__
 from repro.store import (
     AmbiguousFingerprintError,
     ArtifactRef,
@@ -52,6 +61,9 @@ from repro.store import (
 )
 
 JSON_TYPE = "application/json; charset=utf-8"
+
+#: The Prometheus text exposition format's registered content type.
+METRICS_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Artifacts are content-addressed: the URL names the bytes, so any cache
 #: may keep them forever.
@@ -90,7 +102,37 @@ class ResultsApp:
         self, store: ResultsStore, cache_bytes: int = DEFAULT_CACHE_BYTES
     ) -> None:
         self.store = store
-        self.blob_cache = BlobCache(cache_bytes)
+        # One registry spans the cache's counters and the HTTP metrics, so
+        # `/metrics` renders every series in a single pass.
+        self.metrics = MetricsRegistry()
+        self.blob_cache = BlobCache(cache_bytes, registry=self.metrics)
+        self.started_monotonic = time.monotonic()
+        self._requests_served = 0
+
+    def record_request(
+        self, method: str, path: str, status: int, elapsed_s: float
+    ) -> None:
+        """Per-request accounting hook, wired to the protocol layer's observer.
+
+        Paths are reduced to their route class (``/artifacts/<sha>`` counts
+        as ``/artifacts``) so the label set stays bounded no matter how many
+        blobs the store holds.
+        """
+        self._requests_served += 1
+        route = "/" + path.strip("/").split("/", 1)[0] if path.strip("/") else "/"
+        self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by method, route and status.",
+            method=method,
+            route=route,
+            status=str(status),
+        ).inc()
+        self.metrics.histogram(
+            "repro_http_request_seconds",
+            "HTTP request handling latency.",
+            method=method,
+            route=route,
+        ).observe(elapsed_s)
 
     async def __call__(self, request: Request) -> Response:
         if request.method not in ("GET", "HEAD"):
@@ -99,19 +141,22 @@ class ResultsApp:
                 headers=(("Allow", "GET, HEAD"),),
             )
         parts = [part for part in request.path.split("/") if part]
-        if parts == ["healthz"]:
-            return self._healthz()
-        if parts == ["manifests"]:
-            return self._manifest_index(request)
-        if len(parts) == 2 and parts[0] == "manifests":
-            return self._manifest(request, parts[1])
-        if len(parts) == 2 and parts[0] == "artifacts":
-            return self._artifact(request, parts[1])
-        if len(parts) in (3, 4) and parts[0] == "reports":
-            return self._report(request, parts[1], "/".join(parts[2:]))
-        if len(parts) == 2 and parts[0] == "points":
-            return self._point(request, parts[1])
-        return self._error(404, f"no route for {request.path}")
+        with span("serve.request", method=request.method, path=request.path):
+            if parts == ["healthz"]:
+                return self._healthz()
+            if parts == ["metrics"]:
+                return self._metrics()
+            if parts == ["manifests"]:
+                return self._manifest_index(request)
+            if len(parts) == 2 and parts[0] == "manifests":
+                return self._manifest(request, parts[1])
+            if len(parts) == 2 and parts[0] == "artifacts":
+                return self._artifact(request, parts[1])
+            if len(parts) in (3, 4) and parts[0] == "reports":
+                return self._report(request, parts[1], "/".join(parts[2:]))
+            if len(parts) == 2 and parts[0] == "points":
+                return self._point(request, parts[1])
+            return self._error(404, f"no route for {request.path}")
 
     # ------------------------------------------------------------------ #
     # Routes
@@ -119,6 +164,10 @@ class ResultsApp:
     def _healthz(self) -> Response:
         payload = {
             "status": "ok",
+            "version": __version__,
+            "pid": os.getpid(),
+            "uptime_s": round(time.monotonic() - self.started_monotonic, 3),
+            "requests_served": self._requests_served,
             "store_dir": str(self.store.directory),
             "manifests": len(self.store.manifests()),
             "blob_cache": self.blob_cache.stats(),
@@ -126,6 +175,38 @@ class ResultsApp:
         return Response(
             body=_json_body(payload),
             content_type=JSON_TYPE,
+            headers=(("Cache-Control", "no-store"),),
+        )
+
+    def _metrics(self) -> Response:
+        """Prometheus text exposition of every instrument the app holds.
+
+        Point-in-time gauges (cache occupancy, store size) are refreshed on
+        each scrape; the counters and histograms accumulate continuously via
+        :meth:`record_request` and the blob cache.
+        """
+        cache_stats = self.blob_cache.stats()
+        self.metrics.gauge(
+            "repro_blob_cache_entries", "Hot-blob cache entries."
+        ).set(cache_stats["entries"])
+        self.metrics.gauge(
+            "repro_blob_cache_bytes", "Hot-blob cache occupancy in bytes."
+        ).set(cache_stats["bytes"])
+        self.metrics.gauge(
+            "repro_blob_cache_max_bytes", "Hot-blob cache byte budget."
+        ).set(cache_stats["max_bytes"])
+        self.metrics.gauge(
+            "repro_store_manifests", "Manifests recorded in the served store."
+        ).set(len(self.store.manifests()))
+        self.metrics.gauge(
+            "repro_store_size_bytes", "Total size of the served store on disk."
+        ).set(self.store.size_bytes())
+        self.metrics.gauge(
+            "repro_serve_uptime_seconds", "Seconds since the app started."
+        ).set(time.monotonic() - self.started_monotonic)
+        return Response(
+            body=self.metrics.render_prometheus().encode("utf-8"),
+            content_type=METRICS_TYPE,
             headers=(("Cache-Control", "no-store"),),
         )
 

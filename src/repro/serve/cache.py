@@ -7,15 +7,19 @@ hash on every disk read; caching the verified bytes means a hot report is
 served without touching the filesystem *or* re-hashing, which is where the
 service's requests/s comes from (see ``benchmarks/perf/bench_serve.py``).
 
-Counters are plain ints mutated from the single event loop thread (the
-server is one loop); readers from other threads (the benchmark, tests)
-only ever see a consistent snapshot via :meth:`BlobCache.stats`.
+Counters live in a :class:`~repro.obs.MetricsRegistry` — the app shares one
+registry across the cache and its HTTP metrics so ``GET /metrics`` renders
+them in one pass — and are mutated only from the single event-loop thread;
+readers from other threads (the benchmark, tests) only ever see a
+consistent snapshot via :meth:`BlobCache.stats`.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
+
+from repro.obs import MetricsRegistry
 
 #: Default byte budget for the hot-blob cache — comfortably holds every
 #: rendered artifact of dozens of recorded campaigns (reports are tens of
@@ -26,13 +30,48 @@ DEFAULT_CACHE_BYTES = 8 * 1024 * 1024
 class BlobCache:
     """``digest -> (bytes, ext)`` with LRU eviction under a byte budget."""
 
-    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_CACHE_BYTES,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.max_bytes = max(0, int(max_bytes))
         self._entries: "OrderedDict[str, Tuple[bytes, str]]" = OrderedDict()
         self._bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._hits = self.metrics.counter(
+            "repro_blob_cache_hits_total", "Hot-blob cache hits."
+        )
+        self._misses = self.metrics.counter(
+            "repro_blob_cache_misses_total", "Hot-blob cache misses."
+        )
+        self._evictions = self.metrics.counter(
+            "repro_blob_cache_evictions_total", "Hot-blob LRU evictions."
+        )
+
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.set(float(value))
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.set(float(value))
+
+    @property
+    def evictions(self) -> int:
+        return int(self._evictions.value)
+
+    @evictions.setter
+    def evictions(self, value: int) -> None:
+        self._evictions.set(float(value))
 
     def get(self, digest: str) -> Optional[Tuple[bytes, str]]:
         entry = self._entries.get(digest)

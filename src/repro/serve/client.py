@@ -21,15 +21,49 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
-import sys
+import logging
 import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.serve.app import ResultsApp
 from repro.serve.cache import DEFAULT_CACHE_BYTES
-from repro.serve.http import AccessLog, HttpServer
+from repro.serve.http import AccessLog, HttpServer, RequestObserver
 from repro.store import ResultsStore
+
+#: The service's stdlib logger.  The package installs only a NullHandler,
+#: so embedding consumers decide whether access lines go anywhere; the CLI
+#: attaches a stderr handler via ``repro serve --log-level``.
+logger = logging.getLogger("repro.serve")
+
+
+def _observer_for(app: ResultsApp, log: bool) -> RequestObserver:
+    """Metrics + (optionally) structured access logging for one app."""
+
+    def observe(
+        peer: str, method: str, path: str, status: int, written: int, elapsed_s: float
+    ) -> None:
+        app.record_request(method, path, status, elapsed_s)
+        if log:
+            logger.info(
+                '%s "%s %s" %d %dB %.1fms',
+                peer,
+                method,
+                path,
+                status,
+                written,
+                elapsed_s * 1e3,
+                extra={
+                    "peer": peer,
+                    "method": method,
+                    "path": path,
+                    "status": status,
+                    "bytes": written,
+                    "elapsed_ms": round(elapsed_s * 1e3, 3),
+                },
+            )
+
+    return observe
 
 
 class ServiceError(RuntimeError):
@@ -226,7 +260,11 @@ class BackgroundResultsServer:
 
     async def _main(self) -> None:
         server = HttpServer(
-            self.app, host=self.host, port=self.port, access_log=self._access_log
+            self.app,
+            host=self.host,
+            port=self.port,
+            access_log=self._access_log,
+            observer=_observer_for(self.app, log=False),
         )
         await server.start()
         self.port = server.port
@@ -249,24 +287,29 @@ def run_server(
     """The ``repro serve`` entry point: foreground, access-logged, Ctrl-C.
 
     Prints the bound address on stdout (flushed, so a scripted caller — the
-    CI smoke job — can wait for readiness), logs one line per request to
-    stderr, and shuts down gracefully on SIGINT: in-flight responses finish
-    before the process exits.
+    CI smoke job — can wait for readiness), logs one access line per request
+    through the ``repro.serve`` stdlib logger (the CLI attaches a stderr
+    handler; see ``repro serve --log-level``), and shuts down gracefully on
+    SIGINT: in-flight responses finish before the process exits.
     """
     store = ResultsStore(store_dir)
-
-    def access_log(line: str) -> None:
-        print(line, file=sys.stderr, flush=True)
+    app = ResultsApp(store)
 
     async def serve() -> None:
         server = HttpServer(
-            ResultsApp(store), host=host, port=port, access_log=access_log
+            app, host=host, port=port, observer=_observer_for(app, log=True)
         )
         await server.start()
         print(
             f"repro serve: results store {store.directory} on "
             f"http://{server.host}:{server.port} (Ctrl-C to stop)",
             flush=True,
+        )
+        logger.info(
+            "serving store %s on http://%s:%d",
+            store.directory,
+            server.host,
+            server.port,
         )
         try:
             await server.serve_forever()
@@ -276,5 +319,5 @@ def run_server(
     try:
         asyncio.run(serve())
     except KeyboardInterrupt:
-        print("repro serve: shutting down", file=sys.stderr)
+        logger.info("shutting down")
     return 0

@@ -60,6 +60,12 @@ SERVER_NAME = f"repro-serve/{__version__}"
 
 AccessLog = Callable[[str], None]
 
+#: Structured per-request hook: ``observer(peer, method, path, status,
+#: written_bytes, elapsed_s)``.  This is what the metrics registry and the
+#: structured access logger hang off — the protocol layer stays free of
+#: both policies.
+RequestObserver = Callable[[str, str, str, int, int, float], None]
+
 
 class ProtocolError(Exception):
     """A malformed or over-limit request; carries the status to answer with."""
@@ -261,11 +267,13 @@ class HttpServer:
         host: str = "127.0.0.1",
         port: int = 0,
         access_log: Optional[AccessLog] = None,
+        observer: Optional[RequestObserver] = None,
     ) -> None:
         self.handler = handler
         self.host = host
         self.port = port
         self.access_log = access_log
+        self.observer = observer
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Dict[asyncio.Task, _Connection] = {}
         self._closing = False
@@ -369,11 +377,20 @@ class HttpServer:
                 )
             finally:
                 connection.busy = False
+            elapsed_s = time.perf_counter() - began
+            if self.observer is not None:
+                self.observer(
+                    peer_text,
+                    request.method,
+                    request.path,
+                    response.status,
+                    written,
+                    elapsed_s,
+                )
             if self.access_log is not None:
-                elapsed_ms = (time.perf_counter() - began) * 1e3
                 self.access_log(
                     f'{peer_text} "{request.method} {request.path}" '
-                    f"{response.status} {written}B {elapsed_ms:.1f}ms"
+                    f"{response.status} {written}B {elapsed_s * 1e3:.1f}ms"
                 )
             if not keep_alive:
                 break

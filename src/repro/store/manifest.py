@@ -617,6 +617,21 @@ class Manifest:
             for position, point in enumerate(entry.points):
                 if point.result is not None:
                     refs[f"{entry.name}/points[{position}]/result"] = point.result
+        # Trace artifacts recorded by `campaign run --trace` live only in the
+        # free-form stats field; include them here so gc keeps them alive
+        # and verify content-checks them.  Stats are untyped, so anything
+        # malformed is simply not a reference.
+        trace_info = self.stats.get("trace")
+        if isinstance(trace_info, Mapping):
+            for key in ("events_jsonl", "trace_json"):
+                data = trace_info.get(key)
+                if isinstance(data, Mapping):
+                    try:
+                        refs[f"stats/trace/{key}"] = ArtifactRef.from_dict(
+                            data, f"stats.trace.{key}"
+                        )
+                    except StoreError:
+                        continue
         return refs
 
     # ------------------------------------------------------------------ #

@@ -36,6 +36,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.campaign.report import (
     DEFAULT_COLUMNS,
     Point,
@@ -72,6 +73,7 @@ PathLike = Union[str, Path]
 CONTENT_TYPES = {
     "md": "text/markdown; charset=utf-8",
     "json": "application/json; charset=utf-8",
+    "jsonl": "application/x-ndjson",
     "csv": "text/csv; charset=utf-8",
     "txt": "text/plain; charset=utf-8",
     "html": "text/html; charset=utf-8",
@@ -180,7 +182,8 @@ class ResultsStore:
         ref = ArtifactRef(digest=content_digest(raw), ext=ext, size=len(raw))
         path = self.artifact_path(ref)
         if not path.is_file():
-            _atomic_write(path, raw)
+            with obs.span("store.put_artifact", ext=ext, size=len(raw)):
+                _atomic_write(path, raw)
         return ref
 
     def read_artifact_bytes(self, ref: ArtifactRef) -> bytes:
@@ -232,10 +235,11 @@ class ResultsStore:
 
     def put_manifest(self, manifest: Manifest) -> Path:
         path = self.manifest_path(manifest.fingerprint)
-        _atomic_write(path, (manifest.to_json() + "\n").encode("utf-8"))
-        # Keep the point index current on every recording — this is the
-        # single choke point all recording paths go through.
-        self.point_index.record_manifest(manifest)
+        with obs.span("store.put_manifest", fingerprint=manifest.fingerprint[:12]):
+            _atomic_write(path, (manifest.to_json() + "\n").encode("utf-8"))
+            # Keep the point index current on every recording — this is the
+            # single choke point all recording paths go through.
+            self.point_index.record_manifest(manifest)
         return path
 
     def get_manifest(self, fingerprint: str) -> Optional[Manifest]:
@@ -316,6 +320,7 @@ class ResultsStore:
         :meth:`clear_partial`, so a lingering journal *means* "crashed
         mid-run".
         """
+        obs.instant("store.record_partial", fingerprint=fingerprint[:12])
         path = self.partial_path(fingerprint)
         data = {"fingerprint": fingerprint, **payload}
         _atomic_write(path, (json.dumps(data, indent=2) + "\n").encode("utf-8"))
@@ -344,6 +349,7 @@ class ResultsStore:
         outcome: "CampaignResult",
         fingerprint: str,
         provenance: Provenance,
+        extra_stats: Optional[Dict[str, Any]] = None,
     ) -> Manifest:
         """Render and persist everything one campaign run produced.
 
@@ -352,6 +358,11 @@ class ResultsStore:
         both formats, and the generated narrative are rendered *now* —
         while the results are in memory — and every later ``campaign
         report`` against the same fingerprint is a pure read.
+
+        ``extra_stats`` is merged over the sweep's own telemetry payload in
+        the manifest's free-form ``stats`` field — how a traced run attaches
+        its trace-artifact references without any schema change or report
+        perturbation.
         """
         entries = []
         for subgrid in outcome.subgrids():
@@ -468,7 +479,7 @@ class ResultsStore:
             provenance=provenance,
             subgrids=tuple(entries),
             artifacts=artifacts,
-            stats=_stats_payload(outcome.stats),
+            stats={**_stats_payload(outcome.stats), **(extra_stats or {})},
         )
         # The narrative renders *from* the manifest (it quotes the recorded
         # rows and check outcomes), so it is attached in a second step.
@@ -720,6 +731,7 @@ def _stats_payload(stats: Any) -> Dict[str, Any]:
         "executed": stats.executed,
         "jobs": stats.jobs,
         "elapsed_s": stats.elapsed_s,
+        "sim_wall_s": getattr(stats, "sim_wall_s", 0.0),
         "retries": getattr(stats, "retries", 0),
         "quarantined": len(getattr(stats, "quarantined", ())),
         "phases": stats.phases(),

@@ -16,6 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.obs import span
 from repro.scenario import Scenario, critical_cores_for, resolve_scenario
 from repro.sim.config import SimulationConfig
 from repro.sim.trace import TimeSeries, TraceRecorder
@@ -172,13 +173,21 @@ def run_experiment_timed(
     """
     timings = RunTimings()
     started = time.perf_counter()
-    resolved = resolve_scenario(scenario)
+    with span("experiment.resolve"):
+        resolved = resolve_scenario(scenario)
     built = time.perf_counter()
     timings.resolve_s = built - started
-    system = build_system(resolved, kernel=kernel)
+    with span("experiment.build", scenario=resolved.name):
+        system = build_system(resolved, kernel=kernel)
     ran = time.perf_counter()
     timings.build_s = ran - built
-    result = run_experiment(scenario=resolved, keep_trace=keep_trace, system=system)
+    with span(
+        "experiment.sim", scenario=resolved.name, policy=system.policy_name
+    ) as sim_span:
+        result = run_experiment(scenario=resolved, keep_trace=keep_trace, system=system)
+        sim_span.set(
+            fired_events=system.engine.fired_events, now_ps=system.engine.now_ps
+        )
     timings.sim_s = time.perf_counter() - ran
     return result, timings
 

@@ -1,0 +1,131 @@
+"""Metrics-registry unit tests, plus the compatibility-property contract.
+
+The registry replaced the ad-hoc timing/counter fields on
+:class:`~repro.runner.sweep.SweepStats`, :class:`~repro.runner.cache.ResultCache`
+and :class:`~repro.serve.cache.BlobCache`; those objects now expose the same
+attribute names as properties backed by registry instruments, so both the
+old call sites (``stats.hits += 1``) and the new export surfaces see one
+source of truth.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from repro.runner.cache import ResultCache
+from repro.runner.sweep import SweepStats
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negative(self):
+        counter = MetricsRegistry().counter("c_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        with pytest.raises(ValueError):
+            counter.set(1.0)  # backwards
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(12)
+        assert gauge.value == 3
+
+    def test_histogram_cumulative_buckets_end_in_inf(self):
+        histogram = Histogram(buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.cumulative() == [(0.1, 1), (1.0, 3), (math.inf, 4)]
+        assert histogram.sum == pytest.approx(6.05)
+        assert histogram.count == 4
+
+    def test_default_buckets_are_sorted_and_span_ms_to_seconds(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 5.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits_total", route="/a")
+        second = registry.counter("hits_total", route="/a")
+        assert first is second
+        other = registry.counter("hits_total", route="/b")
+        assert other is not first
+
+    def test_kind_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_snapshot_is_deterministic_and_plain(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", "second").inc(2)
+        registry.gauge("a", "first").set(1.5)
+        registry.histogram("lat_seconds", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a", "b_total", "lat_seconds"]
+        assert snapshot["a"] == {
+            "type": "gauge",
+            "series": [{"labels": {}, "value": 1.5}],
+        }
+        assert snapshot["lat_seconds"]["series"][0]["count"] == 1
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_requests_total", "Requests.", method="GET", status="200"
+        ).inc(3)
+        registry.histogram("repro_lat_seconds", "Latency.", buckets=(0.1,)).observe(
+            0.05
+        )
+        text = registry.render_prometheus()
+        assert "# HELP repro_requests_total Requests.\n" in text
+        assert "# TYPE repro_requests_total counter\n" in text
+        assert 'repro_requests_total{method="GET",status="200"} 3\n' in text
+        assert 'repro_lat_seconds_bucket{le="0.1"} 1\n' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 1\n' in text
+        assert "repro_lat_seconds_sum 0.05\n" in text
+        assert "repro_lat_seconds_count 1\n" in text
+        assert text.endswith("\n")
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", path='a"b\\c').inc()
+        assert 'path="a\\"b\\\\c"' in registry.render_prometheus()
+
+
+class TestCompatibilityProperties:
+    """Old ``obj.field += x`` call sites drive registry instruments."""
+
+    def test_sweep_stats_fields_roundtrip_through_the_registry(self):
+        stats = SweepStats()
+        stats.resolve_s += 0.25
+        stats.sim_cpu_s += 1.0
+        stats.cache_hits += 2
+        assert stats.resolve_s == pytest.approx(0.25)
+        assert stats.cache_hits == 2
+        assert isinstance(stats.cache_hits, int)
+        phases = stats.phases()
+        assert phases["resolve"] == pytest.approx(0.25)
+        assert phases["sim_cpu"] == pytest.approx(1.0)
+        snapshot = stats.metrics.snapshot()
+        assert "repro_sweep_phase_seconds_total" in snapshot
+
+    def test_result_cache_counters_are_registry_backed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.hits += 1
+        cache.misses += 2
+        assert cache.hits == 1
+        assert cache.misses == 2
+        assert isinstance(cache.hits, int)
+        snapshot = cache.metrics.snapshot()
+        assert any(name.startswith("repro_result_cache") for name in snapshot)
